@@ -1,0 +1,114 @@
+//! One full training iteration (forward + backward + update) of a reduced
+//! LeNet — the measured end-to-end unit behind Figures 6 and 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::SyntheticMnist;
+use layers::ReductionMode;
+use net::{Net, NetSpec, RunConfig};
+use omprt::ThreadTeam;
+use solvers::{Solver, SolverConfig};
+
+/// LeNet with batch 8 (the full batch-64 network at ~8x less work, so a
+/// 1-core host can sample it).
+const SPEC: &str = r#"
+name: lenet_b8
+layer {
+  name: mnist
+  type: Data
+  batch: 8
+  top: data
+  top: label
+}
+layer {
+  name: conv1
+  type: Convolution
+  bottom: data
+  top: conv1
+  num_output: 20
+  kernel: 5
+  seed: 101
+}
+layer {
+  name: pool1
+  type: Pooling
+  bottom: conv1
+  top: pool1
+  method: MAX
+  kernel: 2
+  stride: 2
+}
+layer {
+  name: conv2
+  type: Convolution
+  bottom: pool1
+  top: conv2
+  num_output: 50
+  kernel: 5
+  seed: 102
+}
+layer {
+  name: pool2
+  type: Pooling
+  bottom: conv2
+  top: pool2
+  method: MAX
+  kernel: 2
+  stride: 2
+}
+layer {
+  name: ip1
+  type: InnerProduct
+  bottom: pool2
+  top: ip1
+  num_output: 500
+  seed: 103
+}
+layer {
+  name: relu1
+  type: ReLU
+  bottom: ip1
+  top: relu1
+}
+layer {
+  name: ip2
+  type: InnerProduct
+  bottom: relu1
+  top: ip2
+  num_output: 10
+  seed: 104
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip2
+  bottom: label
+  top: loss
+}
+"#;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_iteration");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let spec = NetSpec::parse(SPEC).unwrap();
+        let mut net: Net<f32> =
+            Net::from_spec(&spec, Some(Box::new(SyntheticMnist::new(256, 1)))).unwrap();
+        let team = ThreadTeam::new(threads);
+        let run = RunConfig {
+            reduction: ReductionMode::Ordered,
+            ..RunConfig::default()
+        };
+        let mut solver: Solver<f32> = Solver::new(SolverConfig::lenet());
+        group.bench_with_input(
+            BenchmarkId::new("lenet_b8", format!("{threads}T")),
+            &(),
+            |b, _| {
+                b.iter(|| solver.step(&mut net, &team, &run));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(e2e, benches);
+criterion_main!(e2e);

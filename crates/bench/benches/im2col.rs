@@ -1,0 +1,31 @@
+//! im2col / col2im lowering cost at the geometries of the paper's networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmblas::{col2im, im2col, Conv2dGeometry};
+use std::hint::black_box;
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    group.sample_size(20);
+    for &(name, channels, size, kernel, pad, stride) in &[
+        ("lenet_conv1", 1usize, 28usize, 5usize, 0usize, 1usize),
+        ("lenet_conv2", 20, 12, 5, 0, 1),
+        ("cifar_conv1", 3, 32, 5, 2, 1),
+        ("cifar_conv3", 32, 8, 5, 2, 1),
+    ] {
+        let geom = Conv2dGeometry::square(channels, size, kernel, pad, stride);
+        let image = vec![0.5f32; geom.image_len()];
+        let mut col = vec![0.0f32; geom.col_len()];
+        group.bench_with_input(BenchmarkId::new("im2col", name), &(), |b, _| {
+            b.iter(|| im2col(&geom, black_box(&image), &mut col));
+        });
+        let mut img_out = vec![0.0f32; geom.image_len()];
+        group.bench_with_input(BenchmarkId::new("col2im", name), &(), |b, _| {
+            b.iter(|| col2im(&geom, black_box(&col), &mut img_out));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_im2col);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Per-layer forward/backward cost (the measured analogue of the per-layer
+//! bars of Figures 4 and 7) at reduced batch so a 1-core host finishes.
+
+use blob::Blob;
+use criterion::{criterion_group, criterion_main, Criterion};
+use layers::conv::{ConvConfig, ConvolutionLayer};
+use layers::inner_product::{InnerProductConfig, InnerProductLayer};
+use layers::lrn::{LrnConfig, LrnLayer};
+use layers::pooling::{PoolConfig, PoolingLayer};
+use layers::{ExecCtx, Layer, ReluLayer, Workspace};
+use omprt::ThreadTeam;
+use std::hint::black_box;
+
+const BATCH: usize = 8;
+
+fn bench_layer<L: Layer<f32>>(
+    c: &mut Criterion,
+    name: &str,
+    mut layer: L,
+    bottom_shape: [usize; 4],
+) {
+    let mut rng = mmblas::Pcg32::seeded(7);
+    let count: usize = bottom_shape.iter().product();
+    let data: Vec<f32> = (0..count).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+    let mut bottom: Blob<f32> = Blob::from_data(bottom_shape, data);
+    let shapes = layer.setup(&[&bottom]);
+    let team = ThreadTeam::new(1);
+    let ws = Workspace::new(1, 1, layer.workspace_request());
+    let ctx = ExecCtx::new(&team, &ws);
+    let mut tops = vec![Blob::new(shapes[0].clone())];
+
+    c.bench_function(&format!("{name}/forward"), |b| {
+        b.iter(|| layer.forward(&ctx, black_box(&[&bottom]), &mut tops));
+    });
+
+    for v in tops[0].diff_mut().iter_mut() {
+        *v = 0.01;
+    }
+    c.bench_function(&format!("{name}/backward"), |b| {
+        b.iter(|| {
+            let trefs: Vec<&Blob<f32>> = tops.iter().collect();
+            let mut bots = vec![std::mem::take(&mut bottom)];
+            layer.backward(&ctx, &trefs, &mut bots);
+            bottom = bots.pop().unwrap();
+        });
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_layer(
+        c,
+        "conv_lenet1_b8",
+        ConvolutionLayer::new("conv1", ConvConfig::new(20, 5, 0, 1)),
+        [BATCH, 1, 28, 28],
+    );
+    bench_layer(
+        c,
+        "pool_max2x2_b8",
+        PoolingLayer::new("pool1", PoolConfig::max(2, 2)),
+        [BATCH, 20, 24, 24],
+    );
+    bench_layer(
+        c,
+        "ip_500_b8",
+        InnerProductLayer::new("ip1", InnerProductConfig::new(500)),
+        [BATCH, 50, 4, 4],
+    );
+    bench_layer(
+        c,
+        "relu_b8",
+        ReluLayer::new("relu1"),
+        [BATCH, 20, 24, 24],
+    );
+    bench_layer(
+        c,
+        "lrn_cifar_b8",
+        LrnLayer::new("norm1", LrnConfig::cifar()),
+        [BATCH, 32, 16, 16],
+    );
+}
+
+criterion_group! {
+    name = layer_benches;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(layer_benches);

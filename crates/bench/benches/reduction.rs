@@ -1,0 +1,53 @@
+//! Cost of the three gradient-reduction modes (E9's timing dimension):
+//! one conv-layer backward pass under Ordered / Canonical / Unordered.
+
+use blob::Blob;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layers::conv::{ConvConfig, ConvolutionLayer};
+use layers::{ExecCtx, Layer, ReductionMode, Workspace};
+use omprt::ThreadTeam;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_modes");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("ordered", ReductionMode::Ordered),
+        ("canonical16", ReductionMode::Canonical { groups: 16 }),
+        ("unordered", ReductionMode::Unordered),
+    ] {
+        for threads in [1usize, 2, 4] {
+            let mut layer: ConvolutionLayer<f32> =
+                ConvolutionLayer::new("conv", ConvConfig::new(16, 5, 2, 1));
+            let mut bottom: Blob<f32> = Blob::new([8usize, 8, 16, 16]);
+            for (i, v) in bottom.data_mut().iter_mut().enumerate() {
+                *v = ((i % 17) as f32) * 0.1 - 0.8;
+            }
+            let shapes = layer.setup(&[&bottom]);
+            let team = ThreadTeam::new(threads);
+            let slots = mode.slots(threads);
+            let ws = Workspace::new(threads, slots, layer.workspace_request());
+            let ctx = ExecCtx::new(&team, &ws).with_reduction(mode);
+            let mut tops = vec![Blob::<f32>::new(shapes[0].clone())];
+            layer.forward(&ctx, &[&bottom], &mut tops);
+            for v in tops[0].diff_mut().iter_mut() {
+                *v = 0.01;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{threads}T")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let trefs: Vec<&Blob<f32>> = tops.iter().collect();
+                        let mut bots = vec![std::mem::take(&mut bottom)];
+                        layer.backward(&ctx, &trefs, &mut bots);
+                        bottom = bots.pop().unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(reduction_benches, benches);
+criterion_main!(reduction_benches);

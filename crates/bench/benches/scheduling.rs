@@ -1,0 +1,67 @@
+//! Raw worksharing overheads of the omprt runtime: parallel-region
+//! fork/join, the four schedules, the ordered construct — the constants the
+//! machine model's `region_base` / `barrier_per_thread` represent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omprt::schedule::for_each_index;
+use omprt::{Schedule, ThreadTeam};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omprt");
+    group.sample_size(20);
+
+    for threads in [1usize, 2, 4] {
+        let team = ThreadTeam::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("empty_region", format!("{threads}T")),
+            &(),
+            |b, _| {
+                b.iter(|| team.parallel(|ctx| {
+                    black_box(ctx.thread_id);
+                }));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ordered_round", format!("{threads}T")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    team.parallel(|ctx| {
+                        ctx.ordered(|| {
+                            black_box(ctx.thread_id);
+                        });
+                    })
+                });
+            },
+        );
+    }
+
+    let team = ThreadTeam::new(4);
+    let sink = AtomicUsize::new(0);
+    for (name, sched) in [
+        ("static", Schedule::Static),
+        ("static_chunk8", Schedule::StaticChunk(8)),
+        ("dynamic8", Schedule::Dynamic(8)),
+        ("guided", Schedule::Guided),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("for_1k_iters", name),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    team.parallel(|ctx| {
+                        for_each_index(ctx, 1000, sched, |i| {
+                            sink.fetch_add(i, Ordering::Relaxed);
+                        });
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(omprt_benches, benches);
+criterion_main!(omprt_benches);

@@ -1,0 +1,44 @@
+//! Calibration scratchpad: prints the simulated per-layer and overall
+//! speedups of both paper networks so the machine-model constants can be
+//! compared against the paper's reported factors.
+
+use cgdnn::nets;
+use datasets::{SyntheticCifar, SyntheticMnist};
+use machine::report::{format_layer_table, per_layer_speedups, NetworkSim};
+
+fn show(name: &str, profiles: &[layers::profile::LayerProfile]) {
+    let sim = NetworkSim::paper_machine(profiles);
+    println!("=== {name} ===");
+    println!("{}", format_layer_table(&sim));
+    for &t in &[2usize, 4, 8, 12, 16] {
+        println!("overall CPU speedup @{t}T: {:.2}x", sim.cpu_speedup(t).unwrap());
+    }
+    println!("plain-GPU overall: {:.2}x", sim.gpu_plain_speedup());
+    println!("cuDNN-GPU overall: {:.2}x", sim.gpu_cudnn_speedup());
+    println!("\nper-layer speedups @8T and @16T (fwd/bwd):");
+    let s8 = per_layer_speedups(sim.serial(), sim.cpu_at(8).unwrap());
+    let s16 = per_layer_speedups(sim.serial(), sim.cpu_at(16).unwrap());
+    for (a, b) in s8.iter().zip(&s16) {
+        println!(
+            "  {:<8} 8T: {:>5.2}/{:<5.2}  16T: {:>5.2}/{:<5.2}",
+            a.0, a.1, a.2, b.1, b.2
+        );
+    }
+    println!("\nGPU per-layer speedups (plain fwd/bwd | cudnn fwd/bwd):");
+    let gp = per_layer_speedups(sim.serial(), &sim.gpu_plain);
+    let gc = per_layer_speedups(sim.serial(), &sim.gpu_cudnn);
+    for (a, b) in gp.iter().zip(&gc) {
+        println!(
+            "  {:<8} plain: {:>6.2}/{:<6.2} cudnn: {:>6.2}/{:<6.2}",
+            a.0, a.1, a.2, b.1, b.2
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let lenet = nets::lenet::<f32>(Box::new(SyntheticMnist::new(512, 1))).unwrap();
+    show("MNIST / LeNet", &lenet.profiles());
+    let cifar = nets::cifar10_full::<f32>(Box::new(SyntheticCifar::new(512, 1))).unwrap();
+    show("CIFAR-10 full", &cifar.profiles());
+}

@@ -1,0 +1,57 @@
+//! **E11 (§4.3 ablation)** — worksharing schedule comparison.
+//!
+//! The paper uses the OpenMP default static schedule. This binary runs real
+//! training iterations under static, static-chunked, dynamic and guided
+//! schedules, verifying functional equivalence (identical loss under the
+//! Canonical reduction, whose result is schedule- and thread-independent)
+//! and comparing measured cost on this host.
+
+use cgdnn_bench::banner;
+use datasets::SyntheticMnist;
+use layers::ReductionMode;
+use net::RunConfig;
+use omprt::{Schedule, ThreadTeam};
+use solvers::{Solver, SolverConfig};
+use std::time::Instant;
+
+fn run(sched: Schedule, threads: usize, iters: usize) -> (Vec<f32>, f64) {
+    let mut net = cgdnn::nets::lenet::<f32>(Box::new(SyntheticMnist::new(256, 13))).unwrap();
+    let team = ThreadTeam::new(threads);
+    let run = RunConfig {
+        schedule: sched,
+        reduction: ReductionMode::Canonical { groups: 16 },
+        ..RunConfig::default()
+    };
+    let mut solver: Solver<f32> = Solver::new(SolverConfig::lenet());
+    let t0 = Instant::now();
+    let l = solver.train(&mut net, &team, &run, iters);
+    (l, t0.elapsed().as_secs_f64() / iters as f64)
+}
+
+fn main() {
+    banner("E11", "schedule ablation: static / static-chunk / dynamic / guided (measured)");
+    let iters = 2;
+    let threads = 4;
+    let (reference, _) = run(Schedule::Static, 1, iters);
+    println!("reference 1-thread loss trajectory: {reference:?}\n");
+    println!(
+        "{:<24}{:>12}{:>22}",
+        "schedule", "sec/iter", "loss == reference"
+    );
+    for (label, sched) in [
+        ("static (paper)", Schedule::Static),
+        ("static,chunk=4", Schedule::StaticChunk(4)),
+        ("dynamic,chunk=4", Schedule::Dynamic(4)),
+        ("guided", Schedule::Guided),
+    ] {
+        let (l, secs) = run(sched, threads, iters);
+        println!("{:<24}{:>12.4}{:>22}", label, secs, l == reference);
+    }
+    println!(
+        "\nexpected: every schedule produces the identical loss trajectory\n\
+         (the Canonical reduction decouples numerics from scheduling); on\n\
+         the paper's machine static wins on locality, dynamic/guided add\n\
+         shared-counter traffic — on this 1-core host the times mainly show\n\
+         the worksharing bookkeeping overhead."
+    );
+}

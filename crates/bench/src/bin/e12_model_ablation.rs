@@ -1,0 +1,60 @@
+//! **E12 (model ablation)** — which mechanism of the execution model
+//! produces which feature of the paper's curves?
+//!
+//! Each row disables one mechanism of the CPU model (by neutralizing its
+//! constant) and reports the overall speedups. This shows the simulated
+//! figures are produced by the paper's stated mechanisms — locality loss,
+//! NUMA, granularity overheads, the serialized ordered reduction — rather
+//! than by per-figure tuning.
+
+use cgdnn_bench::{banner, cifar_net, mnist_net};
+use machine::report::NetworkSim;
+use machine::{CpuModel, GpuModel};
+
+fn variant(name: &str, f: impl Fn(&mut CpuModel)) -> (String, CpuModel) {
+    let mut m = CpuModel::xeon_e5_2667v2();
+    f(&mut m);
+    (name.to_string(), m)
+}
+
+fn main() {
+    banner("E12", "execution-model mechanism ablation (simulated)");
+    let variants = vec![
+        variant("full model", |_| {}),
+        variant("no locality penalty", |m| m.locality_miss_factor = 1.0),
+        variant("no NUMA penalty", |m| m.numa_remote_factor = 1.0),
+        variant("free fork/join+barrier", |m| {
+            m.region_base = 0.0;
+            m.region_per_thread = 0.0;
+            m.barrier_per_thread = 0.0;
+        }),
+        variant("free ordered reduction", |m| {
+            m.reduction_bw = 1e18;
+            m.ordered_handoff = 0.0;
+        }),
+        variant("infinite socket bandwidth", |m| {
+            m.bw_per_socket = 1e18;
+        }),
+    ];
+
+    for (net_name, net) in [("MNIST/LeNet", mnist_net()), ("CIFAR-10", cifar_net())] {
+        println!("--- {net_name}: overall speedup @8T / @16T ---");
+        let profiles = net.profiles();
+        for (label, cpu) in &variants {
+            let sim = NetworkSim::run(&profiles, cpu, &GpuModel::k40(), &[1, 8, 16]);
+            println!(
+                "  {label:<28} {:>6.2}x / {:>6.2}x",
+                sim.cpu_speedup(8).unwrap(),
+                sim.cpu_speedup(16).unwrap()
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: removing a mechanism should *raise* the speedups it\n\
+         limits — locality/NUMA mostly above 8 threads, granularity\n\
+         overheads for the small layers, the serialized reduction for the\n\
+         weight-heavy layers. The gap between 'full model' and each row is\n\
+         that mechanism's contribution to the paper's saturation shape."
+    );
+}

@@ -1,0 +1,26 @@
+//! Dump every simulated figure series as CSV under `results/` so the
+//! paper's plots can be regenerated with any plotting tool.
+
+use cgdnn_bench::{banner, cifar_net, mnist_net, simulate};
+use machine::csv::{gpu_layers_csv, layer_speedups_csv, layer_times_csv, overall_csv};
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    banner("export", "writing figure data series to results/*.csv");
+    fs::create_dir_all("results")?;
+    for (tag, net) in [("mnist", mnist_net()), ("cifar", cifar_net())] {
+        let (_p, sim) = simulate(&net);
+        fs::write(
+            format!("results/{tag}_layer_times.csv"),
+            layer_times_csv(&sim),
+        )?;
+        fs::write(
+            format!("results/{tag}_layer_speedups.csv"),
+            layer_speedups_csv(&sim),
+        )?;
+        fs::write(format!("results/{tag}_overall.csv"), overall_csv(&sim))?;
+        fs::write(format!("results/{tag}_gpu_layers.csv"), gpu_layers_csv(&sim))?;
+        println!("wrote results/{tag}_{{layer_times,layer_speedups,overall,gpu_layers}}.csv");
+    }
+    Ok(())
+}

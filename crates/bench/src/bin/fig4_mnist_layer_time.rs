@@ -1,0 +1,32 @@
+//! **Figure 4** — MNIST: relative and absolute per-layer execution time of
+//! the coarse-grain CPU version at 1, 2, 4, 8, 12 and 16 threads.
+//!
+//! The paper's headline observations, which the simulated table reproduces:
+//! conv + pool layers account for ~80% of total time at every thread count;
+//! conv2 is the single heaviest layer; the centre of the network (pool2,
+//! ip1's neighbours, relu, ip2, loss) shrinks to negligible absolute time.
+
+use cgdnn_bench::{banner, mnist_net, simulate};
+use machine::report::{format_layer_table, total_time};
+
+fn main() {
+    banner("Figure 4", "MNIST per-layer execution time (simulated 16-core Xeon)");
+    let net = mnist_net();
+    let (_profiles, sim) = simulate(&net);
+    println!("{}", format_layer_table(&sim));
+
+    // The paper's claim: conv+pool ~= 80% of total at every thread count.
+    for (i, &t) in sim.thread_counts.iter().enumerate() {
+        let times = &sim.cpu[i];
+        let total = total_time(times);
+        let convpool: f64 = times
+            .iter()
+            .filter(|l| l.layer_type == "Convolution" || l.layer_type == "Pooling")
+            .map(|l| l.total())
+            .sum();
+        println!(
+            "conv+pool share @{t:>2} threads: {:5.1}%  (paper: ~80%)",
+            100.0 * convpool / total
+        );
+    }
+}

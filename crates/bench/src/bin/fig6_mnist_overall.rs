@@ -1,0 +1,60 @@
+//! **Figure 6** — MNIST: overall speedups of the coarse-grain CPU version
+//! (2-16 threads) and the two fine-grain GPU versions, plus per-layer GPU
+//! scalability.
+//!
+//! Paper anchors: OpenMP ~6x @8T and ~8x @16T; plain-GPU ~2x; cuDNN-GPU
+//! ~12x; plain-GPU pool1/pool2 forward 57x/62x while plain conv stays
+//! ~0.4x-2.9x; cuDNN lifts conv to 8x-25x but *drops* pool2 (62x -> 27x).
+
+use cgdnn_bench::{banner, compare, mnist_net, simulate, PAPER_THREADS};
+use machine::report::per_layer_speedups;
+
+fn main() {
+    banner("Figure 6", "MNIST overall speedups + GPU per-layer scalability");
+    let net = mnist_net();
+    let (_p, sim) = simulate(&net);
+
+    println!("overall speedups vs serial CPU:");
+    let paper_omp = [(2usize, 1.9), (4, 3.6), (8, 6.0), (12, 7.2), (16, 8.0)];
+    for (t, paper) in paper_omp {
+        compare(
+            &format!("OpenMP {t} threads"),
+            paper,
+            sim.cpu_speedup(t).unwrap(),
+        );
+    }
+    compare("plain-GPU", 2.0, sim.gpu_plain_speedup());
+    compare("cuDNN-GPU", 12.0, sim.gpu_cudnn_speedup());
+    let _ = PAPER_THREADS;
+
+    println!("\nGPU per-layer speedups (fwd/bwd):");
+    let serial = sim.serial();
+    let plain = per_layer_speedups(serial, &sim.gpu_plain);
+    let cudnn = per_layer_speedups(serial, &sim.gpu_cudnn);
+    println!("{:<10}{:>16}{:>16}", "layer", "plain-GPU", "cuDNN-GPU");
+    for (p, c) in plain.iter().zip(&cudnn) {
+        println!(
+            "{:<10}{:>8.2}/{:<7.2}{:>8.2}/{:<7.2}",
+            p.0, p.1, p.2, c.1, c.2
+        );
+    }
+
+    println!("\npaper anchor points:");
+    let find = |v: &[(String, f64, f64)], n: &str| -> (f64, f64) {
+        let e = v.iter().find(|s| s.0 == n).unwrap();
+        (e.1, e.2)
+    };
+    compare("plain pool1 fwd", 57.0, find(&plain, "pool1").0);
+    compare("plain pool2 fwd", 62.0, find(&plain, "pool2").0);
+    compare("plain conv1 fwd", 1.11, find(&plain, "conv1").0);
+    compare("plain conv2 fwd", 1.63, find(&plain, "conv2").0);
+    compare("plain ip1 bwd", 12.25, find(&plain, "ip1").1);
+    compare("cudnn conv1 fwd", 15.0, find(&cudnn, "conv1").0);
+    compare("cudnn conv2 fwd", 25.0, find(&cudnn, "conv2").0);
+    compare("cudnn pool2 fwd (drop vs plain)", 27.0, find(&cudnn, "pool2").0);
+    println!(
+        "\nordering checks: plain conv < coarse-grain CPU < cuDNN conv; \
+         cuDNN pool2 < plain pool2: {}",
+        find(&cudnn, "pool2").0 < find(&plain, "pool2").0
+    );
+}

@@ -1,0 +1,35 @@
+//! **Figure 7** — CIFAR-10: relative and absolute per-layer execution time
+//! of the coarse-grain CPU version at 1, 2, 4, 8, 12 and 16 threads.
+//!
+//! Paper observation reproduced: conv + pool + norm layers account for
+//! ~85% of total time at every thread count, so only *their* scalability
+//! matters for the end-to-end speedup.
+
+use cgdnn_bench::{banner, cifar_net, simulate};
+use machine::report::{format_layer_table, total_time};
+
+fn main() {
+    banner("Figure 7", "CIFAR-10 per-layer execution time (simulated 16-core Xeon)");
+    let net = cifar_net();
+    let (_p, sim) = simulate(&net);
+    println!("{}", format_layer_table(&sim));
+
+    for (i, &t) in sim.thread_counts.iter().enumerate() {
+        let times = &sim.cpu[i];
+        let total = total_time(times);
+        let dominant: f64 = times
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l.layer_type.as_str(),
+                    "Convolution" | "Pooling" | "LRN"
+                )
+            })
+            .map(|l| l.total())
+            .sum();
+        println!(
+            "conv+pool+norm share @{t:>2} threads: {:5.1}%  (paper: ~85%)",
+            100.0 * dominant / total
+        );
+    }
+}

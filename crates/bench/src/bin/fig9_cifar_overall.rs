@@ -1,0 +1,67 @@
+//! **Figure 9** — CIFAR-10: overall speedups of coarse-grain CPU vs the two
+//! GPU versions, plus per-layer GPU scalability.
+//!
+//! Paper anchors: OpenMP ~6x @8T and 8.83x @16T; plain-GPU ~6x; cuDNN-GPU
+//! ~27x; plain-GPU pooling up to ~110x and LRN ~40x while plain conv stays
+//! 1.8x-6x; cuDNN lifts conv toward ~50x and drops small-map pooling
+//! (pool3 fwd 42x -> 11.75x, pool1 8.6x -> 20.9x the other way).
+
+use cgdnn_bench::{banner, cifar_net, compare, simulate};
+use machine::report::per_layer_speedups;
+
+fn main() {
+    banner("Figure 9", "CIFAR-10 overall speedups + GPU per-layer scalability");
+    let net = cifar_net();
+    let (_p, sim) = simulate(&net);
+
+    println!("overall speedups vs serial CPU:");
+    let paper_omp = [(2usize, 1.9), (4, 3.7), (8, 6.0), (12, 7.5), (16, 8.83)];
+    for (t, paper) in paper_omp {
+        compare(
+            &format!("OpenMP {t} threads"),
+            paper,
+            sim.cpu_speedup(t).unwrap(),
+        );
+    }
+    compare("plain-GPU", 6.0, sim.gpu_plain_speedup());
+    compare("cuDNN-GPU", 27.0, sim.gpu_cudnn_speedup());
+
+    println!("\nGPU per-layer speedups (fwd/bwd):");
+    let serial = sim.serial();
+    let plain = per_layer_speedups(serial, &sim.gpu_plain);
+    let cudnn = per_layer_speedups(serial, &sim.gpu_cudnn);
+    println!("{:<10}{:>16}{:>16}", "layer", "plain-GPU", "cuDNN-GPU");
+    for (p, c) in plain.iter().zip(&cudnn) {
+        println!(
+            "{:<10}{:>8.2}/{:<7.2}{:>8.2}/{:<7.2}",
+            p.0, p.1, p.2, c.1, c.2
+        );
+    }
+
+    fn find<'a>(v: &'a [(String, f64, f64)], n: &str) -> &'a (String, f64, f64) {
+        v.iter().find(|s| s.0 == n).unwrap()
+    }
+    println!("\nshape checks (the paper's qualitative findings):");
+    println!(
+        "  plain conv is the bottleneck (all conv < 10x): {}",
+        ["conv1", "conv2", "conv3"]
+            .iter()
+            .all(|c| find(&plain, c).1 < 10.0)
+    );
+    println!(
+        "  plain pooling >> plain conv: {}",
+        find(&plain, "pool1").1 > 5.0 * find(&plain, "conv1").1
+    );
+    println!(
+        "  cuDNN lifts conv by >5x over plain: {}",
+        find(&cudnn, "conv2").1 > 5.0 * find(&plain, "conv2").1
+    );
+    println!(
+        "  cuDNN drops small-map pooling (pool3): {}",
+        find(&cudnn, "pool3").1 < find(&plain, "pool3").1
+    );
+    println!(
+        "  LRN strong on GPU (>20x): {}",
+        find(&plain, "norm1").1 > 20.0
+    );
+}

@@ -1,0 +1,400 @@
+//! `blob` — the Caffe `Blob` equivalent.
+//!
+//! A [`Blob`] is an N-dimensional dense array stored C-contiguously, holding
+//! two parallel buffers: `data` (activations / weights) and `diff`
+//! (gradients). The conventional layout for image batches is
+//! `N x C x H x W`, and the value at `(n, c, h, w)` lives at linear index
+//! `((n * C + c) * H + h) * W + w` — exactly the Caffe convention the paper's
+//! Figure 1 describes.
+//!
+//! Beyond Caffe's API we expose *segment views*: the per-sample and
+//! per-(sample, channel) sub-slices that the coarse-grain parallelization
+//! distributes across threads.
+//!
+//! ```
+//! use blob::Blob;
+//!
+//! let mut b: Blob<f32> = Blob::new([2usize, 3, 4, 4]);
+//! assert_eq!(b.count(), 96);
+//! assert_eq!(b.offset(1, 2, 0, 0), (1 * 3 + 2) * 16);
+//! assert_eq!(b.segment_len(), 16);      // one (sample, channel) plane
+//! b.data_mut()[0] = 1.0;
+//! b.diff_mut()[0] = 0.25;
+//! b.update();                           // data -= diff
+//! assert_eq!(b.data()[0], 0.75);
+//! ```
+
+pub mod shape;
+
+pub use shape::Shape;
+
+use mmblas::Scalar;
+
+/// N-dimensional array with paired `data`/`diff` storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blob<S: Scalar = f32> {
+    shape: Shape,
+    data: Vec<S>,
+    diff: Vec<S>,
+}
+
+impl<S: Scalar> Default for Blob<S> {
+    /// An empty blob (zero axes of extent zero); used as the placeholder
+    /// when the network temporarily moves blobs out of its arena.
+    fn default() -> Self {
+        Self {
+            shape: Shape::from(vec![0usize]),
+            data: Vec::new(),
+            diff: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scalar> Blob<S> {
+    /// Zero-filled blob of the given shape.
+    pub fn new(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let count = shape.count();
+        Self {
+            shape,
+            data: vec![S::ZERO; count],
+            diff: vec![S::ZERO; count],
+        }
+    }
+
+    /// Blob with the given data contents and zeroed diff.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_data(shape: impl Into<Shape>, data: Vec<S>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.count(),
+            "Blob::from_data: {} elements for shape {:?}",
+            data.len(),
+            shape
+        );
+        let count = data.len();
+        Self {
+            shape,
+            data,
+            diff: vec![S::ZERO; count],
+        }
+    }
+
+    /// The blob's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn count(&self) -> usize {
+        self.shape.count()
+    }
+
+    /// Element count over axes `[from, to)` — Caffe's `count(start, end)`.
+    pub fn count_range(&self, from: usize, to: usize) -> usize {
+        self.shape.count_range(from, to)
+    }
+
+    /// Batch size (axis 0); `1` for a scalar blob.
+    pub fn num(&self) -> usize {
+        self.shape.dim_or(0, 1)
+    }
+
+    /// Channels (axis 1); `1` when absent.
+    pub fn channels(&self) -> usize {
+        self.shape.dim_or(1, 1)
+    }
+
+    /// Height (axis 2); `1` when absent.
+    pub fn height(&self) -> usize {
+        self.shape.dim_or(2, 1)
+    }
+
+    /// Width (axis 3); `1` when absent.
+    pub fn width(&self) -> usize {
+        self.shape.dim_or(3, 1)
+    }
+
+    /// Linear offset of `(n, c, h, w)` — Caffe's `offset()`.
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.num() && c < self.channels() && h < self.height() && w < self.width()
+        );
+        ((n * self.channels() + c) * self.height() + h) * self.width() + w
+    }
+
+    /// Reshape in place. The element count must be preserved (use
+    /// [`Blob::resize`] to change it).
+    ///
+    /// # Panics
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        assert_eq!(
+            shape.count(),
+            self.count(),
+            "Blob::reshape must preserve count; use resize"
+        );
+        self.shape = shape;
+    }
+
+    /// Resize to a new shape, reallocating and zero-filling both buffers if
+    /// the element count changes.
+    pub fn resize(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        let count = shape.count();
+        if count != self.data.len() {
+            self.data = vec![S::ZERO; count];
+            self.diff = vec![S::ZERO; count];
+        }
+        self.shape = shape;
+    }
+
+    /// Immutable view of the data buffer.
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable view of the data buffer.
+    pub fn data_mut(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Immutable view of the diff (gradient) buffer.
+    pub fn diff(&self) -> &[S] {
+        &self.diff
+    }
+
+    /// Mutable view of the diff buffer.
+    pub fn diff_mut(&mut self) -> &mut [S] {
+        &mut self.diff
+    }
+
+    /// Simultaneous mutable borrows of data and diff (they are disjoint).
+    pub fn data_diff_mut(&mut self) -> (&mut [S], &mut [S]) {
+        (&mut self.data, &mut self.diff)
+    }
+
+    /// Elements per sample (`count / num`); `0` for an empty blob.
+    pub fn sample_len(&self) -> usize {
+        if self.num() == 0 {
+            0
+        } else {
+            self.count() / self.num()
+        }
+    }
+
+    /// Data slice of sample `n`.
+    pub fn sample_data(&self, n: usize) -> &[S] {
+        let len = self.sample_len();
+        &self.data[n * len..(n + 1) * len]
+    }
+
+    /// Mutable data slice of sample `n`.
+    pub fn sample_data_mut(&mut self, n: usize) -> &mut [S] {
+        let len = self.sample_len();
+        &mut self.data[n * len..(n + 1) * len]
+    }
+
+    /// Diff slice of sample `n`.
+    pub fn sample_diff(&self, n: usize) -> &[S] {
+        let len = self.sample_len();
+        &self.diff[n * len..(n + 1) * len]
+    }
+
+    /// Mutable diff slice of sample `n`.
+    pub fn sample_diff_mut(&mut self, n: usize) -> &mut [S] {
+        let len = self.sample_len();
+        &mut self.diff[n * len..(n + 1) * len]
+    }
+
+    /// Elements per `(sample, channel)` segment — the blob "segment" of the
+    /// paper's Figures 1-2 (`H * W` for 4-D blobs).
+    pub fn segment_len(&self) -> usize {
+        self.height() * self.width()
+    }
+
+    /// Number of `(sample, channel)` segments: `num * channels`.
+    pub fn num_segments(&self) -> usize {
+        self.num() * self.channels()
+    }
+
+    /// Data slice of segment `(n, c)`.
+    pub fn segment_data(&self, n: usize, c: usize) -> &[S] {
+        let len = self.segment_len();
+        let start = self.offset(n, c, 0, 0);
+        &self.data[start..start + len]
+    }
+
+    /// Diff slice of segment `(n, c)`.
+    pub fn segment_diff(&self, n: usize, c: usize) -> &[S] {
+        let len = self.segment_len();
+        let start = self.offset(n, c, 0, 0);
+        &self.diff[start..start + len]
+    }
+
+    /// Zero the data buffer.
+    pub fn zero_data(&mut self) {
+        mmblas::zero(&mut self.data);
+    }
+
+    /// Zero the diff buffer — `caffe_zero` on the privatized gradients
+    /// (Algorithm 5, line 5).
+    pub fn zero_diff(&mut self) {
+        mmblas::zero(&mut self.diff);
+    }
+
+    /// Scale the data buffer by `alpha`.
+    pub fn scale_data(&mut self, alpha: S) {
+        mmblas::scal(alpha, &mut self.data);
+    }
+
+    /// Scale the diff buffer by `alpha`.
+    pub fn scale_diff(&mut self, alpha: S) {
+        mmblas::scal(alpha, &mut self.diff);
+    }
+
+    /// L1 norm of the data buffer.
+    pub fn asum_data(&self) -> S {
+        mmblas::asum(&self.data)
+    }
+
+    /// L1 norm of the diff buffer.
+    pub fn asum_diff(&self) -> S {
+        mmblas::asum(&self.diff)
+    }
+
+    /// Caffe's `Blob::Update`: `data -= diff` (the diff already holds the
+    /// solver-scaled step).
+    pub fn update(&mut self) {
+        for (d, &g) in self.data.iter_mut().zip(&self.diff) {
+            *d -= g;
+        }
+    }
+
+    /// Accumulate another blob's diff into this blob's diff
+    /// (`diff += other.diff`) — the merge step of the ordered reduction.
+    ///
+    /// # Panics
+    /// Panics if counts differ.
+    pub fn accumulate_diff_from(&mut self, other: &Blob<S>) {
+        assert_eq!(self.count(), other.count(), "accumulate_diff_from: count");
+        mmblas::axpy(S::ONE, &other.diff, &mut self.diff);
+    }
+
+    /// Copy data (and optionally diff) from another blob of identical count.
+    ///
+    /// # Panics
+    /// Panics if counts differ.
+    pub fn copy_from(&mut self, other: &Blob<S>, copy_diff: bool) {
+        assert_eq!(self.count(), other.count(), "copy_from: count");
+        self.data.copy_from_slice(&other.data);
+        if copy_diff {
+            self.diff.copy_from_slice(&other.diff);
+        }
+    }
+
+    /// Approximate heap footprint in bytes (both buffers) — used by the
+    /// memory-overhead experiment (paper §3.2.1).
+    pub fn bytes(&self) -> usize {
+        2 * self.count() * std::mem::size_of::<S>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_matches_caffe_formula() {
+        let b: Blob<f32> = Blob::new([2usize, 3, 4, 5]);
+        // ((n*K + k)*H + h)*W + w
+        assert_eq!(b.offset(1, 2, 3, 4), (((1 * 3 + 2) * 4) + 3) * 5 + 4);
+        assert_eq!(b.offset(0, 0, 0, 0), 0);
+        assert_eq!(b.offset(1, 2, 3, 4), b.count() - 1);
+    }
+
+    #[test]
+    fn legacy_accessors_pad_with_one() {
+        let b: Blob<f32> = Blob::new([10usize, 500]);
+        assert_eq!(b.num(), 10);
+        assert_eq!(b.channels(), 500);
+        assert_eq!(b.height(), 1);
+        assert_eq!(b.width(), 1);
+        assert_eq!(b.sample_len(), 500);
+    }
+
+    #[test]
+    fn sample_and_segment_views() {
+        let mut b: Blob<f32> = Blob::new([2usize, 3, 2, 2]);
+        for (i, v) in b.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        assert_eq!(b.sample_data(1)[0], 12.0);
+        assert_eq!(b.segment_data(1, 2), &[20.0, 21.0, 22.0, 23.0]);
+        assert_eq!(b.num_segments(), 6);
+        assert_eq!(b.segment_len(), 4);
+    }
+
+    #[test]
+    fn update_subtracts_diff() {
+        let mut b: Blob<f32> = Blob::from_data([3usize], vec![1.0, 2.0, 3.0]);
+        b.diff_mut().copy_from_slice(&[0.5, 0.5, 0.5]);
+        b.update();
+        assert_eq!(b.data(), &[0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn accumulate_diff() {
+        let mut a: Blob<f32> = Blob::new([2usize]);
+        let mut b: Blob<f32> = Blob::new([2usize]);
+        a.diff_mut().copy_from_slice(&[1.0, 2.0]);
+        b.diff_mut().copy_from_slice(&[10.0, 20.0]);
+        a.accumulate_diff_from(&b);
+        assert_eq!(a.diff(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut b: Blob<f32> =
+            Blob::from_data([2usize, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        b.reshape([3usize, 2]);
+        assert_eq!(b.data()[5], 5.0);
+        assert_eq!(b.num(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must preserve count")]
+    fn reshape_count_mismatch_panics() {
+        let mut b: Blob<f32> = Blob::new([2usize, 3]);
+        b.reshape([7usize]);
+    }
+
+    #[test]
+    fn resize_reallocates() {
+        let mut b: Blob<f32> = Blob::from_data([2usize], vec![1.0, 2.0]);
+        b.resize([4usize]);
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let b: Blob<f32> = Blob::new([10usize, 10]);
+        assert_eq!(b.bytes(), 2 * 100 * 4);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut b: Blob<f64> = Blob::from_data([2usize], vec![2.0, 4.0]);
+        b.scale_data(0.5);
+        assert_eq!(b.data(), &[1.0, 2.0]);
+        b.diff_mut().copy_from_slice(&[1.0, 1.0]);
+        assert_eq!(b.asum_diff(), 2.0);
+        b.zero_diff();
+        assert_eq!(b.asum_diff(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! `cgdnn` — command-line front end (the `caffe` binary equivalent).
+//!
+//! ```text
+//! cgdnn summary  <spec.prototxt> [--data KIND]
+//! cgdnn train    <spec.prototxt> [--data KIND] [--threads N] [--iters N]
+//!                [--lr X] [--solver sgd|nesterov|adagrad]
+//!                [--reduction ordered|canonical|unordered]
+//!                [--snapshot FILE] [--weights FILE]
+//! cgdnn simulate <spec.prototxt> [--data KIND]
+//! ```
+//!
+//! `KIND` is `synthetic-mnist` (default), `synthetic-cifar`, or
+//! `idx:<images>,<labels>` / `cifar-bin:<file>` for real data.
+
+use cgdnn::cli::{make_source, Args};
+use cgdnn::prelude::*;
+use machine::report::NetworkSim;
+use std::fs::File;
+use std::process::ExitCode;
+
+fn load_net(args: &Args) -> Result<Net<f32>, String> {
+    let spec_path = args
+        .positional
+        .get(1)
+        .ok_or("missing <spec.prototxt> argument")?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = NetSpec::parse(&text).map_err(|e| e.to_string())?;
+    let source = make_source(args.get("data").unwrap_or("synthetic-mnist"))?;
+    Net::from_spec(&spec, Some(source)).map_err(|e| e.to_string())
+}
+
+fn cmd_summary(args: &Args) -> Result<(), String> {
+    let net = load_net(args)?;
+    print!("{}", net.summary());
+    let report = net.memory_report();
+    println!("\nmemory: {report}");
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let mut net = load_net(args)?;
+    if let Some(w) = args.get("weights") {
+        net::load_params(&mut net, File::open(w).map_err(|e| format!("{w}: {e}"))?)
+            .map_err(|e| e.to_string())?;
+        println!("initialized from {w}");
+    }
+    let threads: usize = args.get_parse("threads", 4)?;
+    let iters: usize = args.get_parse("iters", 100)?;
+    let lr: f64 = args.get_parse("lr", 0.01)?;
+    let solver_type = match args.get("solver").unwrap_or("sgd") {
+        "sgd" => SolverType::Sgd,
+        "nesterov" => SolverType::Nesterov,
+        "adagrad" => SolverType::AdaGrad,
+        other => return Err(format!("unknown solver '{other}'")),
+    };
+    let reduction = match args.get("reduction").unwrap_or("ordered") {
+        "ordered" => ReductionMode::Ordered,
+        "canonical" => ReductionMode::Canonical { groups: 16 },
+        "unordered" => ReductionMode::Unordered,
+        other => return Err(format!("unknown reduction '{other}'")),
+    };
+
+    let team = ThreadTeam::new(threads);
+    let run = RunConfig {
+        reduction,
+        ..RunConfig::default()
+    };
+    let mut solver: Solver<f32> = Solver::new(SolverConfig {
+        base_lr: lr,
+        solver_type,
+        ..SolverConfig::lenet()
+    });
+    println!(
+        "training {iters} iterations on {threads} threads ({solver_type:?}, lr {lr}, {reduction:?})"
+    );
+    let every = (iters / 20).max(1);
+    for i in 0..iters {
+        let loss = solver.step(&mut net, &team, &run);
+        if i % every == 0 || i + 1 == iters {
+            println!("iter {:>6}  loss {loss:.5}", i + 1);
+        }
+        if !loss.is_finite() {
+            return Err(format!("diverged at iteration {i}"));
+        }
+    }
+    if let Some(path) = args.get("snapshot") {
+        let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        net::save_params(&net, f).map_err(|e| e.to_string())?;
+        println!("snapshot written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let net = load_net(args)?;
+    let sim = NetworkSim::paper_machine(&net.profiles());
+    println!("projection onto the paper's 16-core Xeon E5-2667v2 + K40:");
+    for &t in &sim.thread_counts {
+        println!(
+            "  coarse-grain CPU @{t:>2} threads: {:>6.2}x",
+            sim.cpu_speedup(t).unwrap()
+        );
+    }
+    println!("  plain-GPU : {:>6.2}x", sim.gpu_plain_speedup());
+    println!("  cuDNN-GPU : {:>6.2}x", sim.gpu_cudnn_speedup());
+    Ok(())
+}
+
+const USAGE: &str = "usage: cgdnn <summary|train|simulate> <spec.prototxt> [flags]
+  --data synthetic-mnist|synthetic-cifar|idx:<imgs>,<lbls>|cifar-bin:<file>
+  --threads N     team size (train)
+  --iters N       iterations (train)
+  --lr X          base learning rate (train)
+  --solver sgd|nesterov|adagrad
+  --reduction ordered|canonical|unordered
+  --snapshot FILE write parameters after training
+  --weights FILE  initialize parameters before training";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = match args.positional.first().map(|s| s.as_str()) {
+        Some("summary") => cmd_summary(&args),
+        Some("train") => cmd_train(&args),
+        Some("simulate") => cmd_simulate(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

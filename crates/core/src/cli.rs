@@ -1,0 +1,143 @@
+//! Argument parsing and data-source resolution for the `cgdnn` binary,
+//! factored out so it can be unit-tested.
+
+use datasets::InMemoryDataset;
+use layers::data::BatchSource;
+use std::fs::File;
+
+/// Parsed command line: `--flag value` pairs plus positional arguments.
+pub struct Args {
+    flags: Vec<(String, String)>,
+    /// Positional arguments in order (subcommand, spec path, ...).
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse raw arguments (without the program name).
+    ///
+    /// # Errors
+    /// Fails when a `--flag` has no following value.
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = raw.peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Self { flags, positional })
+    }
+
+    /// Last occurrence of `--name` wins.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Typed flag lookup with default.
+    ///
+    /// # Errors
+    /// Fails when the value does not parse as `T`.
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{name}")),
+        }
+    }
+}
+
+/// Resolve a `--data` argument to a batch source:
+/// `synthetic-mnist`, `synthetic-cifar`, `idx:<images>,<labels>`, or
+/// `cifar-bin:<file>`.
+///
+/// # Errors
+/// Fails on unknown kinds, missing files, or malformed data files.
+pub fn make_source(kind: &str) -> Result<Box<dyn BatchSource<f32>>, String> {
+    if let Some(rest) = kind.strip_prefix("idx:") {
+        let (imgs, lbls) = rest
+            .split_once(',')
+            .ok_or("idx: needs <images>,<labels>")?;
+        let (images, rows, cols) =
+            datasets::read_idx_images(File::open(imgs).map_err(|e| format!("{imgs}: {e}"))?)
+                .map_err(|e| e.to_string())?;
+        let labels =
+            datasets::read_idx_labels(File::open(lbls).map_err(|e| format!("{lbls}: {e}"))?)
+                .map_err(|e| e.to_string())?;
+        return Ok(Box::new(InMemoryDataset::new(
+            images,
+            labels,
+            [1usize, rows, cols],
+        )));
+    }
+    if let Some(file) = kind.strip_prefix("cifar-bin:") {
+        let (images, labels) =
+            datasets::read_cifar_bin(File::open(file).map_err(|e| format!("{file}: {e}"))?)
+                .map_err(|e| e.to_string())?;
+        return Ok(Box::new(InMemoryDataset::new(
+            images,
+            labels,
+            [3usize, 32, 32],
+        )));
+    }
+    match kind {
+        "synthetic-mnist" => Ok(Box::new(datasets::SyntheticMnist::new(8192, 42))),
+        "synthetic-cifar" => Ok(Box::new(datasets::SyntheticCifar::new(8192, 42))),
+        other => Err(format!("unknown data kind '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(|x| x.to_string())
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(argv("train spec.txt --threads 8 --iters 100")).unwrap();
+        assert_eq!(a.positional, vec!["train", "spec.txt"]);
+        assert_eq!(a.get("threads"), Some("8"));
+        assert_eq!(a.get_parse("iters", 0usize).unwrap(), 100);
+        assert_eq!(a.get_parse("lr", 0.5f64).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn last_flag_occurrence_wins() {
+        let a = Args::parse(argv("x --threads 2 --threads 4")).unwrap();
+        assert_eq!(a.get("threads"), Some("4"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(argv("train --threads")).is_err());
+    }
+
+    #[test]
+    fn bad_typed_value_is_an_error() {
+        let a = Args::parse(argv("x --iters banana")).unwrap();
+        assert!(a.get_parse("iters", 0usize).is_err());
+    }
+
+    #[test]
+    fn synthetic_sources_resolve() {
+        assert!(make_source("synthetic-mnist").is_ok());
+        assert!(make_source("synthetic-cifar").is_ok());
+        assert!(make_source("bogus").is_err());
+        assert!(make_source("idx:zzz").is_err(), "needs a comma");
+        assert!(make_source("idx:/no/such,file").is_err());
+        assert!(make_source("cifar-bin:/no/such").is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Synchronous multi-replica data parallelism — the paper's "compatible
+//! with multi-GPU execution without altering the algorithm convergence
+//! rate" claim (§1), with replicas standing in for devices.
+//!
+//! The conventional multi-GPU approach halves the batch per device, which
+//! *changes* the effective batch size and therefore convergence. Here one
+//! logical batch of size `B` is **sharded** across `R` identical model
+//! replicas (each a full [`net::Net`] running the coarse-grain parallel
+//! path on its own thread team); gradients are averaged across replicas in
+//! replica order and one identical update is applied to every copy. The
+//! optimization trajectory is that of the single-model batch-`B` run — no
+//! training parameter changed.
+
+use layers::data::BatchSource;
+use layers::ReductionMode;
+use mmblas::Scalar;
+use net::{Net, NetSpec, RunConfig, SpecError};
+use omprt::ThreadTeam;
+use solvers::{Solver, SolverConfig};
+
+/// Wraps a data source so replica `shard` of `nshards` sees exactly its
+/// slice of every logical batch, in the same global order the single-model
+/// run would use.
+pub struct ShardedSource<S: Scalar> {
+    inner: Box<dyn BatchSource<S>>,
+    shard: usize,
+    nshards: usize,
+    /// Logical (full) batch size.
+    batch: usize,
+}
+
+impl<S: Scalar> ShardedSource<S> {
+    /// Shard `shard` of `nshards` over logical batches of `batch` samples.
+    ///
+    /// # Panics
+    /// Panics unless `nshards` divides `batch` and `shard < nshards`.
+    pub fn new(
+        inner: Box<dyn BatchSource<S>>,
+        shard: usize,
+        nshards: usize,
+        batch: usize,
+    ) -> Self {
+        assert!(nshards > 0 && shard < nshards, "ShardedSource: bad shard");
+        assert_eq!(batch % nshards, 0, "ShardedSource: nshards must divide batch");
+        Self {
+            inner,
+            shard,
+            nshards,
+            batch,
+        }
+    }
+}
+
+impl<S: Scalar> BatchSource<S> for ShardedSource<S> {
+    fn num_samples(&self) -> usize {
+        // Local index space: the shard's fraction of the stream. The data
+        // layer wraps on this, matching the global wrap of the inner source
+        // when nshards divides its size; for simplicity expose the full
+        // range scaled down.
+        (self.inner.num_samples() / self.nshards).max(1)
+    }
+
+    fn sample_shape(&self) -> blob::Shape {
+        self.inner.sample_shape()
+    }
+
+    fn fill(&self, index: usize, out: &mut [S]) -> S {
+        // Local cursor -> global sample id: batches interleave shards.
+        let local_batch = self.batch / self.nshards;
+        let iter = index / local_batch;
+        let within = index % local_batch;
+        let global = iter * self.batch + self.shard * local_batch + within;
+        self.inner.fill(global % self.inner.num_samples(), out)
+    }
+}
+
+/// `R` model replicas training synchronously on shards of one logical
+/// batch.
+pub struct SyncDataParallel<S: Scalar = f32> {
+    replicas: Vec<Net<S>>,
+    teams: Vec<ThreadTeam>,
+    solver: Solver<S>,
+    run: RunConfig,
+    iter: u64,
+}
+
+impl<S: Scalar> SyncDataParallel<S> {
+    /// Build `nreplicas` identical copies of the network described by a
+    /// spec whose data layer uses the *local* batch (`batch / nreplicas`).
+    ///
+    /// `spec` must therefore declare `batch: <batch/nreplicas>`;
+    /// `make_source` is called once per replica and must return identical
+    /// sources (they are wrapped in [`ShardedSource`] internally).
+    /// `threads_per_replica` is the coarse-grain team size inside each
+    /// replica — the two parallelism levels compose.
+    pub fn new(
+        spec: &NetSpec,
+        mut make_source: impl FnMut() -> Box<dyn BatchSource<S>>,
+        solver_cfg: SolverConfig,
+        nreplicas: usize,
+        logical_batch: usize,
+        threads_per_replica: usize,
+    ) -> Result<Self, SpecError> {
+        assert!(nreplicas > 0);
+        let mut replicas = Vec::with_capacity(nreplicas);
+        let mut teams = Vec::with_capacity(nreplicas);
+        for r in 0..nreplicas {
+            let sharded = Box::new(ShardedSource::new(
+                make_source(),
+                r,
+                nreplicas,
+                logical_batch,
+            ));
+            replicas.push(Net::from_spec(spec, Some(sharded))?);
+            teams.push(ThreadTeam::new(threads_per_replica));
+        }
+        Ok(Self {
+            replicas,
+            teams,
+            solver: Solver::new(solver_cfg),
+            run: RunConfig {
+                // Deterministic regardless of team size.
+                reduction: ReductionMode::Canonical { groups: 16 },
+                ..RunConfig::default()
+            },
+            iter: 0,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn nreplicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Immutable access to replica `r`'s network.
+    pub fn replica(&self, r: usize) -> &Net<S> {
+        &self.replicas[r]
+    }
+
+    /// One synchronous step over one logical batch; returns the logical
+    /// batch loss (mean of shard losses).
+    pub fn step(&mut self) -> S {
+        let nr = self.replicas.len();
+        let inv_r = S::ONE / S::from_usize(nr);
+
+        // 1. Each replica: zero diffs, forward, backward on its shard.
+        //    (Replicas run one after another here; on real hardware they
+        //    run concurrently — the result is identical either way because
+        //    the combination below is ordered.)
+        let mut loss = S::ZERO;
+        for (netr, team) in self.replicas.iter_mut().zip(&self.teams) {
+            netr.set_iteration(self.iter);
+            netr.zero_param_diffs();
+            loss += netr.forward(team, &self.run);
+            netr.backward(team, &self.run);
+        }
+        loss *= inv_r;
+
+        // 2. All-reduce in replica order: replica 0 accumulates the average
+        //    gradient (each shard loss already divides by the local batch,
+        //    so the mean across replicas equals the batch-B gradient).
+        {
+            let (head, rest) = self.replicas.split_at_mut(1);
+            let mut master = head[0].learnable_params_mut();
+            for other in rest.iter() {
+                for (mp, op) in master.iter_mut().zip(other.learnable_params()) {
+                    mmblas::axpy(S::ONE, op.diff(), mp.diff_mut());
+                }
+            }
+            for mp in master.iter_mut() {
+                mp.scale_diff(inv_r);
+            }
+        }
+
+        // 3. Apply one update on the master copy, then broadcast.
+        let lr = self.solver.lr_at(self.iter);
+        {
+            let (head, _) = self.replicas.split_at_mut(1);
+            let mults = head[0].param_lr_mults();
+            self.solver
+                .apply_update_with_mults(head[0].learnable_params_mut(), lr, &mults);
+        }
+        let master_data: Vec<Vec<S>> = self.replicas[0]
+            .learnable_params()
+            .iter()
+            .map(|p| p.data().to_vec())
+            .collect();
+        for other in self.replicas[1..].iter_mut() {
+            for (p, src) in other.learnable_params_mut().into_iter().zip(&master_data) {
+                p.data_mut().copy_from_slice(src);
+            }
+        }
+        self.iter += 1;
+        loss
+    }
+
+    /// Run `n` synchronous steps; returns per-step logical losses.
+    pub fn train(&mut self, n: usize) -> Vec<S> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::SyntheticMnist;
+
+    const SPEC_B8: &str = r#"
+name: tiny_mlp_b8
+layer {
+  name: data
+  type: Data
+  batch: 8
+  top: data
+  top: label
+}
+layer {
+  name: ip1
+  type: InnerProduct
+  bottom: data
+  top: ip1
+  num_output: 32
+  seed: 1
+}
+layer {
+  name: relu1
+  type: ReLU
+  bottom: ip1
+  top: relu1
+}
+layer {
+  name: ip2
+  type: InnerProduct
+  bottom: relu1
+  top: ip2
+  num_output: 10
+  seed: 2
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip2
+  bottom: label
+  top: loss
+}
+"#;
+
+    const SPEC_B16: &str = r#"
+name: tiny_mlp_b16
+layer {
+  name: data
+  type: Data
+  batch: 16
+  top: data
+  top: label
+}
+layer {
+  name: ip1
+  type: InnerProduct
+  bottom: data
+  top: ip1
+  num_output: 32
+  seed: 1
+}
+layer {
+  name: relu1
+  type: ReLU
+  bottom: ip1
+  top: relu1
+}
+layer {
+  name: ip2
+  type: InnerProduct
+  bottom: relu1
+  top: ip2
+  num_output: 10
+  seed: 2
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip2
+  bottom: label
+  top: loss
+}
+"#;
+
+    fn src() -> Box<dyn BatchSource<f32>> {
+        Box::new(SyntheticMnist::new(160, 21))
+    }
+
+    #[test]
+    fn sharded_source_partitions_the_logical_batch() {
+        // With 2 shards over batch 16, shard 0 sees samples 0..8 and shard 1
+        // sees 8..16 of the first logical batch.
+        let a = ShardedSource::new(src(), 0, 2, 16);
+        let b = ShardedSource::new(src(), 1, 2, 16);
+        let full = src();
+        let mut buf_a = vec![0.0f32; 28 * 28];
+        let mut buf_f = vec![0.0f32; 28 * 28];
+        for i in 0..8usize {
+            let la = a.fill(i, &mut buf_a);
+            let lf = full.fill(i, &mut buf_f);
+            assert_eq!(la, lf, "shard 0 sample {i}");
+            assert_eq!(buf_a, buf_f);
+            let lb = b.fill(i, &mut buf_a);
+            let lf = full.fill(8 + i, &mut buf_f);
+            assert_eq!(lb, lf, "shard 1 sample {i}");
+            assert_eq!(buf_a, buf_f);
+        }
+    }
+
+    #[test]
+    fn two_replicas_match_single_model_batch16() {
+        let spec8 = NetSpec::parse(SPEC_B8).unwrap();
+        let spec16 = NetSpec::parse(SPEC_B16).unwrap();
+
+        // Reference: single model, batch 16.
+        let mut net = Net::<f32>::from_spec(&spec16, Some(src())).unwrap();
+        let team = ThreadTeam::new(2);
+        let run = RunConfig {
+            reduction: ReductionMode::Canonical { groups: 16 },
+            ..RunConfig::default()
+        };
+        let mut solver = Solver::<f32>::new(SolverConfig::lenet());
+        let single: Vec<f32> = solver.train(&mut net, &team, &run, 4);
+
+        // 2 replicas x shard 8 over the same logical batch-16 stream.
+        let mut dp = SyncDataParallel::<f32>::new(
+            &spec8,
+            src,
+            SolverConfig::lenet(),
+            2,
+            16,
+            2,
+        )
+        .unwrap();
+        let sharded = dp.train(4);
+
+        for (a, b) in single.iter().zip(&sharded) {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "single {a} vs data-parallel {b} — convergence altered"
+            );
+        }
+    }
+
+    #[test]
+    fn replicas_stay_in_sync() {
+        let spec8 = NetSpec::parse(SPEC_B8).unwrap();
+        let mut dp =
+            SyncDataParallel::<f32>::new(&spec8, src, SolverConfig::lenet(), 3, 24, 1).unwrap();
+        dp.train(3);
+        let master: Vec<Vec<f32>> = dp
+            .replica(0)
+            .learnable_params()
+            .iter()
+            .map(|p| p.data().to_vec())
+            .collect();
+        for r in 1..dp.nreplicas() {
+            let other: Vec<Vec<f32>> = dp
+                .replica(r)
+                .learnable_params()
+                .iter()
+                .map(|p| p.data().to_vec())
+                .collect();
+            assert_eq!(master, other, "replica {r} diverged");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_replica_team_sizes() {
+        let spec8 = NetSpec::parse(SPEC_B8).unwrap();
+        let run = |threads: usize| -> Vec<f32> {
+            let mut dp =
+                SyncDataParallel::<f32>::new(&spec8, src, SolverConfig::lenet(), 2, 16, threads)
+                    .unwrap();
+            dp.train(3)
+        };
+        let a = run(1);
+        let b = run(1);
+        assert_eq!(a, b);
+        let c = run(3);
+        assert_eq!(a, c, "replica-internal team size altered the trajectory");
+    }
+}

@@ -1,0 +1,144 @@
+//! High-level, network-agnostic training driver.
+
+use layers::data::BatchSource;
+use layers::ReductionMode;
+use mmblas::Scalar;
+use net::{Net, RunConfig, SpecError};
+use omprt::ThreadTeam;
+use solvers::{Solver, SolverConfig};
+
+/// The paper's system in one object: a network, a solver, a thread team,
+/// and the coarse-grain run configuration.
+///
+/// The trainer is *network-agnostic*: nothing here inspects layer types.
+/// Changing the thread count changes only the team — no training parameter —
+/// so convergence is invariant (the paper's two headline properties).
+pub struct CoarseGrainTrainer<S: Scalar = f32> {
+    net: Net<S>,
+    solver: Solver<S>,
+    team: ThreadTeam,
+    run: RunConfig,
+}
+
+impl<S: Scalar> CoarseGrainTrainer<S> {
+    /// Assemble a trainer from parts.
+    pub fn new(net: Net<S>, solver_cfg: SolverConfig, threads: usize) -> Self {
+        Self {
+            net,
+            solver: Solver::new(solver_cfg),
+            team: ThreadTeam::new(threads),
+            run: RunConfig::default(),
+        }
+    }
+
+    /// LeNet/MNIST trainer with Caffe's LeNet solver settings.
+    pub fn lenet(source: Box<dyn BatchSource<S>>, threads: usize) -> Result<Self, SpecError> {
+        Ok(Self::new(
+            crate::nets::lenet(source)?,
+            SolverConfig::lenet(),
+            threads,
+        ))
+    }
+
+    /// CIFAR-10 full trainer with Caffe's cifar10_full solver settings.
+    pub fn cifar10_full(
+        source: Box<dyn BatchSource<S>>,
+        threads: usize,
+    ) -> Result<Self, SpecError> {
+        Ok(Self::new(
+            crate::nets::cifar10_full(source)?,
+            SolverConfig::cifar(),
+            threads,
+        ))
+    }
+
+    /// Override the gradient reduction mode (default:
+    /// [`ReductionMode::Ordered`], the paper's choice).
+    pub fn with_reduction(mut self, mode: ReductionMode) -> Self {
+        self.run.reduction = mode;
+        self
+    }
+
+    /// Override the loop schedule (default: static, the paper's choice).
+    pub fn with_schedule(mut self, s: omprt::Schedule) -> Self {
+        self.run.schedule = s;
+        self
+    }
+
+    /// Train for `n` iterations; returns the loss of each iteration.
+    pub fn train(&mut self, n: usize) -> Vec<S> {
+        self.solver.train(&mut self.net, &self.team, &self.run, n)
+    }
+
+    /// One training iteration; returns the loss.
+    pub fn step(&mut self) -> S {
+        self.solver.step(&mut self.net, &self.team, &self.run)
+    }
+
+    /// Evaluate over `batches` test batches:
+    /// `(mean loss, mean accuracy if the net has an accuracy blob)`.
+    pub fn evaluate(&mut self, batches: usize) -> (S, Option<S>) {
+        solvers::evaluate(&mut self.net, &self.team, &self.run, batches)
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Net<S> {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn net_mut(&mut self) -> &mut Net<S> {
+        &mut self.net
+    }
+
+    /// The thread team.
+    pub fn team(&self) -> &ThreadTeam {
+        &self.team
+    }
+
+    /// The active run configuration.
+    pub fn run_config(&self) -> &RunConfig {
+        &self.run
+    }
+
+    /// The solver.
+    pub fn solver(&self) -> &Solver<S> {
+        &self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::SyntheticMnist;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "full-size LeNet training; run with --release")]
+    fn trainer_reduces_loss_on_synthetic_mnist() {
+        let mut t =
+            CoarseGrainTrainer::<f32>::lenet(Box::new(SyntheticMnist::new(256, 3)), 2).unwrap();
+        let losses = t.train(8);
+        assert_eq!(losses.len(), 8);
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(first.is_finite() && last.is_finite());
+        // ln(10) ~ 2.303 at start; must improve noticeably within 8 iters.
+        assert!(
+            last < first,
+            "loss should decrease: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let t = CoarseGrainTrainer::<f32>::lenet(Box::new(SyntheticMnist::new(64, 0)), 1)
+            .unwrap()
+            .with_reduction(ReductionMode::Canonical { groups: 16 })
+            .with_schedule(omprt::Schedule::Guided);
+        assert_eq!(
+            t.run_config().reduction,
+            ReductionMode::Canonical { groups: 16 }
+        );
+        assert_eq!(t.run_config().schedule, omprt::Schedule::Guided);
+    }
+}

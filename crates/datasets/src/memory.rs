@@ -1,0 +1,113 @@
+//! In-memory [`BatchSource`] over decoded samples, with the simple
+//! transforms Caffe's data layers apply (scale, mean subtraction).
+
+use blob::Shape;
+use layers::data::BatchSource;
+use mmblas::Scalar;
+
+/// A dataset held fully in memory (e.g. decoded from IDX / CIFAR binaries).
+#[derive(Debug, Clone)]
+pub struct InMemoryDataset {
+    images: Vec<Vec<f32>>,
+    labels: Vec<u8>,
+    shape: Shape,
+    scale: f32,
+    mean: f32,
+}
+
+impl InMemoryDataset {
+    /// Wrap decoded images/labels. Every image must have
+    /// `shape.count()` elements.
+    ///
+    /// # Panics
+    /// Panics on empty data or length mismatches.
+    pub fn new(images: Vec<Vec<f32>>, labels: Vec<u8>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert!(!images.is_empty(), "InMemoryDataset: no images");
+        assert_eq!(
+            images.len(),
+            labels.len(),
+            "InMemoryDataset: image/label count mismatch"
+        );
+        for (i, img) in images.iter().enumerate() {
+            assert_eq!(
+                img.len(),
+                shape.count(),
+                "InMemoryDataset: image {i} length"
+            );
+        }
+        Self {
+            images,
+            labels,
+            shape,
+            scale: 1.0,
+            mean: 0.0,
+        }
+    }
+
+    /// Multiply every pixel by `scale` when serving (Caffe `scale:`).
+    pub fn with_scale(mut self, scale: f32) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Subtract `mean` from every pixel (applied before scaling), the
+    /// simple scalar form of Caffe's mean file.
+    pub fn with_mean(mut self, mean: f32) -> Self {
+        self.mean = mean;
+        self
+    }
+}
+
+impl<S: Scalar> BatchSource<S> for InMemoryDataset {
+    fn num_samples(&self) -> usize {
+        self.images.len()
+    }
+
+    fn sample_shape(&self) -> Shape {
+        self.shape.clone()
+    }
+
+    fn fill(&self, index: usize, out: &mut [S]) -> S {
+        let img = &self.images[index];
+        for (o, &p) in out.iter_mut().zip(img) {
+            *o = S::from_f64(((p - self.mean) * self.scale) as f64);
+        }
+        S::from_usize(self.labels[index] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_transformed_samples() {
+        let ds = InMemoryDataset::new(
+            vec![vec![0.5, 1.0], vec![0.0, 0.25]],
+            vec![3, 7],
+            [1usize, 1, 2],
+        )
+        .with_mean(0.25)
+        .with_scale(2.0);
+        let mut out = [0.0f32; 2];
+        let l0 = BatchSource::<f32>::fill(&ds, 0, &mut out);
+        assert_eq!(l0, 3.0);
+        assert_eq!(out, [0.5, 1.5]);
+        let l1 = BatchSource::<f32>::fill(&ds, 1, &mut out);
+        assert_eq!(l1, 7.0);
+        assert_eq!(out, [-0.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image/label count mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = InMemoryDataset::new(vec![vec![0.0]], vec![1, 2], [1usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image 0 length")]
+    fn wrong_image_size_panics() {
+        let _ = InMemoryDataset::new(vec![vec![0.0; 3]], vec![1], [2usize]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Sampling utilities: deterministic shuffling and train/test splits.
+//!
+//! Caffe shuffles its LMDB at preparation time; we shuffle at the source
+//! level with a per-epoch permutation derived from a pinned RNG, so runs
+//! remain bit-reproducible (a prerequisite for every invariance experiment).
+
+use blob::Shape;
+use layers::data::BatchSource;
+use mmblas::{Pcg32, Scalar};
+
+/// A deterministic Fisher-Yates permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    let mut rng = Pcg32::seeded(seed);
+    for i in (1..n).rev() {
+        let j = rng.uniform_u32((i + 1) as u32) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Wraps a source with a fixed deterministic shuffle.
+pub struct ShuffledSource<S: Scalar> {
+    inner: Box<dyn BatchSource<S>>,
+    perm: Vec<usize>,
+}
+
+impl<S: Scalar> ShuffledSource<S> {
+    /// Shuffle `inner` with the permutation derived from `seed`.
+    pub fn new(inner: Box<dyn BatchSource<S>>, seed: u64) -> Self {
+        let perm = permutation(inner.num_samples(), seed);
+        Self { inner, perm }
+    }
+}
+
+impl<S: Scalar> BatchSource<S> for ShuffledSource<S> {
+    fn num_samples(&self) -> usize {
+        self.inner.num_samples()
+    }
+
+    fn sample_shape(&self) -> Shape {
+        self.inner.sample_shape()
+    }
+
+    fn fill(&self, index: usize, out: &mut [S]) -> S {
+        self.inner.fill(self.perm[index % self.perm.len()], out)
+    }
+}
+
+/// A contiguous sub-range view of a source — the building block of
+/// train/test splits.
+pub struct SliceSource<S: Scalar> {
+    inner: std::sync::Arc<dyn BatchSource<S> + Sync>,
+    start: usize,
+    len: usize,
+}
+
+impl<S: Scalar> SliceSource<S> {
+    /// View `[start, start + len)` of `inner`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the source or `len == 0`.
+    pub fn new(inner: std::sync::Arc<dyn BatchSource<S> + Sync>, start: usize, len: usize) -> Self {
+        assert!(len > 0, "SliceSource: empty slice");
+        assert!(
+            start + len <= inner.num_samples(),
+            "SliceSource: range {start}..{} exceeds {} samples",
+            start + len,
+            inner.num_samples()
+        );
+        Self { inner, start, len }
+    }
+}
+
+impl<S: Scalar> BatchSource<S> for SliceSource<S> {
+    fn num_samples(&self) -> usize {
+        self.len
+    }
+
+    fn sample_shape(&self) -> Shape {
+        self.inner.sample_shape()
+    }
+
+    fn fill(&self, index: usize, out: &mut [S]) -> S {
+        self.inner.fill(self.start + (index % self.len), out)
+    }
+}
+
+/// Split a source into `(train, test)` views, with the first
+/// `train_fraction` of samples for training.
+///
+/// # Panics
+/// Panics unless `0 < train_fraction < 1` produces two non-empty halves.
+pub fn train_test_split<S: Scalar>(
+    source: std::sync::Arc<dyn BatchSource<S> + Sync>,
+    train_fraction: f64,
+) -> (SliceSource<S>, SliceSource<S>) {
+    let n = source.num_samples();
+    let n_train = ((n as f64) * train_fraction) as usize;
+    assert!(
+        n_train > 0 && n_train < n,
+        "train_test_split: fraction {train_fraction} leaves an empty side of {n} samples"
+    );
+    (
+        SliceSource::new(source.clone(), 0, n_train),
+        SliceSource::new(source, n_train, n - n_train),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticMnist;
+    use std::sync::Arc;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for n in [0usize, 1, 2, 17, 100] {
+            let p = permutation(n, 9);
+            let mut seen = vec![false; n];
+            for &i in &p {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn permutation_is_deterministic_and_seed_sensitive() {
+        assert_eq!(permutation(50, 1), permutation(50, 1));
+        assert_ne!(permutation(50, 1), permutation(50, 2));
+    }
+
+    #[test]
+    fn shuffled_source_reorders_without_losing_samples() {
+        let base = SyntheticMnist::new(40, 3);
+        let shuffled = ShuffledSource::new(Box::new(base.clone()), 7);
+        let mut labels_base: Vec<u32> = (0..40).map(|i| base.label_of(i) as u32).collect();
+        let mut buf = vec![0.0f32; 28 * 28];
+        let mut labels_shuf: Vec<u32> = (0..40)
+            .map(|i| BatchSource::<f32>::fill(&shuffled, i, &mut buf) as u32)
+            .collect();
+        assert_ne!(labels_base, labels_shuf, "shuffle did nothing");
+        labels_base.sort_unstable();
+        labels_shuf.sort_unstable();
+        assert_eq!(labels_base, labels_shuf, "samples lost or duplicated");
+    }
+
+    #[test]
+    fn split_partitions_the_stream() {
+        let base: Arc<dyn BatchSource<f32> + Sync> = Arc::new(SyntheticMnist::new(50, 1));
+        let (train, test) = train_test_split(base.clone(), 0.8);
+        assert_eq!(BatchSource::<f32>::num_samples(&train), 40);
+        assert_eq!(BatchSource::<f32>::num_samples(&test), 10);
+        let mut a = vec![0.0f32; 28 * 28];
+        let mut b = vec![0.0f32; 28 * 28];
+        // test[0] == base[40]
+        let lt = test.fill(0, &mut a);
+        let lb = base.fill(40, &mut b);
+        assert_eq!(lt, lb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty side")]
+    fn degenerate_split_panics() {
+        let base: Arc<dyn BatchSource<f32> + Sync> = Arc::new(SyntheticMnist::new(3, 1));
+        let _ = train_test_split(base, 0.01);
+    }
+}

@@ -1,0 +1,186 @@
+//! Data layer: feeds batches of samples and labels into the network.
+//!
+//! Caffe data layers execute **sequentially** — the paper identifies this as
+//! a locality problem for the first convolution layer (one thread touches
+//! the whole batch, then the parallel `conv1` redistributes it). We preserve
+//! that behaviour: `forward` copies the batch on the calling thread.
+
+use crate::ctx::ExecCtx;
+use crate::profile::{LayerProfile, PassProfile};
+use crate::Layer;
+use blob::{Blob, Shape};
+use mmblas::Scalar;
+
+/// Source of individual training samples, implemented by the dataset crate.
+pub trait BatchSource<S: Scalar>: Send {
+    /// Total samples available (the layer wraps around).
+    fn num_samples(&self) -> usize;
+    /// Shape of a single sample, e.g. `(1, 28, 28)`.
+    fn sample_shape(&self) -> Shape;
+    /// Write sample `index`'s data into `out` and return its label.
+    fn fill(&self, index: usize, out: &mut [S]) -> S;
+}
+
+/// Caffe-style data layer. No bottoms; tops: `[data (N, C, H, W),
+/// labels (N)]`.
+pub struct DataLayer<S: Scalar = f32> {
+    name: String,
+    source: Box<dyn BatchSource<S>>,
+    batch: usize,
+    cursor: usize,
+}
+
+impl<S: Scalar> DataLayer<S> {
+    /// New data layer reading `batch`-sized batches from `source`.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0` or the source is empty.
+    pub fn new(name: impl Into<String>, source: Box<dyn BatchSource<S>>, batch: usize) -> Self {
+        assert!(batch > 0, "DataLayer: zero batch size");
+        assert!(source.num_samples() > 0, "DataLayer: empty source");
+        Self {
+            name: name.into(),
+            source,
+            batch,
+            cursor: 0,
+        }
+    }
+
+    /// Reset the epoch cursor to the first sample.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Current cursor position (index of the next sample to serve).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+impl<S: Scalar> Layer<S> for DataLayer<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "Data"
+    }
+
+    fn setup(&mut self, bottom: &[&Blob<S>]) -> Vec<Shape> {
+        assert!(bottom.is_empty(), "Data: no bottoms");
+        let s = self.source.sample_shape();
+        let mut dims = vec![self.batch];
+        dims.extend_from_slice(s.dims());
+        vec![Shape::from(dims), Shape::from(vec![self.batch])]
+    }
+
+    fn forward(&mut self, _ctx: &ExecCtx<'_, S>, _bottom: &[&Blob<S>], top: &mut [Blob<S>]) {
+        // Deliberately sequential (see module docs).
+        let n = self.source.num_samples();
+        let (data_blob, label_blob) = {
+            let (a, b) = top.split_at_mut(1);
+            (&mut a[0], &mut b[0])
+        };
+        let sample_len = data_blob.sample_len();
+        let data = data_blob.data_mut();
+        let labels = label_blob.data_mut();
+        for i in 0..self.batch {
+            let idx = (self.cursor + i) % n;
+            let out = &mut data[i * sample_len..(i + 1) * sample_len];
+            labels[i] = self.source.fill(idx, out);
+        }
+        self.cursor = (self.cursor + self.batch) % n;
+    }
+
+    fn backward(&mut self, _ctx: &ExecCtx<'_, S>, _top: &[&Blob<S>], _bottom: &mut [Blob<S>]) {
+        // Data has no inputs to propagate into.
+    }
+
+    fn profile(&self, _bottom: &[&Blob<S>]) -> LayerProfile {
+        let sample = self.source.sample_shape().count();
+        let elem = std::mem::size_of::<S>() as f64;
+        LayerProfile {
+            name: self.name.clone(),
+            layer_type: "Data".to_string(),
+            forward: PassProfile {
+                coalesced_iters: 0,
+                flops_per_iter: 0.0,
+                bytes_in_per_iter: 0.0,
+                bytes_out_per_iter: 0.0,
+                // Sequential batch copy: ~1 op per element.
+                seq_flops: (self.batch * sample) as f64,
+                reduction_elems: 0,
+            },
+            backward: PassProfile::empty(),
+            batch: self.batch,
+            out_bytes_per_sample: sample as f64 * elem,
+            sequential: true,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+    use omprt::ThreadTeam;
+
+    /// Source where sample i is `[i, i, ...]` with label `i % 10`.
+    pub(crate) struct RampSource {
+        pub n: usize,
+        pub shape: Shape,
+    }
+
+    impl BatchSource<f32> for RampSource {
+        fn num_samples(&self) -> usize {
+            self.n
+        }
+        fn sample_shape(&self) -> Shape {
+            self.shape.clone()
+        }
+        fn fill(&self, index: usize, out: &mut [f32]) -> f32 {
+            mmblas::set(index as f32, out);
+            (index % 10) as f32
+        }
+    }
+
+    #[test]
+    fn batches_advance_and_wrap() {
+        let src = RampSource {
+            n: 5,
+            shape: Shape::from([2usize]),
+        };
+        let mut l = DataLayer::new("data", Box::new(src), 3);
+        let shapes = l.setup(&[]);
+        assert_eq!(shapes[0].dims(), &[3, 2]);
+        assert_eq!(shapes[1].dims(), &[3]);
+        let team = ThreadTeam::new(1);
+        let ws = Workspace::<f32>::empty();
+        let ctx = ExecCtx::new(&team, &ws);
+        let mut tops = vec![Blob::new(shapes[0].clone()), Blob::new(shapes[1].clone())];
+        l.forward(&ctx, &[], &mut tops);
+        assert_eq!(tops[0].data(), &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(tops[1].data(), &[0.0, 1.0, 2.0]);
+        l.forward(&ctx, &[], &mut tops);
+        // Wraps: samples 3, 4, 0.
+        assert_eq!(tops[1].data(), &[3.0, 4.0, 0.0]);
+        l.rewind();
+        l.forward(&ctx, &[], &mut tops);
+        assert_eq!(tops[1].data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero batch")]
+    fn zero_batch_panics() {
+        let src = RampSource {
+            n: 5,
+            shape: Shape::from([1usize]),
+        };
+        let _ = DataLayer::new("d", Box::new(src), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Parallel drivers: the reusable renderings of Algorithms 4 and 5.
+//!
+//! * [`parallel_segments`] / [`parallel_segments_scratch`] — the coalesced,
+//!   statically-scheduled loop over disjoint output segments (Algorithm 4).
+//!   Forward passes and backward-data passes write disjoint segments, so no
+//!   synchronization is required.
+//! * [`backward_reduce`] — the privatize-then-ordered-merge pattern for
+//!   weight/bias gradients (Algorithm 5): each *slot* accumulates the
+//!   gradients of a contiguous chunk of samples; slots merge into the shared
+//!   parameter diff in slot order (ordered construct) or completion order
+//!   (unordered mode).
+//!
+//! These drivers are what makes the parallelization *network-agnostic*: a
+//! new layer type only supplies the per-segment / per-sample kernel.
+
+use crate::ctx::ExecCtx;
+use crate::workspace::ThreadScratch;
+use mmblas::Scalar;
+use omprt::schedule::{for_each_index, static_chunk};
+use omprt::sendptr::{DisjointSlices, SendPtr};
+use parking_lot::Mutex;
+
+/// Coalesced parallel loop over `out.len() / seg_len` disjoint output
+/// segments. `f(i, segment)` is invoked exactly once per segment index.
+///
+/// With a team of size 1 this degenerates to the sequential loop of
+/// Algorithm 2, in the same iteration order.
+pub fn parallel_segments<S, F>(ctx: &ExecCtx<'_, S>, out: &mut [S], seg_len: usize, f: F)
+where
+    S: Scalar,
+    F: Fn(usize, &mut [S]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let ds = DisjointSlices::new(out, seg_len);
+    let n = ds.len();
+    ctx.team.parallel(|w| {
+        for_each_index(w, n, ctx.schedule, |i| {
+            // SAFETY: each index is executed exactly once across the team.
+            let seg = unsafe { ds.segment_mut(i) };
+            f(i, seg);
+        });
+    });
+}
+
+/// [`parallel_segments`] plus a per-thread scratch buffer (the im2col
+/// column buffer for convolution kernels).
+pub fn parallel_segments_scratch<S, F>(
+    ctx: &ExecCtx<'_, S>,
+    out: &mut [S],
+    seg_len: usize,
+    f: F,
+) where
+    S: Scalar,
+    F: Fn(usize, &mut [S], &mut ThreadScratch<S>) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let ds = DisjointSlices::new(out, seg_len);
+    let n = ds.len();
+    ctx.team.parallel(|w| {
+        let mut scratch = ctx.workspace.thread_scratch(w.thread_id);
+        for_each_index(w, n, ctx.schedule, |i| {
+            // SAFETY: each index is executed exactly once across the team.
+            let seg = unsafe { ds.segment_mut(i) };
+            f(i, seg, &mut scratch);
+        });
+    });
+}
+
+/// Privatized gradient accumulation with deterministic merge — Algorithm 5.
+///
+/// `body(sample, slot_grads, scratch)` computes sample `sample`'s
+/// contribution, accumulating (`+=`) into `slot_grads` (one `&mut [S]` per
+/// parameter, in `param_lens` order). The driver:
+///
+/// 1. partitions samples into `reduction.slots(team_size)` contiguous
+///    chunks (static-schedule math, so thread chunks and slot chunks
+///    coincide in [`crate::ReductionMode::Ordered`] mode);
+/// 2. zeroes each slot's privatized buffer (Algorithm 5 line 5);
+/// 3. runs the per-sample bodies in parallel;
+/// 4. merges every slot into `shared_diffs` — in slot order under the
+///    ordered construct, or in completion order under a lock for
+///    [`crate::ReductionMode::Unordered`].
+///
+/// # Panics
+/// Panics if the workspace has too few slots or too little gradient space,
+/// or if `shared_diffs` lengths disagree with `param_lens`.
+pub fn backward_reduce<S, F>(
+    ctx: &ExecCtx<'_, S>,
+    n_samples: usize,
+    param_lens: &[usize],
+    shared_diffs: &mut [&mut [S]],
+    body: F,
+) where
+    S: Scalar,
+    F: Fn(usize, &mut [&mut [S]], &mut ThreadScratch<S>) + Sync,
+{
+    assert_eq!(
+        shared_diffs.len(),
+        param_lens.len(),
+        "backward_reduce: one shared diff per parameter"
+    );
+    for (d, &l) in shared_diffs.iter().zip(param_lens) {
+        assert_eq!(d.len(), l, "backward_reduce: shared diff length");
+    }
+    let total: usize = param_lens.iter().sum();
+    let nslots = ctx.reduction.slots(ctx.team.size());
+    assert!(
+        ctx.workspace.n_slots() >= nslots,
+        "backward_reduce: workspace has {} slots, need {nslots}",
+        ctx.workspace.n_slots()
+    );
+    assert!(
+        ctx.workspace.request().grad_len >= total,
+        "backward_reduce: workspace grad_len {} < layer total {total}",
+        ctx.workspace.request().grad_len
+    );
+
+    let shared: Vec<SendPtr<S>> = shared_diffs
+        .iter_mut()
+        .map(|s| SendPtr::new(&mut **s))
+        .collect();
+    let merge_lock = Mutex::new(());
+    let ordered = ctx.reduction.is_ordered();
+
+    ctx.team.parallel(|w| {
+        let my_slots = static_chunk(w.thread_id, w.num_threads, nslots);
+        {
+            let mut scratch = ctx.workspace.thread_scratch(w.thread_id);
+            for slot in my_slots.clone() {
+                let mut sg = ctx.workspace.slot(slot);
+                sg.prepare(total);
+                let mut parts = sg.parts(param_lens);
+                for s in static_chunk(slot, nslots, n_samples) {
+                    body(s, &mut parts, &mut scratch);
+                }
+            }
+        }
+        // Merge this thread's slots (in increasing slot order) into the
+        // shared diffs. Slot chunks are contiguous per thread, so merging by
+        // thread order merges by slot order overall.
+        let do_merge = || {
+            for slot in my_slots.clone() {
+                let sg = ctx.workspace.slot(slot);
+                let buf = sg.active(total);
+                let mut off = 0usize;
+                for (j, &len) in param_lens.iter().enumerate() {
+                    // SAFETY: exclusive access: all merges are serialized by
+                    // the ordered construct or by `merge_lock`.
+                    let dst = unsafe { shared[j].slice_mut(0, len) };
+                    mmblas::axpy(S::ONE, &buf[off..off + len], dst);
+                    off += len;
+                }
+            }
+        };
+        if ordered {
+            w.ordered(do_merge);
+        } else {
+            let _g = merge_lock.lock();
+            do_merge();
+        }
+    });
+}
+
+/// Parallel per-sample evaluation followed by a *sequential, in-order* sum
+/// — used by loss layers so the reported scalar is deterministic.
+///
+/// Returns `sum_i f(i)`.
+pub fn parallel_map_ordered_sum<S, F>(ctx: &ExecCtx<'_, S>, n: usize, f: F) -> S
+where
+    S: Scalar,
+    F: Fn(usize) -> S + Sync,
+{
+    let mut vals = vec![S::ZERO; n];
+    parallel_segments(ctx, &mut vals, 1, |i, out| out[0] = f(i));
+    let mut acc = S::ZERO;
+    for v in vals {
+        acc += v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ReductionMode;
+    use crate::workspace::{Workspace, WorkspaceRequest};
+    use omprt::ThreadTeam;
+
+    fn ctx_with<'a>(
+        team: &'a ThreadTeam,
+        ws: &'a Workspace<f64>,
+        mode: ReductionMode,
+    ) -> ExecCtx<'a, f64> {
+        ExecCtx::new(team, ws).with_reduction(mode)
+    }
+
+    #[test]
+    fn parallel_segments_writes_each_segment() {
+        let team = ThreadTeam::new(3);
+        let ws = Workspace::<f64>::empty();
+        let ctx = ExecCtx::new(&team, &ws);
+        let mut out = vec![0.0f64; 12];
+        parallel_segments(&ctx, &mut out, 4, |i, seg| {
+            for v in seg {
+                *v = i as f64;
+            }
+        });
+        assert_eq!(out, [0., 0., 0., 0., 1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn parallel_segments_empty_out_is_noop() {
+        let team = ThreadTeam::new(2);
+        let ws = Workspace::<f64>::empty();
+        let ctx = ExecCtx::new(&team, &ws);
+        let mut out: Vec<f64> = vec![];
+        parallel_segments(&ctx, &mut out, 4, |_, _| panic!("no segments"));
+    }
+
+    /// Simple "gradient": sample s contributes s+1 to param 0 and 2(s+1) to
+    /// param 1.
+    fn run_reduce(nthreads: usize, mode: ReductionMode, n_samples: usize) -> (Vec<f64>, Vec<f64>) {
+        let team = ThreadTeam::new(nthreads);
+        let nslots = mode.slots(nthreads);
+        let ws = Workspace::new(
+            nthreads,
+            nslots,
+            WorkspaceRequest {
+                col_len: 4,
+                grad_len: 5,
+            },
+        );
+        let ctx = ctx_with(&team, &ws, mode);
+        let mut w = vec![0.0f64; 3];
+        let mut b = vec![0.0f64; 2];
+        {
+            let mut shared: Vec<&mut [f64]> = vec![&mut w, &mut b];
+            backward_reduce(&ctx, n_samples, &[3, 2], &mut shared, |s, parts, scratch| {
+                assert_eq!(scratch.col.len(), 4);
+                for v in parts[0].iter_mut() {
+                    *v += (s + 1) as f64;
+                }
+                for v in parts[1].iter_mut() {
+                    *v += 2.0 * (s + 1) as f64;
+                }
+            });
+        }
+        (w, b)
+    }
+
+    #[test]
+    fn backward_reduce_totals_are_correct() {
+        let n = 10;
+        let expect: f64 = (1..=n).map(|s| s as f64).sum();
+        for mode in [
+            ReductionMode::Ordered,
+            ReductionMode::Canonical { groups: 16 },
+            ReductionMode::Unordered,
+        ] {
+            for t in [1, 2, 4] {
+                let (w, b) = run_reduce(t, mode, n);
+                for &v in &w {
+                    assert!((v - expect).abs() < 1e-9, "{mode:?} t={t}: {v} != {expect}");
+                }
+                for &v in &b {
+                    assert!((v - 2.0 * expect).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_mode_bitwise_invariant_across_thread_counts() {
+        let mode = ReductionMode::Canonical { groups: 16 };
+        let (w1, b1) = run_reduce(1, mode, 37);
+        for t in [2, 3, 4, 5] {
+            let (w, b) = run_reduce(t, mode, 37);
+            assert_eq!(w, w1, "t={t}");
+            assert_eq!(b, b1, "t={t}");
+        }
+    }
+
+    #[test]
+    fn ordered_mode_deterministic_for_fixed_thread_count() {
+        let (w_a, b_a) = run_reduce(4, ReductionMode::Ordered, 23);
+        let (w_b, b_b) = run_reduce(4, ReductionMode::Ordered, 23);
+        assert_eq!(w_a, w_b);
+        assert_eq!(b_a, b_b);
+    }
+
+    #[test]
+    fn zero_samples_leaves_diffs_untouched() {
+        let (w, b) = run_reduce(2, ReductionMode::Ordered, 0);
+        assert_eq!(w, [0.0; 3]);
+        assert_eq!(b, [0.0; 2]);
+    }
+
+    #[test]
+    fn ordered_sum_matches_sequential() {
+        let team = ThreadTeam::new(4);
+        let ws = Workspace::<f64>::empty();
+        let ctx = ExecCtx::new(&team, &ws);
+        let got = parallel_map_ordered_sum(&ctx, 100, |i| (i as f64) * 0.1);
+        let mut want = 0.0;
+        for i in 0..100 {
+            want += (i as f64) * 0.1;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace grad_len")]
+    fn undersized_workspace_panics() {
+        let team = ThreadTeam::new(1);
+        let ws = Workspace::new(
+            1,
+            1,
+            WorkspaceRequest {
+                col_len: 0,
+                grad_len: 1,
+            },
+        );
+        let ctx = ExecCtx::new(&team, &ws);
+        let mut w = vec![0.0f64; 3];
+        let mut shared: Vec<&mut [f64]> = vec![&mut w];
+        backward_reduce(&ctx, 1, &[3], &mut shared, |_, _, _| {});
+    }
+}

@@ -1,0 +1,161 @@
+//! `layers` — Caffe-equivalent neural-network layers with a coarse-grain
+//! (batch-level) parallel execution path.
+//!
+//! Every layer implements [`Layer`]: a `setup` shape-inference step, a
+//! `forward` and a `backward` pass. Both passes take an [`ExecCtx`]
+//! describing the thread team, the loop schedule, and the gradient
+//! [`ReductionMode`] — the Rust rendering of the paper's OpenMP
+//! transformation (Algorithms 4–5):
+//!
+//! * forward/backward-data loops are coalesced over `(sample, segment…)`
+//!   indices and distributed with a static schedule; writes are disjoint per
+//!   output segment, so no synchronization is needed;
+//! * weight/bias gradients are accumulated into *privatized* buffers from the
+//!   shared [`Workspace`] and merged through an ordered reduction
+//!   ([`drivers::backward_reduce`]).
+//!
+//! Running with a team of size 1 executes the identical code path
+//! sequentially — there is no separate "serial implementation", which is
+//! what makes the convergence-invariance comparisons meaningful.
+
+pub mod accuracy;
+pub mod activation;
+pub mod concat;
+pub mod conv;
+pub mod ctx;
+pub mod data;
+pub mod drivers;
+pub mod dropout;
+pub mod eltwise;
+pub mod euclidean_loss;
+pub mod fill;
+pub mod flatten;
+pub mod inner_product;
+pub mod lrn;
+pub mod pooling;
+pub mod power;
+pub mod profile;
+pub mod relu;
+pub mod sigmoid;
+pub mod softmax;
+pub mod softmax_loss;
+pub mod split;
+pub mod tanh_layer;
+pub mod workspace;
+
+pub use accuracy::AccuracyLayer;
+pub use concat::ConcatLayer;
+pub use eltwise::{EltwiseLayer, EltwiseOp};
+pub use euclidean_loss::EuclideanLossLayer;
+pub use power::{AbsValLayer, PowerLayer};
+pub use split::SplitLayer;
+pub use conv::ConvolutionLayer;
+pub use ctx::{ExecCtx, Phase, ReductionMode};
+pub use data::DataLayer;
+pub use dropout::DropoutLayer;
+pub use fill::Filler;
+pub use flatten::FlattenLayer;
+pub use inner_product::InnerProductLayer;
+pub use lrn::LrnLayer;
+pub use pooling::{PoolMethod, PoolingLayer};
+pub use profile::{LayerProfile, PassProfile};
+pub use relu::ReluLayer;
+pub use sigmoid::SigmoidLayer;
+pub use softmax::SoftmaxLayer;
+pub use softmax_loss::SoftmaxLossLayer;
+pub use tanh_layer::TanhLayer;
+pub use workspace::{Workspace, WorkspaceRequest};
+
+use blob::{Blob, Shape};
+use mmblas::Scalar;
+
+/// A neural network layer: the unit of computation in the Caffe model.
+///
+/// The network owns all blobs; a layer receives its bottom (input) blobs
+/// immutably and its top (output) blobs mutably during `forward`, and the
+/// reverse during `backward` (top diffs are read, bottom diffs written).
+/// Layers own their parameter blobs (weights/bias), whose `diff` buffers are
+/// filled by `backward` via the reduction drivers.
+pub trait Layer<S: Scalar = f32>: Send {
+    /// Instance name (unique within a network).
+    fn name(&self) -> &str;
+
+    /// Caffe-style type string (`"Convolution"`, `"Pooling"`, ...).
+    fn layer_type(&self) -> &'static str;
+
+    /// Shape inference and parameter allocation. Returns the shapes of the
+    /// top blobs this layer produces. Called once before training, and again
+    /// if bottom shapes change.
+    fn setup(&mut self, bottom: &[&Blob<S>]) -> Vec<Shape>;
+
+    /// Compute top data from bottom data.
+    fn forward(&mut self, ctx: &ExecCtx<'_, S>, bottom: &[&Blob<S>], top: &mut [Blob<S>]);
+
+    /// Compute bottom diffs (and parameter diffs) from top diffs.
+    ///
+    /// Parameter gradients must be **accumulated** (`+=`) so a solver can
+    /// zero them once per iteration; the reduction drivers do this.
+    fn backward(&mut self, ctx: &ExecCtx<'_, S>, top: &[&Blob<S>], bottom: &mut [Blob<S>]);
+
+    /// Learnable parameter blobs (weights, bias). Empty for most layers.
+    fn params(&self) -> &[Blob<S>] {
+        &[]
+    }
+
+    /// Mutable access to the parameter blobs.
+    fn params_mut(&mut self) -> &mut [Blob<S>] {
+        &mut []
+    }
+
+    /// Per-parameter learning-rate multipliers (Caffe's `lr_mult`), aligned
+    /// with [`Layer::params`]. Defaults to 1.0 everywhere.
+    fn param_lr_mults(&self) -> Vec<f64> {
+        vec![1.0; self.params().len()]
+    }
+
+    /// `true` for layers whose top\[0\] holds a scalar loss to be minimized.
+    fn is_loss(&self) -> bool {
+        false
+    }
+
+    /// Scratch-space requirements (per-thread column buffer, privatized
+    /// gradient size), used by the network to size the shared [`Workspace`].
+    fn workspace_request(&self) -> WorkspaceRequest {
+        WorkspaceRequest::default()
+    }
+
+    /// Analytic work profile of one forward+backward pass over a batch —
+    /// consumed by the `machine` execution-model simulator.
+    fn profile(&self, bottom: &[&Blob<S>]) -> LayerProfile;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn default_trait_methods() {
+        struct Dummy;
+        impl Layer<f32> for Dummy {
+            fn name(&self) -> &str {
+                "d"
+            }
+            fn layer_type(&self) -> &'static str {
+                "Dummy"
+            }
+            fn setup(&mut self, _b: &[&Blob<f32>]) -> Vec<Shape> {
+                vec![]
+            }
+            fn forward(&mut self, _: &ExecCtx<'_, f32>, _: &[&Blob<f32>], _: &mut [Blob<f32>]) {}
+            fn backward(&mut self, _: &ExecCtx<'_, f32>, _: &[&Blob<f32>], _: &mut [Blob<f32>]) {}
+            fn profile(&self, _: &[&Blob<f32>]) -> LayerProfile {
+                LayerProfile::trivial("d", "Dummy")
+            }
+        }
+        let mut d = Dummy;
+        assert!(d.params().is_empty());
+        assert!(d.params_mut().is_empty());
+        assert!(!d.is_loss());
+        assert_eq!(d.workspace_request(), WorkspaceRequest::default());
+    }
+}

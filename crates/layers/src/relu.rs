@@ -1,0 +1,45 @@
+//! Rectified linear unit — Caffe's `ReLU` layer.
+
+use crate::activation::{Activation, ActivationLayer};
+use mmblas::Scalar;
+
+/// `f(x) = max(0, x)`.
+pub struct Relu;
+
+impl Activation for Relu {
+    const TYPE: &'static str = "ReLU";
+    const FWD_FLOPS_PER_ELEM: f64 = 1.0;
+    const BWD_FLOPS_PER_ELEM: f64 = 2.0;
+
+    #[inline]
+    fn f<S: Scalar>(x: S) -> S {
+        x.max_s(S::ZERO)
+    }
+
+    #[inline]
+    fn df<S: Scalar>(x: S, _y: S) -> S {
+        if x > S::ZERO {
+            S::ONE
+        } else {
+            S::ZERO
+        }
+    }
+}
+
+/// Caffe `ReLU` layer.
+pub type ReluLayer = ActivationLayer<Relu>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_and_derivative() {
+        assert_eq!(Relu::f(-2.0f32), 0.0);
+        assert_eq!(Relu::f(3.0f32), 3.0);
+        assert_eq!(Relu::df(-2.0f32, 0.0), 0.0);
+        assert_eq!(Relu::df(3.0f32, 3.0), 1.0);
+        // Caffe uses a strict comparison: derivative at exactly 0 is 0.
+        assert_eq!(Relu::df(0.0f32, 0.0), 0.0);
+    }
+}

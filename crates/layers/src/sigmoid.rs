@@ -1,0 +1,48 @@
+//! Logistic sigmoid — Caffe's `Sigmoid` layer.
+
+use crate::activation::{Activation, ActivationLayer};
+use mmblas::Scalar;
+
+/// `f(x) = 1 / (1 + e^-x)`.
+pub struct Sigmoid;
+
+impl Activation for Sigmoid {
+    const TYPE: &'static str = "Sigmoid";
+    const FWD_FLOPS_PER_ELEM: f64 = 4.0;
+    const BWD_FLOPS_PER_ELEM: f64 = 3.0;
+
+    #[inline]
+    fn f<S: Scalar>(x: S) -> S {
+        // Caffe's numerically-stable form: 0.5 * tanh(0.5 x) + 0.5.
+        let half = S::from_f64(0.5);
+        half * (half * x).tanh() + half
+    }
+
+    #[inline]
+    fn df<S: Scalar>(_x: S, y: S) -> S {
+        y * (S::ONE - y)
+    }
+}
+
+/// Caffe `Sigmoid` layer.
+pub type SigmoidLayer = ActivationLayer<Sigmoid>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values() {
+        assert!((Sigmoid::f(0.0f64) - 0.5).abs() < 1e-12);
+        assert!((Sigmoid::f(4.0f64) - 1.0 / (1.0 + (-4.0f64).exp())).abs() < 1e-12);
+        // Saturation is stable, not NaN.
+        assert!(Sigmoid::f(1000.0f32).is_finite());
+        assert!(Sigmoid::f(-1000.0f32).is_finite());
+    }
+
+    #[test]
+    fn derivative_from_output() {
+        let y = Sigmoid::f(0.7f64);
+        assert!((Sigmoid::df(0.7, y) - y * (1.0 - y)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,39 @@
+//! Hyperbolic tangent — Caffe's `TanH` layer.
+
+use crate::activation::{Activation, ActivationLayer};
+use mmblas::Scalar;
+
+/// `f(x) = tanh(x)`.
+pub struct Tanh;
+
+impl Activation for Tanh {
+    const TYPE: &'static str = "TanH";
+    const FWD_FLOPS_PER_ELEM: f64 = 5.0;
+    const BWD_FLOPS_PER_ELEM: f64 = 3.0;
+
+    #[inline]
+    fn f<S: Scalar>(x: S) -> S {
+        x.tanh()
+    }
+
+    #[inline]
+    fn df<S: Scalar>(_x: S, y: S) -> S {
+        S::ONE - y * y
+    }
+}
+
+/// Caffe `TanH` layer.
+pub type TanhLayer = ActivationLayer<Tanh>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_and_derivative() {
+        assert_eq!(Tanh::f(0.0f64), 0.0);
+        assert!((Tanh::f(1.0f64) - 1.0f64.tanh()).abs() < 1e-15);
+        let y = Tanh::f(0.3f64);
+        assert!((Tanh::df(0.3, y) - (1.0 - y * y)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,286 @@
+//! `im2col`/`col2im` lowering for convolutional layers.
+//!
+//! Caffe implements convolution as `im2col` followed by one GEMM per image;
+//! the backward pass uses GEMM followed by `col2im`. These are the exact
+//! per-sample kernels invoked from inside the coarse-grain parallel region.
+
+use crate::Scalar;
+
+/// Geometry of a 2-D convolution (or pooling) over one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Zero padding applied on top/bottom.
+    pub pad_h: usize,
+    /// Zero padding applied on left/right.
+    pub pad_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Square-kernel convenience constructor.
+    pub fn square(
+        channels: usize,
+        size: usize,
+        kernel: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Self {
+        Self {
+            channels,
+            height: size,
+            width: size,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            pad_h: pad,
+            pad_w: pad,
+            stride_h: stride,
+            stride_w: stride,
+        }
+    }
+
+    /// Output height after the convolution.
+    pub fn out_h(&self) -> usize {
+        conv_out_dim(self.height, self.kernel_h, self.pad_h, self.stride_h)
+    }
+
+    /// Output width after the convolution.
+    pub fn out_w(&self) -> usize {
+        conv_out_dim(self.width, self.kernel_w, self.pad_w, self.stride_w)
+    }
+
+    /// Rows of the column matrix: `channels * kernel_h * kernel_w`.
+    pub fn col_rows(&self) -> usize {
+        self.channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Columns of the column matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Number of elements in the column buffer.
+    pub fn col_len(&self) -> usize {
+        self.col_rows() * self.col_cols()
+    }
+
+    /// Number of elements of one input image (`channels * height * width`).
+    pub fn image_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    fn validate(&self) {
+        assert!(self.stride_h > 0 && self.stride_w > 0, "im2col: zero stride");
+        assert!(
+            self.kernel_h > 0 && self.kernel_w > 0,
+            "im2col: zero kernel"
+        );
+        assert!(
+            self.height + 2 * self.pad_h >= self.kernel_h
+                && self.width + 2 * self.pad_w >= self.kernel_w,
+            "im2col: kernel larger than padded input"
+        );
+    }
+}
+
+/// Caffe-compatible output dimension: `(dim + 2*pad - kernel) / stride + 1`.
+pub fn conv_out_dim(dim: usize, kernel: usize, pad: usize, stride: usize) -> usize {
+    (dim + 2 * pad - kernel) / stride + 1
+}
+
+/// Expand one `(C, H, W)` image into a `(C*kh*kw) x (out_h*out_w)` row-major
+/// column matrix. Out-of-bounds (padding) taps read as zero.
+///
+/// # Panics
+/// Panics if slice lengths do not match the geometry.
+pub fn im2col<S: Scalar>(geom: &Conv2dGeometry, image: &[S], col: &mut [S]) {
+    geom.validate();
+    assert_eq!(image.len(), geom.image_len(), "im2col: image length");
+    assert_eq!(col.len(), geom.col_len(), "im2col: col length");
+
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let hw = geom.height * geom.width;
+    let mut w = 0usize;
+    for c in 0..geom.channels {
+        let plane = &image[c * hw..(c + 1) * hw];
+        for kh in 0..geom.kernel_h {
+            for kw in 0..geom.kernel_w {
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                    if iy < 0 || iy >= geom.height as isize {
+                        for _ in 0..ow {
+                            col[w] = S::ZERO;
+                            w += 1;
+                        }
+                        continue;
+                    }
+                    let row = &plane[iy as usize * geom.width..(iy as usize + 1) * geom.width];
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                        col[w] = if ix < 0 || ix >= geom.width as isize {
+                            S::ZERO
+                        } else {
+                            row[ix as usize]
+                        };
+                        w += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`im2col`]: scatter-accumulate a column matrix back into an
+/// image. Overlapping taps sum (the gradient semantics of convolution).
+/// The output image is zeroed first.
+///
+/// # Panics
+/// Panics if slice lengths do not match the geometry.
+pub fn col2im<S: Scalar>(geom: &Conv2dGeometry, col: &[S], image: &mut [S]) {
+    geom.validate();
+    assert_eq!(image.len(), geom.image_len(), "col2im: image length");
+    assert_eq!(col.len(), geom.col_len(), "col2im: col length");
+
+    crate::level1::zero(image);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let hw = geom.height * geom.width;
+    let mut r = 0usize;
+    for c in 0..geom.channels {
+        for kh in 0..geom.kernel_h {
+            for kw in 0..geom.kernel_w {
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                    if iy < 0 || iy >= geom.height as isize {
+                        r += ow;
+                        continue;
+                    }
+                    let base = c * hw + iy as usize * geom.width;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                        if ix >= 0 && ix < geom.width as isize {
+                            image[base + ix as usize] += col[r];
+                        }
+                        r += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dims() {
+        // LeNet conv1: 28x28, k5, p0, s1 -> 24x24.
+        assert_eq!(conv_out_dim(28, 5, 0, 1), 24);
+        // CIFAR conv1: 32x32, k5, p2, s1 -> 32x32.
+        assert_eq!(conv_out_dim(32, 5, 2, 1), 32);
+        // CIFAR pool1: 32x32, k3, p0, s2 -> 15x15.
+        assert_eq!(conv_out_dim(32, 3, 0, 2), 15);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: col matrix equals the image.
+        let geom = Conv2dGeometry::square(2, 3, 1, 0, 1);
+        let image: Vec<f32> = (0..18).map(|i| i as f32).collect();
+        let mut col = vec![0.0f32; geom.col_len()];
+        im2col(&geom, &image, &mut col);
+        assert_eq!(col, image);
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // 1 channel, 3x3 image, 2x2 kernel, stride 1, no pad -> 2x2 output.
+        let geom = Conv2dGeometry::square(1, 3, 2, 0, 1);
+        #[rustfmt::skip]
+        let image = [
+            1.0f32, 2.0, 3.0,
+            4.0, 5.0, 6.0,
+            7.0, 8.0, 9.0,
+        ];
+        let mut col = vec![0.0f32; geom.col_len()];
+        im2col(&geom, &image, &mut col);
+        // Rows are kernel taps (kh,kw) in order; columns are output pixels.
+        #[rustfmt::skip]
+        let want = [
+            1.0, 2.0, 4.0, 5.0, // tap (0,0)
+            2.0, 3.0, 5.0, 6.0, // tap (0,1)
+            4.0, 5.0, 7.0, 8.0, // tap (1,0)
+            5.0, 6.0, 8.0, 9.0, // tap (1,1)
+        ];
+        assert_eq!(col.as_slice(), want);
+    }
+
+    #[test]
+    fn im2col_padding_reads_zero() {
+        let geom = Conv2dGeometry::square(1, 2, 3, 1, 1);
+        assert_eq!(geom.out_h(), 2);
+        let image = [1.0f32, 2.0, 3.0, 4.0];
+        let mut col = vec![f32::NAN; geom.col_len()];
+        im2col(&geom, &image, &mut col);
+        // Tap (0,0) touches row -1 / col -1 for every output: all zero except
+        // output (1,1) which reads image(0,0) = 1.
+        assert_eq!(&col[0..4], &[0.0, 0.0, 0.0, 1.0]);
+        assert!(col.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // adjoint property, which is exactly what backward passes rely on.
+        let geom = Conv2dGeometry::square(2, 5, 3, 1, 2);
+        let n_img = geom.image_len();
+        let n_col = geom.col_len();
+        let x: Vec<f64> = (0..n_img).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..n_col).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut cx = vec![0.0; n_col];
+        im2col(&geom, &x, &mut cx);
+        let mut iy = vec![0.0; n_img];
+        col2im(&geom, &y, &mut iy);
+        let lhs: f64 = cx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&iy).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_counts_overlaps() {
+        // All-ones col matrix: each image pixel receives one contribution per
+        // kernel window covering it.
+        let geom = Conv2dGeometry::square(1, 3, 2, 0, 1);
+        let col = vec![1.0f32; geom.col_len()];
+        let mut image = vec![0.0f32; geom.image_len()];
+        col2im(&geom, &col, &mut image);
+        #[rustfmt::skip]
+        let want = [
+            1.0, 2.0, 1.0,
+            2.0, 4.0, 2.0,
+            1.0, 2.0, 1.0,
+        ];
+        assert_eq!(image.as_slice(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "im2col: kernel larger than padded input")]
+    fn oversized_kernel_panics() {
+        let geom = Conv2dGeometry::square(1, 2, 5, 0, 1);
+        let image = [0.0f32; 4];
+        let mut col = vec![0.0f32; 1];
+        im2col(&geom, &image, &mut col);
+    }
+}

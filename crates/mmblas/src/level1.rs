@@ -1,0 +1,248 @@
+//! Level-1 BLAS: vector-vector operations.
+//!
+//! These are the `caffe_axpy`/`caffe_scal`/`caffe_set`-style helpers the
+//! layer implementations call per blob segment.
+
+use crate::Scalar;
+
+/// `y += alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if alpha == S::ZERO {
+        return;
+    }
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y` (extended BLAS `axpby`).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn axpby<S: Scalar>(alpha: S, x: &[S], beta: S, y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `x *= alpha` (BLAS `scal`).
+pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product `x . y` (BLAS `dot`).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four partial accumulators: breaks the serial dependence chain so the
+    // compiler can vectorize without needing -ffast-math semantics.
+    let mut acc = [S::ZERO; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = S::ZERO;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Strictly sequential dot product, summed left-to-right.
+///
+/// Used where bitwise reproducibility against a reference loop matters more
+/// than speed (the paper's "ordered" requirement).
+pub fn dot_seq<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert_eq!(x.len(), y.len(), "dot_seq: length mismatch");
+    let mut acc = S::ZERO;
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc += xi * yi;
+    }
+    acc
+}
+
+/// Sum of absolute values (BLAS `asum`).
+pub fn asum<S: Scalar>(x: &[S]) -> S {
+    let mut acc = S::ZERO;
+    for &xi in x {
+        acc += xi.abs();
+    }
+    acc
+}
+
+/// Euclidean norm (BLAS `nrm2`).
+pub fn nrm2<S: Scalar>(x: &[S]) -> S {
+    dot(x, x).sqrt()
+}
+
+/// `y = x` (BLAS `copy`).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn copy<S: Scalar>(x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Fill `x` with `v` (`caffe_set`).
+pub fn set<S: Scalar>(v: S, x: &mut [S]) {
+    for xi in x.iter_mut() {
+        *xi = v;
+    }
+}
+
+/// Zero-fill (`caffe_zero`) — the privatized-gradient initialisation of
+/// Algorithm 5 line 5.
+pub fn zero<S: Scalar>(x: &mut [S]) {
+    set(S::ZERO, x);
+}
+
+/// Elementwise `z = x * y` (Hadamard product, `caffe_mul`).
+///
+/// # Panics
+/// Panics on any length mismatch.
+pub fn mul<S: Scalar>(x: &[S], y: &[S], z: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "mul: length mismatch");
+    assert_eq!(x.len(), z.len(), "mul: output length mismatch");
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi * yi;
+    }
+}
+
+/// Elementwise `z = x + y` (`caffe_add`).
+pub fn add<S: Scalar>(x: &[S], y: &[S], z: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    assert_eq!(x.len(), z.len(), "add: output length mismatch");
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi + yi;
+    }
+}
+
+/// Elementwise `z = x - y` (`caffe_sub`).
+pub fn sub<S: Scalar>(x: &[S], y: &[S], z: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    assert_eq!(x.len(), z.len(), "sub: output length mismatch");
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi - yi;
+    }
+}
+
+/// Index of the maximum element; ties resolve to the lowest index.
+///
+/// Returns `None` for an empty slice. Used by accuracy layers (argmax over
+/// class scores).
+pub fn iamax<S: Scalar>(x: &[S]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let x = [f32::NAN; 3];
+        let mut y = [1.0f32, 2.0, 3.0];
+        axpy(0.0, &x, &mut y);
+        assert_eq!(y, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpby_basic() {
+        let x = [1.0f64, 2.0];
+        let mut y = [3.0f64, 4.0];
+        axpby(2.0, &x, 0.5, &mut y);
+        assert_eq!(y, [3.5, 6.0]);
+    }
+
+    #[test]
+    fn scal_and_set() {
+        let mut x = [1.0f32, -2.0, 4.0];
+        scal(0.5, &mut x);
+        assert_eq!(x, [0.5, -1.0, 2.0]);
+        zero(&mut x);
+        assert_eq!(x, [0.0; 3]);
+        set(7.0, &mut x);
+        assert_eq!(x, [7.0; 3]);
+    }
+
+    #[test]
+    fn dot_matches_seq_dot() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        let y: Vec<f64> = (0..37).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let a = dot(&x, &y);
+        let b = dot_seq(&x, &y);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dot_empty() {
+        let e: [f32; 0] = [];
+        assert_eq!(dot(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn asum_nrm2() {
+        let x = [3.0f32, -4.0];
+        assert_eq!(asum(&x), 7.0);
+        assert_eq!(nrm2(&x), 5.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let x = [1.0f32, 2.0];
+        let y = [3.0f32, 5.0];
+        let mut z = [0.0f32; 2];
+        mul(&x, &y, &mut z);
+        assert_eq!(z, [3.0, 10.0]);
+        add(&x, &y, &mut z);
+        assert_eq!(z, [4.0, 7.0]);
+        sub(&x, &y, &mut z);
+        assert_eq!(z, [-2.0, -3.0]);
+    }
+
+    #[test]
+    fn iamax_ties_and_empty() {
+        assert_eq!(iamax::<f32>(&[]), None);
+        assert_eq!(iamax(&[1.0f32, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(iamax(&[-5.0f32, -1.0, -3.0]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy: length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let x = [1.0f32];
+        let mut y = [1.0f32, 2.0];
+        axpy(1.0, &x, &mut y);
+    }
+}

@@ -1,0 +1,579 @@
+//! Level-3 BLAS: general matrix-matrix multiply.
+//!
+//! Three implementations with identical semantics:
+//!
+//! * [`gemm_naive`] — reference triple loop (ikj order for contiguous access).
+//! * [`gemm_blocked`] — cache-tiled over `MC x KC x NC` panels.
+//! * [`gemm_microkernel`] — GotoBLAS-style packing into contiguous A/B panels
+//!   with a register-tiled `MR x NR` microkernel.
+//!
+//! [`gemm`] dispatches by problem size. Convolution and inner-product layers
+//! call these per data segment from inside the coarse-grain parallel region,
+//! exactly as Caffe's layers call sequential OpenBLAS kernels.
+
+use crate::{Scalar, Transpose};
+
+/// Cache-blocking parameters (elements, not bytes). Tuned for ~32KB L1 /
+/// 256KB L2 class cores; correctness never depends on them.
+const MC: usize = 64;
+const KC: usize = 128;
+const NC: usize = 512;
+
+/// Register tile of the microkernel.
+const MR: usize = 4;
+const NR: usize = 8;
+
+fn check_gemm_args<S: Scalar>(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    c: &[S],
+    ldc: usize,
+) {
+    let (ar, ac) = if ta.is_trans() { (k, m) } else { (m, k) };
+    let (br, bc) = if tb.is_trans() { (n, k) } else { (k, n) };
+    assert!(lda >= ac.max(1), "gemm: lda ({lda}) < cols of stored A ({ac})");
+    assert!(ldb >= bc.max(1), "gemm: ldb ({ldb}) < cols of stored B ({bc})");
+    assert!(ldc >= n.max(1), "gemm: ldc ({ldc}) < n ({n})");
+    if ar > 0 && ac > 0 {
+        assert!(a.len() >= (ar - 1) * lda + ac, "gemm: A slice too short");
+    }
+    if br > 0 && bc > 0 {
+        assert!(b.len() >= (br - 1) * ldb + bc, "gemm: B slice too short");
+    }
+    if m > 0 && n > 0 {
+        assert!(c.len() >= (m - 1) * ldc + n, "gemm: C slice too short");
+    }
+}
+
+#[inline]
+fn a_at<S: Scalar>(a: &[S], lda: usize, ta: Transpose, i: usize, p: usize) -> S {
+    match ta {
+        Transpose::No => a[i * lda + p],
+        Transpose::Yes => a[p * lda + i],
+    }
+}
+
+#[inline]
+fn b_at<S: Scalar>(b: &[S], ldb: usize, tb: Transpose, p: usize, j: usize) -> S {
+    match tb {
+        Transpose::No => b[p * ldb + j],
+        Transpose::Yes => b[j * ldb + p],
+    }
+}
+
+fn scale_c<S: Scalar>(m: usize, n: usize, beta: S, c: &mut [S], ldc: usize) {
+    if beta == S::ONE {
+        return;
+    }
+    for i in 0..m {
+        let row = &mut c[i * ldc..i * ldc + n];
+        if beta == S::ZERO {
+            crate::level1::zero(row);
+        } else {
+            crate::level1::scal(beta, row);
+        }
+    }
+}
+
+/// Reference GEMM: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// All matrices row-major; `lda`/`ldb`/`ldc` are row strides of the *stored*
+/// operands.
+///
+/// # Panics
+/// Panics if any slice is too short for its dimensions.
+pub fn gemm_naive<S: Scalar>(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+) {
+    check_gemm_args(ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
+    scale_c(m, n, beta, c, ldc);
+    if alpha == S::ZERO || k == 0 {
+        return;
+    }
+    // ikj order: the innermost loop streams a row of B and a row of C.
+    for i in 0..m {
+        for p in 0..k {
+            let aip = alpha * a_at(a, lda, ta, i, p);
+            if aip == S::ZERO {
+                continue;
+            }
+            let crow = &mut c[i * ldc..i * ldc + n];
+            match tb {
+                Transpose::No => {
+                    let brow = &b[p * ldb..p * ldb + n];
+                    for (cij, &bpj) in crow.iter_mut().zip(brow) {
+                        *cij += aip * bpj;
+                    }
+                }
+                Transpose::Yes => {
+                    for (j, cij) in crow.iter_mut().enumerate() {
+                        *cij += aip * b[j * ldb + p];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked GEMM. Same semantics as [`gemm_naive`].
+pub fn gemm_blocked<S: Scalar>(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+) {
+    check_gemm_args(ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
+    scale_c(m, n, beta, c, ldc);
+    if alpha == S::ZERO || k == 0 {
+        return;
+    }
+    for jc in (0..n).step_by(NC) {
+        let nb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mb = MC.min(m - ic);
+                for i in ic..ic + mb {
+                    for p in pc..pc + kb {
+                        let aip = alpha * a_at(a, lda, ta, i, p);
+                        if aip == S::ZERO {
+                            continue;
+                        }
+                        let crow = &mut c[i * ldc + jc..i * ldc + jc + nb];
+                        match tb {
+                            Transpose::No => {
+                                let brow = &b[p * ldb + jc..p * ldb + jc + nb];
+                                for (cij, &bpj) in crow.iter_mut().zip(brow) {
+                                    *cij += aip * bpj;
+                                }
+                            }
+                            Transpose::Yes => {
+                                for (dj, cij) in crow.iter_mut().enumerate() {
+                                    *cij += aip * b[(jc + dj) * ldb + p];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack an `mb x kb` panel of `op(A)` into row-major `MR`-wide strips.
+fn pack_a<S: Scalar>(
+    a: &[S],
+    lda: usize,
+    ta: Transpose,
+    ic: usize,
+    pc: usize,
+    mb: usize,
+    kb: usize,
+    packed: &mut [S],
+) {
+    // Layout: strips of MR rows, each strip stored column-major within the
+    // strip so the microkernel reads MR contiguous values per k step.
+    let mut w = 0usize;
+    for is in (0..mb).step_by(MR) {
+        let mrb = MR.min(mb - is);
+        for p in 0..kb {
+            for di in 0..MR {
+                packed[w] = if di < mrb {
+                    a_at(a, lda, ta, ic + is + di, pc + p)
+                } else {
+                    S::ZERO
+                };
+                w += 1;
+            }
+        }
+    }
+}
+
+/// Pack a `kb x nb` panel of `op(B)` into `NR`-wide strips.
+fn pack_b<S: Scalar>(
+    b: &[S],
+    ldb: usize,
+    tb: Transpose,
+    pc: usize,
+    jc: usize,
+    kb: usize,
+    nb: usize,
+    packed: &mut [S],
+) {
+    let mut w = 0usize;
+    for js in (0..nb).step_by(NR) {
+        let nrb = NR.min(nb - js);
+        for p in 0..kb {
+            for dj in 0..NR {
+                packed[w] = if dj < nrb {
+                    b_at(b, ldb, tb, pc + p, jc + js + dj)
+                } else {
+                    S::ZERO
+                };
+                w += 1;
+            }
+        }
+    }
+}
+
+/// `MR x NR` register-tiled microkernel over packed panels.
+#[inline]
+fn microkernel<S: Scalar>(kb: usize, alpha: S, ap: &[S], bp: &[S], cacc: &mut [S; MR * NR]) {
+    for v in cacc.iter_mut() {
+        *v = S::ZERO;
+    }
+    for p in 0..kb {
+        let avec = &ap[p * MR..p * MR + MR];
+        let bvec = &bp[p * NR..p * NR + NR];
+        for (i, &ai) in avec.iter().enumerate() {
+            let row = &mut cacc[i * NR..i * NR + NR];
+            for (cij, &bj) in row.iter_mut().zip(bvec) {
+                *cij += ai * bj;
+            }
+        }
+    }
+    if alpha != S::ONE {
+        for v in cacc.iter_mut() {
+            *v *= alpha;
+        }
+    }
+}
+
+/// Packed-panel GEMM with a register-tiled microkernel (GotoBLAS scheme).
+/// Same semantics as [`gemm_naive`]. Allocates two small packing buffers.
+pub fn gemm_microkernel<S: Scalar>(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+) {
+    check_gemm_args(ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
+    scale_c(m, n, beta, c, ldc);
+    if alpha == S::ZERO || k == 0 || m == 0 || n == 0 {
+        return;
+    }
+
+    let mut apack = vec![S::ZERO; MC.div_ceil(MR) * MR * KC];
+    let mut bpack = vec![S::ZERO; NC.div_ceil(NR) * NR * KC];
+    let mut cacc = [S::ZERO; MR * NR];
+
+    for jc in (0..n).step_by(NC) {
+        let nb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            pack_b(b, ldb, tb, pc, jc, kb, nb, &mut bpack);
+            for ic in (0..m).step_by(MC) {
+                let mb = MC.min(m - ic);
+                pack_a(a, lda, ta, ic, pc, mb, kb, &mut apack);
+                for js in (0..nb).step_by(NR) {
+                    let nrb = NR.min(nb - js);
+                    let bp = &bpack[(js / NR) * kb * NR..(js / NR + 1) * kb * NR];
+                    for is in (0..mb).step_by(MR) {
+                        let mrb = MR.min(mb - is);
+                        let ap = &apack[(is / MR) * kb * MR..(is / MR + 1) * kb * MR];
+                        microkernel(kb, alpha, ap, bp, &mut cacc);
+                        for di in 0..mrb {
+                            let crow = &mut c[(ic + is + di) * ldc + jc + js
+                                ..(ic + is + di) * ldc + jc + js + nrb];
+                            let arow = &cacc[di * NR..di * NR + nrb];
+                            for (cij, &v) in crow.iter_mut().zip(arow) {
+                                *cij += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dispatching GEMM: picks an implementation by problem size.
+///
+/// Small problems (the per-segment calls dominating DNN layers) go to the
+/// blocked kernel, which has no packing overhead; larger ones use the packed
+/// microkernel.
+pub fn gemm<S: Scalar>(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+) {
+    let flops = 2usize
+        .saturating_mul(m)
+        .saturating_mul(n)
+        .saturating_mul(k);
+    if flops < 64 * 64 * 64 * 2 {
+        gemm_blocked(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    } else {
+        gemm_microkernel(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type GemmFn = fn(
+        Transpose,
+        Transpose,
+        usize,
+        usize,
+        usize,
+        f64,
+        &[f64],
+        usize,
+        &[f64],
+        usize,
+        f64,
+        &mut [f64],
+        usize,
+    );
+
+    const IMPLS: [(&str, GemmFn); 4] = [
+        ("naive", gemm_naive::<f64>),
+        ("blocked", gemm_blocked::<f64>),
+        ("micro", gemm_microkernel::<f64>),
+        ("dispatch", gemm::<f64>),
+    ];
+
+    fn dense(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+        // Simple deterministic LCG fill; values in [-1, 1).
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn reference(
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        beta: f64,
+        c0: &[f64],
+        ldc: usize,
+    ) -> Vec<f64> {
+        let mut c = c0.to_vec();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_at(a, lda, ta, i, p) * b_at(b, ldb, tb, p, j);
+                }
+                c[i * ldc + j] = alpha * acc + beta * c0[i * ldc + j];
+            }
+        }
+        c
+    }
+
+    fn check_all(m: usize, n: usize, k: usize, ta: Transpose, tb: Transpose) {
+        let (ar, ac) = if ta.is_trans() { (k, m) } else { (m, k) };
+        let (br, bc) = if tb.is_trans() { (n, k) } else { (k, n) };
+        let a = dense(ar, ac, 1);
+        let b = dense(br, bc, 2);
+        let c0 = dense(m, n, 3);
+        let want = reference(ta, tb, m, n, k, 1.5, &a, ac.max(1), &b, bc.max(1), 0.5, &c0, n.max(1));
+        for (name, f) in IMPLS {
+            let mut c = c0.clone();
+            f(
+                ta,
+                tb,
+                m,
+                n,
+                k,
+                1.5,
+                &a,
+                ac.max(1),
+                &b,
+                bc.max(1),
+                0.5,
+                &mut c,
+                n.max(1),
+            );
+            for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - w).abs() < 1e-9 * (1.0 + w.abs()),
+                    "{name} mismatch at {i}: got {got}, want {w} (m={m} n={n} k={k} ta={ta:?} tb={tb:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_impls_match_reference_small() {
+        for &(m, n, k) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8)] {
+            for ta in [Transpose::No, Transpose::Yes] {
+                for tb in [Transpose::No, Transpose::Yes] {
+                    check_all(m, n, k, ta, tb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_impls_match_reference_odd_sizes() {
+        // Sizes that straddle block and microkernel tile boundaries.
+        for &(m, n, k) in &[
+            (MR - 1, NR - 1, 1),
+            (MR + 1, NR + 1, KC + 1),
+            (MC + 3, NR * 2 + 5, 17),
+            (63, 65, 31),
+        ] {
+            check_all(m, n, k, Transpose::No, Transpose::No);
+            check_all(m, n, k, Transpose::Yes, Transpose::Yes);
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_are_noops() {
+        let a: Vec<f64> = vec![];
+        let b: Vec<f64> = vec![];
+        let mut c = vec![7.0f64; 4];
+        // k == 0: C = beta * C only.
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            0,
+            1.0,
+            &a,
+            1,
+            &b,
+            2,
+            2.0,
+            &mut c,
+            2,
+        );
+        assert_eq!(c, vec![14.0; 4]);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        // BLAS convention: beta == 0 must overwrite even NaN garbage in C.
+        let a = [1.0f64];
+        let b = [2.0f64];
+        let mut c = [f64::NAN];
+        for (_, f) in IMPLS {
+            c[0] = f64::NAN;
+            f(
+                Transpose::No,
+                Transpose::No,
+                1,
+                1,
+                1,
+                1.0,
+                &a,
+                1,
+                &b,
+                1,
+                0.0,
+                &mut c,
+                1,
+            );
+            assert_eq!(c[0], 2.0);
+        }
+    }
+
+    #[test]
+    fn strided_c_untouched_outside_ldc_window() {
+        let a = [1.0f64, 1.0];
+        let b = [1.0f64, 1.0];
+        // C is 2x1 but stored with ldc = 3; pad values must be preserved.
+        let mut c = [0.0, 99.0, 98.0, 0.0, 97.0, 96.0];
+        gemm_naive(
+            Transpose::No,
+            Transpose::No,
+            2,
+            1,
+            1,
+            1.0,
+            &a,
+            1,
+            &b,
+            1,
+            0.0,
+            &mut c,
+            3,
+        );
+        assert_eq!(c, [1.0, 99.0, 98.0, 1.0, 97.0, 96.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: A slice too short")]
+    fn short_a_panics() {
+        let a = [1.0f64];
+        let b = [1.0f64; 4];
+        let mut c = [0.0f64; 4];
+        gemm_naive(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &b,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Fine-grain (BLAS-level) parallel kernels — the paper's §3.1.1
+//! alternative to batch-level parallelism.
+//!
+//! These parallelize *inside* one linear-algebra call: GEMM over row
+//! blocks of `C`, GEMV over row blocks of `y`. The paper's analysis
+//! applies directly: fine-grain parallelism only pays off when each call
+//! is large (deep in the network the segments shrink and the fork/join
+//! overhead dominates), whereas the batch-level loop stays coarse
+//! everywhere. The `fine_grain` machine model and the
+//! `e13_fine_grain_cpu` experiment quantify that trade-off; these kernels
+//! are the real executable counterpart.
+//!
+//! Built on rayon (the workspace's sanctioned data-parallelism substrate)
+//! rather than `omprt` so `mmblas` stays dependency-light and reusable.
+
+use crate::{gemm_blocked, gemv, Scalar, Transpose};
+use rayon::prelude::*;
+
+/// Row-block size per parallel task: coarse enough to amortize task
+/// dispatch, fine enough to balance.
+const ROW_BLOCK: usize = 16;
+
+/// Parallel GEMM: `C = alpha * op(A) * op(B) + beta * C`, parallelized
+/// over row blocks of `C`. Always uses the cache-blocked kernel per strip,
+/// so the result is bitwise-identical to [`gemm_blocked`] for any thread
+/// count (each output row is computed with identical arithmetic).
+///
+/// # Panics
+/// Panics on inconsistent dimensions (same contract as [`crate::gemm`]).
+pub fn gemm_par<S: Scalar>(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Row i of C depends on row i of op(A): compute independent horizontal
+    // strips. For transposed A the strip of op(A) is a column block of the
+    // stored matrix; the sequential kernel handles that via lda, so each
+    // task simply offsets into C and re-derives its A view.
+    c.par_chunks_mut(ROW_BLOCK * ldc)
+        .enumerate()
+        .for_each(|(blk, cchunk)| {
+            let row0 = blk * ROW_BLOCK;
+            let rows = ROW_BLOCK.min(m - row0.min(m));
+            if rows == 0 {
+                return;
+            }
+            match ta {
+                Transpose::No => {
+                    let astrip = &a[row0 * lda..];
+                    gemm_blocked(
+                        ta, tb, rows, n, k, alpha, astrip, lda, b, ldb, beta, cchunk, ldc,
+                    );
+                }
+                Transpose::Yes => {
+                    // op(A) row block = stored-A column block starting at
+                    // column row0; keep the stored layout, offset the base.
+                    let astrip = &a[row0..];
+                    gemm_blocked(
+                        ta, tb, rows, n, k, alpha, astrip, lda, b, ldb, beta, cchunk, ldc,
+                    );
+                }
+            }
+        });
+}
+
+/// Parallel GEMV over row blocks of the output.
+/// Bitwise-identical to the sequential [`gemv`].
+///
+/// # Panics
+/// Panics on inconsistent dimensions (same contract as [`gemv`]).
+pub fn gemv_par<S: Scalar>(
+    trans: Transpose,
+    m: usize,
+    n: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    x: &[S],
+    beta: S,
+    y: &mut [S],
+) {
+    match trans {
+        Transpose::No => {
+            // y[i] depends on row i of A only.
+            y.par_chunks_mut(ROW_BLOCK).enumerate().for_each(|(blk, ychunk)| {
+                let row0 = blk * ROW_BLOCK;
+                let rows = ychunk.len();
+                let astrip = &a[row0 * lda..];
+                gemv(trans, rows, n, alpha, astrip, lda, x, beta, ychunk);
+            });
+        }
+        Transpose::Yes => {
+            // y[j] depends on column j of A (= row j of A^T): split the
+            // output and give each task the column window of the stored A.
+            y.par_chunks_mut(ROW_BLOCK).enumerate().for_each(|(blk, ychunk)| {
+                let col0 = blk * ROW_BLOCK;
+                let cols = ychunk.len();
+                // Stored A is m x n (lda >= n); the window is columns
+                // col0..col0+cols of every row.
+                let awin = &a[col0..];
+                gemv(trans, m, cols, alpha, awin, lda, x, beta, ychunk);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = crate::Pcg32::seeded(seed);
+        (0..n).map(|_| rng.uniform_range(-2.0, 2.0)).collect()
+    }
+
+    #[test]
+    fn gemm_par_matches_sequential_notrans() {
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 9, 5), (40, 33, 21), (64, 64, 64)] {
+            let a = dense(m * k, 1);
+            let b = dense(k * n, 2);
+            let mut c1 = dense(m * n, 3);
+            let mut c2 = c1.clone();
+            gemm_blocked(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.5,
+                &a,
+                k,
+                &b,
+                n,
+                0.5,
+                &mut c1,
+                n,
+            );
+            gemm_par(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.5,
+                &a,
+                k,
+                &b,
+                n,
+                0.5,
+                &mut c2,
+                n,
+            );
+            assert_eq!(c1, c2, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn gemm_par_matches_sequential_transposed_a() {
+        let (m, n, k) = (37usize, 18usize, 25usize);
+        let a = dense(k * m, 4); // stored k x m for op(A) = A^T
+        let b = dense(k * n, 5);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_blocked(
+            Transpose::Yes,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            m,
+            &b,
+            n,
+            0.0,
+            &mut c1,
+            n,
+        );
+        gemm_par(
+            Transpose::Yes,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            m,
+            &b,
+            n,
+            0.0,
+            &mut c2,
+            n,
+        );
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn gemv_par_matches_sequential_both_directions() {
+        let (m, n) = (45usize, 23usize);
+        let a = dense(m * n, 6);
+        let x_n = dense(n, 7);
+        let x_m = dense(m, 8);
+        let mut y1 = dense(m, 9);
+        let mut y2 = y1.clone();
+        gemv(Transpose::No, m, n, 2.0, &a, n, &x_n, 0.25, &mut y1);
+        gemv_par(Transpose::No, m, n, 2.0, &a, n, &x_n, 0.25, &mut y2);
+        assert_eq!(y1, y2);
+
+        let mut z1 = dense(n, 10);
+        let mut z2 = z1.clone();
+        gemv(Transpose::Yes, m, n, -1.0, &a, n, &x_m, 1.0, &mut z1);
+        gemv_par(Transpose::Yes, m, n, -1.0, &a, n, &x_m, 1.0, &mut z2);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn zero_rows_is_noop() {
+        let a: Vec<f64> = vec![];
+        let b: Vec<f64> = vec![];
+        let mut c: Vec<f64> = vec![];
+        gemm_par(
+            Transpose::No,
+            Transpose::No,
+            0,
+            0,
+            3,
+            1.0,
+            &a,
+            3,
+            &b,
+            1,
+            0.0,
+            &mut c,
+            1,
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Layer registry: constructs layer objects from [`LayerSpec`] blocks.
+
+use crate::spec::{LayerSpec, SpecError};
+use layers::conv::{ConvConfig, ConvolutionLayer};
+use layers::data::BatchSource;
+use layers::inner_product::{InnerProductConfig, InnerProductLayer};
+use layers::lrn::{LrnConfig, LrnLayer};
+use layers::pooling::{PoolConfig, PoolMethod, PoolingLayer};
+use layers::{
+    AccuracyLayer, DataLayer, DropoutLayer, Filler, FlattenLayer, Layer, ReluLayer, SigmoidLayer,
+    SoftmaxLayer, SoftmaxLossLayer, TanhLayer,
+};
+use mmblas::Scalar;
+
+fn parse_filler(ls: &LayerSpec, which: &str, default: Filler) -> Result<Filler, SpecError> {
+    match ls.get(which) {
+        None => Ok(default),
+        Some("xavier") => Ok(Filler::Xavier),
+        Some("constant") => Ok(Filler::Constant(
+            ls.get_f64_or(&format!("{which}_value"), 0.0)?,
+        )),
+        Some("gaussian") => Ok(Filler::Gaussian {
+            std: ls.get_f64_or(&format!("{which}_std"), 0.01)?,
+        }),
+        Some(other) => Err(SpecError::new(format!(
+            "layer '{}': unknown filler '{other}'",
+            ls.name
+        ))),
+    }
+}
+
+/// Construct a layer object from its spec block.
+///
+/// `data_source` is consumed by the first `Data` layer. `after_data` tells
+/// learnable layers to skip their bottom-diff computation (Caffe's
+/// `propagate_down = false` for layers sitting directly on data).
+pub fn build_layer<S: Scalar>(
+    ls: &LayerSpec,
+    data_source: &mut Option<Box<dyn BatchSource<S>>>,
+    after_data: bool,
+) -> Result<Box<dyn Layer<S>>, SpecError> {
+    let name = ls.name.clone();
+    let layer: Box<dyn Layer<S>> = match ls.layer_type.as_str() {
+        "Data" => {
+            let source = data_source.take().ok_or_else(|| {
+                SpecError::new(format!(
+                    "layer '{name}': spec has a Data layer but no data source was provided \
+                     (or a second Data layer appeared)"
+                ))
+            })?;
+            let batch = ls.get_usize("batch")?;
+            Box::new(DataLayer::new(name, source, batch))
+        }
+        "Convolution" => {
+            let mut cfg = ConvConfig::new(
+                ls.get_usize("num_output")?,
+                ls.get_usize("kernel")?,
+                ls.get_usize_or("pad", 0)?,
+                ls.get_usize_or("stride", 1)?,
+            );
+            cfg.weight_filler = parse_filler(ls, "weight_filler", Filler::Xavier)?;
+            cfg.bias_filler = parse_filler(ls, "bias_filler", Filler::Constant(0.0))?;
+            cfg.seed = ls.get_usize_or("seed", cfg.seed as usize)? as u64;
+            cfg.weight_lr_mult = ls.get_f64_or("w_lr_mult", cfg.weight_lr_mult)?;
+            cfg.bias_lr_mult = ls.get_f64_or("b_lr_mult", cfg.bias_lr_mult)?;
+            let mut l = ConvolutionLayer::new(name, cfg);
+            if after_data {
+                l.set_propagate_down(false);
+            }
+            Box::new(l)
+        }
+        "Pooling" => {
+            let method = match ls.get("method") {
+                Some("MAX") | None => PoolMethod::Max,
+                Some("AVE") => PoolMethod::Ave,
+                Some(other) => {
+                    return Err(SpecError::new(format!(
+                        "layer '{name}': unknown pooling method '{other}'"
+                    )))
+                }
+            };
+            let cfg = PoolConfig {
+                method,
+                kernel: ls.get_usize("kernel")?,
+                pad: ls.get_usize_or("pad", 0)?,
+                stride: ls.get_usize_or("stride", 1)?,
+            };
+            Box::new(PoolingLayer::new(name, cfg))
+        }
+        "InnerProduct" => {
+            let mut cfg = InnerProductConfig::new(ls.get_usize("num_output")?);
+            cfg.weight_filler = parse_filler(ls, "weight_filler", Filler::Xavier)?;
+            cfg.bias_filler = parse_filler(ls, "bias_filler", Filler::Constant(0.0))?;
+            cfg.seed = ls.get_usize_or("seed", cfg.seed as usize)? as u64;
+            cfg.weight_lr_mult = ls.get_f64_or("w_lr_mult", cfg.weight_lr_mult)?;
+            cfg.bias_lr_mult = ls.get_f64_or("b_lr_mult", cfg.bias_lr_mult)?;
+            let mut l = InnerProductLayer::new(name, cfg);
+            if after_data {
+                l.set_propagate_down(false);
+            }
+            Box::new(l)
+        }
+        "ReLU" => Box::new(ReluLayer::new(name)),
+        "Sigmoid" => Box::new(SigmoidLayer::new(name)),
+        "TanH" => Box::new(TanhLayer::new(name)),
+        "Softmax" => Box::new(SoftmaxLayer::new(name)),
+        "Flatten" => Box::new(FlattenLayer::new(name)),
+        "LRN" => {
+            let cfg = LrnConfig {
+                local_size: ls.get_usize_or("local_size", 5)?,
+                alpha: ls.get_f64_or("alpha", 1e-4)?,
+                beta: ls.get_f64_or("beta", 0.75)?,
+                k: ls.get_f64_or("k", 1.0)?,
+            };
+            Box::new(LrnLayer::new(name, cfg))
+        }
+        "Dropout" => {
+            let ratio = ls.get_f64_or("dropout_ratio", 0.5)?;
+            let seed = ls.get_usize_or("seed", 0x0d0d)? as u64;
+            Box::new(DropoutLayer::new(name, ratio, seed))
+        }
+        "SoftmaxWithLoss" => Box::new(SoftmaxLossLayer::new(name)),
+        "EuclideanLoss" => Box::new(layers::EuclideanLossLayer::new(name)),
+        "Accuracy" => Box::new(AccuracyLayer::new(name)),
+        "Concat" => Box::new(layers::ConcatLayer::new(name)),
+        "Split" => {
+            let n = ls.get_usize_or("tops", ls.tops.len().max(1))?;
+            Box::new(layers::SplitLayer::new(name, n))
+        }
+        "Eltwise" => {
+            let op = match ls.get("operation") {
+                Some("SUM") | None => layers::EltwiseOp::Sum,
+                Some("PROD") => layers::EltwiseOp::Prod,
+                Some("MAX") => layers::EltwiseOp::Max,
+                Some(other) => {
+                    return Err(SpecError::new(format!(
+                        "layer '{name}': unknown eltwise operation '{other}'"
+                    )))
+                }
+            };
+            let coeffs: Vec<S> = match ls.get("coeffs") {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<f64>()
+                            .map(S::from_f64)
+                            .map_err(|_| {
+                                SpecError::new(format!(
+                                    "layer '{name}': bad coefficient '{v}'"
+                                ))
+                            })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            Box::new(layers::EltwiseLayer::new(name, op, coeffs))
+        }
+        "Power" => Box::new(layers::PowerLayer::new(
+            name,
+            ls.get_f64_or("power", 1.0)?,
+            ls.get_f64_or("scale", 1.0)?,
+            ls.get_f64_or("shift", 0.0)?,
+        )),
+        "AbsVal" => Box::new(layers::AbsValLayer::new(name)),
+        other => {
+            return Err(SpecError::new(format!(
+                "layer '{name}': unknown layer type '{other}'"
+            )))
+        }
+    };
+    Ok(layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetSpec;
+
+    fn spec_of(body: &str) -> LayerSpec {
+        NetSpec::parse(body).unwrap().layers[0].clone()
+    }
+
+    #[test]
+    fn builds_every_parameterless_type() {
+        for ty in ["ReLU", "Sigmoid", "TanH", "Softmax", "Flatten", "SoftmaxWithLoss", "Accuracy"] {
+            let ls = spec_of(&format!("layer {{\n name: x\n type: {ty}\n}}"));
+            let mut none: Option<Box<dyn BatchSource<f32>>> = None;
+            let l = build_layer::<f32>(&ls, &mut none, false).unwrap();
+            assert_eq!(l.layer_type(), ty);
+        }
+    }
+
+    #[test]
+    fn conv_requires_num_output() {
+        let ls = spec_of("layer {\n name: c\n type: Convolution\n kernel: 5\n}");
+        let mut none: Option<Box<dyn BatchSource<f32>>> = None;
+        let e = build_layer::<f32>(&ls, &mut none, false).err().expect("expected error");
+        assert!(e.to_string().contains("num_output"));
+    }
+
+    #[test]
+    fn unknown_type_is_error() {
+        let ls = spec_of("layer {\n name: z\n type: Warp\n}");
+        let mut none: Option<Box<dyn BatchSource<f32>>> = None;
+        assert!(build_layer::<f32>(&ls, &mut none, false).is_err());
+    }
+
+    #[test]
+    fn data_without_source_is_error() {
+        let ls = spec_of("layer {\n name: d\n type: Data\n batch: 4\n}");
+        let mut none: Option<Box<dyn BatchSource<f32>>> = None;
+        let e = build_layer::<f32>(&ls, &mut none, false).err().expect("expected error");
+        assert!(e.to_string().contains("data source"));
+    }
+
+    #[test]
+    fn pooling_method_parsing() {
+        let ls = spec_of("layer {\n name: p\n type: Pooling\n method: AVE\n kernel: 3\n stride: 2\n}");
+        let mut none: Option<Box<dyn BatchSource<f32>>> = None;
+        assert!(build_layer::<f32>(&ls, &mut none, false).is_ok());
+        let bad = spec_of("layer {\n name: p\n type: Pooling\n method: MED\n kernel: 3\n}");
+        assert!(build_layer::<f32>(&bad, &mut none, false).is_err());
+    }
+
+    #[test]
+    fn filler_parsing() {
+        let ls = spec_of(
+            "layer {\n name: c\n type: Convolution\n num_output: 2\n kernel: 1\n \
+             weight_filler: gaussian\n weight_filler_std: 0.05\n}",
+        );
+        let mut none: Option<Box<dyn BatchSource<f32>>> = None;
+        assert!(build_layer::<f32>(&ls, &mut none, false).is_ok());
+        let bad = spec_of(
+            "layer {\n name: c\n type: Convolution\n num_output: 2\n kernel: 1\n \
+             weight_filler: fancy\n}",
+        );
+        assert!(build_layer::<f32>(&bad, &mut none, false).is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! `net` — the network container: a DAG of layers executed in topological
+//! order, with the coarse-grain parallel machinery threaded through every
+//! layer pass (Algorithm 1 of the paper).
+//!
+//! A [`Net`] owns all intermediate blobs and all layers (which own their
+//! parameters). `forward` runs the layers in definition order; `backward`
+//! runs them in reverse, after seeding each loss layer's diff with 1.0.
+//! Per-layer wall-clock times are recorded for the per-layer breakdown
+//! experiments (Figures 4 and 7).
+//!
+//! Fan-out: each blob may have at most one gradient-producing consumer;
+//! declare an explicit `Split` layer for branching topologies (exactly what
+//! Caffe auto-inserts) — its backward pass sums the branch gradients.
+//!
+//! ```
+//! use net::{Net, NetSpec};
+//! use layers::data::BatchSource;
+//!
+//! struct Ones;
+//! impl BatchSource<f32> for Ones {
+//!     fn num_samples(&self) -> usize { 4 }
+//!     fn sample_shape(&self) -> blob::Shape { blob::Shape::from([3usize]) }
+//!     fn fill(&self, _i: usize, out: &mut [f32]) -> f32 {
+//!         mmblas::set(1.0, out);
+//!         0.0
+//!     }
+//! }
+//!
+//! let spec = NetSpec::parse(
+//!     "layer {\n name: d\n type: Data\n batch: 2\n top: data\n top: label\n}\n\
+//!      layer {\n name: ip\n type: InnerProduct\n num_output: 2\n bottom: data\n top: ip\n}\n\
+//!      layer {\n name: loss\n type: SoftmaxWithLoss\n bottom: ip\n bottom: label\n top: loss\n}",
+//! ).unwrap();
+//! let mut net = Net::<f32>::from_spec(&spec, Some(Box::new(Ones))).unwrap();
+//! let team = omprt::ThreadTeam::new(2);
+//! let loss = net.forward(&team, &net::RunConfig::default());
+//! assert!(loss.is_finite());
+//! ```
+
+pub mod builder;
+pub mod memory;
+pub mod snapshot;
+pub mod spec;
+
+pub use builder::build_layer;
+pub use memory::MemoryReport;
+pub use snapshot::{load_params, save_params};
+pub use spec::{LayerSpec, NetSpec, SpecError};
+
+use blob::Blob;
+use layers::ctx::{ExecCtx, Phase, ReductionMode};
+use layers::data::BatchSource;
+use layers::profile::LayerProfile;
+use layers::workspace::{Workspace, WorkspaceRequest};
+use layers::Layer;
+use mmblas::Scalar;
+use omprt::{Schedule, ThreadTeam};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-run execution configuration (schedule, reduction, phase).
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Worksharing schedule for the coalesced loops.
+    pub schedule: Schedule,
+    /// Gradient reduction mode.
+    pub reduction: ReductionMode,
+    /// Train or test.
+    pub phase: Phase,
+}
+
+impl Default for RunConfig {
+    /// The paper's configuration: static schedule, ordered reduction, train.
+    fn default() -> Self {
+        Self {
+            schedule: Schedule::Static,
+            reduction: ReductionMode::Ordered,
+            phase: Phase::Train,
+        }
+    }
+}
+
+/// A network: layers + blobs + scratch workspace.
+pub struct Net<S: Scalar = f32> {
+    name: String,
+    layers: Vec<Box<dyn Layer<S>>>,
+    bottoms: Vec<Vec<usize>>,
+    tops: Vec<Vec<usize>>,
+    blobs: Vec<Blob<S>>,
+    blob_index: HashMap<String, usize>,
+    blob_names: Vec<String>,
+    max_request: WorkspaceRequest,
+    workspace: Workspace<S>,
+    ws_threads: usize,
+    ws_slots: usize,
+    fwd_secs: Vec<f64>,
+    bwd_secs: Vec<f64>,
+    iteration: u64,
+}
+
+impl<S: Scalar> Net<S> {
+    /// Build a network from a parsed spec. `data_source` feeds the single
+    /// `Data` layer (required iff the spec contains one).
+    pub fn from_spec(
+        spec: &NetSpec,
+        mut data_source: Option<Box<dyn BatchSource<S>>>,
+    ) -> Result<Self, SpecError> {
+        let mut net = Net {
+            name: spec.name.clone(),
+            layers: Vec::new(),
+            bottoms: Vec::new(),
+            tops: Vec::new(),
+            blobs: Vec::new(),
+            blob_index: HashMap::new(),
+            blob_names: Vec::new(),
+            max_request: WorkspaceRequest::default(),
+            workspace: Workspace::empty(),
+            ws_threads: 0,
+            ws_slots: 0,
+            fwd_secs: Vec::new(),
+            bwd_secs: Vec::new(),
+            iteration: 0,
+        };
+        let mut data_tops: Vec<String> = Vec::new();
+
+        for ls in &spec.layers {
+            // Resolve bottoms.
+            let mut bottom_ids = Vec::with_capacity(ls.bottoms.len());
+            for b in &ls.bottoms {
+                let id = *net.blob_index.get(b).ok_or_else(|| {
+                    SpecError::new(format!("layer '{}': unknown bottom blob '{b}'", ls.name))
+                })?;
+                bottom_ids.push(id);
+            }
+            // Build the layer object. A learnable layer sitting directly on
+            // data-layer outputs skips its bottom-diff computation, as Caffe
+            // does for conv1.
+            let after_data = !ls.bottoms.is_empty()
+                && ls.bottoms.iter().all(|b| data_tops.contains(b));
+            let mut layer = build_layer(ls, &mut data_source, after_data)?;
+            // Shape inference.
+            let top_shapes = {
+                let bottom_refs: Vec<&Blob<S>> =
+                    bottom_ids.iter().map(|&i| &net.blobs[i]).collect();
+                layer.setup(&bottom_refs)
+            };
+            if top_shapes.len() != ls.tops.len() {
+                return Err(SpecError::new(format!(
+                    "layer '{}' produces {} tops but spec names {}",
+                    ls.name,
+                    top_shapes.len(),
+                    ls.tops.len()
+                )));
+            }
+            // Register top blobs.
+            let mut top_ids = Vec::with_capacity(ls.tops.len());
+            for (tname, shape) in ls.tops.iter().zip(top_shapes) {
+                if net.blob_index.contains_key(tname) {
+                    return Err(SpecError::new(format!(
+                        "layer '{}': top blob '{tname}' already exists \
+                         (in-place layers are not supported)",
+                        ls.name
+                    )));
+                }
+                let id = net.blobs.len();
+                net.blobs.push(Blob::new(shape));
+                net.blob_index.insert(tname.clone(), id);
+                net.blob_names.push(tname.clone());
+                top_ids.push(id);
+            }
+            if ls.layer_type == "Data" {
+                data_tops.extend(ls.tops.iter().cloned());
+            }
+            net.max_request = net.max_request.max(layer.workspace_request());
+            net.layers.push(layer);
+            net.bottoms.push(bottom_ids);
+            net.tops.push(top_ids);
+        }
+        let n = net.layers.len();
+        net.fwd_secs = vec![0.0; n];
+        net.bwd_secs = vec![0.0; n];
+        Ok(net)
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer instance names in execution order.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Layer type strings in execution order.
+    pub fn layer_types(&self) -> Vec<&str> {
+        self.layers.iter().map(|l| l.layer_type()).collect()
+    }
+
+    /// Immutable access to a named blob.
+    pub fn blob(&self, name: &str) -> Option<&Blob<S>> {
+        self.blob_index.get(name).map(|&i| &self.blobs[i])
+    }
+
+    /// Set the global iteration counter (seeds dropout masks).
+    pub fn set_iteration(&mut self, it: u64) {
+        self.iteration = it;
+    }
+
+    /// (Re)build the workspace if the team size or slot count grew.
+    pub fn ensure_workspace(&mut self, n_threads: usize, reduction: ReductionMode) {
+        let slots = reduction.slots(n_threads);
+        if n_threads > self.ws_threads || slots > self.ws_slots {
+            self.ws_threads = self.ws_threads.max(n_threads);
+            self.ws_slots = self.ws_slots.max(slots);
+            self.workspace = Workspace::new(self.ws_threads, self.ws_slots, self.max_request);
+        }
+    }
+
+    /// Forward pass over all layers; returns the summed loss of every loss
+    /// layer. Per-layer times are recorded (see
+    /// [`Net::last_forward_seconds`]).
+    pub fn forward(&mut self, team: &ThreadTeam, cfg: &RunConfig) -> S {
+        self.ensure_workspace(team.size(), cfg.reduction);
+        let mut loss = S::ZERO;
+        for i in 0..self.layers.len() {
+            let t0 = Instant::now();
+            let mut tops: Vec<Blob<S>> = self.tops[i]
+                .iter()
+                .map(|&b| std::mem::take(&mut self.blobs[b]))
+                .collect();
+            {
+                let ctx = ExecCtx {
+                    team,
+                    schedule: cfg.schedule,
+                    reduction: cfg.reduction,
+                    workspace: &self.workspace,
+                    phase: cfg.phase,
+                    iteration: self.iteration,
+                };
+                let bottoms: Vec<&Blob<S>> =
+                    self.bottoms[i].iter().map(|&b| &self.blobs[b]).collect();
+                self.layers[i].forward(&ctx, &bottoms, &mut tops);
+            }
+            if self.layers[i].is_loss() {
+                loss += tops[0].data()[0];
+            }
+            for (&b, blob) in self.tops[i].iter().zip(tops) {
+                self.blobs[b] = blob;
+            }
+            self.fwd_secs[i] = t0.elapsed().as_secs_f64();
+        }
+        loss
+    }
+
+    /// Backward pass over all layers in reverse order. Seeds every loss
+    /// layer's top diff with 1.0 first. Parameter diffs are *accumulated*;
+    /// call [`Net::zero_param_diffs`] once per iteration.
+    pub fn backward(&mut self, team: &ThreadTeam, cfg: &RunConfig) {
+        self.ensure_workspace(team.size(), cfg.reduction);
+        for i in 0..self.layers.len() {
+            if self.layers[i].is_loss() {
+                let b = self.tops[i][0];
+                self.blobs[b].diff_mut()[0] = S::ONE;
+            }
+        }
+        for i in (0..self.layers.len()).rev() {
+            if self.bottoms[i].is_empty() {
+                self.bwd_secs[i] = 0.0;
+                continue;
+            }
+            let t0 = Instant::now();
+            let mut bots: Vec<Blob<S>> = self.bottoms[i]
+                .iter()
+                .map(|&b| std::mem::take(&mut self.blobs[b]))
+                .collect();
+            {
+                let ctx = ExecCtx {
+                    team,
+                    schedule: cfg.schedule,
+                    reduction: cfg.reduction,
+                    workspace: &self.workspace,
+                    phase: cfg.phase,
+                    iteration: self.iteration,
+                };
+                let tops: Vec<&Blob<S>> =
+                    self.tops[i].iter().map(|&b| &self.blobs[b]).collect();
+                self.layers[i].backward(&ctx, &tops, &mut bots);
+            }
+            for (&b, blob) in self.bottoms[i].iter().zip(bots) {
+                self.blobs[b] = blob;
+            }
+            self.bwd_secs[i] = t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Zero every learnable parameter's diff (start of an iteration).
+    pub fn zero_param_diffs(&mut self) {
+        for l in &mut self.layers {
+            for p in l.params_mut() {
+                p.zero_diff();
+            }
+        }
+    }
+
+    /// Mutable references to every learnable parameter blob, in layer order.
+    pub fn learnable_params_mut(&mut self) -> Vec<&mut Blob<S>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut().iter_mut())
+            .collect()
+    }
+
+    /// Immutable references to every learnable parameter blob.
+    pub fn learnable_params(&self) -> Vec<&Blob<S>> {
+        self.layers.iter().flat_map(|l| l.params().iter()).collect()
+    }
+
+    /// Per-parameter learning-rate multipliers, aligned with
+    /// [`Net::learnable_params`] (Caffe's `lr_mult`).
+    pub fn param_lr_mults(&self) -> Vec<f64> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.param_lr_mults())
+            .collect()
+    }
+
+    /// Per-layer wall-clock seconds of the most recent forward pass.
+    pub fn last_forward_seconds(&self) -> &[f64] {
+        &self.fwd_secs
+    }
+
+    /// Per-layer wall-clock seconds of the most recent backward pass.
+    pub fn last_backward_seconds(&self) -> &[f64] {
+        &self.bwd_secs
+    }
+
+    /// Analytic work profiles of every layer (for the machine simulator).
+    pub fn profiles(&self) -> Vec<LayerProfile> {
+        (0..self.layers.len())
+            .map(|i| {
+                let bottoms: Vec<&Blob<S>> =
+                    self.bottoms[i].iter().map(|&b| &self.blobs[b]).collect();
+                self.layers[i].profile(&bottoms)
+            })
+            .collect()
+    }
+
+    /// Memory accounting for experiment E7 (paper §3.2.1).
+    pub fn memory_report(&self) -> MemoryReport {
+        MemoryReport::compute(self)
+    }
+
+    /// Total learnable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.learnable_params().iter().map(|p| p.count()).sum()
+    }
+
+    /// Human-readable architecture table: layer, type, top shapes, params.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12}{:<18}{:<26}{:>12}\n",
+            "layer", "type", "top shape(s)", "params"
+        ));
+        for i in 0..self.layers.len() {
+            let shapes: Vec<String> = self.tops[i]
+                .iter()
+                .map(|&b| self.blobs[b].shape().to_string())
+                .collect();
+            let params: usize = self.layers[i].params().iter().map(|p| p.count()).sum();
+            out.push_str(&format!(
+                "{:<12}{:<18}{:<26}{:>12}\n",
+                self.layers[i].name(),
+                self.layers[i].layer_type(),
+                shapes.join(" "),
+                params
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} layers, {} parameters\n",
+            self.layers.len(),
+            self.num_params()
+        ));
+        out
+    }
+
+    pub(crate) fn blobs_bytes(&self) -> usize {
+        self.blobs.iter().map(|b| b.bytes()).sum()
+    }
+
+    pub(crate) fn params_bytes(&self) -> usize {
+        self.learnable_params().iter().map(|b| b.bytes()).sum()
+    }
+
+    pub(crate) fn workspace_ref(&self) -> &Workspace<S> {
+        &self.workspace
+    }
+}

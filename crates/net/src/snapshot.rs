@@ -1,0 +1,212 @@
+//! Parameter snapshots — the Caffe `snapshot` / `--weights` feature.
+//!
+//! A deliberately simple little-endian binary format:
+//!
+//! ```text
+//! magic "CGDN" | version u32 | n_blobs u32
+//! per blob: ndim u32 | dims u32 x ndim | values f64 x count
+//! ```
+//!
+//! Values are stored as `f64` regardless of the in-memory scalar so
+//! snapshots round-trip losslessly for both `f32` and `f64` models.
+
+use crate::Net;
+use mmblas::Scalar;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"CGDN";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serialize every learnable parameter blob of `net` (in layer order).
+pub fn save_params<S: Scalar>(net: &Net<S>, mut w: impl Write) -> io::Result<()> {
+    let params = net.learnable_params();
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, params.len() as u32)?;
+    for p in params {
+        let dims = p.shape().dims();
+        write_u32(&mut w, dims.len() as u32)?;
+        for &d in dims {
+            write_u32(&mut w, d as u32)?;
+        }
+        for &v in p.data() {
+            w.write_all(&v.to_f64().to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restore parameters saved by [`save_params`] into an identically-shaped
+/// network. Shapes are validated blob by blob.
+pub fn load_params<S: Scalar>(net: &mut Net<S>, mut r: impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("snapshot: bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("snapshot: unsupported version {version}")));
+    }
+    let n = read_u32(&mut r)? as usize;
+    let mut params = net.learnable_params_mut();
+    if n != params.len() {
+        return Err(bad(format!(
+            "snapshot: {n} blobs in file, network has {}",
+            params.len()
+        )));
+    }
+    for (i, p) in params.iter_mut().enumerate() {
+        let ndim = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        if dims != p.shape().dims() {
+            return Err(bad(format!(
+                "snapshot: blob {i} shape {:?} does not match network {:?}",
+                dims,
+                p.shape().dims()
+            )));
+        }
+        for v in p.data_mut() {
+            *v = S::from_f64(read_f64(&mut r)?);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetSpec;
+
+    const SPEC: &str = r#"
+name: t
+layer {
+  name: d
+  type: Data
+  batch: 2
+  top: data
+  top: label
+}
+layer {
+  name: ip
+  type: InnerProduct
+  bottom: data
+  top: ip
+  num_output: 3
+  seed: 4
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip
+  bottom: label
+  top: loss
+}
+"#;
+
+    struct OneSource;
+    impl layers::data::BatchSource<f32> for OneSource {
+        fn num_samples(&self) -> usize {
+            4
+        }
+        fn sample_shape(&self) -> blob::Shape {
+            blob::Shape::from([2usize])
+        }
+        fn fill(&self, index: usize, out: &mut [f32]) -> f32 {
+            mmblas::set(index as f32, out);
+            (index % 3) as f32
+        }
+    }
+
+    fn make() -> Net<f32> {
+        Net::from_spec(&NetSpec::parse(SPEC).unwrap(), Some(Box::new(OneSource))).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_parameters() {
+        let src = make();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+
+        let mut dst = make();
+        // Scramble dst first so the test is meaningful.
+        for p in dst.learnable_params_mut() {
+            mmblas::set(9.0f32, p.data_mut());
+        }
+        load_params(&mut dst, buf.as_slice()).unwrap();
+        for (a, b) in src.learnable_params().iter().zip(dst.learnable_params()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let mut net = make();
+        assert!(load_params(&mut net, &b"XXXX"[..]).is_err());
+        let src = make();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_params(&mut net, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        const OTHER: &str = r#"
+name: o
+layer {
+  name: d
+  type: Data
+  batch: 2
+  top: data
+  top: label
+}
+layer {
+  name: ip
+  type: InnerProduct
+  bottom: data
+  top: ip
+  num_output: 5
+  seed: 4
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip
+  bottom: label
+  top: loss
+}
+"#;
+        let src = make();
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        let mut other =
+            Net::<f32>::from_spec(&NetSpec::parse(OTHER).unwrap(), Some(Box::new(OneSource)))
+                .unwrap();
+        let e = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(e.to_string().contains("shape"));
+    }
+}

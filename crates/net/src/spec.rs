@@ -1,0 +1,262 @@
+//! Prototxt-like network specification parser.
+//!
+//! Caffe describes networks in protobuf text format; we use a structurally
+//! identical but simpler line-based format:
+//!
+//! ```text
+//! name: lenet
+//! layer {
+//!   name: conv1
+//!   type: Convolution
+//!   bottom: data
+//!   top: conv1
+//!   num_output: 20
+//!   kernel: 5
+//! }
+//! ```
+//!
+//! Keys inside a `layer { ... }` block are free-form `key: value` pairs
+//! interpreted by the layer builder; `bottom`/`top` may repeat. `#` starts
+//! a comment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `layer { ... }` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Instance name.
+    pub name: String,
+    /// Layer type string (`Convolution`, `Pooling`, ...).
+    pub layer_type: String,
+    /// Input blob names, in order.
+    pub bottoms: Vec<String>,
+    /// Output blob names, in order.
+    pub tops: Vec<String>,
+    /// Remaining key/value parameters.
+    pub params: BTreeMap<String, String>,
+}
+
+impl LayerSpec {
+    /// String parameter, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(|s| s.as_str())
+    }
+
+    /// Required `usize` parameter.
+    pub fn get_usize(&self, key: &str) -> Result<usize, SpecError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| SpecError::missing(&self.name, key))?;
+        v.parse()
+            .map_err(|_| SpecError::bad_value(&self.name, key, v))
+    }
+
+    /// Optional `usize` parameter with a default.
+    pub fn get_usize_or(&self, key: &str, default: usize) -> Result<usize, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| SpecError::bad_value(&self.name, key, v)),
+        }
+    }
+
+    /// Optional `f64` parameter with a default.
+    pub fn get_f64_or(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| SpecError::bad_value(&self.name, key, v)),
+        }
+    }
+}
+
+/// A parsed network specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSpec {
+    /// Network name.
+    pub name: String,
+    /// Layers in definition (= execution) order.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// Parse or build failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    msg: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    fn missing(layer: &str, key: &str) -> Self {
+        Self::new(format!("layer '{layer}': missing required key '{key}'"))
+    }
+
+    fn bad_value(layer: &str, key: &str, v: &str) -> Self {
+        Self::new(format!("layer '{layer}': invalid value '{v}' for '{key}'"))
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl NetSpec {
+    /// Parse a specification from its text form.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut name = String::from("net");
+        let mut layers = Vec::new();
+        let mut current: Option<LayerSpec> = None;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |m: &str| SpecError::new(format!("line {}: {m}", lineno + 1));
+            if line == "layer {" || line == "layer{" {
+                if current.is_some() {
+                    return Err(err("nested 'layer {' block"));
+                }
+                current = Some(LayerSpec {
+                    name: String::new(),
+                    layer_type: String::new(),
+                    bottoms: Vec::new(),
+                    tops: Vec::new(),
+                    params: BTreeMap::new(),
+                });
+                continue;
+            }
+            if line == "}" {
+                let l = current
+                    .take()
+                    .ok_or_else(|| err("unmatched '}'"))?;
+                if l.name.is_empty() {
+                    return Err(err("layer block without 'name:'"));
+                }
+                if l.layer_type.is_empty() {
+                    return Err(err("layer block without 'type:'"));
+                }
+                layers.push(l);
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                return Err(err(&format!("expected 'key: value', got '{line}'")));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return Err(err(&format!("empty value for '{key}'")));
+            }
+            match &mut current {
+                None => {
+                    if key == "name" {
+                        name = value.to_string();
+                    } else {
+                        return Err(err(&format!("unknown top-level key '{key}'")));
+                    }
+                }
+                Some(l) => match key {
+                    "name" => l.name = value.to_string(),
+                    "type" => l.layer_type = value.to_string(),
+                    "bottom" => l.bottoms.push(value.to_string()),
+                    "top" => l.tops.push(value.to_string()),
+                    _ => {
+                        l.params.insert(key.to_string(), value.to_string());
+                    }
+                },
+            }
+        }
+        if current.is_some() {
+            return Err(SpecError::new("unterminated 'layer {' block"));
+        }
+        if layers.is_empty() {
+            return Err(SpecError::new("specification defines no layers"));
+        }
+        Ok(NetSpec { name, layers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# a comment
+name: tiny
+layer {
+  name: data
+  type: Data
+  batch: 4
+  top: data
+  top: label
+}
+layer {
+  name: ip
+  type: InnerProduct   # trailing comment
+  bottom: data
+  top: ip
+  num_output: 10
+}
+"#;
+
+    #[test]
+    fn parses_layers_in_order() {
+        let spec = NetSpec::parse(GOOD).unwrap();
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.layers.len(), 2);
+        assert_eq!(spec.layers[0].name, "data");
+        assert_eq!(spec.layers[0].tops, vec!["data", "label"]);
+        assert_eq!(spec.layers[1].layer_type, "InnerProduct");
+        assert_eq!(spec.layers[1].get_usize("num_output").unwrap(), 10);
+        assert_eq!(spec.layers[1].bottoms, vec!["data"]);
+    }
+
+    #[test]
+    fn typed_getters() {
+        let spec = NetSpec::parse(GOOD).unwrap();
+        let l = &spec.layers[1];
+        assert_eq!(l.get_usize_or("kernel", 5).unwrap(), 5);
+        assert_eq!(l.get_f64_or("lr", 0.01).unwrap(), 0.01);
+        assert!(l.get_usize("nonexistent").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(NetSpec::parse("").is_err());
+        assert!(NetSpec::parse("layer {\nname: x\n").is_err(), "unterminated");
+        assert!(NetSpec::parse("}").is_err(), "unmatched brace");
+        assert!(NetSpec::parse("layer {\nlayer {\n}\n}").is_err(), "nested");
+        assert!(
+            NetSpec::parse("layer {\n  type: Data\n}").is_err(),
+            "missing name"
+        );
+        assert!(
+            NetSpec::parse("layer {\n  name: x\n}").is_err(),
+            "missing type"
+        );
+        assert!(NetSpec::parse("bogus: 1").is_err(), "unknown top-level key");
+        assert!(
+            NetSpec::parse("layer {\n  name x\n}").is_err(),
+            "missing colon"
+        );
+    }
+
+    #[test]
+    fn bad_numeric_value_is_reported() {
+        let spec = NetSpec::parse(
+            "layer {\n name: l\n type: T\n num_output: abc\n}",
+        )
+        .unwrap();
+        let e = spec.layers[0].get_usize("num_output").unwrap_err();
+        assert!(e.to_string().contains("invalid value"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Loop coalescing: collapse a perfect loop nest into one canonical
+//! induction variable (CIV) and decode it back — the manual transformation
+//! of Algorithms 4-5 (`s = f_s(civ); d1 = f_1(civ); ...`).
+//!
+//! Coalescing shrinks the minimal work unit under static scheduling: a
+//! batch loop of 64 iterations on 12 threads is unbalanced by a whole
+//! sample, while the coalesced `(s, c_out)` loop of 64*20 iterations is
+//! unbalanced by at most one segment.
+
+/// A coalesced loop nest: extents of the collapsed dimensions, outermost
+/// first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coalesce {
+    dims: Vec<usize>,
+    total: usize,
+}
+
+impl Coalesce {
+    /// Coalesce the loops with the given extents (outermost first).
+    pub fn new(dims: &[usize]) -> Self {
+        let total = dims.iter().product();
+        Self {
+            dims: dims.to_vec(),
+            total,
+        }
+    }
+
+    /// Total iteration count of the collapsed loop.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of collapsed dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extents of the collapsed dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Decode a CIV into per-dimension indices (outermost first) —
+    /// the `f_s`, `f_1`, ... functions of Algorithm 4.
+    ///
+    /// # Panics
+    /// Panics (debug) if `civ >= total()`.
+    pub fn decode(&self, civ: usize) -> Vec<usize> {
+        debug_assert!(civ < self.total.max(1));
+        let mut idx = vec![0usize; self.dims.len()];
+        let mut rem = civ;
+        for (k, &d) in self.dims.iter().enumerate().rev() {
+            idx[k] = rem % d;
+            rem /= d;
+        }
+        idx
+    }
+
+    /// Allocation-free two-dimensional decode: `civ -> (outer, inner)`.
+    /// Valid only when `ndim() == 2`.
+    #[inline]
+    pub fn decode2(&self, civ: usize) -> (usize, usize) {
+        debug_assert_eq!(self.dims.len(), 2);
+        let inner = self.dims[1];
+        (civ / inner, civ % inner)
+    }
+
+    /// Allocation-free three-dimensional decode.
+    #[inline]
+    pub fn decode3(&self, civ: usize) -> (usize, usize, usize) {
+        debug_assert_eq!(self.dims.len(), 3);
+        let d2 = self.dims[2];
+        let d1 = self.dims[1];
+        (civ / (d1 * d2), (civ / d2) % d1, civ % d2)
+    }
+
+    /// Encode per-dimension indices back into a CIV (inverse of `decode`).
+    pub fn encode(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut civ = 0usize;
+        for (&i, &d) in idx.iter().zip(&self.dims) {
+            debug_assert!(i < d);
+            civ = civ * d + i;
+        }
+        civ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let c = Coalesce::new(&[3, 4, 5]);
+        assert_eq!(c.total(), 60);
+        for civ in 0..60 {
+            let idx = c.decode(civ);
+            assert_eq!(c.encode(&idx), civ);
+            let (a, b, d) = c.decode3(civ);
+            assert_eq!(idx, vec![a, b, d]);
+        }
+    }
+
+    #[test]
+    fn decode_is_row_major_order() {
+        let c = Coalesce::new(&[2, 3]);
+        assert_eq!(c.decode(0), vec![0, 0]);
+        assert_eq!(c.decode(1), vec![0, 1]);
+        assert_eq!(c.decode(3), vec![1, 0]);
+        assert_eq!(c.decode2(5), (1, 2));
+    }
+
+    #[test]
+    fn single_dim_is_identity() {
+        let c = Coalesce::new(&[7]);
+        for i in 0..7 {
+            assert_eq!(c.decode(i), vec![i]);
+        }
+    }
+
+    #[test]
+    fn empty_dims_is_single_iteration() {
+        let c = Coalesce::new(&[]);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.decode(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn coalescing_reduces_static_imbalance() {
+        // The motivating example: batch of 64 on 12 threads.
+        use crate::schedule::static_assignment;
+        let plain = static_assignment(12, 64);
+        let coal = static_assignment(12, Coalesce::new(&[64, 20]).total());
+        let imb = |rs: &Vec<std::ops::Range<usize>>, per_iter: usize| {
+            let lens: Vec<_> = rs.iter().map(|r| r.len() * per_iter).collect();
+            lens.iter().max().unwrap() - lens.iter().min().unwrap()
+        };
+        // Plain: one iteration = one full sample = 20 work units.
+        // Coalesced: one iteration = 1 work unit.
+        assert_eq!(imb(&plain, 20), 20);
+        assert_eq!(imb(&coal, 1), 1);
+    }
+}

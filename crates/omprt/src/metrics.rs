@@ -1,0 +1,145 @@
+//! Work-distribution introspection: per-thread iteration counts and
+//! imbalance metrics for a worksharing loop.
+//!
+//! The paper identifies *work unbalance* as a limiting factor of the
+//! coarse-grain parallelization (§4.3) and motivates loop coalescing with
+//! it. These helpers quantify that imbalance both analytically (static
+//! schedules) and empirically (recorded runs).
+
+use crate::schedule::{static_chunk, static_chunked_count, Schedule};
+
+/// Imbalance summary for one work distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImbalanceReport {
+    /// Work units assigned to each thread.
+    pub per_thread: Vec<usize>,
+    /// Maximum over threads.
+    pub max: usize,
+    /// Minimum over threads.
+    pub min: usize,
+    /// Mean work per thread.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfectly balanced; the parallel-region time is
+    /// proportional to `max`, so this is the slowdown factor vs. ideal.
+    pub imbalance_factor: f64,
+}
+
+impl ImbalanceReport {
+    /// Build a report from per-thread work-unit counts.
+    pub fn from_counts(per_thread: Vec<usize>) -> Self {
+        assert!(!per_thread.is_empty(), "ImbalanceReport: no threads");
+        let max = *per_thread.iter().max().unwrap();
+        let min = *per_thread.iter().min().unwrap();
+        let mean = per_thread.iter().sum::<usize>() as f64 / per_thread.len() as f64;
+        let imbalance_factor = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        Self {
+            per_thread,
+            max,
+            min,
+            mean,
+            imbalance_factor,
+        }
+    }
+}
+
+/// Analytic per-thread work (in `units_per_iter` units) for the static
+/// schedules; `None` for dynamic/guided, whose distribution is runtime
+/// dependent.
+pub fn analytic_distribution(
+    sched: Schedule,
+    n_iters: usize,
+    nthreads: usize,
+    units_per_iter: usize,
+) -> Option<ImbalanceReport> {
+    let counts: Vec<usize> = match sched {
+        Schedule::Static => (0..nthreads)
+            .map(|t| static_chunk(t, nthreads, n_iters).len() * units_per_iter)
+            .collect(),
+        Schedule::StaticChunk(c) => (0..nthreads)
+            .map(|t| static_chunked_count(t, nthreads, n_iters, c) * units_per_iter)
+            .collect(),
+        Schedule::Dynamic(_) | Schedule::Guided => return None,
+    };
+    Some(ImbalanceReport::from_counts(counts))
+}
+
+/// Empirically measure the per-thread iteration counts of a worksharing
+/// loop by running it on a real team — works for every schedule, including
+/// the runtime-dependent dynamic/guided ones.
+pub fn measure_distribution(
+    team: &crate::ThreadTeam,
+    n_iters: usize,
+    sched: Schedule,
+) -> ImbalanceReport {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let counts: Vec<AtomicUsize> = (0..team.size()).map(|_| AtomicUsize::new(0)).collect();
+    team.parallel_for(n_iters, sched, |ctx, _i| {
+        counts[ctx.thread_id].fetch_add(1, Ordering::Relaxed);
+    });
+    ImbalanceReport::from_counts(counts.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_static_matches_analytic() {
+        let team = crate::ThreadTeam::new(4);
+        for n in [0usize, 7, 64, 101] {
+            let measured = measure_distribution(&team, n, Schedule::Static);
+            let analytic = analytic_distribution(Schedule::Static, n, 4, 1).unwrap();
+            assert_eq!(measured.per_thread, analytic.per_thread, "n={n}");
+        }
+    }
+
+    #[test]
+    fn measured_dynamic_covers_all_iterations() {
+        let team = crate::ThreadTeam::new(3);
+        for sched in [Schedule::Dynamic(5), Schedule::Guided] {
+            let r = measure_distribution(&team, 200, sched);
+            assert_eq!(r.per_thread.iter().sum::<usize>(), 200, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_loop_has_factor_one() {
+        let r = analytic_distribution(Schedule::Static, 64, 8, 1).unwrap();
+        assert_eq!(r.max, 8);
+        assert_eq!(r.min, 8);
+        assert!((r.imbalance_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncoalesced_batch_loop_is_unbalanced_on_12_threads() {
+        // The paper's motivating case: 64 heavy iterations on 12 threads.
+        let r = analytic_distribution(Schedule::Static, 64, 12, 1000).unwrap();
+        assert_eq!(r.max, 6000);
+        assert_eq!(r.min, 5000);
+        assert!(r.imbalance_factor > 1.1);
+        // Coalescing the same work into 64_000 light iterations fixes it.
+        let c = analytic_distribution(Schedule::Static, 64_000, 12, 1).unwrap();
+        assert!(c.imbalance_factor < 1.001);
+    }
+
+    #[test]
+    fn dynamic_has_no_analytic_distribution() {
+        assert!(analytic_distribution(Schedule::Dynamic(4), 10, 2, 1).is_none());
+        assert!(analytic_distribution(Schedule::Guided, 10, 2, 1).is_none());
+    }
+
+    #[test]
+    fn report_from_counts() {
+        let r = ImbalanceReport::from_counts(vec![4, 2]);
+        assert_eq!(r.max, 4);
+        assert_eq!(r.min, 2);
+        assert!((r.mean - 3.0).abs() < 1e-12);
+        assert!((r.imbalance_factor - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no threads")]
+    fn empty_counts_panic() {
+        let _ = ImbalanceReport::from_counts(vec![]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The `ordered` construct: serialize a code block in thread-id order.
+//!
+//! Algorithm 5 (lines 22-24) of the paper merges every thread's privatized
+//! gradient blob into the shared gradient with an *ordered* loop, so the
+//! floating-point accumulation order — and therefore the training loss
+//! trajectory — is reproducible run-to-run for a fixed thread count.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Monotonic turn counter backing [`crate::WorkerCtx::ordered`].
+///
+/// Each `run_ordered` call with thread id `t` on a team of `n` waits until
+/// `counter % n == t`, runs the closure, then increments the counter. If
+/// every thread calls it once per "round", rounds execute in thread order
+/// and the construct is reusable for any number of rounds per region.
+pub(crate) struct Turn {
+    counter: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Turn {
+    pub(crate) fn new() -> Self {
+        Self {
+            counter: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Reset at the start of a parallel region (called by the master before
+    /// the start barrier, so no thread can be waiting).
+    pub(crate) fn reset(&self) {
+        *self.counter.lock() = 0;
+    }
+
+    pub(crate) fn run_ordered<R>(&self, tid: usize, nthreads: usize, f: impl FnOnce() -> R) -> R {
+        if nthreads <= 1 {
+            return f();
+        }
+        let mut c = self.counter.lock();
+        while *c % nthreads != tid {
+            self.cv.wait(&mut c);
+        }
+        drop(c);
+        let r = f();
+        let mut c = self.counter.lock();
+        *c += 1;
+        self.cv.notify_all();
+        r
+    }
+}
+
+/// A standalone ordered region usable outside a [`crate::ThreadTeam`] —
+/// e.g. from rayon tasks — keyed by an explicit sequence index.
+///
+/// `run(idx, f)` blocks until all indices `< idx` have completed, runs `f`,
+/// then releases index `idx`. Indices must form a permutation of
+/// `0..rounds`.
+pub struct OrderedRegion {
+    next: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl OrderedRegion {
+    /// New region whose first admitted index is 0.
+    pub fn new() -> Self {
+        Self {
+            next: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Execute `f` when it is `idx`'s turn.
+    pub fn run<R>(&self, idx: usize, f: impl FnOnce() -> R) -> R {
+        let mut n = self.next.lock();
+        while *n != idx {
+            self.cv.wait(&mut n);
+        }
+        drop(n);
+        let r = f();
+        let mut n = self.next.lock();
+        *n += 1;
+        self.cv.notify_all();
+        r
+    }
+
+    /// Reset so the region can be reused from index 0.
+    pub fn reset(&self) {
+        *self.next.lock() = 0;
+    }
+}
+
+impl Default for OrderedRegion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn ordered_region_serializes_by_index() {
+        let region = OrderedRegion::new();
+        let log = StdMutex::new(Vec::new());
+        std::thread::scope(|s| {
+            // Deliberately start in reverse order.
+            for idx in (0..4).rev() {
+                let region = &region;
+                let log = &log;
+                s.spawn(move || {
+                    region.run(idx, || log.lock().unwrap().push(idx));
+                });
+            }
+        });
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ordered_region_reset() {
+        let region = OrderedRegion::new();
+        region.run(0, || ());
+        region.run(1, || ());
+        region.reset();
+        let mut ran = false;
+        region.run(0, || ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn turn_single_thread_is_passthrough() {
+        let t = Turn::new();
+        assert_eq!(t.run_ordered(0, 1, || 42), 42);
+    }
+}

@@ -1,0 +1,198 @@
+//! Worksharing loop schedules — `#pragma omp for schedule(...)`.
+//!
+//! The static chunk math is exposed as pure functions so that the `machine`
+//! execution-model simulator distributes iterations *identically* to the
+//! real runtime.
+
+use crate::WorkerCtx;
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+/// Loop scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// `schedule(static)`: one contiguous chunk per thread (OpenMP default,
+    /// and the paper's choice).
+    Static,
+    /// `schedule(static, chunk)`: fixed-size chunks dealt round-robin.
+    StaticChunk(usize),
+    /// `schedule(dynamic, chunk)`: threads pull chunks from a shared queue.
+    Dynamic(usize),
+    /// `schedule(guided)`: dynamic with exponentially shrinking chunks.
+    Guided,
+}
+
+/// Contiguous range of iterations thread `tid` receives under
+/// `schedule(static)` for a loop of `n` iterations on `nthreads` threads.
+///
+/// Matches the usual OpenMP runtime convention: the first `n % nthreads`
+/// threads receive one extra iteration.
+pub fn static_chunk(tid: usize, nthreads: usize, n: usize) -> Range<usize> {
+    debug_assert!(tid < nthreads);
+    let base = n / nthreads;
+    let extra = n % nthreads;
+    let start = tid * base + tid.min(extra);
+    let len = base + usize::from(tid < extra);
+    start..start + len
+}
+
+/// All per-thread ranges under `schedule(static)` — used by the imbalance
+/// metrics and the machine simulator.
+pub fn static_assignment(nthreads: usize, n: usize) -> Vec<Range<usize>> {
+    (0..nthreads).map(|t| static_chunk(t, nthreads, n)).collect()
+}
+
+/// Iteration count thread `tid` receives under `schedule(static, chunk)`.
+pub fn static_chunked_count(tid: usize, nthreads: usize, n: usize, chunk: usize) -> usize {
+    let chunk = chunk.max(1);
+    let mut total = 0;
+    let mut start = tid * chunk;
+    while start < n {
+        total += chunk.min(n - start);
+        start += nthreads * chunk;
+    }
+    total
+}
+
+/// Execute `body(i)` for this thread's share of `0..n` under `sched`, with
+/// the implicit end-of-worksharing barrier (OpenMP default).
+///
+/// Must be encountered by **all** threads of the team, like any OpenMP
+/// worksharing construct; otherwise the team deadlocks at the barrier.
+pub fn for_each_index(ctx: &WorkerCtx, n: usize, sched: Schedule, mut body: impl FnMut(usize)) {
+    run_nowait(ctx, n, sched, &mut body);
+    if ctx.num_threads > 1 {
+        ctx.barrier();
+    }
+}
+
+/// [`for_each_index`] without the trailing barrier — `nowait`. Only valid
+/// for the static schedules, which need no shared loop state.
+///
+/// # Panics
+/// Panics for [`Schedule::Dynamic`]/[`Schedule::Guided`].
+pub fn for_each_index_nowait(ctx: &WorkerCtx, n: usize, sched: Schedule, mut body: impl FnMut(usize)) {
+    assert!(
+        matches!(sched, Schedule::Static | Schedule::StaticChunk(_)),
+        "nowait loops require a static schedule"
+    );
+    run_nowait(ctx, n, sched, &mut body);
+}
+
+fn run_nowait(ctx: &WorkerCtx, n: usize, sched: Schedule, body: &mut impl FnMut(usize)) {
+    let (tid, nt) = (ctx.thread_id, ctx.num_threads);
+    match sched {
+        Schedule::Static => {
+            for i in static_chunk(tid, nt, n) {
+                body(i);
+            }
+        }
+        Schedule::StaticChunk(chunk) => {
+            let chunk = chunk.max(1);
+            let mut start = tid * chunk;
+            while start < n {
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    body(i);
+                }
+                start += nt * chunk;
+            }
+        }
+        Schedule::Dynamic(chunk) => {
+            let chunk = chunk.max(1);
+            dynamic_loop(ctx, n, move |_remaining| chunk, body);
+        }
+        Schedule::Guided => {
+            let nt = nt.max(1);
+            dynamic_loop(ctx, n, move |remaining| (remaining / (2 * nt)).max(1), body);
+        }
+    }
+}
+
+/// Shared-counter loop used by the dynamic and guided schedules. The chunk
+/// size may depend on the number of iterations still unclaimed.
+fn dynamic_loop(
+    ctx: &WorkerCtx,
+    n: usize,
+    chunk_of: impl Fn(usize) -> usize,
+    body: &mut impl FnMut(usize),
+) {
+    if ctx.num_threads == 1 {
+        for i in 0..n {
+            body(i);
+        }
+        return;
+    }
+    let next = ctx.loop_counter();
+    // Entry protocol: reset the shared counter exactly once, with barriers
+    // isolating the reset from both the previous loop and the claims below.
+    ctx.barrier();
+    if ctx.thread_id == 0 {
+        next.store(0, Ordering::Relaxed);
+    }
+    ctx.barrier();
+    loop {
+        let claimed = next.load(Ordering::Relaxed);
+        if claimed >= n {
+            break;
+        }
+        let chunk = chunk_of(n - claimed).max(1);
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        for i in start..end {
+            body(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_chunk_partitions_exactly() {
+        for n in [0usize, 1, 7, 16, 100, 101] {
+            for nt in [1usize, 2, 3, 8, 16] {
+                let ranges = static_assignment(nt, n);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} nt={nt}");
+                // Contiguous, in order, non-overlapping.
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                // Balanced to within one iteration.
+                let lens: Vec<_> = ranges.iter().map(|r| r.len()).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn static_chunk_matches_paper_imbalance_example() {
+        // 64 samples on 12 threads: 4 threads get 6, 8 threads get 5 — the
+        // work-unbalance the paper's loop coalescing addresses.
+        let lens: Vec<_> = static_assignment(12, 64).iter().map(|r| r.len()).collect();
+        assert_eq!(lens.iter().filter(|&&l| l == 6).count(), 4);
+        assert_eq!(lens.iter().filter(|&&l| l == 5).count(), 8);
+    }
+
+    #[test]
+    fn static_chunked_count_sums_to_n() {
+        for &(n, nt, c) in &[(100usize, 4usize, 7usize), (13, 5, 2), (5, 8, 3), (0, 3, 4)] {
+            let total: usize = (0..nt).map(|t| static_chunked_count(t, nt, n, c)).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped() {
+        assert_eq!(static_chunked_count(0, 2, 10, 0), 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the mini-OpenMP runtime: every schedule must
+//! execute every index exactly once for arbitrary loop sizes and team
+//! sizes, coalescing must be a bijection, and the static chunk math must
+//! partition exactly.
+
+use omprt::coalesce::Coalesce;
+use omprt::schedule::{static_assignment, static_chunked_count, Schedule};
+use omprt::ThreadTeam;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn static_assignment_partitions(n in 0usize..500, t in 1usize..17) {
+        let ranges = static_assignment(t, n);
+        prop_assert_eq!(ranges.len(), t);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, n);
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+        // Balance within one iteration.
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        prop_assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn static_chunked_counts_partition(n in 0usize..300, t in 1usize..9, c in 1usize..20) {
+        let total: usize = (0..t).map(|tid| static_chunked_count(tid, t, n, c)).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn coalesce_round_trip(dims in proptest::collection::vec(1usize..6, 1..5)) {
+        let co = Coalesce::new(&dims);
+        for civ in 0..co.total() {
+            let idx = co.decode(civ);
+            prop_assert_eq!(idx.len(), dims.len());
+            for (i, d) in idx.iter().zip(&dims) {
+                prop_assert!(i < d);
+            }
+            prop_assert_eq!(co.encode(&idx), civ);
+        }
+    }
+
+    #[test]
+    fn coalesce_decode_is_lexicographic(dims in proptest::collection::vec(1usize..5, 2..4)) {
+        let co = Coalesce::new(&dims);
+        let mut prev: Option<Vec<usize>> = None;
+        for civ in 0..co.total() {
+            let idx = co.decode(civ);
+            if let Some(p) = prev {
+                prop_assert!(p < idx, "decode not lexicographically increasing");
+            }
+            prev = Some(idx);
+        }
+    }
+
+    #[test]
+    fn every_schedule_covers_every_index(n in 0usize..200,
+                                         threads in 1usize..5,
+                                         which in 0usize..4,
+                                         chunk in 1usize..8) {
+        let sched = match which {
+            0 => Schedule::Static,
+            1 => Schedule::StaticChunk(chunk),
+            2 => Schedule::Dynamic(chunk),
+            _ => Schedule::Guided,
+        };
+        let team = ThreadTeam::new(threads);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_for(n, sched, |_, i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "index {} under {:?}", i, sched);
+        }
+    }
+
+    #[test]
+    fn ordered_construct_always_runs_in_thread_order(threads in 1usize..6, rounds in 1usize..4) {
+        let team = ThreadTeam::new(threads);
+        let log = std::sync::Mutex::new(Vec::new());
+        team.parallel(|ctx| {
+            for _ in 0..rounds {
+                ctx.ordered(|| log.lock().unwrap().push(ctx.thread_id));
+            }
+        });
+        let log = log.into_inner().unwrap();
+        prop_assert_eq!(log.len(), threads * rounds);
+        for (i, &tid) in log.iter().enumerate() {
+            prop_assert_eq!(tid, i % threads);
+        }
+    }
+}

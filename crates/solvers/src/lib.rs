@@ -1,0 +1,576 @@
+//! `solvers` — training algorithms driving the DNN training loop
+//! (Algorithm 1 of the paper).
+//!
+//! Caffe's three solvers from the paper's §2.1 are implemented with Caffe's
+//! exact update rules: [`SolverType::Sgd`] (momentum SGD),
+//! [`SolverType::Nesterov`], and [`SolverType::AdaGrad`], together with the
+//! `fixed` / `step` / `inv` learning-rate policies.
+//!
+//! The solver itself is deliberately *sequential* — only the layer passes
+//! are parallel. This is what makes the scheme convergence-invariant: no
+//! training parameter (batch size, learning rate, update order) changes
+//! with the thread count.
+
+pub mod lr;
+
+pub use lr::LrPolicy;
+
+use blob::Blob;
+use mmblas::Scalar;
+use net::{Net, RunConfig};
+use omprt::ThreadTeam;
+
+/// Which update rule to apply. The paper's §2.1 lists SGD, AdaGrad and
+/// Nesterov; RMSProp and AdaDelta are the two further solvers Caffe grew
+/// soon after (extensions here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverType {
+    /// Momentum SGD: `V = m*V + lr*g; W -= V`.
+    Sgd,
+    /// Nesterov accelerated gradient (Caffe's formulation).
+    Nesterov,
+    /// AdaGrad: `H += g^2; W -= lr * g / (sqrt(H) + eps)`.
+    AdaGrad,
+    /// RMSProp: `H = d*H + (1-d)*g^2; W -= lr * g / (sqrt(H) + eps)`,
+    /// with decay `d` taken from `momentum` (Caffe's `rms_decay`).
+    RmsProp,
+    /// AdaDelta: accumulators of squared gradients and squared updates,
+    /// decay from `momentum`; `lr` acts as a final scale (Caffe-style).
+    AdaDelta,
+}
+
+/// Solver hyper-parameters (a Caffe solver prototxt equivalent).
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Update rule.
+    pub solver_type: SolverType,
+    /// Base learning rate.
+    pub base_lr: f64,
+    /// Momentum (ignored by AdaGrad).
+    pub momentum: f64,
+    /// L2 weight decay added to every gradient.
+    pub weight_decay: f64,
+    /// Learning-rate schedule.
+    pub lr_policy: LrPolicy,
+    /// AdaGrad denominator epsilon.
+    pub eps: f64,
+    /// Scale all gradients down when their global L2 norm exceeds this
+    /// (Caffe's `clip_gradients`); `None` disables clipping.
+    pub clip_gradients: Option<f64>,
+}
+
+impl SolverConfig {
+    /// Caffe's LeNet MNIST solver: SGD, base_lr 0.01, momentum 0.9,
+    /// weight decay 5e-4, `inv` policy (gamma 1e-4, power 0.75).
+    pub fn lenet() -> Self {
+        Self {
+            solver_type: SolverType::Sgd,
+            base_lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            lr_policy: LrPolicy::Inv {
+                gamma: 1e-4,
+                power: 0.75,
+            },
+            eps: 1e-8,
+            clip_gradients: None,
+        }
+    }
+
+    /// Caffe's cifar10_full solver: SGD, base_lr 0.001, momentum 0.9,
+    /// weight decay 4e-3, fixed policy.
+    pub fn cifar() -> Self {
+        Self {
+            solver_type: SolverType::Sgd,
+            base_lr: 0.001,
+            momentum: 0.9,
+            weight_decay: 4e-3,
+            lr_policy: LrPolicy::Fixed,
+            eps: 1e-8,
+            clip_gradients: None,
+        }
+    }
+}
+
+/// A solver instance: hyper-parameters plus per-parameter history state.
+pub struct Solver<S: Scalar = f32> {
+    cfg: SolverConfig,
+    /// Momentum / accumulated-square history, one buffer per parameter.
+    history: Vec<Vec<S>>,
+    iter: u64,
+}
+
+impl<S: Scalar> Solver<S> {
+    /// New solver at iteration 0.
+    pub fn new(cfg: SolverConfig) -> Self {
+        Self {
+            cfg,
+            history: Vec::new(),
+            iter: 0,
+        }
+    }
+
+    /// Current iteration count.
+    pub fn iteration(&self) -> u64 {
+        self.iter
+    }
+
+    /// Learning rate at iteration `it` under the configured policy.
+    pub fn lr_at(&self, it: u64) -> f64 {
+        self.cfg.lr_policy.lr(self.cfg.base_lr, it)
+    }
+
+    /// Run one training iteration: zero diffs, forward, backward, update.
+    /// Returns the loss.
+    pub fn step(&mut self, net: &mut Net<S>, team: &ThreadTeam, run: &RunConfig) -> S {
+        net.set_iteration(self.iter);
+        net.zero_param_diffs();
+        let loss = net.forward(team, run);
+        net.backward(team, run);
+        let lr = self.lr_at(self.iter);
+        let mults = net.param_lr_mults();
+        self.apply_update_with_mults(net.learnable_params_mut(), lr, &mults);
+        self.iter += 1;
+        loss
+    }
+
+    /// Run `n` iterations; returns the per-iteration losses.
+    pub fn train(
+        &mut self,
+        net: &mut Net<S>,
+        team: &ThreadTeam,
+        run: &RunConfig,
+        n: usize,
+    ) -> Vec<S> {
+        (0..n).map(|_| self.step(net, team, run)).collect()
+    }
+
+    fn ensure_history(&mut self, params: &[&mut Blob<S>]) {
+        // AdaDelta keeps two accumulators per element (handled in the update
+        // loop), so accept either length here.
+        if self.history.len() == params.len()
+            && self
+                .history
+                .iter()
+                .zip(params)
+                .all(|(h, p)| h.len() == p.count() || h.len() == 2 * p.count())
+        {
+            return;
+        }
+        self.history = params.iter().map(|p| vec![S::ZERO; p.count()]).collect();
+    }
+
+    /// Apply the configured update rule with a unit learning-rate
+    /// multiplier for every parameter.
+    pub fn apply_update(&mut self, params: Vec<&mut Blob<S>>, lr: f64) {
+        let mults = vec![1.0; params.len()];
+        self.apply_update_with_mults(params, lr, &mults);
+    }
+
+    /// Apply the configured update rule to every parameter, consuming the
+    /// accumulated diffs. `lr_mults` scales the learning rate per parameter
+    /// (Caffe's `lr_mult`); gradient clipping (if configured) is applied
+    /// over the global L2 norm first. [`Solver::step`] calls this.
+    ///
+    /// # Panics
+    /// Panics if `lr_mults.len() != params.len()`.
+    pub fn apply_update_with_mults(
+        &mut self,
+        mut params: Vec<&mut Blob<S>>,
+        lr: f64,
+        lr_mults: &[f64],
+    ) {
+        assert_eq!(params.len(), lr_mults.len(), "one lr_mult per parameter");
+        self.ensure_history(&params);
+        // Global-norm gradient clipping (Caffe's clip_gradients).
+        if let Some(clip) = self.cfg.clip_gradients {
+            let sumsq: f64 = params
+                .iter()
+                .map(|p| p.diff().iter().map(|g| g.to_f64() * g.to_f64()).sum::<f64>())
+                .sum();
+            let norm = sumsq.sqrt();
+            if norm > clip {
+                let scale = S::from_f64(clip / norm);
+                for p in params.iter_mut() {
+                    mmblas::scal(scale, p.diff_mut());
+                }
+            }
+        }
+        let momentum = S::from_f64(self.cfg.momentum);
+        let decay = S::from_f64(self.cfg.weight_decay);
+        let eps = S::from_f64(self.cfg.eps);
+        for ((p, h), &mult) in params.iter_mut().zip(&mut self.history).zip(lr_mults) {
+            let lr = S::from_f64(lr * mult);
+            let (data, diff) = p.data_diff_mut();
+            match self.cfg.solver_type {
+                SolverType::Sgd => {
+                    for i in 0..data.len() {
+                        let g = diff[i] + decay * data[i];
+                        h[i] = momentum * h[i] + lr * g;
+                        data[i] -= h[i];
+                    }
+                }
+                SolverType::Nesterov => {
+                    for i in 0..data.len() {
+                        let g = diff[i] + decay * data[i];
+                        let v_old = h[i];
+                        h[i] = momentum * h[i] + lr * g;
+                        data[i] -= (S::ONE + momentum) * h[i] - momentum * v_old;
+                    }
+                }
+                SolverType::AdaGrad => {
+                    for i in 0..data.len() {
+                        let g = diff[i] + decay * data[i];
+                        h[i] += g * g;
+                        data[i] -= lr * g / (h[i].sqrt() + eps);
+                    }
+                }
+                SolverType::RmsProp => {
+                    let d = momentum;
+                    for i in 0..data.len() {
+                        let g = diff[i] + decay * data[i];
+                        h[i] = d * h[i] + (S::ONE - d) * g * g;
+                        data[i] -= lr * g / (h[i].sqrt() + eps);
+                    }
+                }
+                SolverType::AdaDelta => {
+                    // History stores both accumulators interleaved:
+                    // even = E[g^2], odd = E[dx^2].
+                    if h.len() != 2 * data.len() {
+                        *h = vec![S::ZERO; 2 * data.len()];
+                    }
+                    let d = momentum;
+                    for i in 0..data.len() {
+                        let g = diff[i] + decay * data[i];
+                        h[2 * i] = d * h[2 * i] + (S::ONE - d) * g * g;
+                        let dx = -((h[2 * i + 1] + eps).sqrt()
+                            / (h[2 * i] + eps).sqrt())
+                            * g;
+                        h[2 * i + 1] = d * h[2 * i + 1] + (S::ONE - d) * dx * dx;
+                        data[i] += lr * dx;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: Scalar> Solver<S> {
+    /// Serialize the solver state (iteration counter + history buffers) —
+    /// Caffe's `.solverstate` equivalent. Combine with
+    /// `net::save_params` for a full checkpoint.
+    pub fn save_state(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(b"CGSS")?;
+        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&self.iter.to_le_bytes())?;
+        w.write_all(&(self.history.len() as u32).to_le_bytes())?;
+        for h in &self.history {
+            w.write_all(&(h.len() as u32).to_le_bytes())?;
+            for &v in h {
+                w.write_all(&v.to_f64().to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore state saved by [`Solver::save_state`].
+    pub fn load_state(&mut self, mut r: impl std::io::Read) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind};
+        let bad = |m: &str| Error::new(ErrorKind::InvalidData, format!("solverstate: {m}"));
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"CGSS" {
+            return Err(bad("bad magic"));
+        }
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        if u32::from_le_bytes(b4) != 1 {
+            return Err(bad("unsupported version"));
+        }
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        self.iter = u64::from_le_bytes(b8);
+        r.read_exact(&mut b4)?;
+        let n = u32::from_le_bytes(b4) as usize;
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            r.read_exact(&mut b4)?;
+            let len = u32::from_le_bytes(b4) as usize;
+            let mut h = Vec::with_capacity(len);
+            for _ in 0..len {
+                r.read_exact(&mut b8)?;
+                h.push(S::from_f64(f64::from_le_bytes(b8)));
+            }
+            history.push(h);
+        }
+        self.history = history;
+        Ok(())
+    }
+}
+
+/// Evaluate a network: run `batches` forward passes in test phase and
+/// return `(mean loss, mean accuracy)` — accuracy is read from the blob
+/// named `accuracy` if the net has one, otherwise `None`.
+pub fn evaluate<S: Scalar>(
+    net: &mut Net<S>,
+    team: &ThreadTeam,
+    run: &RunConfig,
+    batches: usize,
+) -> (S, Option<S>) {
+    let test_run = RunConfig {
+        phase: layers::Phase::Test,
+        ..*run
+    };
+    let mut loss = S::ZERO;
+    let mut acc = S::ZERO;
+    let mut has_acc = false;
+    for _ in 0..batches.max(1) {
+        loss += net.forward(team, &test_run);
+        if let Some(b) = net.blob("accuracy") {
+            acc += b.data()[0];
+            has_acc = true;
+        }
+    }
+    let denom = S::from_usize(batches.max(1));
+    (
+        loss / denom,
+        if has_acc { Some(acc / denom) } else { None },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_param(v: f32, g: f32) -> Blob<f32> {
+        let mut b = Blob::from_data([1usize], vec![v]);
+        b.diff_mut()[0] = g;
+        b
+    }
+
+    fn cfg(t: SolverType) -> SolverConfig {
+        SolverConfig {
+            solver_type: t,
+            base_lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            lr_policy: LrPolicy::Fixed,
+            eps: 1e-8,
+            clip_gradients: None,
+        }
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::Sgd));
+        let mut p = one_param(1.0, 1.0);
+        s.apply_update(vec![&mut p], 0.1);
+        // V = 0.1, W = 0.9
+        assert!((p.data()[0] - 0.9).abs() < 1e-6);
+        p.diff_mut()[0] = 1.0;
+        s.apply_update(vec![&mut p], 0.1);
+        // V = 0.9*0.1 + 0.1 = 0.19, W = 0.71
+        assert!((p.data()[0] - 0.71).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nesterov_first_step() {
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::Nesterov));
+        let mut p = one_param(1.0, 1.0);
+        s.apply_update(vec![&mut p], 0.1);
+        // V = 0.1; W -= 1.9*0.1 - 0.9*0 = 0.19
+        assert!((p.data()[0] - 0.81).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adagrad_normalizes_by_history() {
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::AdaGrad));
+        let mut p = one_param(1.0, 2.0);
+        s.apply_update(vec![&mut p], 0.1);
+        // H = 4; step = 0.1 * 2/2 = 0.1
+        assert!((p.data()[0] - 0.9).abs() < 1e-5);
+        p.diff_mut()[0] = 2.0;
+        s.apply_update(vec![&mut p], 0.1);
+        // H = 8; step = 0.1 * 2/sqrt(8)
+        let want = 0.9 - 0.1 * 2.0 / 8.0f32.sqrt();
+        assert!((p.data()[0] - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut c = cfg(SolverType::Sgd);
+        c.momentum = 0.0;
+        c.weight_decay = 0.5;
+        let mut s: Solver<f32> = Solver::new(c);
+        let mut p = one_param(2.0, 0.0);
+        s.apply_update(vec![&mut p], 0.1);
+        // g = 0 + 0.5*2 = 1; W = 2 - 0.1 = 1.9
+        assert!((p.data()[0] - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn history_resizes_with_params() {
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::Sgd));
+        let mut p1 = one_param(1.0, 1.0);
+        s.apply_update(vec![&mut p1], 0.1);
+        let mut p1 = one_param(1.0, 1.0);
+        let mut p2: Blob<f32> = Blob::from_data([3usize], vec![1.0; 3]);
+        p2.diff_mut().copy_from_slice(&[1.0; 3]);
+        s.apply_update(vec![&mut p1, &mut p2], 0.1);
+        assert_eq!(s.history.len(), 2);
+        assert_eq!(s.history[1].len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    fn param(vals: &[f32], grads: &[f32]) -> Blob<f32> {
+        let mut b = Blob::from_data([vals.len()], vals.to_vec());
+        b.diff_mut().copy_from_slice(grads);
+        b
+    }
+
+    #[test]
+    fn lr_mults_scale_per_parameter() {
+        let cfg = SolverConfig {
+            solver_type: SolverType::Sgd,
+            base_lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            lr_policy: LrPolicy::Fixed,
+            eps: 1e-8,
+            clip_gradients: None,
+        };
+        let mut s: Solver<f32> = Solver::new(cfg);
+        let mut w = param(&[1.0], &[1.0]);
+        let mut b = param(&[1.0], &[1.0]);
+        s.apply_update_with_mults(vec![&mut w, &mut b], 0.1, &[1.0, 2.0]);
+        assert!((w.data()[0] - 0.9).abs() < 1e-6);
+        assert!((b.data()[0] - 0.8).abs() < 1e-6, "bias uses 2x lr");
+    }
+
+    #[test]
+    fn gradient_clipping_rescales_global_norm() {
+        let cfg = SolverConfig {
+            solver_type: SolverType::Sgd,
+            base_lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            lr_policy: LrPolicy::Fixed,
+            eps: 1e-8,
+            clip_gradients: Some(1.0),
+        };
+        let mut s: Solver<f32> = Solver::new(cfg);
+        // ||g|| = 5 across two blobs (3-4-0 triangle) -> scaled to 1.
+        let mut a = param(&[0.0], &[3.0]);
+        let mut b = param(&[0.0, 0.0], &[4.0, 0.0]);
+        s.apply_update(vec![&mut a, &mut b], 1.0);
+        assert!((a.data()[0] + 0.6).abs() < 1e-6, "{}", a.data()[0]);
+        assert!((b.data()[0] + 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_is_noop_below_threshold() {
+        let cfg = SolverConfig {
+            clip_gradients: Some(100.0),
+            momentum: 0.0,
+            weight_decay: 0.0,
+            base_lr: 1.0,
+            lr_policy: LrPolicy::Fixed,
+            eps: 1e-8,
+            solver_type: SolverType::Sgd,
+        };
+        let mut s: Solver<f32> = Solver::new(cfg);
+        let mut a = param(&[0.0], &[3.0]);
+        s.apply_update(vec![&mut a], 1.0);
+        assert!((a.data()[0] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one lr_mult per parameter")]
+    fn mismatched_mults_panic() {
+        let mut s: Solver<f32> = Solver::new(SolverConfig::lenet());
+        let mut a = param(&[0.0], &[1.0]);
+        s.apply_update_with_mults(vec![&mut a], 0.1, &[1.0, 1.0]);
+    }
+}
+
+#[cfg(test)]
+mod extended_solver_tests {
+    use super::*;
+
+    fn cfg(t: SolverType, momentum: f64) -> SolverConfig {
+        SolverConfig {
+            solver_type: t,
+            base_lr: 0.1,
+            momentum,
+            weight_decay: 0.0,
+            lr_policy: LrPolicy::Fixed,
+            eps: 1e-8,
+            clip_gradients: None,
+        }
+    }
+
+    #[test]
+    fn rmsprop_first_step_matches_formula() {
+        let mut s: Solver<f64> = Solver::new(cfg(SolverType::RmsProp, 0.9));
+        let mut p = Blob::from_data([1usize], vec![1.0]);
+        p.diff_mut()[0] = 2.0;
+        s.apply_update(vec![&mut p], 0.1);
+        // H = 0.1*4 = 0.4; step = 0.1*2/sqrt(0.4)
+        let want = 1.0 - 0.1 * 2.0 / (0.4f64.sqrt() + 1e-8);
+        assert!((p.data()[0] - want).abs() < 1e-12, "{}", p.data()[0]);
+    }
+
+    #[test]
+    fn rmsprop_history_decays_unlike_adagrad() {
+        // After many identical gradients, AdaGrad's step shrinks toward 0
+        // while RMSProp's stabilizes.
+        let run = |t: SolverType| -> f64 {
+            let mut s: Solver<f64> = Solver::new(cfg(t, 0.9));
+            let mut p = Blob::from_data([1usize], vec![100.0]);
+            let mut last_step = 0.0;
+            for _ in 0..200 {
+                let before = p.data()[0];
+                p.diff_mut()[0] = 1.0;
+                s.apply_update(vec![&mut p], 0.1);
+                last_step = (before - p.data()[0]).abs();
+            }
+            last_step
+        };
+        let rms = run(SolverType::RmsProp);
+        let ada = run(SolverType::AdaGrad);
+        assert!(rms > 5.0 * ada, "rms {rms} vs adagrad {ada}");
+    }
+
+    #[test]
+    fn adadelta_converges_on_quadratic() {
+        // Minimize f(w) = w^2 with gradient 2w.
+        // AdaDelta self-tunes its step from tiny initial values, so give it
+        // room: 20k scalar steps is still instantaneous.
+        let mut s: Solver<f64> = Solver::new(cfg(SolverType::AdaDelta, 0.95));
+        let mut p = Blob::from_data([1usize], vec![5.0]);
+        for _ in 0..20_000 {
+            let g = 2.0 * p.data()[0];
+            p.diff_mut()[0] = g;
+            s.apply_update(vec![&mut p], 1.0);
+        }
+        assert!(p.data()[0].abs() < 1.0, "w = {}", p.data()[0]);
+    }
+
+    #[test]
+    fn adadelta_history_holds_two_accumulators() {
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::AdaDelta, 0.9));
+        let mut p = Blob::from_data([3usize], vec![1.0; 3]);
+        p.diff_mut().copy_from_slice(&[1.0; 3]);
+        s.apply_update(vec![&mut p], 1.0);
+        assert_eq!(s.history[0].len(), 6);
+        // A second step must not re-zero the accumulators.
+        p.diff_mut().copy_from_slice(&[1.0; 3]);
+        s.apply_update(vec![&mut p], 1.0);
+        assert_eq!(s.history[0].len(), 6);
+        assert!(s.history[0][0] > 0.0);
+    }
+}

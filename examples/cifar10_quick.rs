@@ -1,0 +1,59 @@
+//! The paper's CIFAR-10 experiment: train the 14-layer cifar10_full network
+//! (conv/pool/relu/LRN stack) on the synthetic CIFAR-like dataset, then
+//! project the training-iteration time onto the paper's 16-core machine
+//! with the execution-model simulator.
+//!
+//! ```text
+//! cargo run --release --example cifar10_quick [iterations]
+//! ```
+//!
+//! Real CIFAR-10: if `data/data_batch_1.bin` exists it is used instead of
+//! the synthetic generator.
+
+use cgdnn::prelude::*;
+use datasets::InMemoryDataset;
+use machine::report::NetworkSim;
+use std::fs::File;
+
+fn source() -> Box<dyn BatchSource<f32>> {
+    if let Ok(f) = File::open("data/data_batch_1.bin") {
+        let (images, labels) = datasets::read_cifar_bin(f).expect("valid CIFAR binary");
+        println!("using real CIFAR-10: {} images", images.len());
+        return Box::new(InMemoryDataset::new(images, labels, [3usize, 32, 32]));
+    }
+    println!("real CIFAR-10 not found under data/ — using the synthetic generator");
+    Box::new(SyntheticCifar::new(4096, 3))
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    println!("== cifar10_full, coarse-grain parallel training ==\n");
+    let mut trainer =
+        CoarseGrainTrainer::<f32>::cifar10_full(source(), 2).expect("spec builds");
+    for i in 0..iters {
+        let loss = trainer.step();
+        println!("iter {:>3}  loss {:.4}", i + 1, loss);
+    }
+
+    // Project the per-layer work of this exact network onto the paper's
+    // machine (Figures 7-9 in one shot).
+    let profiles = trainer.net().profiles();
+    let sim = NetworkSim::paper_machine(&profiles);
+    println!("\nprojected on the paper's 16-core Xeon + K40:");
+    for t in [2usize, 4, 8, 12, 16] {
+        println!(
+            "  coarse-grain CPU @{t:>2} threads: {:>5.2}x",
+            sim.cpu_speedup(t).unwrap()
+        );
+    }
+    println!("  plain-GPU: {:>5.2}x", sim.gpu_plain_speedup());
+    println!("  cuDNN-GPU: {:>5.2}x", sim.gpu_cudnn_speedup());
+    println!(
+        "\npaper's Figure 9 anchors: ~6x @8T, 8.83x @16T, ~6x plain-GPU, \
+         ~27x cuDNN-GPU"
+    );
+}

@@ -1,0 +1,80 @@
+//! The paper's MNIST experiment end-to-end: train LeNet with the
+//! coarse-grain parallelization, reporting per-layer wall-clock times (the
+//! measured analogue of Figure 4) and demonstrating convergence invariance
+//! by re-running the same schedule at a different thread count.
+//!
+//! ```text
+//! cargo run --release --example mnist_lenet [iterations]
+//! ```
+//!
+//! Real MNIST: if `data/train-images-idx3-ubyte` and
+//! `data/train-labels-idx1-ubyte` exist they are used instead of the
+//! synthetic generator.
+
+use cgdnn::prelude::*;
+use datasets::InMemoryDataset;
+use std::fs::File;
+
+fn source() -> Box<dyn BatchSource<f32>> {
+    let img_path = "data/train-images-idx3-ubyte";
+    let lbl_path = "data/train-labels-idx1-ubyte";
+    if let (Ok(imgs), Ok(lbls)) = (File::open(img_path), File::open(lbl_path)) {
+        let (images, rows, cols) = datasets::read_idx_images(imgs).expect("valid IDX images");
+        let labels = datasets::read_idx_labels(lbls).expect("valid IDX labels");
+        println!("using real MNIST: {} images of {rows}x{cols}", images.len());
+        return Box::new(InMemoryDataset::new(
+            images,
+            labels,
+            [1usize, rows, cols],
+        ));
+    }
+    println!("real MNIST not found under data/ — using the synthetic generator");
+    Box::new(SyntheticMnist::new(8192, 7))
+}
+
+fn train(threads: usize, iters: usize) -> (Vec<f32>, Vec<(String, f64, f64)>) {
+    let mut net = cgdnn::nets::lenet::<f32>(source()).expect("spec builds");
+    let team = ThreadTeam::new(threads);
+    // Canonical reduction: loss trajectory is bitwise thread-invariant.
+    let run = RunConfig {
+        reduction: ReductionMode::Canonical { groups: 16 },
+        ..RunConfig::default()
+    };
+    let mut solver = Solver::<f32>::new(SolverConfig::lenet());
+    let losses = solver.train(&mut net, &team, &run, iters);
+    let times: Vec<(String, f64, f64)> = net
+        .layer_names()
+        .iter()
+        .zip(net.last_forward_seconds().iter().zip(net.last_backward_seconds()))
+        .map(|(n, (f, b))| (n.to_string(), *f, *b))
+        .collect();
+    (losses, times)
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!("== LeNet / MNIST, coarse-grain parallel training ==\n");
+    let (losses_a, times) = train(2, iters);
+    println!("\nper-layer wall-clock of the last iteration (2 threads):");
+    println!("{:<10}{:>12}{:>12}", "layer", "fwd (us)", "bwd (us)");
+    for (name, f, b) in &times {
+        println!("{:<10}{:>12.1}{:>12.1}", name, f * 1e6, b * 1e6);
+    }
+
+    println!("\nre-running identically with 4 threads to check invariance...");
+    let (losses_b, _) = train(4, iters);
+    let identical = losses_a == losses_b;
+    println!(
+        "loss trajectories bitwise identical across thread counts: {identical}"
+    );
+    println!(
+        "final loss: {:.4} (started at {:.4})",
+        losses_a.last().unwrap(),
+        losses_a[0]
+    );
+    assert!(identical, "convergence invariance violated");
+}

@@ -1,0 +1,72 @@
+//! The paper's multi-GPU compatibility claim, executed: one logical batch
+//! sharded across model replicas ("devices"), gradients all-reduced in
+//! replica order, one identical update — convergence is *not* altered,
+//! unlike the conventional halve-the-batch multi-GPU scheme.
+//!
+//! ```text
+//! cargo run --release --example multi_replica [replicas] [iterations]
+//! ```
+
+use cgdnn::prelude::*;
+use cgdnn::SyncDataParallel;
+
+/// LeNet with the local (per-replica) batch baked into the data layer.
+fn lenet_spec_with_batch(batch: usize) -> NetSpec {
+    let text = cgdnn::nets::LENET_SPEC.replace("batch: 64", &format!("batch: {batch}"));
+    NetSpec::parse(&text).expect("patched spec parses")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let replicas: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let logical_batch = 64usize;
+    assert!(
+        logical_batch % replicas == 0,
+        "replicas must divide the logical batch of {logical_batch}"
+    );
+
+    println!("== synchronous data parallelism: {replicas} replicas x batch {}", logical_batch / replicas);
+
+    // Reference: one model, the full logical batch.
+    let ref_spec = lenet_spec_with_batch(logical_batch);
+    let mut net = Net::<f32>::from_spec(
+        &ref_spec,
+        Some(Box::new(SyntheticMnist::new(4096, 17))),
+    )
+    .unwrap();
+    let team = ThreadTeam::new(2);
+    let run = RunConfig {
+        reduction: ReductionMode::Canonical { groups: 16 },
+        ..RunConfig::default()
+    };
+    let mut solver = Solver::<f32>::new(SolverConfig::lenet());
+    let single: Vec<f32> = solver.train(&mut net, &team, &run, iters);
+
+    // Data-parallel: `replicas` models, each on a shard of the same stream.
+    let dp_spec = lenet_spec_with_batch(logical_batch / replicas);
+    let mut dp = SyncDataParallel::<f32>::new(
+        &dp_spec,
+        || Box::new(SyntheticMnist::new(4096, 17)),
+        SolverConfig::lenet(),
+        replicas,
+        logical_batch,
+        2,
+    )
+    .unwrap();
+    let sharded = dp.train(iters);
+
+    println!("\n{:<6}{:>16}{:>16}{:>12}", "iter", "single-model", "data-parallel", "|delta|");
+    let mut max_delta = 0.0f32;
+    for (i, (a, b)) in single.iter().zip(&sharded).enumerate() {
+        let d = (a - b).abs();
+        max_delta = max_delta.max(d);
+        println!("{:<6}{:>16.6}{:>16.6}{:>12.2e}", i + 1, a, b, d);
+    }
+    println!(
+        "\nmax loss deviation: {max_delta:.3e} — the data-parallel run follows \
+         the single-model trajectory\n(float-regrouping noise only; no training \
+         parameter changed, unlike batch-splitting multi-GPU)."
+    );
+    assert!(max_delta < 1e-3, "convergence altered!");
+}

@@ -1,0 +1,5 @@
+//! Root crate of the reproduction workspace: re-exports the [`cgdnn`]
+//! facade and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+
+pub use cgdnn::*;

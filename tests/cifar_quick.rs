@@ -1,0 +1,38 @@
+//! End-to-end coverage for the cifar10_quick preset (Caffe's second
+//! standard CIFAR topology) — not a paper network, but it exercises the
+//! conv/relu ordering variant (relu between conv and pool in level 1) and
+//! the two-ip head.
+
+use cgdnn::prelude::*;
+
+#[test]
+fn cifar_quick_trains_one_iteration() {
+    let mut net =
+        cgdnn::nets::cifar10_quick::<f32>(Box::new(SyntheticCifar::new(128, 2))).unwrap();
+    let team = ThreadTeam::new(2);
+    let run = RunConfig::default();
+    let mut solver: Solver<f32> = Solver::new(SolverConfig::cifar());
+    let loss = solver.step(&mut net, &team, &run);
+    assert!(loss.is_finite());
+    assert!(loss > 1.0 && loss < 4.0, "initial loss ~ln(10): {loss}");
+}
+
+#[test]
+fn cifar_quick_profiles_cover_every_layer() {
+    let net = cgdnn::nets::cifar10_quick::<f32>(Box::new(SyntheticCifar::new(128, 2))).unwrap();
+    let profiles = net.profiles();
+    assert_eq!(profiles.len(), net.num_layers());
+    // Every non-data layer reports real forward work.
+    for p in &profiles {
+        if p.layer_type != "Data" {
+            assert!(
+                p.forward.total_flops() > 0.0 || p.forward.total_bytes() > 0.0,
+                "{} reports no work",
+                p.name
+            );
+        }
+    }
+    // And the simulator accepts them.
+    let sim = machine::report::NetworkSim::paper_machine(&profiles);
+    assert!(sim.cpu_speedup(16).unwrap() > 4.0);
+}

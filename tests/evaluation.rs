@@ -1,0 +1,148 @@
+//! Evaluation-path tests: nets with an `Accuracy` layer, train/test phase
+//! switching, and real learned accuracy on the synthetic MNIST classes.
+
+mod common;
+
+use cgdnn::prelude::*;
+use common::TinySource;
+
+/// Tiny MLP with both a loss and an accuracy head (via Split).
+const EVAL_SPEC: &str = r#"
+name: eval_net
+layer {
+  name: data
+  type: Data
+  batch: 16
+  top: data
+  top: label
+}
+layer {
+  name: lsplit
+  type: Split
+  bottom: label
+  top: label_a
+  top: label_b
+}
+layer {
+  name: ip1
+  type: InnerProduct
+  bottom: data
+  top: ip1
+  num_output: 48
+  seed: 61
+}
+layer {
+  name: relu1
+  type: ReLU
+  bottom: ip1
+  top: relu1
+}
+layer {
+  name: ip2
+  type: InnerProduct
+  bottom: relu1
+  top: ip2
+  num_output: 10
+  seed: 62
+}
+layer {
+  name: ssplit
+  type: Split
+  bottom: ip2
+  top: scores_a
+  top: scores_b
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: scores_a
+  bottom: label_a
+  top: loss
+}
+layer {
+  name: accuracy
+  type: Accuracy
+  bottom: scores_b
+  bottom: label_b
+  top: accuracy
+}
+"#;
+
+fn eval_net(seed: u64) -> Net<f32> {
+    let spec = NetSpec::parse(EVAL_SPEC).unwrap();
+    Net::from_spec(&spec, Some(Box::new(TinySource { n: 128, seed }))).unwrap()
+}
+
+#[test]
+fn evaluate_reports_loss_and_accuracy() {
+    let mut net = eval_net(4);
+    let team = ThreadTeam::new(2);
+    let run = RunConfig::default();
+    let (loss, acc) = solvers::evaluate(&mut net, &team, &run, 2);
+    assert!(loss.is_finite() && loss > 0.0);
+    let acc = acc.expect("net has an accuracy blob");
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy training loop; run with --release")]
+fn accuracy_improves_with_training() {
+    let mut net = eval_net(7);
+    let team = ThreadTeam::new(2);
+    let run = RunConfig::default();
+    let (_, acc_before) = solvers::evaluate(&mut net, &team, &run, 4);
+    let mut solver: Solver<f32> = Solver::new(SolverConfig {
+        base_lr: 0.1,
+        ..SolverConfig::lenet()
+    });
+    solver.train(&mut net, &team, &run, 60);
+    let (_, acc_after) = solvers::evaluate(&mut net, &team, &run, 4);
+    let (b, a) = (acc_before.unwrap(), acc_after.unwrap());
+    assert!(
+        a > b + 0.2,
+        "accuracy should improve substantially: {b:.2} -> {a:.2}"
+    );
+    assert!(a > 0.5, "trained accuracy too low: {a:.2}");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full-size LeNet training; run with --release")]
+fn lenet_learns_synthetic_mnist_to_high_accuracy() {
+    // The full-size LeNet on the synthetic digit glyphs: after 40 batch-64
+    // iterations it must classify well above chance (the quickstart example
+    // reaches ~90%+).
+    let mut trainer =
+        CoarseGrainTrainer::<f32>::lenet(Box::new(SyntheticMnist::new(2048, 5)), 2).unwrap();
+    trainer.train(40);
+    // Count argmax hits over a few fresh batches.
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for _ in 0..3 {
+        trainer.evaluate(1);
+        let net = trainer.net();
+        let scores = net.blob("ip2").unwrap();
+        let labels = net.blob("label").unwrap();
+        for s in 0..scores.num() {
+            let row = scores.sample_data(s);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0;
+            correct += usize::from(pred == labels.data()[s] as usize);
+            total += 1;
+        }
+    }
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.6, "LeNet reached only {acc:.2} accuracy");
+}
+
+#[test]
+fn loss_and_accuracy_blobs_have_scalar_shape() {
+    let mut net = eval_net(1);
+    let team = ThreadTeam::new(1);
+    net.forward(&team, &RunConfig::default());
+    assert_eq!(net.blob("loss").unwrap().count(), 1);
+    assert_eq!(net.blob("accuracy").unwrap().count(), 1);
+}

@@ -1,0 +1,121 @@
+//! End-to-end training tests: the full stack (datasets -> net -> layers ->
+//! omprt -> mmblas -> solvers) must genuinely learn.
+
+mod common;
+
+use cgdnn::prelude::*;
+use common::tiny_net;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "40-iteration training loop; run with --release")]
+fn tiny_convnet_learns_the_synthetic_classes() {
+    let mut net = tiny_net(1);
+    let team = ThreadTeam::new(2);
+    let run = RunConfig::default();
+    let mut solver: Solver<f32> = Solver::new(SolverConfig {
+        base_lr: 0.05,
+        ..SolverConfig::lenet()
+    });
+    let losses = solver.train(&mut net, &team, &run, 40);
+    let first = losses[..4].iter().sum::<f32>() / 4.0;
+    let last = losses[losses.len() - 4..].iter().sum::<f32>() / 4.0;
+    assert!(
+        last < first * 0.8,
+        "expected clear learning: first ~{first}, last ~{last}"
+    );
+    assert!(losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn all_three_solvers_reduce_loss() {
+    for solver_type in [SolverType::Sgd, SolverType::Nesterov, SolverType::AdaGrad] {
+        let mut net = tiny_net(3);
+        let team = ThreadTeam::new(2);
+        let run = RunConfig::default();
+        let cfg = SolverConfig {
+            solver_type,
+            base_lr: if solver_type == SolverType::AdaGrad {
+                0.05
+            } else {
+                0.02
+            },
+            momentum: 0.9,
+            weight_decay: 0.0,
+            lr_policy: LrPolicy::Fixed,
+            eps: 1e-8,
+            clip_gradients: None,
+        };
+        let mut solver: Solver<f32> = Solver::new(cfg);
+        let losses = solver.train(&mut net, &team, &run, 25);
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "{solver_type:?} failed to learn: {losses:?}"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full-size LeNet iteration; run with --release")]
+fn lenet_full_size_one_iteration_runs() {
+    // One full-size LeNet iteration (batch 64, 28x28) through the real
+    // parallel path.
+    let mut trainer = CoarseGrainTrainer::<f32>::lenet(
+        Box::new(SyntheticMnist::new(128, 1)),
+        3,
+    )
+    .unwrap();
+    let loss = trainer.step();
+    assert!(loss.is_finite());
+    assert!(loss > 1.0 && loss < 4.0, "initial loss ~ln(10): {loss}");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full-size CIFAR iteration; run with --release")]
+fn cifar_full_size_one_iteration_runs() {
+    let mut trainer = CoarseGrainTrainer::<f32>::cifar10_full(
+        Box::new(SyntheticCifar::new(128, 1)),
+        3,
+    )
+    .unwrap();
+    let loss = trainer.step();
+    assert!(loss.is_finite());
+    assert!(loss > 1.0 && loss < 4.0, "initial loss ~ln(10): {loss}");
+}
+
+#[test]
+fn per_layer_timing_is_recorded() {
+    let mut net = tiny_net(4);
+    let team = ThreadTeam::new(1);
+    let run = RunConfig::default();
+    net.forward(&team, &run);
+    net.backward(&team, &run);
+    let f = net.last_forward_seconds();
+    let b = net.last_backward_seconds();
+    assert_eq!(f.len(), net.num_layers());
+    // Every layer's forward took measurable (>= 0) time; data layer bwd = 0.
+    assert!(f.iter().all(|&t| t >= 0.0));
+    assert_eq!(b[0], 0.0, "data layer has no backward");
+    assert!(f.iter().sum::<f64>() > 0.0);
+}
+
+#[test]
+fn test_phase_does_not_touch_parameters() {
+    let mut net = tiny_net(8);
+    let team = ThreadTeam::new(2);
+    let before: Vec<Vec<f32>> = net
+        .learnable_params()
+        .iter()
+        .map(|p| p.data().to_vec())
+        .collect();
+    let run = RunConfig {
+        phase: Phase::Test,
+        ..RunConfig::default()
+    };
+    net.forward(&team, &run);
+    let after: Vec<Vec<f32>> = net
+        .learnable_params()
+        .iter()
+        .map(|p| p.data().to_vec())
+        .collect();
+    assert_eq!(before, after);
+}

@@ -8,7 +8,9 @@ use std::hint::black_box;
 
 fn fill(n: usize, seed: u64) -> Vec<f32> {
     let mut rng = mmblas::Pcg32::seeded(seed);
-    (0..n).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect()
+    (0..n)
+        .map(|_| rng.uniform_range(-1.0, 1.0) as f32)
+        .collect()
 }
 
 fn bench_gemm(c: &mut Criterion) {

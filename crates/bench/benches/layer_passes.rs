@@ -21,7 +21,9 @@ fn bench_layer<L: Layer<f32>>(
 ) {
     let mut rng = mmblas::Pcg32::seeded(7);
     let count: usize = bottom_shape.iter().product();
-    let data: Vec<f32> = (0..count).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+    let data: Vec<f32> = (0..count)
+        .map(|_| rng.uniform_range(-1.0, 1.0) as f32)
+        .collect();
     let mut bottom: Blob<f32> = Blob::from_data(bottom_shape, data);
     let shapes = layer.setup(&[&bottom]);
     let team = ThreadTeam::new(1);
@@ -65,12 +67,7 @@ fn benches(c: &mut Criterion) {
         InnerProductLayer::new("ip1", InnerProductConfig::new(500)),
         [BATCH, 50, 4, 4],
     );
-    bench_layer(
-        c,
-        "relu_b8",
-        ReluLayer::new("relu1"),
-        [BATCH, 20, 24, 24],
-    );
+    bench_layer(c, "relu_b8", ReluLayer::new("relu1"), [BATCH, 20, 24, 24]);
     bench_layer(
         c,
         "lrn_cifar_b8",

@@ -18,9 +18,11 @@ fn benches(c: &mut Criterion) {
             BenchmarkId::new("empty_region", format!("{threads}T")),
             &(),
             |b, _| {
-                b.iter(|| team.parallel(|ctx| {
-                    black_box(ctx.thread_id);
-                }));
+                b.iter(|| {
+                    team.parallel(|ctx| {
+                        black_box(ctx.thread_id);
+                    })
+                });
             },
         );
         group.bench_with_input(
@@ -46,19 +48,15 @@ fn benches(c: &mut Criterion) {
         ("dynamic8", Schedule::Dynamic(8)),
         ("guided", Schedule::Guided),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("for_1k_iters", name),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    team.parallel(|ctx| {
-                        for_each_index(ctx, 1000, sched, |i| {
-                            sink.fetch_add(i, Ordering::Relaxed);
-                        });
-                    })
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("for_1k_iters", name), &(), |b, _| {
+            b.iter(|| {
+                team.parallel(|ctx| {
+                    for_each_index(ctx, 1000, sched, |i| {
+                        sink.fetch_add(i, Ordering::Relaxed);
+                    });
+                })
+            });
+        });
     }
     group.finish();
 }

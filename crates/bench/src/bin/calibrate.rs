@@ -11,7 +11,10 @@ fn show(name: &str, profiles: &[layers::profile::LayerProfile]) {
     println!("=== {name} ===");
     println!("{}", format_layer_table(&sim));
     for &t in &[2usize, 4, 8, 12, 16] {
-        println!("overall CPU speedup @{t}T: {:.2}x", sim.cpu_speedup(t).unwrap());
+        println!(
+            "overall CPU speedup @{t}T: {:.2}x",
+            sim.cpu_speedup(t).unwrap()
+        );
     }
     println!("plain-GPU overall: {:.2}x", sim.gpu_plain_speedup());
     println!("cuDNN-GPU overall: {:.2}x", sim.gpu_cudnn_speedup());

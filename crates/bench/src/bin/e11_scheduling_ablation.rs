@@ -29,7 +29,10 @@ fn run(sched: Schedule, threads: usize, iters: usize) -> (Vec<f32>, f64) {
 }
 
 fn main() {
-    banner("E11", "schedule ablation: static / static-chunk / dynamic / guided (measured)");
+    banner(
+        "E11",
+        "schedule ablation: static / static-chunk / dynamic / guided (measured)",
+    );
     let iters = 2;
     let threads = 4;
     let (reference, _) = run(Schedule::Static, 1, iters);

@@ -14,13 +14,19 @@ use machine::report::total_time;
 use machine::{simulate_cpu, simulate_cpu_fine_grain, CpuModel};
 
 fn main() {
-    banner("E13", "coarse-grain vs fine-grain (BLAS-level) CPU parallelization");
+    banner(
+        "E13",
+        "coarse-grain vs fine-grain (BLAS-level) CPU parallelization",
+    );
     let model = CpuModel::xeon_e5_2667v2();
     for (name, net) in [("MNIST/LeNet", mnist_net()), ("CIFAR-10", cifar_net())] {
         let profiles = net.profiles();
         let serial = total_time(&simulate_cpu(&profiles, &model, 1));
         println!("--- {name}: overall speedup vs serial ---");
-        println!("{:<10}{:>14}{:>14}", "threads", "coarse-grain", "fine-grain");
+        println!(
+            "{:<10}{:>14}{:>14}",
+            "threads", "coarse-grain", "fine-grain"
+        );
         for &t in &PAPER_THREADS[1..] {
             let coarse = serial / total_time(&simulate_cpu(&profiles, &model, t));
             let fine = serial / total_time(&simulate_cpu_fine_grain(&profiles, &model, t));

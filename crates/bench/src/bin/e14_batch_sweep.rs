@@ -22,7 +22,10 @@ fn lenet_with_batch(batch: usize) -> Net<f32> {
 }
 
 fn main() {
-    banner("E14", "coarse-grain speedup vs batch size (simulated, LeNet)");
+    banner(
+        "E14",
+        "coarse-grain speedup vs batch size (simulated, LeNet)",
+    );
     println!(
         "{:<10}{:>12}{:>12}{:>12}{:>16}",
         "batch", "@4T", "@8T", "@16T", "iters/s @16T"
@@ -30,12 +33,7 @@ fn main() {
     for batch in [8usize, 16, 32, 64, 128, 256] {
         let net = lenet_with_batch(batch);
         let sim = NetworkSim::paper_machine(&net.profiles());
-        let t16: f64 = sim
-            .cpu_at(16)
-            .unwrap()
-            .iter()
-            .map(|l| l.total())
-            .sum();
+        let t16: f64 = sim.cpu_at(16).unwrap().iter().map(|l| l.total()).sum();
         println!(
             "{:<10}{:>11.2}x{:>11.2}x{:>11.2}x{:>16.1}",
             batch,

@@ -13,16 +13,18 @@ use machine::report::total_time;
 use machine::{simulate_cpu, CpuModel};
 
 fn main() {
-    banner("E15", "coarse-grain scaling projection beyond the paper's 16 cores");
-    for (name, net) in [("MNIST/LeNet (batch 64)", mnist_net()), ("CIFAR-10 (batch 100)", cifar_net())] {
+    banner(
+        "E15",
+        "coarse-grain scaling projection beyond the paper's 16 cores",
+    );
+    for (name, net) in [
+        ("MNIST/LeNet (batch 64)", mnist_net()),
+        ("CIFAR-10 (batch 100)", cifar_net()),
+    ] {
         let profiles = net.profiles();
         println!("--- {name} ---");
         println!("{:<26}{:>10}{:>12}", "node", "threads", "speedup");
-        let base = total_time(&simulate_cpu(
-            &profiles,
-            &CpuModel::xeon_e5_2667v2(),
-            1,
-        ));
+        let base = total_time(&simulate_cpu(&profiles, &CpuModel::xeon_e5_2667v2(), 1));
         for (label, sockets, cps, threads) in [
             ("paper node (2s x 8c)", 2usize, 8usize, 16usize),
             ("4 sockets x 8 cores", 4, 8, 32),

@@ -1,0 +1,180 @@
+//! E16 — serving throughput and latency under dynamic micro-batching.
+//!
+//! Beyond the paper: the training-side coarse-grain parallelism gives us a
+//! fast batched forward pass; this experiment measures what that buys an
+//! *online* serving tier. A load generator drives single-sample LeNet
+//! requests through the `serve` stack while we sweep:
+//!
+//! 1. replica count (1, 2, 4 engines x 2 threads) at a fixed load;
+//! 2. the batch-assembly window (no batching vs 0.5 ms vs 2 ms);
+//! 3. an overload burst against a tiny admission queue, demonstrating
+//!    bounded-memory backpressure (`Rejected`, not OOM).
+//!
+//! Output: throughput / latency series plus the full CSV serving report.
+
+use cgdnn_bench::banner;
+use serve::engine::build_replicas;
+use serve::{BatchPolicy, EngineConfig, Server};
+use std::time::Duration;
+
+const SAMPLE: usize = 28 * 28;
+const REQUESTS: usize = 1000;
+const CLIENTS: usize = 8;
+
+fn lenet_snapshot() -> Vec<u8> {
+    // Serve real trained-format weights: build the training net and save
+    // its (initialized) parameters through the CGDN snapshot path.
+    let net = cgdnn::nets::lenet::<f32>(Box::new(datasets::SyntheticMnist::new(256, 7)))
+        .expect("LeNet builds");
+    let mut buf = Vec::new();
+    net::save_params(&net, &mut buf).expect("snapshot serializes");
+    buf
+}
+
+fn drive(server: &Server<f32>, requests: usize, clients: usize) -> (u64, u64) {
+    use layers::data::BatchSource;
+    let source = datasets::SyntheticMnist::new(512, 11);
+    let n_samples = BatchSource::<f32>::num_samples(&source);
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let client = server.client();
+            let quota = requests / clients + usize::from(c < requests % clients);
+            let inputs: Vec<Vec<f32>> = (0..quota)
+                .map(|i| {
+                    let mut s = vec![0.0f32; SAMPLE];
+                    source.fill((c + i * clients) % n_samples, &mut s);
+                    s
+                })
+                .collect();
+            std::thread::spawn(move || {
+                let (mut ok, mut err) = (0u64, 0u64);
+                for s in &inputs {
+                    match client.infer(s) {
+                        Ok(_) => ok += 1,
+                        Err(_) => err += 1,
+                    }
+                }
+                (ok, err)
+            })
+        })
+        .collect();
+    let mut totals = (0u64, 0u64);
+    for h in handles {
+        let (a, b) = h.join().expect("client thread");
+        totals.0 += a;
+        totals.1 += b;
+    }
+    totals
+}
+
+fn run_config(
+    label: &str,
+    snapshot: &[u8],
+    replicas: usize,
+    threads: usize,
+    max_batch: usize,
+    window: Duration,
+) {
+    let spec = cgdnn::nets::lenet_spec();
+    let engines = build_replicas::<f32>(
+        &spec,
+        &blob::Shape::from(vec![1usize, 28, 28]),
+        &EngineConfig {
+            max_batch,
+            n_threads: threads,
+        },
+        replicas,
+        Some(snapshot),
+    )
+    .expect("engines build");
+    let server = Server::start(
+        engines,
+        BatchPolicy {
+            max_delay: window,
+            queue_depth: 128,
+        },
+    )
+    .expect("server starts");
+    let (ok, err) = drive(&server, REQUESTS, CLIENTS);
+    let r = server.shutdown();
+    println!(
+        "  {label:<26} {:>8.0} req/s   p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  \
+         mean batch {:>5.2}  ({ok} ok / {err} failed)",
+        r.throughput_rps, r.p50_us, r.p95_us, r.p99_us, r.mean_batch
+    );
+}
+
+fn overload_demo(snapshot: &[u8]) {
+    let spec = cgdnn::nets::lenet_spec();
+    let engines = build_replicas::<f32>(
+        &spec,
+        &blob::Shape::from(vec![1usize, 28, 28]),
+        &EngineConfig {
+            max_batch: 8,
+            n_threads: 1,
+        },
+        1,
+        Some(snapshot),
+    )
+    .expect("engine builds");
+    let server = Server::start(
+        engines,
+        BatchPolicy {
+            max_delay: Duration::from_millis(5),
+            // A 4-deep queue against an 8-client burst: admission control
+            // must shed load instead of growing the queue.
+            queue_depth: 4,
+        },
+    )
+    .expect("server starts");
+    let (ok, err) = drive(&server, 400, 16);
+    let r = server.shutdown();
+    println!(
+        "  queue_depth 4, burst 16 clients: {ok} served, {err} rejected \
+         (max observed depth {}, {} batches)",
+        r.max_queue_depth, r.n_batches
+    );
+    assert!(
+        r.max_queue_depth <= 4 + 16,
+        "queue depth must stay near its bound"
+    );
+    println!("\nfull report of the overloaded run:\n{}", r.csv());
+    println!("{}", r.batch_hist_csv());
+}
+
+fn main() {
+    banner(
+        "E16",
+        "serving throughput: dynamic micro-batching over the coarse-grain forward pass",
+    );
+    let snapshot = lenet_snapshot();
+    println!("LeNet, {REQUESTS} single-sample requests, {CLIENTS} concurrent clients\n");
+
+    println!("replica sweep (2 threads each, max_batch 16, 2 ms window):");
+    for replicas in [1, 2, 4] {
+        run_config(
+            &format!("{replicas} replica(s)"),
+            &snapshot,
+            replicas,
+            2,
+            16,
+            Duration::from_millis(2),
+        );
+    }
+
+    println!("\nbatching-window sweep (2 replicas x 2 threads):");
+    run_config(
+        "no batching (max_batch 1)",
+        &snapshot,
+        2,
+        2,
+        1,
+        Duration::ZERO,
+    );
+    for (label, us) in [("window 0.5 ms", 500u64), ("window 2 ms", 2000)] {
+        run_config(label, &snapshot, 2, 2, 16, Duration::from_micros(us));
+    }
+
+    println!("\noverload / backpressure:");
+    overload_demo(&snapshot);
+}

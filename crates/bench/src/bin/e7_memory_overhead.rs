@@ -28,7 +28,10 @@ fn per_layer_breakdown(name: &str, net: &Net<f32>) -> (f64, f64) {
             continue;
         }
         let kb = (elems * 4) as f64 / 1024.0;
-        println!("  {:<8}{:>10.1} KB per slot  ({})", p.name, kb, p.layer_type);
+        println!(
+            "  {:<8}{:>10.1} KB per slot  ({})",
+            p.name, kb, p.layer_type
+        );
         if p.layer_type == "Convolution" {
             conv_max_kb = conv_max_kb.max(kb);
         }
@@ -38,7 +41,10 @@ fn per_layer_breakdown(name: &str, net: &Net<f32>) -> (f64, f64) {
 }
 
 fn main() {
-    banner("E7", "privatization memory overhead (measured, not simulated)");
+    banner(
+        "E7",
+        "privatization memory overhead (measured, not simulated)",
+    );
     for (name, mut net, paper_overhead_kb, paper_seq_mb) in [
         ("MNIST/LeNet", mnist_net(), 640.0, 8.0),
         ("CIFAR-10", cifar_net(), 1250.0, 36.0),

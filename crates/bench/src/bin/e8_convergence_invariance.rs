@@ -14,7 +14,10 @@ use layers::ReductionMode;
 use solvers::SolverConfig;
 
 fn main() {
-    banner("E8", "convergence invariance of batch-level parallel SGD (measured)");
+    banner(
+        "E8",
+        "convergence invariance of batch-level parallel SGD (measured)",
+    );
     let spec = cgdnn::nets::lenet_spec();
     let iters = 4;
     for (label, mode) in [
@@ -40,10 +43,7 @@ fn main() {
         for (t, d) in report.thread_counts.iter().zip(&report.max_deviation) {
             println!("  vs {t} threads: max |loss delta| = {d:.3e}");
         }
-        println!(
-            "  bitwise invariant: {}\n",
-            report.bitwise_invariant()
-        );
+        println!("  bitwise invariant: {}\n", report.bitwise_invariant());
     }
     println!(
         "expected: Canonical is exactly invariant (delta 0); Ordered drifts\n\

@@ -30,7 +30,10 @@ fn losses(mode: ReductionMode, threads: usize, iters: usize) -> (Vec<f32>, f64) 
 }
 
 fn main() {
-    banner("E9", "reduction-mode ablation: Ordered vs Canonical vs Unordered (measured)");
+    banner(
+        "E9",
+        "reduction-mode ablation: Ordered vs Canonical vs Unordered (measured)",
+    );
     let iters = 3;
     let threads = 4;
     println!(
@@ -39,7 +42,10 @@ fn main() {
     );
     for (label, mode) in [
         ("Ordered (paper)", ReductionMode::Ordered),
-        ("Canonical-16 (ours)", ReductionMode::Canonical { groups: 16 }),
+        (
+            "Canonical-16 (ours)",
+            ReductionMode::Canonical { groups: 16 },
+        ),
         ("Unordered (lock)", ReductionMode::Unordered),
     ] {
         let (l_a, secs) = losses(mode, threads, iters);

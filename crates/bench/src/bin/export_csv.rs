@@ -19,7 +19,10 @@ fn main() -> std::io::Result<()> {
             layer_speedups_csv(&sim),
         )?;
         fs::write(format!("results/{tag}_overall.csv"), overall_csv(&sim))?;
-        fs::write(format!("results/{tag}_gpu_layers.csv"), gpu_layers_csv(&sim))?;
+        fs::write(
+            format!("results/{tag}_gpu_layers.csv"),
+            gpu_layers_csv(&sim),
+        )?;
         println!("wrote results/{tag}_{{layer_times,layer_speedups,overall,gpu_layers}}.csv");
     }
     Ok(())

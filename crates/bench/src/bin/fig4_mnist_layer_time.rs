@@ -10,7 +10,10 @@ use cgdnn_bench::{banner, mnist_net, simulate};
 use machine::report::{format_layer_table, total_time};
 
 fn main() {
-    banner("Figure 4", "MNIST per-layer execution time (simulated 16-core Xeon)");
+    banner(
+        "Figure 4",
+        "MNIST per-layer execution time (simulated 16-core Xeon)",
+    );
     let net = mnist_net();
     let (_profiles, sim) = simulate(&net);
     println!("{}", format_layer_table(&sim));

@@ -10,15 +10,22 @@ use cgdnn_bench::{banner, compare, mnist_net, simulate, PAPER_THREADS};
 use machine::report::per_layer_speedups;
 
 fn main() {
-    banner("Figure 5", "MNIST per-layer scalability (speedup over serial)");
+    banner(
+        "Figure 5",
+        "MNIST per-layer scalability (speedup over serial)",
+    );
     let net = mnist_net();
     let (_p, sim) = simulate(&net);
     let serial = sim.serial().to_vec();
 
-    println!("{:<10}{}", "layer", PAPER_THREADS[1..]
-        .iter()
-        .map(|t| format!("{t:>14}T(f/b)"))
-        .collect::<String>());
+    println!(
+        "{:<10}{}",
+        "layer",
+        PAPER_THREADS[1..]
+            .iter()
+            .map(|t| format!("{t:>14}T(f/b)"))
+            .collect::<String>()
+    );
     let names: Vec<String> = serial.iter().map(|l| l.name.clone()).collect();
     for (i, name) in names.iter().enumerate() {
         print!("{name:<10}");

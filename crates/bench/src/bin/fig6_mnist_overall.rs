@@ -10,7 +10,10 @@ use cgdnn_bench::{banner, compare, mnist_net, simulate, PAPER_THREADS};
 use machine::report::per_layer_speedups;
 
 fn main() {
-    banner("Figure 6", "MNIST overall speedups + GPU per-layer scalability");
+    banner(
+        "Figure 6",
+        "MNIST overall speedups + GPU per-layer scalability",
+    );
     let net = mnist_net();
     let (_p, sim) = simulate(&net);
 
@@ -51,7 +54,11 @@ fn main() {
     compare("plain ip1 bwd", 12.25, find(&plain, "ip1").1);
     compare("cudnn conv1 fwd", 15.0, find(&cudnn, "conv1").0);
     compare("cudnn conv2 fwd", 25.0, find(&cudnn, "conv2").0);
-    compare("cudnn pool2 fwd (drop vs plain)", 27.0, find(&cudnn, "pool2").0);
+    compare(
+        "cudnn pool2 fwd (drop vs plain)",
+        27.0,
+        find(&cudnn, "pool2").0,
+    );
     println!(
         "\nordering checks: plain conv < coarse-grain CPU < cuDNN conv; \
          cuDNN pool2 < plain pool2: {}",

@@ -9,7 +9,10 @@ use cgdnn_bench::{banner, cifar_net, simulate};
 use machine::report::{format_layer_table, total_time};
 
 fn main() {
-    banner("Figure 7", "CIFAR-10 per-layer execution time (simulated 16-core Xeon)");
+    banner(
+        "Figure 7",
+        "CIFAR-10 per-layer execution time (simulated 16-core Xeon)",
+    );
     let net = cifar_net();
     let (_p, sim) = simulate(&net);
     println!("{}", format_layer_table(&sim));
@@ -19,12 +22,7 @@ fn main() {
         let total = total_time(times);
         let dominant: f64 = times
             .iter()
-            .filter(|l| {
-                matches!(
-                    l.layer_type.as_str(),
-                    "Convolution" | "Pooling" | "LRN"
-                )
-            })
+            .filter(|l| matches!(l.layer_type.as_str(), "Convolution" | "Pooling" | "LRN"))
             .map(|l| l.total())
             .sum();
         println!(

@@ -9,15 +9,22 @@ use cgdnn_bench::{banner, cifar_net, compare, simulate, PAPER_THREADS};
 use machine::report::per_layer_speedups;
 
 fn main() {
-    banner("Figure 8", "CIFAR-10 per-layer scalability (speedup over serial)");
+    banner(
+        "Figure 8",
+        "CIFAR-10 per-layer scalability (speedup over serial)",
+    );
     let net = cifar_net();
     let (_p, sim) = simulate(&net);
     let serial = sim.serial().to_vec();
 
-    println!("{:<10}{}", "layer", PAPER_THREADS[1..]
-        .iter()
-        .map(|t| format!("{t:>14}T(f/b)"))
-        .collect::<String>());
+    println!(
+        "{:<10}{}",
+        "layer",
+        PAPER_THREADS[1..]
+            .iter()
+            .map(|t| format!("{t:>14}T(f/b)"))
+            .collect::<String>()
+    );
     for (i, l) in serial.iter().enumerate() {
         print!("{:<10}", l.name);
         for &t in &PAPER_THREADS[1..] {

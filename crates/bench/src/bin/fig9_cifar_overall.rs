@@ -10,7 +10,10 @@ use cgdnn_bench::{banner, cifar_net, compare, simulate};
 use machine::report::per_layer_speedups;
 
 fn main() {
-    banner("Figure 9", "CIFAR-10 overall speedups + GPU per-layer scalability");
+    banner(
+        "Figure 9",
+        "CIFAR-10 overall speedups + GPU per-layer scalability",
+    );
     let net = cifar_net();
     let (_p, sim) = simulate(&net);
 

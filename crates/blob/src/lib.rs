@@ -312,7 +312,7 @@ mod tests {
     fn offset_matches_caffe_formula() {
         let b: Blob<f32> = Blob::new([2usize, 3, 4, 5]);
         // ((n*K + k)*H + h)*W + w
-        assert_eq!(b.offset(1, 2, 3, 4), (((1 * 3 + 2) * 4) + 3) * 5 + 4);
+        assert_eq!(b.offset(1, 2, 3, 4), (((3 + 2) * 4) + 3) * 5 + 4);
         assert_eq!(b.offset(0, 0, 0, 0), 0);
         assert_eq!(b.offset(1, 2, 3, 4), b.count() - 1);
     }
@@ -359,8 +359,7 @@ mod tests {
 
     #[test]
     fn reshape_preserves_data() {
-        let mut b: Blob<f32> =
-            Blob::from_data([2usize, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut b: Blob<f32> = Blob::from_data([2usize, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
         b.reshape([3usize, 2]);
         assert_eq!(b.data()[5], 5.0);
         assert_eq!(b.num(), 3);

@@ -113,6 +113,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Shape::from([64usize, 1, 28, 28]).to_string(), "(64, 1, 28, 28)");
+        assert_eq!(
+            Shape::from([64usize, 1, 28, 28]).to_string(),
+            "(64, 1, 28, 28)"
+        );
     }
 }

@@ -23,8 +23,7 @@ fn load_net(args: &Args) -> Result<Net<f32>, String> {
         .positional
         .get(1)
         .ok_or("missing <spec.prototxt> argument")?;
-    let text =
-        std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
     let spec = NetSpec::parse(&text).map_err(|e| e.to_string())?;
     let source = make_source(args.get("data").unwrap_or("synthetic-mnist"))?;
     Net::from_spec(&spec, Some(source)).map_err(|e| e.to_string())
@@ -92,6 +91,117 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_infer(args: &Args) -> Result<(), String> {
+    let spec_path = args
+        .positional
+        .get(1)
+        .ok_or("missing <spec.prototxt> argument")?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = NetSpec::parse(&text).map_err(|e| e.to_string())?;
+    let source = make_source(args.get("data").unwrap_or("synthetic-mnist"))?;
+    let sample_shape = source.sample_shape();
+
+    let threads: usize = args.get_parse("threads", 4)?;
+    let replicas: usize = args.get_parse("replicas", 1)?;
+    let requests: usize = args.get_parse("requests", 1000)?;
+    let clients: usize = args.get_parse("clients", 4)?;
+    let max_batch: usize = args.get_parse("max-batch", 16)?;
+    let max_delay_us: u64 = args.get_parse("max-delay-us", 2000)?;
+    let queue_depth: usize = args.get_parse("queue-depth", 64)?;
+    let deadline_us: u64 = args.get_parse("deadline-us", 0)?;
+
+    let weights = match args.get("weights") {
+        Some(w) => Some(std::fs::read(w).map_err(|e| format!("{w}: {e}"))?),
+        None => None,
+    };
+    let engines = serve::engine::build_replicas::<f32>(
+        &spec,
+        &sample_shape,
+        &serve::EngineConfig {
+            max_batch,
+            n_threads: threads,
+        },
+        replicas,
+        weights.as_deref(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "serving '{}': {} -> {}, {replicas} replica(s) x {threads} thread(s), \
+         max_batch {max_batch}, window {max_delay_us} us, queue depth {queue_depth}",
+        spec.name,
+        engines[0].input_name(),
+        engines[0].output_name(),
+    );
+    if weights.is_none() {
+        println!("note: no --weights given; serving randomly initialized parameters");
+    }
+
+    let server = serve::Server::start(
+        engines,
+        serve::BatchPolicy {
+            max_delay: std::time::Duration::from_micros(max_delay_us),
+            queue_depth,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Load generation: `clients` threads submit single-sample requests
+    // drawn from the data source, blocking on each reply. Samples are
+    // materialized up front (`BatchSource` is `Send` but not `Sync`).
+    let sample_len = sample_shape.count();
+    let n_samples = source.num_samples();
+    let clients = clients.max(1);
+    let mut next = 0usize;
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let client = server.client();
+            let quota = requests / clients + usize::from(c < requests % clients);
+            let inputs: Vec<Vec<f32>> = (0..quota)
+                .map(|_| {
+                    let mut s = vec![0.0f32; sample_len];
+                    source.fill(next % n_samples, &mut s);
+                    next += 1;
+                    s
+                })
+                .collect();
+            std::thread::spawn(move || {
+                let (mut done, mut errs) = (0u64, 0u64);
+                for sample in &inputs {
+                    let r = if deadline_us > 0 {
+                        client.infer_with_deadline(
+                            sample,
+                            std::time::Instant::now()
+                                + std::time::Duration::from_micros(deadline_us),
+                        )
+                    } else {
+                        client.infer(sample)
+                    };
+                    match r {
+                        Ok(_) => done += 1,
+                        Err(_) => errs += 1,
+                    }
+                }
+                (done, errs)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for h in handles {
+        let (d, e) = h.join().map_err(|_| "load-generator thread panicked")?;
+        ok += d;
+        failed += e;
+    }
+    let report = server.shutdown();
+    println!("{report}");
+    println!("client view: {ok} ok, {failed} rejected/timed out");
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, report.csv()).map_err(|e| format!("{path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let net = load_net(args)?;
     let sim = NetworkSim::paper_machine(&net.profiles());
@@ -107,15 +217,24 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: cgdnn <summary|train|simulate> <spec.prototxt> [flags]
+const USAGE: &str = "usage: cgdnn <summary|train|infer|simulate> <spec.prototxt> [flags]
   --data synthetic-mnist|synthetic-cifar|idx:<imgs>,<lbls>|cifar-bin:<file>
-  --threads N     team size (train)
+  --threads N     team size (train, infer)
   --iters N       iterations (train)
   --lr X          base learning rate (train)
   --solver sgd|nesterov|adagrad
   --reduction ordered|canonical|unordered
   --snapshot FILE write parameters after training
-  --weights FILE  initialize parameters before training";
+  --weights FILE  initialize parameters before training / serving
+infer flags:
+  --replicas N      engine replicas, one worker thread each (default 1)
+  --requests N      total load-generated requests (default 1000)
+  --clients N       concurrent client threads (default 4)
+  --max-batch N     micro-batch capacity (default 16)
+  --max-delay-us N  batch assembly window (default 2000)
+  --queue-depth N   admission queue bound (default 64)
+  --deadline-us N   per-request deadline, 0 = none (default 0)
+  --csv FILE        write the serving report as CSV";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -128,6 +247,7 @@ fn main() -> ExitCode {
     let r = match args.positional.first().map(|s| s.as_str()) {
         Some("summary") => cmd_summary(&args),
         Some("train") => cmd_train(&args),
+        Some("infer") => cmd_infer(&args),
         Some("simulate") => cmd_simulate(&args),
         _ => {
             eprintln!("{USAGE}");

@@ -65,9 +65,7 @@ impl Args {
 /// Fails on unknown kinds, missing files, or malformed data files.
 pub fn make_source(kind: &str) -> Result<Box<dyn BatchSource<f32>>, String> {
     if let Some(rest) = kind.strip_prefix("idx:") {
-        let (imgs, lbls) = rest
-            .split_once(',')
-            .ok_or("idx: needs <images>,<labels>")?;
+        let (imgs, lbls) = rest.split_once(',').ok_or("idx: needs <images>,<labels>")?;
         let (images, rows, cols) =
             datasets::read_idx_images(File::open(imgs).map_err(|e| format!("{imgs}: {e}"))?)
                 .map_err(|e| e.to_string())?;

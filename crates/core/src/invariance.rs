@@ -47,8 +47,7 @@ pub fn check_loss_invariance<S: Scalar>(
     iters: usize,
 ) -> InvarianceReport<S> {
     let mut run_with = |threads: usize| -> Vec<S> {
-        let mut net: Net<S> =
-            Net::from_spec(spec, Some(make_source())).expect("spec must build");
+        let mut net: Net<S> = Net::from_spec(spec, Some(make_source())).expect("spec must build");
         let team = ThreadTeam::new(threads);
         let run = RunConfig {
             reduction,
@@ -82,7 +81,10 @@ mod tests {
     use datasets::SyntheticMnist;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "full-size LeNet training; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full-size LeNet training; run with --release"
+    )]
     fn canonical_mode_is_bitwise_invariant_on_lenet() {
         let spec = crate::nets::lenet_spec();
         let report = check_loss_invariance::<f32>(
@@ -102,7 +104,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "full-size LeNet training; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full-size LeNet training; run with --release"
+    )]
     fn ordered_mode_stays_close_across_thread_counts() {
         // The paper's Ordered mode is deterministic per thread count; across
         // thread counts only FP regrouping differs, so trajectories must

@@ -82,9 +82,18 @@ mod tests {
         let net = cifar10_full::<f32>(Box::new(SyntheticCifar::new(200, 0))).unwrap();
         // 14 layers, as the paper's Figure 3 caption counts them.
         assert_eq!(net.num_layers(), 14);
-        assert_eq!(net.blob("conv1").unwrap().shape().dims(), &[100, 32, 32, 32]);
-        assert_eq!(net.blob("pool1").unwrap().shape().dims(), &[100, 32, 16, 16]);
-        assert_eq!(net.blob("conv2").unwrap().shape().dims(), &[100, 32, 16, 16]);
+        assert_eq!(
+            net.blob("conv1").unwrap().shape().dims(),
+            &[100, 32, 32, 32]
+        );
+        assert_eq!(
+            net.blob("pool1").unwrap().shape().dims(),
+            &[100, 32, 16, 16]
+        );
+        assert_eq!(
+            net.blob("conv2").unwrap().shape().dims(),
+            &[100, 32, 16, 16]
+        );
         assert_eq!(net.blob("pool2").unwrap().shape().dims(), &[100, 32, 8, 8]);
         assert_eq!(net.blob("conv3").unwrap().shape().dims(), &[100, 64, 8, 8]);
         assert_eq!(net.blob("pool3").unwrap().shape().dims(), &[100, 64, 4, 4]);

@@ -34,14 +34,13 @@ impl<S: Scalar> ShardedSource<S> {
     ///
     /// # Panics
     /// Panics unless `nshards` divides `batch` and `shard < nshards`.
-    pub fn new(
-        inner: Box<dyn BatchSource<S>>,
-        shard: usize,
-        nshards: usize,
-        batch: usize,
-    ) -> Self {
+    pub fn new(inner: Box<dyn BatchSource<S>>, shard: usize, nshards: usize, batch: usize) -> Self {
         assert!(nshards > 0 && shard < nshards, "ShardedSource: bad shard");
-        assert_eq!(batch % nshards, 0, "ShardedSource: nshards must divide batch");
+        assert_eq!(
+            batch % nshards,
+            0,
+            "ShardedSource: nshards must divide batch"
+        );
         Self {
             inner,
             shard,
@@ -326,15 +325,8 @@ layer {
         let single: Vec<f32> = solver.train(&mut net, &team, &run, 4);
 
         // 2 replicas x shard 8 over the same logical batch-16 stream.
-        let mut dp = SyncDataParallel::<f32>::new(
-            &spec8,
-            src,
-            SolverConfig::lenet(),
-            2,
-            16,
-            2,
-        )
-        .unwrap();
+        let mut dp =
+            SyncDataParallel::<f32>::new(&spec8, src, SolverConfig::lenet(), 2, 16, 2).unwrap();
         let sharded = dp.train(4);
 
         for (a, b) in single.iter().zip(&sharded) {

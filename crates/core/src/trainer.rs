@@ -113,7 +113,10 @@ mod tests {
     use datasets::SyntheticMnist;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "full-size LeNet training; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full-size LeNet training; run with --release"
+    )]
     fn trainer_reduces_loss_on_synthetic_mnist() {
         let mut t =
             CoarseGrainTrainer::<f32>::lenet(Box::new(SyntheticMnist::new(256, 3)), 2).unwrap();

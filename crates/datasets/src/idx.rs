@@ -33,14 +33,14 @@ fn read_header(r: &mut impl Read, expect_ndim: u8) -> Result<Vec<usize>, IdxErro
         return Err(IdxError(format!("bad magic 0x{magic:08x}")));
     }
     if dtype != 0x08 {
-        return Err(IdxError(format!("unsupported dtype 0x{dtype:02x} (want ubyte)")));
+        return Err(IdxError(format!(
+            "unsupported dtype 0x{dtype:02x} (want ubyte)"
+        )));
     }
     if ndim != expect_ndim {
         return Err(IdxError(format!("expected {expect_ndim} dims, got {ndim}")));
     }
-    (0..ndim)
-        .map(|_| read_u32(r).map(|d| d as usize))
-        .collect()
+    (0..ndim).map(|_| read_u32(r).map(|d| d as usize)).collect()
 }
 
 /// Read an IDX3 image file: returns `(images, rows, cols)` with pixels

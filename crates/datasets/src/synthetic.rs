@@ -7,16 +7,36 @@ use mmblas::{Pcg32, Scalar};
 /// 5x7 bitmap glyphs for the digits 0-9 (classic segment-style font).
 /// Each entry is 7 rows of 5 bits, MSB = leftmost pixel.
 const DIGIT_FONT: [[u8; 7]; 10] = [
-    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110], // 0
-    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110], // 1
-    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111], // 2
-    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110], // 3
-    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010], // 4
-    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110], // 5
-    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110], // 6
-    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000], // 7
-    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110], // 8
-    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100], // 9
+    [
+        0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110,
+    ], // 0
+    [
+        0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110,
+    ], // 1
+    [
+        0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111,
+    ], // 2
+    [
+        0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110,
+    ], // 3
+    [
+        0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010,
+    ], // 4
+    [
+        0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110,
+    ], // 5
+    [
+        0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110,
+    ], // 6
+    [
+        0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000,
+    ], // 7
+    [
+        0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110,
+    ], // 8
+    [
+        0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100,
+    ], // 9
 ];
 
 /// MNIST-shaped synthetic dataset: `1 x 28 x 28` grayscale digit glyphs with
@@ -127,7 +147,7 @@ impl SyntheticCifar {
 
     /// The label of sample `index`.
     pub fn label_of(&self, index: usize) -> usize {
-        let mut rng = Pcg32::new(self.seed ^ 0xc1fa_8, index as u64);
+        let mut rng = Pcg32::new(self.seed ^ 0xc1fa8, index as u64);
         rng.uniform_u32(10) as usize
     }
 }
@@ -143,7 +163,7 @@ impl<S: Scalar> BatchSource<S> for SyntheticCifar {
 
     fn fill(&self, index: usize, out: &mut [S]) -> S {
         assert_eq!(out.len(), 3 * 32 * 32, "SyntheticCifar: sample length");
-        let mut rng = Pcg32::new(self.seed ^ 0xc1fa_8, index as u64);
+        let mut rng = Pcg32::new(self.seed ^ 0xc1fa8, index as u64);
         let label = rng.uniform_u32(10) as usize;
         // Class signature: base RGB color + grating orientation/frequency.
         let hue = label as f64 / 10.0;
@@ -221,10 +241,7 @@ mod tests {
     #[test]
     fn cifar_shapes_and_determinism() {
         let d = SyntheticCifar::new(20, 5);
-        assert_eq!(
-            BatchSource::<f32>::sample_shape(&d).dims(),
-            &[3, 32, 32]
-        );
+        assert_eq!(BatchSource::<f32>::sample_shape(&d).dims(), &[3, 32, 32]);
         let mut a = vec![0.0f32; 3 * 32 * 32];
         let mut b = vec![0.0f32; 3 * 32 * 32];
         let la = BatchSource::<f32>::fill(&d, 3, &mut a);

@@ -41,7 +41,11 @@ impl<S: Scalar> Layer<S> for AccuracyLayer<S> {
         assert_eq!(bottom.len(), 2, "Accuracy: scores + labels");
         self.batch = bottom[0].num();
         self.classes = bottom[0].sample_len();
-        assert_eq!(bottom[1].count(), self.batch, "Accuracy: one label per sample");
+        assert_eq!(
+            bottom[1].count(),
+            self.batch,
+            "Accuracy: one label per sample"
+        );
         vec![Shape::from(vec![1usize])]
     }
 

@@ -120,8 +120,10 @@ mod tests {
     fn concat_forward_and_backward() {
         let mut l: ConcatLayer<f32> = ConcatLayer::new("cat");
         let a: Blob<f32> = Blob::from_data([2usize, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
-        let b: Blob<f32> =
-            Blob::from_data([2usize, 2, 1, 2], vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let b: Blob<f32> = Blob::from_data(
+            [2usize, 2, 1, 2],
+            vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
+        );
         let shapes = l.setup(&[&a, &b]);
         assert_eq!(shapes[0].dims(), &[2, 3, 1, 2]);
         let team = ThreadTeam::new(2);

@@ -90,7 +90,9 @@ impl<S: Scalar> ConvolutionLayer<S> {
 
     /// The resolved convolution geometry (after `setup`).
     pub fn geometry(&self) -> &Conv2dGeometry {
-        self.geom.as_ref().expect("ConvolutionLayer: setup not called")
+        self.geom
+            .as_ref()
+            .expect("ConvolutionLayer: setup not called")
     }
 
     fn wlen(&self) -> usize {
@@ -132,8 +134,8 @@ impl<S: Scalar> Layer<S> for ConvolutionLayer<S> {
             stride_h: self.cfg.stride,
             stride_w: self.cfg.stride,
         };
-        let refill = self.params.is_empty()
-            || self.geom.map(|g| g.col_rows()) != Some(geom.col_rows());
+        let refill =
+            self.params.is_empty() || self.geom.map(|g| g.col_rows()) != Some(geom.col_rows());
         self.geom = Some(geom);
         if refill {
             let mut rng = Pcg32::seeded(self.cfg.seed);
@@ -364,7 +366,11 @@ mod tests {
     use omprt::ThreadTeam;
 
     fn ws_for(l: &ConvolutionLayer<f64>, t: usize, slots: usize) -> Workspace<f64> {
-        Workspace::new(t, slots, <ConvolutionLayer<f64> as Layer<f64>>::workspace_request(l))
+        Workspace::new(
+            t,
+            slots,
+            <ConvolutionLayer<f64> as Layer<f64>>::workspace_request(l),
+        )
     }
 
     #[test]
@@ -423,7 +429,9 @@ mod tests {
         let mut cfg = ConvConfig::new(2, 3, 1, 2);
         cfg.seed = 7;
         let mut l: ConvolutionLayer<f64> = ConvolutionLayer::new("c", cfg);
-        let data: Vec<f64> = (0..2 * 2 * 5 * 5).map(|i| ((i * 31 % 17) as f64) / 8.5 - 1.0).collect();
+        let data: Vec<f64> = (0..2 * 2 * 5 * 5)
+            .map(|i| ((i * 31 % 17) as f64) / 8.5 - 1.0)
+            .collect();
         let bottom: Blob<f64> = Blob::from_data([2usize, 2, 5, 5], data);
         let shapes = l.setup(&[&bottom]);
         let team = ThreadTeam::new(1);
@@ -482,7 +490,11 @@ mod tests {
         let cc = l.geometry().col_cols();
         for o in 0..2 {
             let want: f64 = (0..2)
-                .map(|s| gsel[s * 2 * cc + o * cc..s * 2 * cc + (o + 1) * cc].iter().sum::<f64>())
+                .map(|s| {
+                    gsel[s * 2 * cc + o * cc..s * 2 * cc + (o + 1) * cc]
+                        .iter()
+                        .sum::<f64>()
+                })
                 .sum();
             let got = l.params()[1].diff()[o];
             assert!((want - got).abs() < 1e-9, "db[{o}]");
@@ -496,7 +508,9 @@ mod tests {
             cfg.seed = 11;
             ConvolutionLayer::<f64>::new("c", cfg)
         };
-        let data: Vec<f64> = (0..4 * 2 * 6 * 6).map(|i| ((i % 23) as f64) * 0.1 - 1.0).collect();
+        let data: Vec<f64> = (0..4 * 2 * 6 * 6)
+            .map(|i| ((i % 23) as f64) * 0.1 - 1.0)
+            .collect();
         let run = |threads: usize| {
             let mut l = mk();
             let bottom: Blob<f64> = Blob::from_data([4usize, 2, 6, 6], data.clone());

@@ -46,12 +46,8 @@ where
 
 /// [`parallel_segments`] plus a per-thread scratch buffer (the im2col
 /// column buffer for convolution kernels).
-pub fn parallel_segments_scratch<S, F>(
-    ctx: &ExecCtx<'_, S>,
-    out: &mut [S],
-    seg_len: usize,
-    f: F,
-) where
+pub fn parallel_segments_scratch<S, F>(ctx: &ExecCtx<'_, S>, out: &mut [S], seg_len: usize, f: F)
+where
     S: Scalar,
     F: Fn(usize, &mut [S], &mut ThreadScratch<S>) + Sync,
 {
@@ -119,10 +115,7 @@ pub fn backward_reduce<S, F>(
         ctx.workspace.request().grad_len
     );
 
-    let shared: Vec<SendPtr<S>> = shared_diffs
-        .iter_mut()
-        .map(|s| SendPtr::new(&mut **s))
-        .collect();
+    let shared: Vec<SendPtr<S>> = shared_diffs.iter_mut().map(|s| SendPtr::new(s)).collect();
     let merge_lock = Mutex::new(());
     let ordered = ctx.reduction.is_ordered();
 
@@ -239,15 +232,21 @@ mod tests {
         let mut b = vec![0.0f64; 2];
         {
             let mut shared: Vec<&mut [f64]> = vec![&mut w, &mut b];
-            backward_reduce(&ctx, n_samples, &[3, 2], &mut shared, |s, parts, scratch| {
-                assert_eq!(scratch.col.len(), 4);
-                for v in parts[0].iter_mut() {
-                    *v += (s + 1) as f64;
-                }
-                for v in parts[1].iter_mut() {
-                    *v += 2.0 * (s + 1) as f64;
-                }
-            });
+            backward_reduce(
+                &ctx,
+                n_samples,
+                &[3, 2],
+                &mut shared,
+                |s, parts, scratch| {
+                    assert_eq!(scratch.col.len(), 4);
+                    for v in parts[0].iter_mut() {
+                        *v += (s + 1) as f64;
+                    }
+                    for v in parts[1].iter_mut() {
+                        *v += 2.0 * (s + 1) as f64;
+                    }
+                },
+            );
         }
         (w, b)
     }

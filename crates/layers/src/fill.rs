@@ -95,7 +95,12 @@ mod tests {
         let mut b: Blob<f64> = Blob::new([20000usize]);
         Filler::Gaussian { std: 0.1 }.fill(&mut b, &mut Pcg32::seeded(17));
         let mean = b.data().iter().sum::<f64>() / b.count() as f64;
-        let var = b.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / b.count() as f64;
+        let var = b
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / b.count() as f64;
         assert!(mean.abs() < 0.01);
         assert!((var.sqrt() - 0.1).abs() < 0.01);
     }

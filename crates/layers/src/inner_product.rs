@@ -163,14 +163,20 @@ impl<S: Scalar> Layer<S> for InnerProductLayer<S> {
             let mut iter = self.params.iter_mut();
             let mut shared: Vec<&mut [S]> =
                 std::iter::from_fn(|| iter.next().map(|p| p.diff_mut())).collect();
-            backward_reduce(ctx, batch, &param_lens, &mut shared, |s, parts, _scratch| {
-                let dy = &tdiff[s * m..(s + 1) * m];
-                let xs = &bdata[s * k..(s + 1) * k];
-                mmblas::ger(m, k, S::ONE, dy, xs, parts[0], k);
-                if parts.len() > 1 {
-                    mmblas::axpy(S::ONE, dy, parts[1]);
-                }
-            });
+            backward_reduce(
+                ctx,
+                batch,
+                &param_lens,
+                &mut shared,
+                |s, parts, _scratch| {
+                    let dy = &tdiff[s * m..(s + 1) * m];
+                    let xs = &bdata[s * k..(s + 1) * k];
+                    mmblas::ger(m, k, S::ONE, dy, xs, parts[0], k);
+                    if parts.len() > 1 {
+                        mmblas::axpy(S::ONE, dy, parts[1]);
+                    }
+                },
+            );
         }
 
         // Bottom diff: dx_s = W^T dy_s — disjoint per-sample segments.
@@ -259,7 +265,11 @@ mod tests {
     }
 
     fn ws_for(layer: &InnerProductLayer<f64>, t: usize) -> Workspace<f64> {
-        Workspace::new(t, t, <InnerProductLayer<f64> as Layer<f64>>::workspace_request(layer))
+        Workspace::new(
+            t,
+            t,
+            <InnerProductLayer<f64> as Layer<f64>>::workspace_request(layer),
+        )
     }
 
     #[test]

@@ -45,24 +45,24 @@ pub mod workspace;
 
 pub use accuracy::AccuracyLayer;
 pub use concat::ConcatLayer;
-pub use eltwise::{EltwiseLayer, EltwiseOp};
-pub use euclidean_loss::EuclideanLossLayer;
-pub use power::{AbsValLayer, PowerLayer};
-pub use split::SplitLayer;
 pub use conv::ConvolutionLayer;
 pub use ctx::{ExecCtx, Phase, ReductionMode};
 pub use data::DataLayer;
 pub use dropout::DropoutLayer;
+pub use eltwise::{EltwiseLayer, EltwiseOp};
+pub use euclidean_loss::EuclideanLossLayer;
 pub use fill::Filler;
 pub use flatten::FlattenLayer;
 pub use inner_product::InnerProductLayer;
 pub use lrn::LrnLayer;
 pub use pooling::{PoolMethod, PoolingLayer};
+pub use power::{AbsValLayer, PowerLayer};
 pub use profile::{LayerProfile, PassProfile};
 pub use relu::ReluLayer;
 pub use sigmoid::SigmoidLayer;
 pub use softmax::SoftmaxLayer;
 pub use softmax_loss::SoftmaxLossLayer;
+pub use split::SplitLayer;
 pub use tanh_layer::TanhLayer;
 pub use workspace::{Workspace, WorkspaceRequest};
 

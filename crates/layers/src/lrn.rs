@@ -124,7 +124,8 @@ impl<S: Scalar> Layer<S> for LrnLayer<S> {
         let half = self.cfg.local_size / 2;
         let neg_beta = S::from_f64(-self.cfg.beta);
         // d scale/d x contributes -2 * alpha/n * beta * x * (dy .* y / scale).
-        let ratio_coef = S::from_f64(2.0 * self.cfg.alpha * self.cfg.beta / self.cfg.local_size as f64);
+        let ratio_coef =
+            S::from_f64(2.0 * self.cfg.alpha * self.cfg.beta / self.cfg.local_size as f64);
         let (bdata, bdiff) = bottom[0].data_diff_mut();
         let bdata: &[S] = bdata;
         parallel_segments(ctx, bdiff, sample_len, |s, dx| {

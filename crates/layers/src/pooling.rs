@@ -103,7 +103,6 @@ impl<S: Scalar> PoolingLayer<S> {
             _marker: std::marker::PhantomData,
         }
     }
-
 }
 
 /// Clipped pooling window for output `(oy, ox)`:
@@ -343,8 +342,7 @@ mod tests {
     #[test]
     fn ave_forward_is_window_mean_and_backward_distributes() {
         let mut l: PoolingLayer<f64> = PoolingLayer::new("p", PoolConfig::ave(2, 2));
-        let b: Blob<f64> =
-            Blob::from_data([1usize, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]);
+        let b: Blob<f64> = Blob::from_data([1usize, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]);
         let shapes = l.setup(&[&b]);
         ctx_run(1, |ctx| {
             let mut tops = vec![Blob::new(shapes[0].clone())];
@@ -379,7 +377,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let data: Vec<f64> = (0..2 * 3 * 8 * 8).map(|i| ((i * 37 % 101) as f64) - 50.0).collect();
+        let data: Vec<f64> = (0..2 * 3 * 8 * 8)
+            .map(|i| ((i * 37 % 101) as f64) - 50.0)
+            .collect();
         let run = |threads: usize, method: PoolMethod| {
             let cfg = PoolConfig {
                 method,

@@ -63,7 +63,11 @@ impl<S: Scalar> Layer<S> for PowerLayer<S> {
             let xin = &x[i * seg..(i + 1) * seg];
             for (o, &v) in out.iter_mut().zip(xin) {
                 let inner = b + a * v;
-                *o = if self.power == 1.0 { inner } else { inner.powf(p) };
+                *o = if self.power == 1.0 {
+                    inner
+                } else {
+                    inner.powf(p)
+                };
             }
         });
     }

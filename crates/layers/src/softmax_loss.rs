@@ -149,7 +149,13 @@ mod tests {
     use crate::workspace::Workspace;
     use omprt::ThreadTeam;
 
-    fn run(threads: usize, scores: Vec<f64>, labels: Vec<f64>, n: usize, c: usize) -> (f64, Vec<f64>) {
+    fn run(
+        threads: usize,
+        scores: Vec<f64>,
+        labels: Vec<f64>,
+        n: usize,
+        c: usize,
+    ) -> (f64, Vec<f64>) {
         let mut l: SoftmaxLossLayer<f64> = SoftmaxLossLayer::new("loss");
         let b0: Blob<f64> = Blob::from_data([n, c], scores);
         let b1: Blob<f64> = Blob::from_data([n], labels);
@@ -187,7 +193,9 @@ mod tests {
     fn gradient_check() {
         let n = 3;
         let c = 5;
-        let scores: Vec<f64> = (0..n * c).map(|i| ((i * 7 % 13) as f64) * 0.3 - 1.5).collect();
+        let scores: Vec<f64> = (0..n * c)
+            .map(|i| ((i * 7 % 13) as f64) * 0.3 - 1.5)
+            .collect();
         let labels = vec![2.0, 0.0, 4.0];
         let (_, dx) = run(1, scores.clone(), labels.clone(), n, c);
         let eps = 1e-6;
@@ -210,7 +218,9 @@ mod tests {
     fn loss_is_thread_count_invariant() {
         let n = 17;
         let c = 10;
-        let scores: Vec<f64> = (0..n * c).map(|i| ((i * 31 % 23) as f64) * 0.17 - 2.0).collect();
+        let scores: Vec<f64> = (0..n * c)
+            .map(|i| ((i * 31 % 23) as f64) * 0.17 - 2.0)
+            .collect();
         let labels: Vec<f64> = (0..n).map(|i| (i % c) as f64).collect();
         let (l1, d1) = run(1, scores.clone(), labels.clone(), n, c);
         for t in [2, 4, 5] {

@@ -161,8 +161,7 @@ impl<S: Scalar> Workspace<S> {
     /// Total workspace bytes.
     pub fn bytes(&self) -> usize {
         let e = std::mem::size_of::<S>();
-        self.threads.len() * self.request.col_len * e
-            + self.slots.len() * self.request.grad_len * e
+        self.threads.len() * self.request.col_len * e + self.slots.len() * self.request.grad_len * e
     }
 }
 

@@ -90,7 +90,7 @@ proptest! {
         for &v in &y {
             prop_assert!(v <= max_in && v >= min_in);
             // Every output value is an actual input value.
-            prop_assert!(data.iter().any(|&x| x == v));
+            prop_assert!(data.contains(&v));
         }
     }
 

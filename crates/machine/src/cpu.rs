@@ -204,7 +204,8 @@ fn pass_time(
 
     // Fork/join + implicit barrier.
     if threads > 1 {
-        t += model.region_base + threads as f64 * (model.region_per_thread + model.barrier_per_thread);
+        t += model.region_base
+            + threads as f64 * (model.region_per_thread + model.barrier_per_thread);
     }
 
     // Ordered reduction: every slot's privatized gradient is merged
@@ -221,7 +222,11 @@ fn pass_time(
 /// `profiles` must be in execution order; the locality model links each
 /// layer's forward input to its predecessor's distribution and each
 /// backward input to its successor's.
-pub fn simulate_cpu(profiles: &[LayerProfile], model: &CpuModel, threads: usize) -> Vec<LayerTimes> {
+pub fn simulate_cpu(
+    profiles: &[LayerProfile],
+    model: &CpuModel,
+    threads: usize,
+) -> Vec<LayerTimes> {
     let kinds: Vec<DistKind> = profiles.iter().map(dist_kind).collect();
     profiles
         .iter()
@@ -244,7 +249,14 @@ pub fn simulate_cpu(profiles: &[LayerProfile], model: &CpuModel, threads: usize)
                 name: p.name.clone(),
                 layer_type: p.layer_type.clone(),
                 fwd: pass_time(model, &p.forward, p.sequential, prev, kinds[i], threads),
-                bwd: pass_time(model, &p.backward, p.sequential, bwd_producer, kinds[i], threads),
+                bwd: pass_time(
+                    model,
+                    &p.backward,
+                    p.sequential,
+                    bwd_producer,
+                    kinds[i],
+                    threads,
+                ),
             }
         })
         .collect()
@@ -357,7 +369,7 @@ mod tests {
         // Conv-like: heavy flops per iteration, 64 iterations.
         let big = profile("conv", "Convolution", 64, 2.3e7, 1.8e6, 0, false);
         let pre = profile("x", "Pooling", 64 * 20, 1e4, 6e3, 0, false);
-        let s8 = speedup_of(&big, &[pre.clone()], 8);
+        let s8 = speedup_of(&big, std::slice::from_ref(&pre), 8);
         let s16 = speedup_of(&big, &[pre], 16);
         assert!(s8 > 5.0, "8-thread speedup {s8}");
         assert!(s16 > s8, "16 threads ({s16}) beats 8 ({s8})");
@@ -377,7 +389,7 @@ mod tests {
     fn sequential_layer_time_is_thread_invariant() {
         let data = profile("data", "Data", 0, 0.0, 0.0, 0, true);
         let model = CpuModel::xeon_e5_2667v2();
-        let t1 = simulate_cpu(&[data.clone()], &model, 1);
+        let t1 = simulate_cpu(std::slice::from_ref(&data), &model, 1);
         let t16 = simulate_cpu(&[data], &model, 16);
         assert!((t1[0].fwd - t16[0].fwd).abs() < 1e-12);
         assert!(t1[0].fwd > 0.0);
@@ -415,7 +427,7 @@ mod tests {
         let model = CpuModel::xeon_e5_2667v2();
         // Pure-reduction pass: no parallel loop work difference matters.
         let p = profile("ip", "InnerProduct", 64, 1e5, 1e4, 400_000, false);
-        let t2 = simulate_cpu(&[p.clone()], &model, 2)[0].bwd;
+        let t2 = simulate_cpu(std::slice::from_ref(&p), &model, 2)[0].bwd;
         let t16 = simulate_cpu(&[p], &model, 16)[0].bwd;
         // At 16 threads the serialized merge of 16 slots dominates.
         let merge16 = 16.0 * (400_000.0 * 4.0 / model.reduction_bw);
@@ -446,7 +458,7 @@ mod tests {
         // modulo the coarse path's reduction/locality terms (zero at T=1).
         let model = CpuModel::xeon_e5_2667v2();
         let p = profile("conv", "Convolution", 64, 1e7, 2e6, 0, false);
-        let coarse = simulate_cpu(&[p.clone()], &model, 1)[0].fwd;
+        let coarse = simulate_cpu(std::slice::from_ref(&p), &model, 1)[0].fwd;
         let fine = simulate_cpu_fine_grain(&[p], &model, 1)[0].fwd;
         assert!((coarse - fine).abs() / coarse < 1e-9, "{coarse} vs {fine}");
     }
@@ -456,8 +468,8 @@ mod tests {
         // Pooling-like: tiny per-call work -> fine-grain can't split it.
         let model = CpuModel::xeon_e5_2667v2();
         let p = profile("pool", "Pooling", 3200, 1e3, 1.3e3, 0, false);
-        let serial = simulate_cpu_fine_grain(&[p.clone()], &model, 1)[0].fwd;
-        let fine16 = simulate_cpu_fine_grain(&[p.clone()], &model, 16)[0].fwd;
+        let serial = simulate_cpu_fine_grain(std::slice::from_ref(&p), &model, 1)[0].fwd;
+        let fine16 = simulate_cpu_fine_grain(std::slice::from_ref(&p), &model, 16)[0].fwd;
         assert!(
             serial / fine16 < 1.5,
             "fine-grain should not scale tiny calls: {:.2}x",
@@ -472,7 +484,7 @@ mod tests {
     fn fine_grain_scales_big_calls() {
         let model = CpuModel::xeon_e5_2667v2();
         let p = profile("conv", "Convolution", 64, 2.3e7, 1.8e6, 0, false);
-        let serial = simulate_cpu_fine_grain(&[p.clone()], &model, 1)[0].fwd;
+        let serial = simulate_cpu_fine_grain(std::slice::from_ref(&p), &model, 1)[0].fwd;
         let fine16 = simulate_cpu_fine_grain(&[p], &model, 16)[0].fwd;
         assert!(serial / fine16 > 6.0, "{:.2}x", serial / fine16);
     }
@@ -488,6 +500,10 @@ mod tests {
         let b8 = bw_per_thread(&m, 8);
         let b16 = bw_per_thread(&m, 16);
         assert!(b16 < b8, "{b16} !< {b8}");
-        assert!((b16 - b8 * 0.75).abs() / b8 < 1e-9, "{b16} vs {}", b8 * 0.75);
+        assert!(
+            (b16 - b8 * 0.75).abs() / b8 < 1e-9,
+            "{b16} vs {}",
+            b8 * 0.75
+        );
     }
 }

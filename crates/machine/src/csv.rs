@@ -18,7 +18,11 @@ pub fn layer_times_csv(sim: &NetworkSim) -> String {
         for i in 0..n {
             out.push_str(&format!("{},{}", sim.serial()[i].name, pass));
             for times in &sim.cpu {
-                let v = if pass == "fwd" { times[i].fwd } else { times[i].bwd };
+                let v = if pass == "fwd" {
+                    times[i].fwd
+                } else {
+                    times[i].bwd
+                };
                 out.push_str(&format!(",{:.3}", v * 1e6));
             }
             out.push('\n');

@@ -187,7 +187,7 @@ mod tests {
     fn cudnn_beats_plain_on_conv() {
         let m = GpuModel::k40();
         let conv = prof("Convolution", 64, 2.3e7, 1.8e6);
-        let plain = simulate_gpu(&[conv.clone()], &m, GpuImpl::Plain)[0].fwd;
+        let plain = simulate_gpu(std::slice::from_ref(&conv), &m, GpuImpl::Plain)[0].fwd;
         let cudnn = simulate_gpu(&[conv], &m, GpuImpl::Cudnn)[0].fwd;
         assert!(
             plain > cudnn * 5.0,
@@ -199,7 +199,7 @@ mod tests {
     fn plain_beats_cudnn_on_pooling() {
         let m = GpuModel::k40();
         let pool = prof("Pooling", 1280, 256.0, 2.3e3);
-        let plain = simulate_gpu(&[pool.clone()], &m, GpuImpl::Plain)[0].fwd;
+        let plain = simulate_gpu(std::slice::from_ref(&pool), &m, GpuImpl::Plain)[0].fwd;
         let cudnn = simulate_gpu(&[pool], &m, GpuImpl::Cudnn)[0].fwd;
         assert!(plain < cudnn, "plain {plain} vs cudnn {cudnn}");
     }

@@ -135,7 +135,11 @@ pub fn format_layer_table(sim: &NetworkSim) -> String {
             let dir = if pass == 0 { "fwd" } else { "bwd" };
             out.push_str(&format!("{:<14}", format!("{name}:{dir}")));
             for times in &sim.cpu {
-                let v = if pass == 0 { times[i].fwd } else { times[i].bwd };
+                let v = if pass == 0 {
+                    times[i].fwd
+                } else {
+                    times[i].bwd
+                };
                 out.push_str(&format!("{:>11.1}", v * 1e6));
             }
             let v_last = if pass == 0 { last[i].fwd } else { last[i].bwd };

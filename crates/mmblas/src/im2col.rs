@@ -31,13 +31,7 @@ pub struct Conv2dGeometry {
 
 impl Conv2dGeometry {
     /// Square-kernel convenience constructor.
-    pub fn square(
-        channels: usize,
-        size: usize,
-        kernel: usize,
-        pad: usize,
-        stride: usize,
-    ) -> Self {
+    pub fn square(channels: usize, size: usize, kernel: usize, pad: usize, stride: usize) -> Self {
         Self {
             channels,
             height: size,
@@ -82,7 +76,10 @@ impl Conv2dGeometry {
     }
 
     fn validate(&self) {
-        assert!(self.stride_h > 0 && self.stride_w > 0, "im2col: zero stride");
+        assert!(
+            self.stride_h > 0 && self.stride_w > 0,
+            "im2col: zero stride"
+        );
         assert!(
             self.kernel_h > 0 && self.kernel_w > 0,
             "im2col: zero kernel"

@@ -72,15 +72,7 @@ pub fn gemv<S: Scalar>(
 ///
 /// # Panics
 /// Panics if slice lengths are inconsistent.
-pub fn ger<S: Scalar>(
-    m: usize,
-    n: usize,
-    alpha: S,
-    x: &[S],
-    y: &[S],
-    a: &mut [S],
-    lda: usize,
-) {
+pub fn ger<S: Scalar>(m: usize, n: usize, alpha: S, x: &[S], y: &[S], a: &mut [S], lda: usize) {
     assert!(lda >= n.max(1), "ger: lda < n");
     assert_eq!(x.len(), m, "ger: x length");
     assert_eq!(y.len(), n, "ger: y length");

@@ -38,8 +38,14 @@ fn check_gemm_args<S: Scalar>(
 ) {
     let (ar, ac) = if ta.is_trans() { (k, m) } else { (m, k) };
     let (br, bc) = if tb.is_trans() { (n, k) } else { (k, n) };
-    assert!(lda >= ac.max(1), "gemm: lda ({lda}) < cols of stored A ({ac})");
-    assert!(ldb >= bc.max(1), "gemm: ldb ({ldb}) < cols of stored B ({bc})");
+    assert!(
+        lda >= ac.max(1),
+        "gemm: lda ({lda}) < cols of stored A ({ac})"
+    );
+    assert!(
+        ldb >= bc.max(1),
+        "gemm: ldb ({ldb}) < cols of stored B ({bc})"
+    );
     assert!(ldc >= n.max(1), "gemm: ldc ({ldc}) < n ({n})");
     if ar > 0 && ac > 0 {
         assert!(a.len() >= (ar - 1) * lda + ac, "gemm: A slice too short");
@@ -344,10 +350,7 @@ pub fn gemm<S: Scalar>(
     c: &mut [S],
     ldc: usize,
 ) {
-    let flops = 2usize
-        .saturating_mul(m)
-        .saturating_mul(n)
-        .saturating_mul(k);
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     if flops < 64 * 64 * 64 * 2 {
         gemm_blocked(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     } else {
@@ -387,7 +390,9 @@ mod tests {
         let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..rows * cols)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -427,7 +432,21 @@ mod tests {
         let a = dense(ar, ac, 1);
         let b = dense(br, bc, 2);
         let c0 = dense(m, n, 3);
-        let want = reference(ta, tb, m, n, k, 1.5, &a, ac.max(1), &b, bc.max(1), 0.5, &c0, n.max(1));
+        let want = reference(
+            ta,
+            tb,
+            m,
+            n,
+            k,
+            1.5,
+            &a,
+            ac.max(1),
+            &b,
+            bc.max(1),
+            0.5,
+            &c0,
+            n.max(1),
+        );
         for (name, f) in IMPLS {
             let mut c = c0.clone();
             f(

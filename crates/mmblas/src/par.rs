@@ -95,24 +95,28 @@ pub fn gemv_par<S: Scalar>(
     match trans {
         Transpose::No => {
             // y[i] depends on row i of A only.
-            y.par_chunks_mut(ROW_BLOCK).enumerate().for_each(|(blk, ychunk)| {
-                let row0 = blk * ROW_BLOCK;
-                let rows = ychunk.len();
-                let astrip = &a[row0 * lda..];
-                gemv(trans, rows, n, alpha, astrip, lda, x, beta, ychunk);
-            });
+            y.par_chunks_mut(ROW_BLOCK)
+                .enumerate()
+                .for_each(|(blk, ychunk)| {
+                    let row0 = blk * ROW_BLOCK;
+                    let rows = ychunk.len();
+                    let astrip = &a[row0 * lda..];
+                    gemv(trans, rows, n, alpha, astrip, lda, x, beta, ychunk);
+                });
         }
         Transpose::Yes => {
             // y[j] depends on column j of A (= row j of A^T): split the
             // output and give each task the column window of the stored A.
-            y.par_chunks_mut(ROW_BLOCK).enumerate().for_each(|(blk, ychunk)| {
-                let col0 = blk * ROW_BLOCK;
-                let cols = ychunk.len();
-                // Stored A is m x n (lda >= n); the window is columns
-                // col0..col0+cols of every row.
-                let awin = &a[col0..];
-                gemv(trans, m, cols, alpha, awin, lda, x, beta, ychunk);
-            });
+            y.par_chunks_mut(ROW_BLOCK)
+                .enumerate()
+                .for_each(|(blk, ychunk)| {
+                    let col0 = blk * ROW_BLOCK;
+                    let cols = ychunk.len();
+                    // Stored A is m x n (lda >= n); the window is columns
+                    // col0..col0+cols of every row.
+                    let awin = &a[col0..];
+                    gemv(trans, m, cols, alpha, awin, lda, x, beta, ychunk);
+                });
         }
     }
 }
@@ -128,7 +132,12 @@ mod tests {
 
     #[test]
     fn gemm_par_matches_sequential_notrans() {
-        for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 9, 5), (40, 33, 21), (64, 64, 64)] {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (7, 9, 5),
+            (40, 33, 21),
+            (64, 64, 64),
+        ] {
             let a = dense(m * k, 1);
             let b = dense(k * n, 2);
             let mut c1 = dense(m * n, 3);

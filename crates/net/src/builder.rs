@@ -143,14 +143,9 @@ pub fn build_layer<S: Scalar>(
                 Some(list) => list
                     .split(',')
                     .map(|v| {
-                        v.trim()
-                            .parse::<f64>()
-                            .map(S::from_f64)
-                            .map_err(|_| {
-                                SpecError::new(format!(
-                                    "layer '{name}': bad coefficient '{v}'"
-                                ))
-                            })
+                        v.trim().parse::<f64>().map(S::from_f64).map_err(|_| {
+                            SpecError::new(format!("layer '{name}': bad coefficient '{v}'"))
+                        })
                     })
                     .collect::<Result<_, _>>()?,
             };
@@ -183,7 +178,15 @@ mod tests {
 
     #[test]
     fn builds_every_parameterless_type() {
-        for ty in ["ReLU", "Sigmoid", "TanH", "Softmax", "Flatten", "SoftmaxWithLoss", "Accuracy"] {
+        for ty in [
+            "ReLU",
+            "Sigmoid",
+            "TanH",
+            "Softmax",
+            "Flatten",
+            "SoftmaxWithLoss",
+            "Accuracy",
+        ] {
             let ls = spec_of(&format!("layer {{\n name: x\n type: {ty}\n}}"));
             let mut none: Option<Box<dyn BatchSource<f32>>> = None;
             let l = build_layer::<f32>(&ls, &mut none, false).unwrap();
@@ -195,7 +198,9 @@ mod tests {
     fn conv_requires_num_output() {
         let ls = spec_of("layer {\n name: c\n type: Convolution\n kernel: 5\n}");
         let mut none: Option<Box<dyn BatchSource<f32>>> = None;
-        let e = build_layer::<f32>(&ls, &mut none, false).err().expect("expected error");
+        let e = build_layer::<f32>(&ls, &mut none, false)
+            .err()
+            .expect("expected error");
         assert!(e.to_string().contains("num_output"));
     }
 
@@ -210,13 +215,16 @@ mod tests {
     fn data_without_source_is_error() {
         let ls = spec_of("layer {\n name: d\n type: Data\n batch: 4\n}");
         let mut none: Option<Box<dyn BatchSource<f32>>> = None;
-        let e = build_layer::<f32>(&ls, &mut none, false).err().expect("expected error");
+        let e = build_layer::<f32>(&ls, &mut none, false)
+            .err()
+            .expect("expected error");
         assert!(e.to_string().contains("data source"));
     }
 
     #[test]
     fn pooling_method_parsing() {
-        let ls = spec_of("layer {\n name: p\n type: Pooling\n method: AVE\n kernel: 3\n stride: 2\n}");
+        let ls =
+            spec_of("layer {\n name: p\n type: Pooling\n method: AVE\n kernel: 3\n stride: 2\n}");
         let mut none: Option<Box<dyn BatchSource<f32>>> = None;
         assert!(build_layer::<f32>(&ls, &mut none, false).is_ok());
         let bad = spec_of("layer {\n name: p\n type: Pooling\n method: MED\n kernel: 3\n}");

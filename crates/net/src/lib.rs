@@ -103,7 +103,21 @@ impl<S: Scalar> Net<S> {
     /// `Data` layer (required iff the spec contains one).
     pub fn from_spec(
         spec: &NetSpec,
+        data_source: Option<Box<dyn BatchSource<S>>>,
+    ) -> Result<Self, SpecError> {
+        Self::from_spec_with_inputs(spec, data_source, &[])
+    }
+
+    /// Build a network whose first blobs are externally-fed *input* blobs
+    /// (Caffe's deploy-net `input:`/`input_dim:` mechanism) — the
+    /// forward-only entry point used by the serving engine. Each `(name,
+    /// shape)` pair is registered as a blob before any layer is built, so
+    /// layers may use them as bottoms; fill them with [`Net::set_input`]
+    /// before calling [`Net::forward`].
+    pub fn from_spec_with_inputs(
+        spec: &NetSpec,
         mut data_source: Option<Box<dyn BatchSource<S>>>,
+        inputs: &[(String, blob::Shape)],
     ) -> Result<Self, SpecError> {
         let mut net = Net {
             name: spec.name.clone(),
@@ -123,6 +137,21 @@ impl<S: Scalar> Net<S> {
         };
         let mut data_tops: Vec<String> = Vec::new();
 
+        for (iname, ishape) in inputs {
+            if net.blob_index.contains_key(iname) {
+                return Err(SpecError::new(format!(
+                    "input blob '{iname}' declared twice"
+                )));
+            }
+            let id = net.blobs.len();
+            net.blobs.push(Blob::new(ishape.clone()));
+            net.blob_index.insert(iname.clone(), id);
+            net.blob_names.push(iname.clone());
+            // Input blobs behave like data-layer outputs: layers sitting
+            // directly on them skip their bottom-diff computation.
+            data_tops.push(iname.clone());
+        }
+
         for ls in &spec.layers {
             // Resolve bottoms.
             let mut bottom_ids = Vec::with_capacity(ls.bottoms.len());
@@ -135,8 +164,8 @@ impl<S: Scalar> Net<S> {
             // Build the layer object. A learnable layer sitting directly on
             // data-layer outputs skips its bottom-diff computation, as Caffe
             // does for conv1.
-            let after_data = !ls.bottoms.is_empty()
-                && ls.bottoms.iter().all(|b| data_tops.contains(b));
+            let after_data =
+                !ls.bottoms.is_empty() && ls.bottoms.iter().all(|b| data_tops.contains(b));
             let mut layer = build_layer(ls, &mut data_source, after_data)?;
             // Shape inference.
             let top_shapes = {
@@ -205,6 +234,45 @@ impl<S: Scalar> Net<S> {
     /// Immutable access to a named blob.
     pub fn blob(&self, name: &str) -> Option<&Blob<S>> {
         self.blob_index.get(name).map(|&i| &self.blobs[i])
+    }
+
+    /// Copy `data` into the named blob (an input blob of a net built with
+    /// [`Net::from_spec_with_inputs`], usually).
+    ///
+    /// # Errors
+    /// Fails when the blob does not exist or `data` has the wrong length.
+    pub fn set_input(&mut self, name: &str, data: &[S]) -> Result<(), SpecError> {
+        let &i = self
+            .blob_index
+            .get(name)
+            .ok_or_else(|| SpecError::new(format!("set_input: unknown blob '{name}'")))?;
+        let blob = &mut self.blobs[i];
+        if blob.count() != data.len() {
+            return Err(SpecError::new(format!(
+                "set_input: blob '{name}' holds {} values, got {}",
+                blob.count(),
+                data.len()
+            )));
+        }
+        blob.data_mut().copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Names of the network's *output* blobs: blobs no layer consumes as a
+    /// bottom, in creation order (the natural demux points for serving).
+    pub fn output_names(&self) -> Vec<&str> {
+        let mut consumed = vec![false; self.blobs.len()];
+        for bots in &self.bottoms {
+            for &b in bots {
+                consumed[b] = true;
+            }
+        }
+        self.blob_names
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !consumed[i])
+            .map(|(_, n)| n.as_str())
+            .collect()
     }
 
     /// Set the global iteration counter (seeds dropout masks).
@@ -288,8 +356,7 @@ impl<S: Scalar> Net<S> {
                     phase: cfg.phase,
                     iteration: self.iteration,
                 };
-                let tops: Vec<&Blob<S>> =
-                    self.tops[i].iter().map(|&b| &self.blobs[b]).collect();
+                let tops: Vec<&Blob<S>> = self.tops[i].iter().map(|&b| &self.blobs[b]).collect();
                 self.layers[i].backward(&ctx, &tops, &mut bots);
             }
             for (&b, blob) in self.bottoms[i].iter().zip(bots) {

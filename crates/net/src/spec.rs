@@ -137,9 +137,7 @@ impl NetSpec {
                 continue;
             }
             if line == "}" {
-                let l = current
-                    .take()
-                    .ok_or_else(|| err("unmatched '}'"))?;
+                let l = current.take().ok_or_else(|| err("unmatched '}'"))?;
                 if l.name.is_empty() {
                     return Err(err("layer block without 'name:'"));
                 }
@@ -232,7 +230,10 @@ layer {
     #[test]
     fn rejects_malformed_input() {
         assert!(NetSpec::parse("").is_err());
-        assert!(NetSpec::parse("layer {\nname: x\n").is_err(), "unterminated");
+        assert!(
+            NetSpec::parse("layer {\nname: x\n").is_err(),
+            "unterminated"
+        );
         assert!(NetSpec::parse("}").is_err(), "unmatched brace");
         assert!(NetSpec::parse("layer {\nlayer {\n}\n}").is_err(), "nested");
         assert!(
@@ -252,10 +253,7 @@ layer {
 
     #[test]
     fn bad_numeric_value_is_reported() {
-        let spec = NetSpec::parse(
-            "layer {\n name: l\n type: T\n num_output: abc\n}",
-        )
-        .unwrap();
+        let spec = NetSpec::parse("layer {\n name: l\n type: T\n num_output: abc\n}").unwrap();
         let e = spec.layers[0].get_usize("num_output").unwrap_err();
         assert!(e.to_string().contains("invalid value"));
     }

@@ -289,8 +289,9 @@ impl ThreadTeam {
         M: Fn(usize) -> V + Sync,
         C: Fn(V, V) -> V + Sync,
     {
-        let partials: Vec<parking_lot::Mutex<Option<V>>> =
-            (0..self.size).map(|_| parking_lot::Mutex::new(None)).collect();
+        let partials: Vec<parking_lot::Mutex<Option<V>>> = (0..self.size)
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         self.parallel(|ctx| {
             // Threads that receive no iterations contribute no partial, so
             // `identity` need not be a true neutral element.
@@ -481,7 +482,10 @@ mod tests {
         let second = AtomicUsize::new(0);
         let winners = AtomicUsize::new(0);
         team.parallel(|ctx| {
-            if ctx.single(|| first.fetch_add(1, Ordering::SeqCst)).is_some() {
+            if ctx
+                .single(|| first.fetch_add(1, Ordering::SeqCst))
+                .is_some()
+            {
                 winners.fetch_add(1, Ordering::SeqCst);
             }
             ctx.single(|| second.fetch_add(1, Ordering::SeqCst));
@@ -521,13 +525,8 @@ mod tests {
             Schedule::Dynamic(7),
             Schedule::Guided,
         ] {
-            let got = team.parallel_reduce(
-                1000,
-                sched,
-                0u64,
-                |i| (i as u64) * (i as u64),
-                |a, b| a + b,
-            );
+            let got =
+                team.parallel_reduce(1000, sched, 0u64, |i| (i as u64) * (i as u64), |a, b| a + b);
             assert_eq!(got, want, "{sched:?}");
         }
     }

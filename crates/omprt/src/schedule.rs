@@ -39,7 +39,9 @@ pub fn static_chunk(tid: usize, nthreads: usize, n: usize) -> Range<usize> {
 /// All per-thread ranges under `schedule(static)` — used by the imbalance
 /// metrics and the machine simulator.
 pub fn static_assignment(nthreads: usize, n: usize) -> Vec<Range<usize>> {
-    (0..nthreads).map(|t| static_chunk(t, nthreads, n)).collect()
+    (0..nthreads)
+        .map(|t| static_chunk(t, nthreads, n))
+        .collect()
 }
 
 /// Iteration count thread `tid` receives under `schedule(static, chunk)`.
@@ -71,7 +73,12 @@ pub fn for_each_index(ctx: &WorkerCtx, n: usize, sched: Schedule, mut body: impl
 ///
 /// # Panics
 /// Panics for [`Schedule::Dynamic`]/[`Schedule::Guided`].
-pub fn for_each_index_nowait(ctx: &WorkerCtx, n: usize, sched: Schedule, mut body: impl FnMut(usize)) {
+pub fn for_each_index_nowait(
+    ctx: &WorkerCtx,
+    n: usize,
+    sched: Schedule,
+    mut body: impl FnMut(usize),
+) {
     assert!(
         matches!(sched, Schedule::Static | Schedule::StaticChunk(_)),
         "nowait loops require a static schedule"

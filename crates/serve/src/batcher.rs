@@ -1,0 +1,393 @@
+//! Dynamic micro-batching with bounded-queue backpressure.
+//!
+//! Clients submit single samples; worker threads (one per engine replica)
+//! assemble them into micro-batches under a two-knob policy:
+//!
+//! - `max_batch` — never exceed the engine's batch capacity;
+//! - `max_delay` — after the first request of a batch arrives, wait at
+//!   most this long for stragglers before flushing a partial batch.
+//!
+//! Admission control is a bounded [`std::sync::mpsc::sync_channel`]: when
+//! `queue_depth` requests are already waiting, `try_send` fails and the
+//! client gets [`ServeError::Rejected`] immediately — memory stays bounded
+//! no matter the offered load. Requests may carry a deadline; a worker
+//! drops expired ones with [`ServeError::TimedOut`] instead of wasting a
+//! batch slot on an answer nobody is waiting for.
+
+use crate::engine::Engine;
+use crate::metrics::{ServingMetrics, ServingReport};
+use crate::ServeError;
+use mmblas::Scalar;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batch assembly policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Straggler wait after the first request of a batch.
+    pub max_delay: Duration,
+    /// Admission-queue capacity; one more request than this is `Rejected`.
+    pub queue_depth: usize,
+}
+
+impl Default for BatchPolicy {
+    /// 2 ms assembly window over a 64-deep queue.
+    fn default() -> Self {
+        Self {
+            max_delay: Duration::from_millis(2),
+            queue_depth: 64,
+        }
+    }
+}
+
+/// One in-flight request: the sample, its timing, and the reply channel.
+struct Request<S: Scalar> {
+    input: Vec<S>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: SyncSender<Result<Vec<S>, ServeError>>,
+}
+
+/// A running inference service: engines, workers, queue, metrics.
+pub struct Server<S: Scalar + Send + 'static = f32> {
+    tx: SyncSender<Request<S>>,
+    workers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServingMetrics>,
+    sample_len: usize,
+}
+
+impl<S: Scalar + Send + 'static> Server<S> {
+    /// Start serving on the given engine replicas (one worker thread
+    /// each). All engines must share a sample shape and batch capacity.
+    pub fn start(engines: Vec<Engine<S>>, policy: BatchPolicy) -> Result<Self, ServeError> {
+        let first = engines
+            .first()
+            .ok_or_else(|| ServeError::Build("need at least one engine".into()))?;
+        let (sample_len, max_batch) = (first.sample_len(), first.max_batch());
+        if engines
+            .iter()
+            .any(|e| e.sample_len() != sample_len || e.max_batch() != max_batch)
+        {
+            return Err(ServeError::Build(
+                "engine replicas disagree on sample shape or batch capacity".into(),
+            ));
+        }
+        if policy.queue_depth == 0 {
+            return Err(ServeError::Build("queue_depth must be >= 1".into()));
+        }
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Request<S>>(policy.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServingMetrics::default());
+        let workers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| {
+                let rx = Arc::clone(&rx);
+                let stop = Arc::clone(&stop);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(engine, rx, stop, metrics, policy))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Self {
+            tx,
+            workers,
+            stop,
+            metrics,
+            sample_len,
+        })
+    }
+
+    /// A cheap cloneable handle for submitting requests from other threads
+    /// (the load generator's client side).
+    pub fn client(&self) -> Client<S> {
+        Client {
+            tx: self.tx.clone(),
+            metrics: Arc::clone(&self.metrics),
+            sample_len: self.sample_len,
+        }
+    }
+
+    /// Submit one sample and block for its output. See [`Client::infer`].
+    pub fn infer(&self, input: &[S]) -> Result<Vec<S>, ServeError> {
+        self.client().infer(input)
+    }
+
+    /// Submit with a deadline. See [`Client::infer_with_deadline`].
+    pub fn infer_with_deadline(
+        &self,
+        input: &[S],
+        deadline: Instant,
+    ) -> Result<Vec<S>, ServeError> {
+        self.client().infer_with_deadline(input, deadline)
+    }
+
+    /// Live metrics handle (snapshot any time with
+    /// [`ServingMetrics::report`]).
+    pub fn metrics(&self) -> Arc<ServingMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Drain in-flight requests, stop the workers, and return the final
+    /// report. Outstanding [`Client`] handles get [`ServeError::Closed`]
+    /// (via a disconnected reply) for anything submitted after this.
+    pub fn shutdown(self) -> ServingReport {
+        self.stop.store(true, Ordering::SeqCst);
+        // Dropping our sender closes the channel once all clients are gone;
+        // workers also poll `stop` so they exit even while clients linger.
+        drop(self.tx);
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.metrics.report()
+    }
+}
+
+/// A cloneable request submitter.
+pub struct Client<S: Scalar + Send + 'static = f32> {
+    tx: SyncSender<Request<S>>,
+    metrics: Arc<ServingMetrics>,
+    sample_len: usize,
+}
+
+impl<S: Scalar + Send + 'static> Clone for Client<S> {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            metrics: Arc::clone(&self.metrics),
+            sample_len: self.sample_len,
+        }
+    }
+}
+
+impl<S: Scalar + Send + 'static> Client<S> {
+    /// Submit one sample and block until its output arrives (or the
+    /// request is rejected / the server closes).
+    pub fn infer(&self, input: &[S]) -> Result<Vec<S>, ServeError> {
+        self.submit(input, None)
+    }
+
+    /// Like [`Client::infer`], but the request is dropped with
+    /// [`ServeError::TimedOut`] if it is still queued at `deadline`.
+    pub fn infer_with_deadline(
+        &self,
+        input: &[S],
+        deadline: Instant,
+    ) -> Result<Vec<S>, ServeError> {
+        self.submit(input, Some(deadline))
+    }
+
+    fn submit(&self, input: &[S], deadline: Option<Instant>) -> Result<Vec<S>, ServeError> {
+        if input.len() != self.sample_len {
+            return Err(ServeError::BadInput(format!(
+                "sample has {} values, server expects {}",
+                input.len(),
+                self.sample_len
+            )));
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let req = Request {
+            input: input.to_vec(),
+            submitted: Instant::now(),
+            deadline,
+            reply: reply_tx,
+        };
+        // Count before sending so a worker's dequeue can never observe the
+        // counter below zero; undo on the failure paths.
+        self.metrics.on_enqueue();
+        match self.tx.try_send(req) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.metrics.on_dequeue();
+                self.metrics.on_rejected();
+                return Err(ServeError::Rejected);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.on_dequeue();
+                return Err(ServeError::Closed);
+            }
+        }
+        reply_rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+/// One worker: pull a first request, assemble a batch within the policy
+/// window, drop expired requests, run the engine, demux the outputs.
+fn worker_loop<S: Scalar + Send + 'static>(
+    mut engine: Engine<S>,
+    rx: Arc<Mutex<Receiver<Request<S>>>>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServingMetrics>,
+    policy: BatchPolicy,
+) {
+    // How long a worker waits for its *first* request before rechecking
+    // the stop flag; bounds shutdown latency while clients still exist.
+    const IDLE_POLL: Duration = Duration::from_millis(20);
+    let max_batch = engine.max_batch();
+    loop {
+        // Phase 1: wait for the batch's first request. The receiver lock
+        // is held only while waiting, never during inference, so other
+        // replicas drain the queue while this one computes.
+        let first = {
+            let guard = rx.lock();
+            match guard.recv_timeout(IDLE_POLL) {
+                Ok(r) => r,
+                Err(RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        metrics.on_dequeue();
+        let mut batch = vec![first];
+        // Phase 2: straggler window — top up to max_batch or max_delay.
+        let window_end = Instant::now() + policy.max_delay;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= window_end {
+                break;
+            }
+            let next = { rx.lock().recv_timeout(window_end - now) };
+            match next {
+                Ok(r) => {
+                    metrics.on_dequeue();
+                    batch.push(r);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Phase 3: shed expired requests.
+        let now = Instant::now();
+        let (live, dead): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|r| r.deadline.is_none_or(|d| d > now));
+        for r in dead {
+            metrics.on_timed_out();
+            let _ = r.reply.send(Err(ServeError::TimedOut));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        // Phase 4: run and demux.
+        let waits: Vec<Duration> = live.iter().map(|r| now - r.submitted).collect();
+        metrics.on_batch(live.len(), &waits);
+        let inputs: Vec<&[S]> = live.iter().map(|r| r.input.as_slice()).collect();
+        match engine.infer_batch(&inputs) {
+            Ok(outputs) => {
+                let done = Instant::now();
+                for (r, out) in live.into_iter().zip(outputs) {
+                    metrics.on_completed(done - r.submitted);
+                    let _ = r.reply.send(Ok(out));
+                }
+            }
+            Err(e) => {
+                for r in live {
+                    let _ = r.reply.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use blob::Shape;
+    use net::NetSpec;
+
+    const TRAIN: &str = r#"
+name: t
+layer {
+  name: d
+  type: Data
+  batch: 4
+  top: data
+  top: label
+}
+layer {
+  name: ip
+  type: InnerProduct
+  num_output: 3
+  seed: 5
+  bottom: data
+  top: ip
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip
+  bottom: label
+  top: prob
+}
+"#;
+
+    fn engines(n: usize) -> Vec<Engine<f32>> {
+        let spec = NetSpec::parse(TRAIN).unwrap();
+        crate::engine::build_replicas(
+            &spec,
+            &Shape::from(vec![6usize]),
+            &EngineConfig {
+                max_batch: 4,
+                n_threads: 1,
+            },
+            n,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_concurrent_clients() {
+        let server = Server::start(engines(2), BatchPolicy::default()).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let client = server.client();
+                std::thread::spawn(move || {
+                    let x = [i as f32 * 0.1; 6];
+                    client.infer(&x).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert_eq!(out.len(), 3);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.rejected, 0);
+        assert!(report.n_batches >= 2, "two replicas, >= 2 batches");
+    }
+
+    #[test]
+    fn rejects_wrong_sample_length() {
+        let server = Server::start(engines(1), BatchPolicy::default()).unwrap();
+        let e = server.infer(&[0.0; 5]).unwrap_err();
+        assert!(matches!(e, ServeError::BadInput(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let server = Server::start(engines(1), BatchPolicy::default()).unwrap();
+        // A deadline already in the past must come back TimedOut.
+        let past = Instant::now() - Duration::from_millis(1);
+        let e = server.infer_with_deadline(&[0.0; 6], past).unwrap_err();
+        assert_eq!(e, ServeError::TimedOut);
+        let report = server.shutdown();
+        assert_eq!(report.timed_out, 1);
+        assert_eq!(report.completed, 0);
+    }
+}

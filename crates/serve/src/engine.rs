@@ -1,0 +1,289 @@
+//! The inference engine: one deploy net + one persistent thread team.
+//!
+//! An [`Engine`] is built once (spec transform, blob allocation, workspace
+//! sizing) and then serves `infer_batch` calls for its whole lifetime —
+//! the serving analogue of the paper's persistent-team training loop,
+//! where thread creation and workspace allocation are hoisted out of the
+//! hot path.
+//!
+//! The engine's input blob is fixed at `[max_batch, sample...]`; partial
+//! batches are zero-padded up to `max_batch` and only the first `n` output
+//! rows are read back. Forward runs under `Phase::Test` (dropout disabled)
+//! with canonical-group reduction, so results are bit-identical for any
+//! team size — the property the serving determinism test pins down.
+
+use crate::deploy::deploy_spec;
+use crate::ServeError;
+use blob::Shape;
+use layers::ctx::{Phase, ReductionMode};
+use mmblas::Scalar;
+use net::{Net, NetSpec, RunConfig};
+use omprt::{Schedule, ThreadTeam};
+use std::io::Read;
+
+/// Construction-time engine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Fixed batch capacity of the input blob (the batcher's `max_batch`).
+    pub max_batch: usize,
+    /// Thread-team size for the coalesced layer loops.
+    pub n_threads: usize,
+}
+
+/// A forward-only network bound to a persistent thread team.
+pub struct Engine<S: Scalar = f32> {
+    net: Net<S>,
+    team: ThreadTeam,
+    run: RunConfig,
+    input_name: String,
+    output_name: String,
+    max_batch: usize,
+    sample_len: usize,
+    output_len: usize,
+    input_buf: Vec<S>,
+}
+
+impl<S: Scalar> Engine<S> {
+    /// Build an engine from a *training* spec: apply the deploy transform,
+    /// register the input blob at `[max_batch, sample_shape...]`, construct
+    /// the net, and spin up the thread team. Weights start at their random
+    /// initialization; load a snapshot with [`Engine::load_weights`].
+    pub fn build(
+        train_spec: &NetSpec,
+        sample_shape: &Shape,
+        cfg: &EngineConfig,
+    ) -> Result<Self, ServeError> {
+        if cfg.max_batch == 0 {
+            return Err(ServeError::Build("max_batch must be >= 1".into()));
+        }
+        let deploy = deploy_spec(train_spec)?;
+        let mut dims = Vec::with_capacity(1 + sample_shape.ndim());
+        dims.push(cfg.max_batch);
+        dims.extend_from_slice(sample_shape.dims());
+        let input_shape = Shape::from(dims);
+
+        let mut net =
+            Net::from_spec_with_inputs(&deploy.spec, None, &[(deploy.input.clone(), input_shape)])
+                .map_err(|e| ServeError::Build(e.to_string()))?;
+        let output_name = net
+            .output_names()
+            .last()
+            .map(|s| s.to_string())
+            .ok_or_else(|| ServeError::Build("deploy net has no output blob".into()))?;
+        let sample_len = sample_shape.count();
+        let output_len = net
+            .blob(&output_name)
+            .expect("output blob exists")
+            .sample_len();
+
+        let team = ThreadTeam::new(cfg.n_threads.max(1));
+        let run = RunConfig {
+            schedule: Schedule::Static,
+            // Canonical groups make the (forward-only) pass bit-identical
+            // across team sizes, matching the training replicas.
+            reduction: ReductionMode::Canonical { groups: 16 },
+            phase: Phase::Test,
+        };
+        // Size the workspace now, not on the first request.
+        net.ensure_workspace(team.size(), run.reduction);
+
+        Ok(Self {
+            input_buf: vec![S::ZERO; cfg.max_batch * sample_len],
+            net,
+            team,
+            run,
+            input_name: deploy.input,
+            output_name,
+            max_batch: cfg.max_batch,
+            sample_len,
+            output_len,
+        })
+    }
+
+    /// Load a `CGDN` snapshot into the engine's parameters.
+    pub fn load_weights(&mut self, r: impl Read) -> Result<(), ServeError> {
+        net::load_params(&mut self.net, r).map_err(|e| ServeError::Weights(e.to_string()))
+    }
+
+    /// Run one micro-batch of up to [`Engine::max_batch`] samples; returns
+    /// one output vector (length [`Engine::output_len`]) per sample, in
+    /// input order. The unused tail of the input blob is zeroed, so a
+    /// partial batch produces the same bits regardless of what ran before.
+    pub fn infer_batch(&mut self, samples: &[&[S]]) -> Result<Vec<Vec<S>>, ServeError> {
+        let n = samples.len();
+        if n == 0 || n > self.max_batch {
+            return Err(ServeError::BadInput(format!(
+                "batch of {n} samples, engine capacity is 1..={}",
+                self.max_batch
+            )));
+        }
+        for (i, s) in samples.iter().enumerate() {
+            if s.len() != self.sample_len {
+                return Err(ServeError::BadInput(format!(
+                    "sample {i} has {} values, engine expects {}",
+                    s.len(),
+                    self.sample_len
+                )));
+            }
+            self.input_buf[i * self.sample_len..(i + 1) * self.sample_len].copy_from_slice(s);
+        }
+        self.input_buf[n * self.sample_len..].fill(S::ZERO);
+
+        self.net
+            .set_input(&self.input_name, &self.input_buf)
+            .map_err(|e| ServeError::Build(e.to_string()))?;
+        self.net.forward(&self.team, &self.run);
+
+        let out = self
+            .net
+            .blob(&self.output_name)
+            .expect("output blob exists");
+        Ok((0..n).map(|i| out.sample_data(i).to_vec()).collect())
+    }
+
+    /// Batch capacity of the input blob.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Values per input sample.
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
+    /// Values per output sample.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// Name of the externally-fed input blob.
+    pub fn input_name(&self) -> &str {
+        &self.input_name
+    }
+
+    /// Name of the demuxed output blob.
+    pub fn output_name(&self) -> &str {
+        &self.output_name
+    }
+
+    /// Thread-team size.
+    pub fn team_size(&self) -> usize {
+        self.team.size()
+    }
+
+    /// Architecture table of the deploy net.
+    pub fn summary(&self) -> String {
+        self.net.summary()
+    }
+}
+
+/// Build `n` engine replicas from one spec and one snapshot. The snapshot
+/// bytes are read once and decoded into each replica; parameters are
+/// read-only from then on. (True buffer-level sharing would need `Arc`
+/// inside `Blob`; replicating the decoded weights keeps the training
+/// crates untouched at the cost of one parameter copy per replica.)
+pub fn build_replicas<S: Scalar>(
+    train_spec: &NetSpec,
+    sample_shape: &Shape,
+    cfg: &EngineConfig,
+    n_replicas: usize,
+    weights: Option<&[u8]>,
+) -> Result<Vec<Engine<S>>, ServeError> {
+    if n_replicas == 0 {
+        return Err(ServeError::Build("need at least one replica".into()));
+    }
+    let mut engines = Vec::with_capacity(n_replicas);
+    for _ in 0..n_replicas {
+        let mut e = Engine::build(train_spec, sample_shape, cfg)?;
+        if let Some(bytes) = weights {
+            e.load_weights(bytes)?;
+        }
+        engines.push(e);
+    }
+    Ok(engines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAIN: &str = r#"
+name: t
+layer {
+  name: d
+  type: Data
+  batch: 4
+  top: data
+  top: label
+}
+layer {
+  name: ip
+  type: InnerProduct
+  num_output: 3
+  seed: 11
+  bottom: data
+  top: ip
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip
+  bottom: label
+  top: prob
+}
+"#;
+
+    fn engine(max_batch: usize, threads: usize) -> Engine<f32> {
+        let spec = NetSpec::parse(TRAIN).unwrap();
+        Engine::build(
+            &spec,
+            &Shape::from(vec![6usize]),
+            &EngineConfig {
+                max_batch,
+                n_threads: threads,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn infer_batch_returns_per_sample_softmax() {
+        let mut e = engine(4, 2);
+        assert_eq!(e.output_name(), "prob");
+        assert_eq!(e.output_len(), 3);
+        let a = [0.3f32; 6];
+        let b = [1.5f32; 6];
+        let outs = e.infer_batch(&[&a, &b]).unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            let sum: f32 = o.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "softmax rows sum to 1, got {sum}");
+        }
+    }
+
+    #[test]
+    fn partial_batch_matches_full_position() {
+        let mut e = engine(4, 2);
+        let a = [0.7f32; 6];
+        let alone = e.infer_batch(&[&a]).unwrap();
+        let b = [2.0f32; 6];
+        let pair = e.infer_batch(&[&a, &b]).unwrap();
+        assert_eq!(alone[0], pair[0], "batch position must not change the bits");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut e = engine(2, 1);
+        let short = [0.0f32; 3];
+        assert!(matches!(
+            e.infer_batch(&[&short]),
+            Err(ServeError::BadInput(_))
+        ));
+        let ok = [0.0f32; 6];
+        assert!(matches!(
+            e.infer_batch(&[&ok, &ok, &ok]),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(matches!(e.infer_batch(&[]), Err(ServeError::BadInput(_))));
+    }
+}

@@ -1,0 +1,290 @@
+//! Serving metrics: latency percentiles, batch-size distribution, queue
+//! depth, admission counters, throughput — plus the same CSV form factor
+//! as `machine::csv` so serving numbers land next to the figure data.
+//!
+//! [`ServingMetrics`] is the live, thread-shared accumulator the server
+//! and its workers write into; [`ServingReport`] is the immutable summary
+//! snapshotted from it at shutdown (or any other moment).
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Thread-shared metrics accumulator.
+#[derive(Default)]
+pub struct ServingMetrics {
+    latencies_us: Mutex<Vec<f64>>,
+    queue_wait_us: Mutex<Vec<f64>>,
+    batch_sizes: Mutex<Vec<usize>>,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    depth: AtomicUsize,
+    max_depth: AtomicUsize,
+    window: Mutex<Option<(Instant, Instant)>>,
+}
+
+impl ServingMetrics {
+    /// A request was admitted to the queue.
+    pub fn on_enqueue(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_depth.fetch_max(d, Ordering::Relaxed);
+        let now = Instant::now();
+        let mut w = self.window.lock();
+        *w = match *w {
+            None => Some((now, now)),
+            Some((s, e)) => Some((s, e.max(now))),
+        };
+    }
+
+    /// A request left the queue (for any reason).
+    pub fn on_dequeue(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A request bounced off the full queue.
+    pub fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request's deadline expired before execution.
+    pub fn on_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A micro-batch of `n` live requests is about to run; `waits` are the
+    /// per-request queue delays (submit → batch assembly).
+    pub fn on_batch(&self, n: usize, waits: &[Duration]) {
+        self.batch_sizes.lock().push(n);
+        let mut q = self.queue_wait_us.lock();
+        q.extend(waits.iter().map(|d| d.as_secs_f64() * 1e6));
+    }
+
+    /// A request completed successfully after `latency` (submit → reply).
+    pub fn on_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies_us.lock().push(latency.as_secs_f64() * 1e6);
+        let now = Instant::now();
+        let mut w = self.window.lock();
+        *w = match *w {
+            None => Some((now, now)),
+            Some((s, e)) => Some((s, e.max(now))),
+        };
+    }
+
+    /// Snapshot the accumulated counters into an immutable report.
+    pub fn report(&self) -> ServingReport {
+        let latencies = self.latencies_us.lock().clone();
+        let waits = self.queue_wait_us.lock().clone();
+        let batches = self.batch_sizes.lock().clone();
+        let wall_secs = self
+            .window
+            .lock()
+            .map(|(s, e)| (e - s).as_secs_f64())
+            .unwrap_or(0.0);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let mut hist: Vec<(usize, u64)> = Vec::new();
+        for &b in &batches {
+            match hist.iter_mut().find(|(size, _)| *size == b) {
+                Some((_, c)) => *c += 1,
+                None => hist.push((b, 1)),
+            }
+        }
+        hist.sort_unstable();
+        ServingReport {
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            p50_us: percentile(&latencies, 0.50),
+            p95_us: percentile(&latencies, 0.95),
+            p99_us: percentile(&latencies, 0.99),
+            mean_latency_us: mean(&latencies),
+            max_latency_us: latencies.iter().cloned().fold(0.0, f64::max),
+            mean_queue_wait_us: mean(&waits),
+            mean_batch: if batches.is_empty() {
+                0.0
+            } else {
+                batches.iter().sum::<usize>() as f64 / batches.len() as f64
+            },
+            max_batch: batches.iter().cloned().max().unwrap_or(0),
+            n_batches: batches.len() as u64,
+            batch_hist: hist,
+            max_queue_depth: self.max_depth.load(Ordering::Relaxed),
+            wall_secs,
+            throughput_rps: if wall_secs > 0.0 {
+                completed as f64 / wall_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample; 0 when empty.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Immutable summary of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests bounced off the full admission queue.
+    pub rejected: u64,
+    /// Requests whose deadline expired before execution.
+    pub timed_out: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_latency_us: f64,
+    /// Mean queue delay before batch assembly, microseconds.
+    pub mean_queue_wait_us: f64,
+    /// Mean executed micro-batch size.
+    pub mean_batch: f64,
+    /// Largest executed micro-batch.
+    pub max_batch: usize,
+    /// Number of executed micro-batches.
+    pub n_batches: u64,
+    /// `(batch_size, count)` distribution, ascending by size.
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: usize,
+    /// First enqueue → last completion, seconds.
+    pub wall_secs: f64,
+    /// Completed requests per second over that window.
+    pub throughput_rps: f64,
+}
+
+impl ServingReport {
+    /// `metric,value` CSV of every scalar in the report.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        out.push_str(&format!("completed,{}\n", self.completed));
+        out.push_str(&format!("rejected,{}\n", self.rejected));
+        out.push_str(&format!("timed_out,{}\n", self.timed_out));
+        out.push_str(&format!("p50_us,{:.3}\n", self.p50_us));
+        out.push_str(&format!("p95_us,{:.3}\n", self.p95_us));
+        out.push_str(&format!("p99_us,{:.3}\n", self.p99_us));
+        out.push_str(&format!("mean_latency_us,{:.3}\n", self.mean_latency_us));
+        out.push_str(&format!("max_latency_us,{:.3}\n", self.max_latency_us));
+        out.push_str(&format!(
+            "mean_queue_wait_us,{:.3}\n",
+            self.mean_queue_wait_us
+        ));
+        out.push_str(&format!("mean_batch,{:.3}\n", self.mean_batch));
+        out.push_str(&format!("max_batch,{}\n", self.max_batch));
+        out.push_str(&format!("n_batches,{}\n", self.n_batches));
+        out.push_str(&format!("max_queue_depth,{}\n", self.max_queue_depth));
+        out.push_str(&format!("wall_secs,{:.4}\n", self.wall_secs));
+        out.push_str(&format!("throughput_rps,{:.2}\n", self.throughput_rps));
+        out
+    }
+
+    /// `batch_size,count` CSV of the micro-batch size distribution.
+    pub fn batch_hist_csv(&self) -> String {
+        let mut out = String::from("batch_size,count\n");
+        for &(size, count) in &self.batch_hist {
+            out.push_str(&format!("{size},{count}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "completed {}  rejected {}  timed_out {}",
+            self.completed, self.rejected, self.timed_out
+        )?;
+        writeln!(
+            f,
+            "latency us: p50 {:.1}  p95 {:.1}  p99 {:.1}  mean {:.1}  max {:.1}",
+            self.p50_us, self.p95_us, self.p99_us, self.mean_latency_us, self.max_latency_us
+        )?;
+        writeln!(
+            f,
+            "batches: {} executed, mean size {:.2}, max size {}, mean queue wait {:.1} us",
+            self.n_batches, self.mean_batch, self.max_batch, self.mean_queue_wait_us
+        )?;
+        write!(
+            f,
+            "throughput: {:.1} req/s over {:.3} s (max queue depth {})",
+            self.throughput_rps, self.wall_secs, self.max_queue_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn report_aggregates_counters() {
+        let m = ServingMetrics::default();
+        m.on_enqueue();
+        m.on_enqueue();
+        m.on_dequeue();
+        m.on_dequeue();
+        m.on_rejected();
+        m.on_batch(2, &[Duration::from_micros(10), Duration::from_micros(30)]);
+        m.on_completed(Duration::from_micros(100));
+        m.on_completed(Duration::from_micros(300));
+        let r = m.report();
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.timed_out, 0);
+        assert_eq!(r.max_queue_depth, 2);
+        assert_eq!(r.mean_batch, 2.0);
+        assert_eq!(r.batch_hist, vec![(2, 1)]);
+        assert_eq!(r.mean_queue_wait_us, 20.0);
+        assert_eq!(r.p50_us, 100.0);
+        assert_eq!(r.p99_us, 300.0);
+    }
+
+    #[test]
+    fn csv_rows_have_two_columns() {
+        let r = ServingMetrics::default().report();
+        for text in [r.csv(), r.batch_hist_csv()] {
+            let mut lines = text.lines();
+            let cols = lines.next().unwrap().split(',').count();
+            assert_eq!(cols, 2);
+            for l in lines {
+                assert_eq!(l.split(',').count(), cols, "row {l}");
+            }
+        }
+    }
+}

@@ -186,7 +186,12 @@ impl<S: Scalar> Solver<S> {
         if let Some(clip) = self.cfg.clip_gradients {
             let sumsq: f64 = params
                 .iter()
-                .map(|p| p.diff().iter().map(|g| g.to_f64() * g.to_f64()).sum::<f64>())
+                .map(|p| {
+                    p.diff()
+                        .iter()
+                        .map(|g| g.to_f64() * g.to_f64())
+                        .sum::<f64>()
+                })
                 .sum();
             let norm = sumsq.sqrt();
             if norm > clip {
@@ -243,9 +248,7 @@ impl<S: Scalar> Solver<S> {
                     for i in 0..data.len() {
                         let g = diff[i] + decay * data[i];
                         h[2 * i] = d * h[2 * i] + (S::ONE - d) * g * g;
-                        let dx = -((h[2 * i + 1] + eps).sqrt()
-                            / (h[2 * i] + eps).sqrt())
-                            * g;
+                        let dx = -((h[2 * i + 1] + eps).sqrt() / (h[2 * i] + eps).sqrt()) * g;
                         h[2 * i + 1] = d * h[2 * i + 1] + (S::ONE - d) * dx * dx;
                         data[i] += lr * dx;
                     }
@@ -332,10 +335,7 @@ pub fn evaluate<S: Scalar>(
         }
     }
     let denom = S::from_usize(batches.max(1));
-    (
-        loss / denom,
-        if has_acc { Some(acc / denom) } else { None },
-    )
+    (loss / denom, if has_acc { Some(acc / denom) } else { None })
 }
 
 #[cfg(test)]

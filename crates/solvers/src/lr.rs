@@ -34,9 +34,7 @@ impl LrPolicy {
             LrPolicy::Step { gamma, stepsize } => {
                 base_lr * gamma.powi((iter / stepsize.max(1)) as i32)
             }
-            LrPolicy::Inv { gamma, power } => {
-                base_lr * (1.0 + gamma * iter as f64).powf(-power)
-            }
+            LrPolicy::Inv { gamma, power } => base_lr * (1.0 + gamma * iter as f64).powf(-power),
             LrPolicy::Exp { gamma } => base_lr * gamma.powi(iter as i32),
         }
     }

@@ -32,8 +32,7 @@ fn main() {
         .unwrap_or(5);
 
     println!("== cifar10_full, coarse-grain parallel training ==\n");
-    let mut trainer =
-        CoarseGrainTrainer::<f32>::cifar10_full(source(), 2).expect("spec builds");
+    let mut trainer = CoarseGrainTrainer::<f32>::cifar10_full(source(), 2).expect("spec builds");
     for i in 0..iters {
         let loss = trainer.step();
         println!("iter {:>3}  loss {:.4}", i + 1, loss);

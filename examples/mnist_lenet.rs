@@ -22,11 +22,7 @@ fn source() -> Box<dyn BatchSource<f32>> {
         let (images, rows, cols) = datasets::read_idx_images(imgs).expect("valid IDX images");
         let labels = datasets::read_idx_labels(lbls).expect("valid IDX labels");
         println!("using real MNIST: {} images of {rows}x{cols}", images.len());
-        return Box::new(InMemoryDataset::new(
-            images,
-            labels,
-            [1usize, rows, cols],
-        ));
+        return Box::new(InMemoryDataset::new(images, labels, [1usize, rows, cols]));
     }
     println!("real MNIST not found under data/ — using the synthetic generator");
     Box::new(SyntheticMnist::new(8192, 7))
@@ -45,7 +41,11 @@ fn train(threads: usize, iters: usize) -> (Vec<f32>, Vec<(String, f64, f64)>) {
     let times: Vec<(String, f64, f64)> = net
         .layer_names()
         .iter()
-        .zip(net.last_forward_seconds().iter().zip(net.last_backward_seconds()))
+        .zip(
+            net.last_forward_seconds()
+                .iter()
+                .zip(net.last_backward_seconds()),
+        )
         .map(|(n, (f, b))| (n.to_string(), *f, *b))
         .collect();
     (losses, times)
@@ -68,9 +68,7 @@ fn main() {
     println!("\nre-running identically with 4 threads to check invariance...");
     let (losses_b, _) = train(4, iters);
     let identical = losses_a == losses_b;
-    println!(
-        "loss trajectories bitwise identical across thread counts: {identical}"
-    );
+    println!("loss trajectories bitwise identical across thread counts: {identical}");
     println!(
         "final loss: {:.4} (started at {:.4})",
         losses_a.last().unwrap(),

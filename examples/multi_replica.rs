@@ -22,19 +22,19 @@ fn main() {
     let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
     let logical_batch = 64usize;
     assert!(
-        logical_batch % replicas == 0,
+        logical_batch.is_multiple_of(replicas),
         "replicas must divide the logical batch of {logical_batch}"
     );
 
-    println!("== synchronous data parallelism: {replicas} replicas x batch {}", logical_batch / replicas);
+    println!(
+        "== synchronous data parallelism: {replicas} replicas x batch {}",
+        logical_batch / replicas
+    );
 
     // Reference: one model, the full logical batch.
     let ref_spec = lenet_spec_with_batch(logical_batch);
-    let mut net = Net::<f32>::from_spec(
-        &ref_spec,
-        Some(Box::new(SyntheticMnist::new(4096, 17))),
-    )
-    .unwrap();
+    let mut net =
+        Net::<f32>::from_spec(&ref_spec, Some(Box::new(SyntheticMnist::new(4096, 17)))).unwrap();
     let team = ThreadTeam::new(2);
     let run = RunConfig {
         reduction: ReductionMode::Canonical { groups: 16 },
@@ -56,7 +56,10 @@ fn main() {
     .unwrap();
     let sharded = dp.train(iters);
 
-    println!("\n{:<6}{:>16}{:>16}{:>12}", "iter", "single-model", "data-parallel", "|delta|");
+    println!(
+        "\n{:<6}{:>16}{:>16}{:>12}",
+        "iter", "single-model", "data-parallel", "|delta|"
+    );
     let mut max_delta = 0.0f32;
     for (i, (a, b)) in single.iter().zip(&sharded).enumerate() {
         let d = (a - b).abs();

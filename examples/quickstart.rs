@@ -33,7 +33,12 @@ fn main() {
         losses.push(loss);
         if i == 0 || i + 1 - last_report >= 10 || i + 1 == iters {
             last_report = i + 1;
-            println!("iter {:>4}  loss {:.4}  lr {:.5}", i + 1, loss, trainer.solver().lr_at(i as u64));
+            println!(
+                "iter {:>4}  loss {:.4}  lr {:.5}",
+                i + 1,
+                loss,
+                trainer.solver().lr_at(i as u64)
+            );
         }
     }
 

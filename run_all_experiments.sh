@@ -23,6 +23,7 @@ BINS=(
   e13_fine_grain_cpu
   e14_batch_sweep
   e15_scaling_projection
+  e16_serving_throughput
   calibrate
 )
 for b in "${BINS[@]}"; do

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to a crates.io registry, so the
+//! workspace vendors a small wall-clock harness with criterion's calling
+//! conventions: `benchmark_group` / `bench_with_input` / `bench_function`,
+//! `Bencher::iter`, [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs `sample_size` timed
+//! samples after one warm-up and prints mean/min per-iteration time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier `function_name/parameter` for one benchmark point.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// New id from a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min per-iteration nanoseconds of the last `iter` call.
+    results: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Time `f`, running one warm-up and `sample_size` measured samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        let mut mean_sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let ns = t0.elapsed().as_nanos() as f64;
+            mean_sum += ns;
+            min = min.min(ns);
+        }
+        self.results = Some((mean_sum / self.samples as f64, min));
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        results: None,
+    };
+    let t0 = Instant::now();
+    f(&mut b);
+    match b.results {
+        Some((mean, min)) => println!(
+            "bench {label:<50} mean {:>12} min {:>12} ({samples} samples)",
+            fmt_ns(mean),
+            fmt_ns(min)
+        ),
+        None => println!(
+            "bench {label:<50} completed in {:?} (no iter() call)",
+            t0.elapsed()
+        ),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement time budget (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labelled by `name` within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builder: set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// `criterion_group!` — both the list form and the `name/config/targets`
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!` — generates `fn main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_round_trip() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3usize, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert!(ran >= 2);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,5 @@
+//! Numeric strategy namespace (`prop::num`). Range strategies live as
+//! `impl Strategy for Range<T>` in [`crate::strategy`]; this module exists
+//! so `prop::num` paths resolve.
+
+pub use crate::strategy::Strategy;

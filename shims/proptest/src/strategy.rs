@@ -1,0 +1,120 @@
+//! Core [`Strategy`] trait and the numeric/tuple strategy implementations.
+
+use crate::TestRng;
+use std::ops::Range;
+
+/// A generator of arbitrary values of type `Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one value from the deterministic per-case RNG.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy producing always the same value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(7);
+        for _ in 0..200 {
+            let u = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-5i32..-1).generate(&mut rng);
+            assert!((-5..-1).contains(&i));
+        }
+    }
+
+    #[test]
+    fn tuples_and_just() {
+        let mut rng = TestRng::for_case(1);
+        let (a, b, c) = (1usize..4, 0u64..10, -1.0f64..1.0).generate(&mut rng);
+        assert!(a < 4 && b < 10 && c.abs() <= 1.0);
+        assert_eq!(Just(42).generate(&mut rng), 42);
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let draw = || {
+            let mut rng = TestRng::for_case(3);
+            (0usize..1000).generate(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `rayon` crate, backed by scoped threads.
+//!
+//! The build container has no access to a crates.io registry, so the
+//! workspace vendors the slice of rayon it uses: `par_chunks_mut` on
+//! mutable slices with `.enumerate().for_each(...)`. Work is split over
+//! `std::thread::available_parallelism` scoped threads; each chunk is
+//! processed by exactly one thread, so kernels that are bitwise-identical
+//! per chunk stay bitwise-identical here.
+
+/// The traits and types user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Extension trait providing `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of at most `chunk_size`, processed in
+    /// parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: zero chunk size");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate {
+            items: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct ParEnumerate<'a, T: Send> {
+    items: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> ParEnumerate<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let mut items = self.items;
+        let nt = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(items.len());
+        if nt <= 1 {
+            for it in items {
+                f(it);
+            }
+            return;
+        }
+        let per = items.len().div_ceil(nt);
+        std::thread::scope(|s| {
+            while !items.is_empty() {
+                let take = per.min(items.len());
+                let group: Vec<(usize, &'a mut [T])> = items.drain(..take).collect();
+                let f = &f;
+                s.spawn(move || {
+                    for it in group {
+                        f(it);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn every_chunk_visited_once_with_correct_index() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(blk, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = blk + 1;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 10 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_without_enumerate() {
+        let mut v = vec![1i32; 64];
+        v.par_chunks_mut(7).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<i32> = Vec::new();
+        v.par_chunks_mut(4)
+            .enumerate()
+            .for_each(|_| panic!("no chunks"));
+    }
+}

@@ -7,8 +7,7 @@ use cgdnn::prelude::*;
 
 #[test]
 fn cifar_quick_trains_one_iteration() {
-    let mut net =
-        cgdnn::nets::cifar10_quick::<f32>(Box::new(SyntheticCifar::new(128, 2))).unwrap();
+    let mut net = cgdnn::nets::cifar10_quick::<f32>(Box::new(SyntheticCifar::new(128, 2))).unwrap();
     let team = ThreadTeam::new(2);
     let run = RunConfig::default();
     let mut solver: Solver<f32> = Solver::new(SolverConfig::cifar());

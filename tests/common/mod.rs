@@ -2,6 +2,10 @@
 //! network (same layer types as LeNet, smaller shapes) so debug-build test
 //! runs stay fast.
 
+// Each test binary compiles its own copy of this module and none uses every
+// helper, so per-binary dead-code analysis is noise here.
+#![allow(dead_code)]
+
 use cgdnn::prelude::*;
 
 /// A miniature LeNet: batch 8, 1x12x12 inputs, conv-pool-conv-pool-ip-loss.

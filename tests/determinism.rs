@@ -6,12 +6,7 @@ mod common;
 use cgdnn::prelude::*;
 use common::{tiny_net, TinySource};
 
-fn train_losses(
-    threads: usize,
-    mode: ReductionMode,
-    schedule: Schedule,
-    iters: usize,
-) -> Vec<f32> {
+fn train_losses(threads: usize, mode: ReductionMode, schedule: Schedule, iters: usize) -> Vec<f32> {
     let mut net = tiny_net(5);
     let team = ThreadTeam::new(threads);
     let run = RunConfig {
@@ -25,16 +20,31 @@ fn train_losses(
 
 #[test]
 fn canonical_reduction_is_bitwise_invariant_across_threads() {
-    let base = train_losses(1, ReductionMode::Canonical { groups: 16 }, Schedule::Static, 3);
+    let base = train_losses(
+        1,
+        ReductionMode::Canonical { groups: 16 },
+        Schedule::Static,
+        3,
+    );
     for t in [2, 3, 4, 6] {
-        let l = train_losses(t, ReductionMode::Canonical { groups: 16 }, Schedule::Static, 3);
+        let l = train_losses(
+            t,
+            ReductionMode::Canonical { groups: 16 },
+            Schedule::Static,
+            3,
+        );
         assert_eq!(base, l, "thread count {t} changed the loss trajectory");
     }
 }
 
 #[test]
 fn canonical_reduction_is_bitwise_invariant_across_schedules() {
-    let base = train_losses(3, ReductionMode::Canonical { groups: 16 }, Schedule::Static, 2);
+    let base = train_losses(
+        3,
+        ReductionMode::Canonical { groups: 16 },
+        Schedule::Static,
+        2,
+    );
     for sched in [
         Schedule::StaticChunk(3),
         Schedule::Dynamic(2),
@@ -60,7 +70,12 @@ fn ordered_one_thread_equals_canonical_any_thread() {
     // reproduce it bitwise (slot chunks of Canonical(G) at T=1 are merged in
     // the identical order).
     let seq = train_losses(1, ReductionMode::Ordered, Schedule::Static, 3);
-    let can1 = train_losses(1, ReductionMode::Canonical { groups: 16 }, Schedule::Static, 3);
+    let can1 = train_losses(
+        1,
+        ReductionMode::Canonical { groups: 16 },
+        Schedule::Static,
+        3,
+    );
     // Both accumulate sample-chunk gradients in the same global order only
     // when the chunking matches; with 16 groups vs 1 group the FP grouping
     // differs, so allow tolerance here — the *invariance across T* above is
@@ -91,6 +106,54 @@ fn forward_is_bitwise_reproducible_for_any_team_size() {
     let base = forward_scores(1);
     for t in [2, 4, 5] {
         assert_eq!(base, forward_scores(t), "forward differs at {t} threads");
+    }
+}
+
+#[test]
+fn serving_inference_is_bitwise_invariant_across_team_sizes() {
+    // Train briefly, snapshot, then push one identical request batch
+    // through serving engines (Phase::Test forward path) with team sizes
+    // 1, 2, and 8 — the outputs must be bit-identical.
+    let mut trained = tiny_net(5);
+    let team = ThreadTeam::new(2);
+    let run = RunConfig {
+        reduction: ReductionMode::Canonical { groups: 16 },
+        ..RunConfig::default()
+    };
+    let mut solver: Solver<f32> = Solver::new(SolverConfig::lenet());
+    solver.train(&mut trained, &team, &run, 2);
+    let mut snap = Vec::new();
+    net::save_params(&trained, &mut snap).unwrap();
+
+    let spec = NetSpec::parse(common::TINY_SPEC).unwrap();
+    let shape = Shape::from([1usize, 12, 12]);
+    let src = TinySource { n: 16, seed: 77 };
+    let samples: Vec<Vec<f32>> = (0..6)
+        .map(|i| {
+            let mut s = vec![0.0f32; 144];
+            src.fill(i, &mut s);
+            s
+        })
+        .collect();
+    let refs: Vec<&[f32]> = samples.iter().map(|s| s.as_slice()).collect();
+
+    let outputs = |threads: usize| -> Vec<Vec<f32>> {
+        let mut e = serve::Engine::<f32>::build(
+            &spec,
+            &shape,
+            &serve::EngineConfig {
+                max_batch: 8,
+                n_threads: threads,
+            },
+        )
+        .unwrap();
+        e.load_weights(snap.as_slice()).unwrap();
+        e.infer_batch(&refs).unwrap()
+    };
+    let base = outputs(1);
+    assert_eq!(base.len(), 6);
+    for t in [2, 8] {
+        assert_eq!(base, outputs(t), "serving output differs at {t} threads");
     }
 }
 

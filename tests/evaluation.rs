@@ -106,7 +106,10 @@ fn accuracy_improves_with_training() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full-size LeNet training; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-size LeNet training; run with --release"
+)]
 fn lenet_learns_synthetic_mnist_to_high_accuracy() {
     // The full-size LeNet on the synthetic digit glyphs: after 40 batch-64
     // iterations it must classify well above chance (the quickstart example

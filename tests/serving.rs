@@ -1,0 +1,161 @@
+//! End-to-end serving tests: the dynamic batcher must be semantically
+//! invisible (batched answers identical to one-at-a-time forwards) and
+//! overload must surface as explicit rejections, not unbounded queueing.
+
+mod common;
+
+use cgdnn::prelude::*;
+use common::{TinySource, TINY_SPEC};
+use serve::{BatchPolicy, Engine, EngineConfig, ServeError, Server};
+use std::time::Duration;
+
+fn trained_snapshot() -> Vec<u8> {
+    let spec = NetSpec::parse(TINY_SPEC).unwrap();
+    let mut net =
+        Net::<f32>::from_spec(&spec, Some(Box::new(TinySource { n: 64, seed: 3 }))).unwrap();
+    let team = ThreadTeam::new(2);
+    let run = RunConfig {
+        reduction: ReductionMode::Canonical { groups: 16 },
+        ..RunConfig::default()
+    };
+    let mut solver: Solver<f32> = Solver::new(SolverConfig::lenet());
+    solver.train(&mut net, &team, &run, 2);
+    let mut buf = Vec::new();
+    net::save_params(&net, &mut buf).unwrap();
+    buf
+}
+
+fn request_samples(n: usize) -> Vec<Vec<f32>> {
+    let src = TinySource { n: 64, seed: 21 };
+    (0..n)
+        .map(|i| {
+            let mut s = vec![0.0f32; 144];
+            src.fill(i, &mut s);
+            s
+        })
+        .collect()
+}
+
+fn build_engines(n: usize, snapshot: &[u8]) -> Vec<Engine<f32>> {
+    let spec = NetSpec::parse(TINY_SPEC).unwrap();
+    serve::engine::build_replicas(
+        &spec,
+        &Shape::from([1usize, 12, 12]),
+        &EngineConfig {
+            max_batch: 8,
+            n_threads: 2,
+        },
+        n,
+        Some(snapshot),
+    )
+    .unwrap()
+}
+
+#[test]
+fn batched_serving_matches_one_at_a_time_forwards() {
+    let snap = trained_snapshot();
+    let samples = request_samples(24);
+
+    // Reference: every sample alone through a solo engine.
+    let mut solo = build_engines(1, &snap).remove(0);
+    let expected: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|s| solo.infer_batch(&[s.as_slice()]).unwrap().remove(0))
+        .collect();
+
+    // Served: concurrent clients through the dynamic batcher over two
+    // replicas, so samples land in arbitrary batch compositions.
+    let server = Server::start(
+        build_engines(2, &snap),
+        BatchPolicy {
+            max_delay: Duration::from_millis(5),
+            queue_depth: 64,
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            let client = server.client();
+            let s = s.clone();
+            std::thread::spawn(move || client.infer(&s).unwrap())
+        })
+        .collect();
+    let served: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let report = server.shutdown();
+
+    assert_eq!(report.completed, 24);
+    for (i, (want, got)) in expected.iter().zip(&served).enumerate() {
+        assert_eq!(want, got, "sample {i}: batched bits differ from solo run");
+    }
+    // The batcher actually batched (not 24 singleton batches) — with 24
+    // concurrent clients and a 5 ms window this is deterministic enough.
+    assert!(
+        report.n_batches < 24,
+        "expected some coalescing, got {} batches",
+        report.n_batches
+    );
+}
+
+#[test]
+fn overload_is_rejected_not_queued_unboundedly() {
+    let snap = trained_snapshot();
+    let server = Server::start(
+        build_engines(1, &snap),
+        BatchPolicy {
+            max_delay: Duration::from_millis(1),
+            queue_depth: 2,
+        },
+    )
+    .unwrap();
+    let samples = request_samples(1);
+    // Burst far past the queue bound from many threads at once.
+    let handles: Vec<_> = (0..32)
+        .map(|_| {
+            let client = server.client();
+            let s = samples[0].clone();
+            std::thread::spawn(move || client.infer(&s))
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let report = server.shutdown();
+
+    let rejected = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Rejected)))
+        .count() as u64;
+    let ok = results.iter().filter(|r| r.is_ok()).count() as u64;
+    assert_eq!(ok + rejected, 32, "only Ok or Rejected outcomes expected");
+    assert_eq!(report.completed, ok);
+    assert_eq!(report.rejected, rejected);
+    assert!(
+        rejected > 0,
+        "a 2-deep queue under a 32-request burst must shed load"
+    );
+    assert!(
+        report.max_queue_depth <= 2 + 32,
+        "queue depth bounded by capacity plus in-flight race slack"
+    );
+}
+
+#[test]
+fn deadline_expiry_is_reported_per_request() {
+    let snap = trained_snapshot();
+    let server = Server::start(
+        build_engines(1, &snap),
+        BatchPolicy {
+            max_delay: Duration::from_millis(1),
+            queue_depth: 16,
+        },
+    )
+    .unwrap();
+    let s = request_samples(1).remove(0);
+    // Generous deadline completes; already-expired deadline times out.
+    let ok = server.infer_with_deadline(&s, std::time::Instant::now() + Duration::from_secs(30));
+    assert!(ok.is_ok());
+    let late = server.infer_with_deadline(&s, std::time::Instant::now() - Duration::from_millis(1));
+    assert_eq!(late.unwrap_err(), ServeError::TimedOut);
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.timed_out, 1);
+}

@@ -108,7 +108,10 @@ fn fig6_mnist_overall_speedups_in_paper_bands() {
     assert!(s16 > s8);
     let plain = sim.gpu_plain_speedup();
     let cudnn = sim.gpu_cudnn_speedup();
-    assert!((1.0..4.5).contains(&plain), "plain-GPU {plain:.2}, paper ~2");
+    assert!(
+        (1.0..4.5).contains(&plain),
+        "plain-GPU {plain:.2}, paper ~2"
+    );
     assert!((9.0..24.0).contains(&cudnn), "cuDNN {cudnn:.2}, paper ~12");
     // Ordering: plain-GPU < coarse-grain@16 < cuDNN (the paper's headline).
     assert!(plain < s16 && s16 < cudnn);
@@ -172,7 +175,10 @@ fn fig9_cifar_overall_speedups_in_paper_bands() {
     let s8 = sim.cpu_speedup(8).unwrap();
     let s16 = sim.cpu_speedup(16).unwrap();
     assert!((4.5..7.5).contains(&s8), "CIFAR @8T {s8:.2}, paper ~6");
-    assert!((7.0..11.0).contains(&s16), "CIFAR @16T {s16:.2}, paper 8.83");
+    assert!(
+        (7.0..11.0).contains(&s16),
+        "CIFAR @16T {s16:.2}, paper 8.83"
+    );
     let plain = sim.gpu_plain_speedup();
     let cudnn = sim.gpu_cudnn_speedup();
     assert!((3.0..8.0).contains(&plain), "plain {plain:.2}, paper ~6");
@@ -190,7 +196,11 @@ fn fig9_cifar_gpu_per_layer_orderings() {
     let cudnn = per_layer_speedups(sim.serial(), &sim.gpu_cudnn);
     // Plain convs are the bottleneck (paper 1.8x-6x).
     for c in ["conv1", "conv2", "conv3"] {
-        assert!((1.0..10.0).contains(&fwd(&plain, c)), "{c}: {}", fwd(&plain, c));
+        assert!(
+            (1.0..10.0).contains(&fwd(&plain, c)),
+            "{c}: {}",
+            fwd(&plain, c)
+        );
     }
     // LRN is strong on the GPU (paper ~40x).
     assert!(fwd(&plain, "norm1") > 20.0);

@@ -1,0 +1,98 @@
+//! Snapshot error paths at the integration level: the serving tier trusts
+//! `load_params` to reject malformed files loudly, so every corruption
+//! class gets a test — truncation, bad magic, wrong version — plus the
+//! `f32` round-trip (values travel as `f64`, so no precision is lost).
+
+mod common;
+
+use cgdnn::prelude::*;
+use common::tiny_net;
+
+fn snapshot_bytes() -> Vec<u8> {
+    let net = tiny_net(13);
+    let mut buf = Vec::new();
+    net::save_params(&net, &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn f32_round_trip_is_bit_exact() {
+    let src = tiny_net(13);
+    let buf = snapshot_bytes();
+    let mut dst = tiny_net(99); // different init, same shapes
+    net::load_params(&mut dst, buf.as_slice()).unwrap();
+    for (a, b) in src.learnable_params().iter().zip(dst.learnable_params()) {
+        assert_eq!(a.shape().dims(), b.shape().dims());
+        assert_eq!(
+            a.data(),
+            b.data(),
+            "f64 storage must round-trip f32 exactly"
+        );
+    }
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_at_any_cut() {
+    let buf = snapshot_bytes();
+    // Cut in the header, in a shape record, and mid-values.
+    for cut in [0, 2, 7, 11, buf.len() / 2, buf.len() - 1] {
+        let mut net = tiny_net(13);
+        assert!(
+            net::load_params(&mut net, &buf[..cut]).is_err(),
+            "truncation at {cut} bytes must fail"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut buf = snapshot_bytes();
+    buf[0..4].copy_from_slice(b"NOPE");
+    let mut net = tiny_net(13);
+    let e = net::load_params(&mut net, buf.as_slice()).unwrap_err();
+    assert!(e.to_string().contains("magic"), "got: {e}");
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut buf = snapshot_bytes();
+    // Version field sits right after the 4-byte magic, little-endian u32.
+    buf[4..8].copy_from_slice(&2u32.to_le_bytes());
+    let mut net = tiny_net(13);
+    let e = net::load_params(&mut net, buf.as_slice()).unwrap_err();
+    assert!(e.to_string().contains("version"), "got: {e}");
+}
+
+#[test]
+fn trailing_garbage_is_tolerated_but_short_blob_count_is_not() {
+    // The reader consumes exactly what the header promises; extra trailing
+    // bytes (e.g. a concatenated file) do not corrupt the load.
+    let mut buf = snapshot_bytes();
+    let clean = buf.clone();
+    buf.extend_from_slice(&[0xAB; 16]);
+    let mut net = tiny_net(13);
+    net::load_params(&mut net, buf.as_slice()).unwrap();
+    // But a lying blob count fails.
+    let mut lying = clean;
+    lying[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(net::load_params(&mut net, lying.as_slice()).is_err());
+}
+
+#[test]
+fn serving_engine_propagates_snapshot_errors() {
+    // The serve tier wraps io errors in ServeError::Weights.
+    let spec = NetSpec::parse(common::TINY_SPEC).unwrap();
+    let mut engine = serve::Engine::<f32>::build(
+        &spec,
+        &Shape::from([1usize, 12, 12]),
+        &serve::EngineConfig {
+            max_batch: 4,
+            n_threads: 1,
+        },
+    )
+    .unwrap();
+    let e = engine.load_weights(&b"XXXX"[..]).unwrap_err();
+    assert!(matches!(e, serve::ServeError::Weights(_)));
+    // A valid snapshot for the same architecture loads fine.
+    engine.load_weights(snapshot_bytes().as_slice()).unwrap();
+}

@@ -7,7 +7,10 @@ use cgdnn::prelude::*;
 use common::tiny_net;
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "40-iteration training loop; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "40-iteration training loop; run with --release"
+)]
 fn tiny_convnet_learns_the_synthetic_classes() {
     let mut net = tiny_net(1);
     let team = ThreadTeam::new(2);
@@ -55,28 +58,28 @@ fn all_three_solvers_reduce_loss() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full-size LeNet iteration; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-size LeNet iteration; run with --release"
+)]
 fn lenet_full_size_one_iteration_runs() {
     // One full-size LeNet iteration (batch 64, 28x28) through the real
     // parallel path.
-    let mut trainer = CoarseGrainTrainer::<f32>::lenet(
-        Box::new(SyntheticMnist::new(128, 1)),
-        3,
-    )
-    .unwrap();
+    let mut trainer =
+        CoarseGrainTrainer::<f32>::lenet(Box::new(SyntheticMnist::new(128, 1)), 3).unwrap();
     let loss = trainer.step();
     assert!(loss.is_finite());
     assert!(loss > 1.0 && loss < 4.0, "initial loss ~ln(10): {loss}");
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full-size CIFAR iteration; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-size CIFAR iteration; run with --release"
+)]
 fn cifar_full_size_one_iteration_runs() {
-    let mut trainer = CoarseGrainTrainer::<f32>::cifar10_full(
-        Box::new(SyntheticCifar::new(128, 1)),
-        3,
-    )
-    .unwrap();
+    let mut trainer =
+        CoarseGrainTrainer::<f32>::cifar10_full(Box::new(SyntheticCifar::new(128, 1)), 3).unwrap();
     let loss = trainer.step();
     assert!(loss.is_finite());
     assert!(loss > 1.0 && loss < 4.0, "initial loss ~ln(10): {loss}");

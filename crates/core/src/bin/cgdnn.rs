@@ -6,16 +6,19 @@
 //!                [--lr X] [--solver sgd|nesterov|adagrad]
 //!                [--reduction ordered|canonical|unordered]
 //!                [--snapshot FILE] [--weights FILE]
+//!                [--snapshot-every K] [--resume DIR] [--snapshot-dir DIR]
 //! cgdnn simulate <spec.prototxt> [--data KIND]
 //! ```
 //!
 //! `KIND` is `synthetic-mnist` (default), `synthetic-cifar`, or
 //! `idx:<images>,<labels>` / `cifar-bin:<file>` for real data.
 
+use cgdnn::checkpoint::{train_with_checkpoints, CheckpointDir, GuardConfig};
 use cgdnn::cli::{make_source, Args};
 use cgdnn::prelude::*;
 use machine::report::NetworkSim;
 use std::fs::File;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn load_net(args: &Args) -> Result<Net<f32>, String> {
@@ -59,33 +62,109 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "unordered" => ReductionMode::Unordered,
         other => return Err(format!("unknown reduction '{other}'")),
     };
+    let snapshot_every: usize = args.get_parse("snapshot-every", 0)?;
+    let resume_dir = args.get("resume");
+    let keep: usize = args.get_parse("keep", 3)?;
+    let guard_factor: f64 = args.get_parse("guard-factor", 4.0)?;
+    let guard_window: usize = args.get_parse("guard-window", 8)?;
+    let guard_lr_drop: f64 = args.get_parse("guard-lr-drop", 0.5)?;
+    let max_rollbacks: usize = args.get_parse("max-rollbacks", 3)?;
 
-    let team = ThreadTeam::new(threads);
-    let run = RunConfig {
-        reduction,
-        ..RunConfig::default()
-    };
-    let mut solver: Solver<f32> = Solver::new(SolverConfig {
-        base_lr: lr,
-        solver_type,
-        ..SolverConfig::lenet()
-    });
-    println!(
-        "training {iters} iterations on {threads} threads ({solver_type:?}, lr {lr}, {reduction:?})"
-    );
-    let every = (iters / 20).max(1);
-    for i in 0..iters {
-        let loss = solver.step(&mut net, &team, &run);
-        if i % every == 0 || i + 1 == iters {
-            println!("iter {:>6}  loss {loss:.5}", i + 1);
+    let mut trainer = CoarseGrainTrainer::new(
+        net,
+        SolverConfig {
+            base_lr: lr,
+            solver_type,
+            ..SolverConfig::lenet()
+        },
+        threads,
+    )
+    .with_reduction(reduction);
+
+    let fault_tolerant = snapshot_every > 0 || resume_dir.is_some();
+    if fault_tolerant {
+        // Checkpointed path: crash-safe snapshots + divergence rollback.
+        // `--iters` is the absolute target, so a resumed run finishes the
+        // remaining work instead of training N more.
+        let dir_path = args
+            .get("snapshot-dir")
+            .or(resume_dir)
+            .unwrap_or("checkpoints");
+        let dir = CheckpointDir::new(dir_path).with_keep(keep);
+        if resume_dir.is_some() {
+            let outcome = dir.resume_latest(&mut trainer).map_err(|e| e.to_string())?;
+            for (p, why) in &outcome.skipped {
+                eprintln!("warning: skipped corrupt checkpoint {}: {why}", p.display());
+            }
+            println!(
+                "resumed from {} at iteration {}",
+                outcome.path.display(),
+                outcome.iteration
+            );
         }
-        if !loss.is_finite() {
-            return Err(format!("diverged at iteration {i}"));
+        let target = iters as u64;
+        let done = trainer.solver().iteration();
+        let remaining = target.saturating_sub(done) as usize;
+        if remaining == 0 {
+            println!("nothing to train: already at iteration {done} (target {target})");
+            return Ok(());
+        }
+        let guard = (guard_factor > 0.0).then_some(GuardConfig {
+            window: guard_window,
+            factor: guard_factor,
+            lr_drop: guard_lr_drop,
+            max_rollbacks,
+        });
+        println!(
+            "training iterations {}..{target} on {threads} threads ({solver_type:?}, lr {lr}, \
+             {reduction:?}), checkpoints in {dir_path} (every {snapshot_every}, keep {keep})",
+            done + 1
+        );
+        let every = (iters / 20).max(1) as u64;
+        // `{:.8e}` prints 9 significant digits — enough to round-trip f32
+        // losses exactly, so resumed logs can be compared bitwise.
+        let report = train_with_checkpoints(
+            &mut trainer,
+            remaining,
+            &dir,
+            snapshot_every,
+            guard,
+            |it, loss| {
+                if it % every == 0 || it == target {
+                    println!("iter {it:>6}  loss {loss:.8e}");
+                }
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        if report.rollbacks > 0 {
+            println!(
+                "{} divergence rollback(s); see {}/training.log",
+                report.rollbacks, dir_path
+            );
+        }
+    } else {
+        println!(
+            "training {iters} iterations on {threads} threads ({solver_type:?}, lr {lr}, \
+             {reduction:?})"
+        );
+        let every = (iters / 20).max(1);
+        for i in 0..iters {
+            let loss = trainer.step();
+            if i % every == 0 || i + 1 == iters {
+                println!("iter {:>6}  loss {loss:.5}", i + 1);
+            }
+            if !loss.is_finite() {
+                return Err(format!(
+                    "diverged at iteration {i}; rerun with --snapshot-every to get \
+                     rollback instead of a dead run"
+                ));
+            }
         }
     }
     if let Some(path) = args.get("snapshot") {
-        let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        net::save_params(&net, f).map_err(|e| e.to_string())?;
+        let mut bytes = Vec::new();
+        net::save_params(trainer.net(), &mut bytes).map_err(|e| e.to_string())?;
+        net::write_atomic(Path::new(path), &bytes).map_err(|e| format!("{path}: {e}"))?;
         println!("snapshot written to {path}");
     }
     Ok(())
@@ -196,7 +275,8 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     println!("{report}");
     println!("client view: {ok} ok, {failed} rejected/timed out");
     if let Some(path) = args.get("csv") {
-        std::fs::write(path, report.csv()).map_err(|e| format!("{path}: {e}"))?;
+        net::write_atomic(Path::new(path), report.csv().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
         println!("report written to {path}");
     }
     Ok(())
@@ -226,6 +306,18 @@ const USAGE: &str = "usage: cgdnn <summary|train|infer|simulate> <spec.prototxt>
   --reduction ordered|canonical|unordered
   --snapshot FILE write parameters after training
   --weights FILE  initialize parameters before training / serving
+fault-tolerant training (activated by --snapshot-every or --resume):
+  --snapshot-every K  full checkpoint (params+solver+cursor) every K iters
+  --resume DIR        continue from the newest good checkpoint in DIR;
+                      --iters is the absolute target iteration
+  --snapshot-dir DIR  where checkpoints go (default: the resume dir,
+                      else 'checkpoints')
+  --keep N            checkpoints retained (default 3)
+  --guard-factor X    divergence when loss > X * trailing mean; 0 disables
+                      the explosion test (default 4.0)
+  --guard-window N    trailing-window length (default 8)
+  --guard-lr-drop X   multiply LR by X on each rollback (default 0.5)
+  --max-rollbacks N   give up after N rollbacks (default 3)
 infer flags:
   --replicas N      engine replicas, one worker thread each (default 1)
   --requests N      total load-generated requests (default 1000)

@@ -28,12 +28,17 @@
 //! assert!(losses[0].is_finite());
 //! ```
 
+pub mod checkpoint;
 pub mod cli;
 pub mod invariance;
 pub mod nets;
 pub mod replica;
 pub mod trainer;
 
+pub use checkpoint::{
+    train_with_checkpoints, CheckpointDir, DivergenceGuard, FtReport, GuardConfig, ResumeOutcome,
+    TrainEvent,
+};
 pub use invariance::check_loss_invariance;
 pub use replica::{ShardedSource, SyncDataParallel};
 pub use trainer::CoarseGrainTrainer;
@@ -50,6 +55,7 @@ pub use solvers;
 
 /// Convenient glob import: the types most programs need.
 pub mod prelude {
+    pub use crate::checkpoint::{train_with_checkpoints, CheckpointDir, GuardConfig, TrainEvent};
     pub use crate::nets;
     pub use crate::trainer::CoarseGrainTrainer;
     pub use blob::{Blob, Shape};

@@ -1,11 +1,15 @@
 //! High-level, network-agnostic training driver.
 
+use crate::checkpoint::{SEC_CURSOR, SEC_META, SEC_SOLVER};
 use layers::data::BatchSource;
 use layers::ReductionMode;
 use mmblas::Scalar;
+use net::snapshot::{self, SEC_PARAMS};
 use net::{Net, RunConfig, SpecError};
 use omprt::ThreadTeam;
 use solvers::{Solver, SolverConfig};
+use std::io;
+use std::path::Path;
 
 /// The paper's system in one object: a network, a solver, a thread team,
 /// and the coarse-grain run configuration.
@@ -104,6 +108,96 @@ impl<S: Scalar> CoarseGrainTrainer<S> {
     /// The solver.
     pub fn solver(&self) -> &Solver<S> {
         &self.solver
+    }
+
+    /// Mutable access to the solver (resume and rollback paths).
+    pub fn solver_mut(&mut self) -> &mut Solver<S> {
+        &mut self.solver
+    }
+
+    /// Serialize the complete training state as a v2 checkpoint: learnable
+    /// parameters, solver history/iteration/LR position, and the dataset
+    /// cursor. Restoring these bytes continues training bit-identically —
+    /// on any thread count, since the team is not training state.
+    pub fn checkpoint_bytes(&self) -> io::Result<Vec<u8>> {
+        let params = snapshot::params_to_bytes(&self.net);
+        let mut solver_state = Vec::new();
+        self.solver.save_state(&mut solver_state)?;
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(&self.solver.iteration().to_le_bytes());
+        meta.extend_from_slice(&self.solver.lr_scale().to_le_bytes());
+        let mut sections: Vec<([u8; 4], &[u8])> = vec![
+            (SEC_PARAMS, &params),
+            (SEC_SOLVER, &solver_state),
+            (SEC_META, &meta),
+        ];
+        let cursor_bytes;
+        if let Some(c) = self.net.data_cursor() {
+            cursor_bytes = (c as u64).to_le_bytes();
+            sections.push((SEC_CURSOR, &cursor_bytes));
+        }
+        let mut out = Vec::new();
+        snapshot::save_sections(&sections, &mut out)?;
+        Ok(out)
+    }
+
+    /// Write a checkpoint to `path` atomically (temp file + fsync + rename).
+    pub fn checkpoint(&self, path: &Path) -> io::Result<()> {
+        net::write_atomic(path, &self.checkpoint_bytes()?)
+    }
+
+    /// Restore training state from checkpoint bytes. Requires the parameter
+    /// and solver sections — a params-only snapshot (e.g. one written by
+    /// `--snapshot`) is rejected, because resuming from it would silently
+    /// restart the schedule and momentum.
+    ///
+    /// # Errors
+    /// `InvalidData` on corruption, missing sections, or shape mismatch. On
+    /// error the trainer may hold partially restored parameters; callers
+    /// either fall back to another checkpoint or abandon the trainer.
+    pub fn resume_from_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let invalid = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let sections = snapshot::read_sections(bytes)?;
+        let find = |tag: [u8; 4]| {
+            sections
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|(_, p)| p.as_slice())
+        };
+        let params = find(SEC_PARAMS).ok_or_else(|| invalid("checkpoint has no PRMS section"))?;
+        let solver_state = find(SEC_SOLVER).ok_or_else(|| {
+            invalid("checkpoint has no SOLV section — is this a params-only snapshot?")
+        })?;
+        // Solver first: it fully validates before mutating, so a bad solver
+        // section leaves the trainer untouched.
+        self.solver.load_state(solver_state)?;
+        snapshot::params_from_bytes(&mut self.net, params)?;
+        if let Some(meta) = find(SEC_META) {
+            if meta.len() < 16 {
+                return Err(invalid("checkpoint META section truncated"));
+            }
+            let iter = u64::from_le_bytes(meta[0..8].try_into().unwrap());
+            if iter != self.solver.iteration() {
+                return Err(invalid(
+                    "checkpoint META iteration disagrees with solver state",
+                ));
+            }
+        }
+        if let Some(cur) = find(SEC_CURSOR) {
+            if cur.len() != 8 {
+                return Err(invalid("checkpoint CURS section malformed"));
+            }
+            self.net
+                .set_data_cursor(u64::from_le_bytes(cur.try_into().unwrap()) as usize);
+        }
+        self.net.set_iteration(self.solver.iteration());
+        Ok(())
+    }
+
+    /// Restore training state from a checkpoint file written by
+    /// [`CoarseGrainTrainer::checkpoint`].
+    pub fn resume(&mut self, path: &Path) -> io::Result<()> {
+        self.resume_from_bytes(&std::fs::read(path)?)
     }
 }
 

@@ -1,0 +1,135 @@
+//! Process-level crash recovery: train the real `cgdnn` binary, SIGKILL-
+//! style abort it mid-checkpoint via `CGDNN_FAULT`, resume from the
+//! surviving manifest, and require the resumed loss tail to match an
+//! uninterrupted reference run **bitwise** (the CLI prints losses with 9
+//! significant digits, which round-trips `f32` exactly).
+//!
+//! ```text
+//! cargo test -p cgdnn --features fault-inject --test kill_resume
+//! ```
+
+#![cfg(feature = "fault-inject")]
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::{Command, Output};
+
+/// One IP layer over synthetic MNIST: small enough that 20 debug-build
+/// iterations are instant, real enough to exercise the full train loop.
+const SPEC: &str = "name: killtest
+layer {
+  name: d
+  type: Data
+  batch: 4
+  top: data
+  top: label
+}
+layer {
+  name: ip
+  type: InnerProduct
+  num_output: 10
+  seed: 3
+  bottom: data
+  top: ip
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip
+  bottom: label
+  top: loss
+}
+";
+
+fn run(dir: &Path, extra: &[&str], fault: Option<&str>) -> Output {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_cgdnn"));
+    c.args([
+        "train",
+        "spec.prototxt",
+        "--threads",
+        "2",
+        "--iters",
+        "20",
+        "--snapshot-every",
+        "5",
+    ])
+    .args(extra)
+    .current_dir(dir)
+    .env_remove("CGDNN_FAULT");
+    if let Some(f) = fault {
+        c.env("CGDNN_FAULT", f);
+    }
+    c.output().expect("spawn cgdnn")
+}
+
+/// Parse `iter N  loss X` progress lines into iteration → loss-text.
+fn losses(stdout: &[u8]) -> BTreeMap<u64, String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter_map(|l| {
+            let mut parts = l.trim().strip_prefix("iter")?.split_whitespace();
+            let it: u64 = parts.next()?.parse().ok()?;
+            (parts.next() == Some("loss")).then(|| (it, parts.next().unwrap().to_string()))
+        })
+        .collect()
+}
+
+#[test]
+fn kill_mid_checkpoint_then_resume_matches_reference_bitwise() {
+    let base = std::env::temp_dir().join(format!("cgdnn-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    std::fs::write(base.join("spec.prototxt"), SPEC).unwrap();
+
+    // Reference: 20 uninterrupted iterations.
+    let r = run(&base, &["--snapshot-dir", "ref"], None);
+    assert!(
+        r.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&r.stderr)
+    );
+    let reference = losses(&r.stdout);
+    assert_eq!(reference.len(), 20, "one progress line per iteration");
+
+    // Victim: abort on the third checkpoint commit (anchor, iter 5 pass;
+    // iter 10 dies between the checkpoint rename and the manifest update).
+    let k = run(
+        &base,
+        &["--snapshot-dir", "kill"],
+        Some("checkpoint.commit=kill:2"),
+    );
+    assert!(!k.status.success(), "victim run must die");
+    assert!(
+        String::from_utf8_lossy(&k.stderr).contains("injected kill"),
+        "stderr: {}",
+        String::from_utf8_lossy(&k.stderr)
+    );
+    // Up to the abort the victim matched the reference.
+    for (it, loss) in losses(&k.stdout) {
+        assert_eq!(Some(&loss), reference.get(&it), "victim iteration {it}");
+    }
+
+    // Survivor: resume from the manifest (iteration 5 — the iter-10 file
+    // exists on disk but was never published) and finish to 20.
+    let s = run(&base, &["--resume", "kill"], None);
+    assert!(
+        s.status.success(),
+        "resume run failed: {}",
+        String::from_utf8_lossy(&s.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&s.stdout);
+    assert!(
+        stdout.contains("resumed from") && stdout.contains("at iteration 5"),
+        "stdout: {stdout}"
+    );
+    let resumed = losses(&s.stdout);
+    assert_eq!(resumed.len(), 15, "iterations 6..=20");
+    for it in 6..=20u64 {
+        assert_eq!(
+            resumed.get(&it),
+            reference.get(&it),
+            "resumed loss at iteration {it} must match the reference bitwise"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -101,6 +101,14 @@ impl<S: Scalar> Layer<S> for DataLayer<S> {
         // Data has no inputs to propagate into.
     }
 
+    fn data_cursor(&self) -> Option<usize> {
+        Some(self.cursor)
+    }
+
+    fn set_data_cursor(&mut self, cursor: usize) {
+        self.cursor = cursor % self.source.num_samples();
+    }
+
     fn profile(&self, _bottom: &[&Blob<S>]) -> LayerProfile {
         let sample = self.source.sample_shape().count();
         let elem = std::mem::size_of::<S>() as f64;
@@ -172,6 +180,11 @@ pub(crate) mod tests {
         l.rewind();
         l.forward(&ctx, &[], &mut tops);
         assert_eq!(tops[1].data(), &[0.0, 1.0, 2.0]);
+        // Cursor save/restore resumes mid-epoch exactly.
+        assert_eq!(Layer::data_cursor(&l), Some(3));
+        l.set_data_cursor(4);
+        l.forward(&ctx, &[], &mut tops);
+        assert_eq!(tops[1].data(), &[4.0, 0.0, 1.0]);
     }
 
     #[test]

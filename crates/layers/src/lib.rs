@@ -118,6 +118,17 @@ pub trait Layer<S: Scalar = f32>: Send {
         false
     }
 
+    /// Position of this layer's dataset cursor (the index of the next
+    /// sample it will serve), if it has one. Only data layers carry a
+    /// cursor; it is part of the training state a checkpoint captures.
+    fn data_cursor(&self) -> Option<usize> {
+        None
+    }
+
+    /// Restore a cursor previously observed with [`Layer::data_cursor`].
+    /// Default: no-op for layers without one.
+    fn set_data_cursor(&mut self, _cursor: usize) {}
+
     /// Scratch-space requirements (per-thread column buffer, privatized
     /// gradient size), used by the network to size the shared [`Workspace`].
     fn workspace_request(&self) -> WorkspaceRequest {
@@ -157,5 +168,8 @@ mod trait_tests {
         assert!(d.params_mut().is_empty());
         assert!(!d.is_loss());
         assert_eq!(d.workspace_request(), WorkspaceRequest::default());
+        assert_eq!(d.data_cursor(), None);
+        d.set_data_cursor(7); // no-op by default
+        assert_eq!(d.data_cursor(), None);
     }
 }

@@ -1,0 +1,213 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! Production code sprinkles named *injection points* (`faults::hit("…")`)
+//! at the places where a crash, a torn write, or a worker death is
+//! interesting. When nothing is armed the check is two relaxed atomic
+//! loads — effectively free — so the points are compiled in
+//! unconditionally and the `fault-inject` cargo feature only gates the
+//! *tests* that arm them.
+//!
+//! A fault can be armed two ways:
+//!
+//! - programmatically, via [`arm`] / [`disarm_all`] (in-process tests);
+//! - through the `CGDNN_FAULT` environment variable, for whole-process
+//!   tests against the `cgdnn` binary:
+//!   `CGDNN_FAULT="checkpoint.commit=kill:1;serve.worker=panic"` —
+//!   `point=mode[:skip]`, `;`-separated, where `skip` hits pass through
+//!   before the fault fires once.
+//!
+//! Modes: `error` makes [`hit`] return an [`io::Error`], `panic` panics
+//! (for catch-unwind isolation tests), `kill` aborts the process without
+//! running destructors — the closest in-process stand-in for SIGKILL.
+//!
+//! Known points: `checkpoint.partial` (mid `write_atomic`, before the
+//! rename — simulates a torn write), `checkpoint.commit` (between the
+//! checkpoint rename and the manifest update), `train.poison` (flips a
+//! weight to NaN before a training step — simulates memory corruption),
+//! `serve.worker` (inside a serve replica, mid-batch).
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once};
+
+/// What an armed fault does when its injection point is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// [`hit`] returns an `io::Error` (`ErrorKind::Other`).
+    Error,
+    /// [`hit`] panics (callers that isolate workers catch this).
+    Panic,
+    /// The process aborts immediately — no destructors, no flushes.
+    Kill,
+}
+
+struct Armed {
+    point: String,
+    mode: FaultMode,
+    /// Pass through this many hits before firing.
+    skip: u32,
+}
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static ARMED: Mutex<Vec<Armed>> = Mutex::new(Vec::new());
+
+fn parse_env(spec: &str) -> Vec<Armed> {
+    let mut out = Vec::new();
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let Some((point, rest)) = entry.split_once('=') else {
+            continue;
+        };
+        let (mode_str, skip) = match rest.split_once(':') {
+            Some((m, s)) => (m, s.parse().unwrap_or(0)),
+            None => (rest, 0),
+        };
+        let mode = match mode_str.trim() {
+            "error" => FaultMode::Error,
+            "panic" => FaultMode::Panic,
+            "kill" => FaultMode::Kill,
+            _ => continue,
+        };
+        out.push(Armed {
+            point: point.trim().to_string(),
+            mode,
+            skip,
+        });
+    }
+    out
+}
+
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("CGDNN_FAULT") {
+            let parsed = parse_env(&spec);
+            if !parsed.is_empty() {
+                let mut armed = ARMED.lock().expect("fault registry lock");
+                armed.extend(parsed);
+                ANY_ARMED.store(true, Ordering::Release);
+            }
+        }
+    });
+}
+
+/// Arm `point`: after `skip` pass-through hits, the next one fires `mode`
+/// exactly once and the entry disarms itself.
+pub fn arm(point: &str, mode: FaultMode, skip: u32) {
+    ensure_env_init();
+    let mut armed = ARMED.lock().expect("fault registry lock");
+    armed.push(Armed {
+        point: point.to_string(),
+        mode,
+        skip,
+    });
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm every pending fault (test teardown).
+pub fn disarm_all() {
+    ensure_env_init();
+    let mut armed = ARMED.lock().expect("fault registry lock");
+    armed.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// An injection point. Returns `Ok(())` unless a matching fault is armed;
+/// a fired `Error` fault comes back as an [`io::Error`], `Panic` panics,
+/// `Kill` aborts the process.
+pub fn hit(point: &str) -> io::Result<()> {
+    ensure_env_init();
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    // Decide under the lock, act after releasing it, so a panic here never
+    // poisons the registry for other threads.
+    let fired = {
+        let mut armed = ARMED.lock().expect("fault registry lock");
+        let Some(i) = armed.iter().position(|a| a.point == point) else {
+            return Ok(());
+        };
+        if armed[i].skip > 0 {
+            armed[i].skip -= 1;
+            return Ok(());
+        }
+        let mode = armed[i].mode;
+        armed.remove(i);
+        if armed.is_empty() {
+            ANY_ARMED.store(false, Ordering::Release);
+        }
+        mode
+    };
+    match fired {
+        FaultMode::Error => Err(io::Error::other(format!("injected fault at {point}"))),
+        FaultMode::Panic => panic!("injected panic at {point}"),
+        FaultMode::Kill => {
+            eprintln!("injected kill at {point}");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The registry is process-global; serialize the tests that use it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        g
+    }
+
+    #[test]
+    fn unarmed_points_are_free() {
+        let _g = guard();
+        assert!(hit("nothing.armed.here").is_ok());
+    }
+
+    #[test]
+    fn error_fault_fires_once_after_skips() {
+        let _g = guard();
+        arm("p", FaultMode::Error, 2);
+        assert!(hit("p").is_ok());
+        assert!(hit("p").is_ok());
+        let e = hit("p").unwrap_err();
+        assert!(e.to_string().contains("injected fault at p"));
+        // Self-disarmed.
+        assert!(hit("p").is_ok());
+    }
+
+    #[test]
+    fn points_are_independent() {
+        let _g = guard();
+        arm("a", FaultMode::Error, 0);
+        assert!(hit("b").is_ok());
+        assert!(hit("a").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_mode_panics_without_poisoning_the_registry() {
+        let _g = guard();
+        arm("boom", FaultMode::Panic, 0);
+        let r = std::panic::catch_unwind(|| hit("boom"));
+        assert!(r.is_err());
+        // Registry still usable afterwards.
+        assert!(hit("boom").is_ok());
+        arm("next", FaultMode::Error, 0);
+        assert!(hit("next").is_err());
+    }
+
+    #[test]
+    fn env_spec_parses_modes_and_skips() {
+        let parsed = parse_env("checkpoint.commit=kill:2;serve.worker=panic;junk;x=wat");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].point, "checkpoint.commit");
+        assert_eq!(parsed[0].mode, FaultMode::Kill);
+        assert_eq!(parsed[0].skip, 2);
+        assert_eq!(parsed[1].mode, FaultMode::Panic);
+        assert_eq!(parsed[1].skip, 0);
+    }
+}

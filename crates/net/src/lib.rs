@@ -38,13 +38,14 @@
 //! ```
 
 pub mod builder;
+pub mod faults;
 pub mod memory;
 pub mod snapshot;
 pub mod spec;
 
 pub use builder::build_layer;
 pub use memory::MemoryReport;
-pub use snapshot::{load_params, save_params};
+pub use snapshot::{load_params, read_sections, save_params, save_sections, write_atomic};
 pub use spec::{LayerSpec, NetSpec, SpecError};
 
 use blob::Blob;
@@ -278,6 +279,21 @@ impl<S: Scalar> Net<S> {
     /// Set the global iteration counter (seeds dropout masks).
     pub fn set_iteration(&mut self, it: u64) {
         self.iteration = it;
+    }
+
+    /// Dataset cursor of the network's data layer (index of the next
+    /// sample to serve), if it has one — training state a checkpoint must
+    /// capture for bit-identical resume.
+    pub fn data_cursor(&self) -> Option<usize> {
+        self.layers.iter().find_map(|l| l.data_cursor())
+    }
+
+    /// Restore a dataset cursor previously read with [`Net::data_cursor`].
+    /// A no-op for networks without a data layer.
+    pub fn set_data_cursor(&mut self, cursor: usize) {
+        for l in &mut self.layers {
+            l.set_data_cursor(cursor);
+        }
     }
 
     /// (Re)build the workspace if the team size or slot count grew.

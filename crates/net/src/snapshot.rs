@@ -1,21 +1,50 @@
-//! Parameter snapshots — the Caffe `snapshot` / `--weights` feature.
+//! Parameter snapshots and the v2 checkpoint container — the Caffe
+//! `snapshot` / `--weights` feature, hardened for crash-safe training.
 //!
-//! A deliberately simple little-endian binary format:
+//! Two on-disk versions share the `CGDN` magic:
+//!
+//! **v1** (legacy, still readable):
 //!
 //! ```text
-//! magic "CGDN" | version u32 | n_blobs u32
+//! magic "CGDN" | version u32 = 1 | n_blobs u32
 //! per blob: ndim u32 | dims u32 x ndim | values f64 x count
 //! ```
 //!
+//! **v2** (written by [`save_params`] and everything else since): a
+//! section container with an integrity trailer,
+//!
+//! ```text
+//! magic "CGDN" | version u32 = 2 | n_sections u32
+//! per section: tag [u8;4] | len u64 | payload bytes
+//! crc32 u32   (IEEE, over every preceding byte)
+//! ```
+//!
+//! Known section tags: [`SEC_PARAMS`] holds the v1 blob payload (everything
+//! after the v1 header); higher layers add their own tags (solver state,
+//! iteration counter, sampler cursor — see `cgdnn::checkpoint`). Unknown
+//! tags are ignored on load, so the format is forward-extensible. The CRC
+//! trailer means truncation, bit flips, and torn writes all surface as a
+//! clean [`std::io::ErrorKind::InvalidData`] instead of garbage weights.
+//!
 //! Values are stored as `f64` regardless of the in-memory scalar so
 //! snapshots round-trip losslessly for both `f32` and `f64` models.
+//!
+//! [`write_atomic`] is the only sanctioned way to put a snapshot on disk:
+//! temp file + fsync + rename (+ best-effort directory fsync), so a crash
+//! mid-write can never clobber an existing good copy.
 
 use crate::Net;
 use mmblas::Scalar;
 use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::OnceLock;
 
 const MAGIC: &[u8; 4] = b"CGDN";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+
+/// Section tag of the learnable-parameter payload.
+pub const SEC_PARAMS: [u8; 4] = *b"PRMS";
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -37,37 +66,56 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Serialize every learnable parameter blob of `net` (in layer order).
-pub fn save_params<S: Scalar>(net: &Net<S>, mut w: impl Write) -> io::Result<()> {
-    let params = net.learnable_params();
-    w.write_all(MAGIC)?;
-    write_u32(&mut w, VERSION)?;
-    write_u32(&mut w, params.len() as u32)?;
-    for p in params {
-        let dims = p.shape().dims();
-        write_u32(&mut w, dims.len() as u32)?;
-        for &d in dims {
-            write_u32(&mut w, d as u32)?;
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
         }
-        for &v in p.data() {
-            w.write_all(&v.to_f64().to_le_bytes())?;
-        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
-    Ok(())
+    !c
 }
 
-/// Restore parameters saved by [`save_params`] into an identically-shaped
-/// network. Shapes are validated blob by blob.
-pub fn load_params<S: Scalar>(net: &mut Net<S>, mut r: impl Read) -> io::Result<()> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("snapshot: bad magic"));
+/// Serialize the learnable parameters of `net` as a [`SEC_PARAMS`] payload
+/// (no header, no trailer — the raw v1 body).
+pub fn params_to_bytes<S: Scalar>(net: &Net<S>) -> Vec<u8> {
+    let params = net.learnable_params();
+    let mut w = Vec::new();
+    write_u32(&mut w, params.len() as u32).expect("vec write");
+    for p in params {
+        let dims = p.shape().dims();
+        write_u32(&mut w, dims.len() as u32).expect("vec write");
+        for &d in dims {
+            write_u32(&mut w, d as u32).expect("vec write");
+        }
+        for &v in p.data() {
+            w.extend_from_slice(&v.to_f64().to_le_bytes());
+        }
     }
-    let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(bad(format!("snapshot: unsupported version {version}")));
-    }
+    w
+}
+
+/// Restore parameters from a [`SEC_PARAMS`] payload into an
+/// identically-shaped network. Shapes are validated blob by blob. Bytes
+/// past the promised blob count are ignored (v1 tolerated trailing
+/// garbage; in v2 the section length and CRC already bound the payload).
+pub fn params_from_bytes<S: Scalar>(net: &mut Net<S>, bytes: &[u8]) -> io::Result<()> {
+    let mut r = bytes;
     let n = read_u32(&mut r)? as usize;
     let mut params = net.learnable_params_mut();
     if n != params.len() {
@@ -91,6 +139,139 @@ pub fn load_params<S: Scalar>(net: &mut Net<S>, mut r: impl Read) -> io::Result<
         }
         for v in p.data_mut() {
             *v = S::from_f64(read_f64(&mut r)?);
+        }
+    }
+    Ok(())
+}
+
+/// Serialize `sections` as a v2 container (header, tagged sections, CRC32
+/// trailer).
+pub fn save_sections(sections: &[([u8; 4], &[u8])], mut w: impl Write) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+    buf.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (tag, payload) in sections {
+        buf.extend_from_slice(tag);
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(payload);
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Read a `CGDN` container into `(tag, payload)` pairs.
+///
+/// v2 files are CRC-validated end to end; any corruption, truncation, or
+/// trailing garbage is an [`io::ErrorKind::InvalidData`] error. v1 files
+/// come back as a single [`SEC_PARAMS`] section (no CRC existed in v1).
+pub fn read_sections(mut r: impl Read) -> io::Result<Vec<([u8; 4], Vec<u8>)>> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    if buf.len() < 8 {
+        return Err(bad("snapshot: truncated header"));
+    }
+    if &buf[0..4] != MAGIC {
+        return Err(bad("snapshot: bad magic"));
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    match version {
+        VERSION_V1 => Ok(vec![(SEC_PARAMS, buf[8..].to_vec())]),
+        VERSION_V2 => {
+            if buf.len() < 16 {
+                return Err(bad("snapshot: truncated trailer"));
+            }
+            let body_end = buf.len() - 4;
+            let stored = u32::from_le_bytes(buf[body_end..].try_into().expect("4 bytes"));
+            let computed = crc32(&buf[..body_end]);
+            if stored != computed {
+                return Err(bad(format!(
+                    "snapshot: crc mismatch (stored {stored:08x}, computed {computed:08x}) — \
+                     file is corrupt or truncated"
+                )));
+            }
+            let n = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+            let mut sections = Vec::with_capacity(n);
+            let mut off = 12;
+            for _ in 0..n {
+                if off + 12 > body_end {
+                    return Err(bad("snapshot: section header overruns file"));
+                }
+                let tag: [u8; 4] = buf[off..off + 4].try_into().expect("4 bytes");
+                let len = u64::from_le_bytes(buf[off + 4..off + 12].try_into().expect("8 bytes"))
+                    as usize;
+                off += 12;
+                if off + len > body_end {
+                    return Err(bad("snapshot: section payload overruns file"));
+                }
+                sections.push((tag, buf[off..off + len].to_vec()));
+                off += len;
+            }
+            if off != body_end {
+                return Err(bad("snapshot: trailing bytes after last section"));
+            }
+            Ok(sections)
+        }
+        v => Err(bad(format!("snapshot: unsupported version {v}"))),
+    }
+}
+
+/// Serialize every learnable parameter blob of `net` (in layer order) as a
+/// v2 params-only snapshot.
+pub fn save_params<S: Scalar>(net: &Net<S>, w: impl Write) -> io::Result<()> {
+    let params = params_to_bytes(net);
+    save_sections(&[(SEC_PARAMS, &params)], w)
+}
+
+/// Legacy v1 writer, kept so the v1→v2 compatibility path stays testable
+/// (and so old tooling can still be fed if ever needed).
+pub fn save_params_v1<S: Scalar>(net: &Net<S>, mut w: impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION_V1)?;
+    w.write_all(&params_to_bytes(net))?;
+    Ok(())
+}
+
+/// Restore parameters saved by [`save_params`] (v2) or [`save_params_v1`]
+/// into an identically-shaped network. Shapes are validated blob by blob.
+pub fn load_params<S: Scalar>(net: &mut Net<S>, r: impl Read) -> io::Result<()> {
+    let sections = read_sections(r)?;
+    let params = sections
+        .iter()
+        .find(|(tag, _)| *tag == SEC_PARAMS)
+        .ok_or_else(|| bad("snapshot: no parameter section"))?;
+    params_from_bytes(net, &params.1)
+}
+
+/// Durably write `bytes` to `path`: temp file in the same directory, fsync,
+/// atomic rename over the destination, best-effort directory fsync. A crash
+/// at any point leaves either the old file or the new one — never a torn
+/// mix. Fault-injection points: `checkpoint.partial` fires mid-write (the
+/// temp file is left half-written and the destination untouched).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| bad(format!("write_atomic: no file name in {}", path.display())))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        let mid = bytes.len() / 2;
+        f.write_all(&bytes[..mid])?;
+        f.flush()?;
+        crate::faults::hit("checkpoint.partial")?;
+        f.write_all(&bytes[mid..])?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable where the platform allows it.
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
         }
     }
     Ok(())
@@ -146,6 +327,12 @@ layer {
     }
 
     #[test]
+    fn crc32_matches_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn round_trip_preserves_parameters() {
         let src = make();
         let mut buf = Vec::new();
@@ -153,6 +340,21 @@ layer {
 
         let mut dst = make();
         // Scramble dst first so the test is meaningful.
+        for p in dst.learnable_params_mut() {
+            mmblas::set(9.0f32, p.data_mut());
+        }
+        load_params(&mut dst, buf.as_slice()).unwrap();
+        for (a, b) in src.learnable_params().iter().zip(dst.learnable_params()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let src = make();
+        let mut buf = Vec::new();
+        save_params_v1(&src, &mut buf).unwrap();
+        let mut dst = make();
         for p in dst.learnable_params_mut() {
             mmblas::set(9.0f32, p.data_mut());
         }
@@ -171,6 +373,21 @@ layer {
         save_params(&src, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(load_params(&mut net, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_any_single_bit_flip() {
+        let src = make();
+        let mut clean = Vec::new();
+        save_params(&src, &mut clean).unwrap();
+        // Flip one bit in the header, mid-payload, and in the trailer.
+        for pos in [9, clean.len() / 2, clean.len() - 2] {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x10;
+            let mut net = make();
+            let e = load_params(&mut net, buf.as_slice()).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "flip at {pos}: {e}");
+        }
     }
 
     #[test]
@@ -208,5 +425,37 @@ layer {
                 .unwrap();
         let e = load_params(&mut other, buf.as_slice()).unwrap_err();
         assert!(e.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored() {
+        let src = make();
+        let params = params_to_bytes(&src);
+        let mut buf = Vec::new();
+        save_sections(&[(*b"ZZZZ", &[1, 2, 3]), (SEC_PARAMS, &params)], &mut buf).unwrap();
+        let mut dst = make();
+        load_params(&mut dst, buf.as_slice()).unwrap();
+        for (a, b) in src.learnable_params().iter().zip(dst.learnable_params()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_survives_partial_failure() {
+        let dir = std::env::temp_dir().join(format!("cgdnn-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.cgdn");
+        write_atomic(&path, b"first version").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first version");
+        // A failed overwrite must leave the old content intact.
+        crate::faults::arm("checkpoint.partial", crate::faults::FaultMode::Error, 0);
+        assert!(write_atomic(&path, b"second version, longer").is_err());
+        crate::faults::disarm_all();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first version");
+        // And a clean retry goes through.
+        write_atomic(&path, b"second version, longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second version, longer");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -84,19 +84,33 @@ impl<S: Scalar + Send + 'static> Server<S> {
         let rx = Arc::new(Mutex::new(rx));
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServingMetrics::default());
-        let workers = engines
-            .into_iter()
-            .enumerate()
-            .map(|(i, engine)| {
-                let rx = Arc::clone(&rx);
-                let stop = Arc::clone(&stop);
-                let metrics = Arc::clone(&metrics);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(engine, rx, stop, metrics, policy))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        let n_replicas = engines.len();
+        metrics.set_replicas(n_replicas);
+        let mut workers = Vec::with_capacity(n_replicas);
+        let mut spawn_err = None;
+        for (i, engine) in engines.into_iter().enumerate() {
+            let rx = Arc::clone(&rx);
+            let stop = Arc::clone(&stop);
+            let worker_metrics = Arc::clone(&metrics);
+            match std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(i, engine, rx, stop, worker_metrics, policy))
+            {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    // A replica we cannot staff is a dead replica, not a
+                    // fatal error — serve on whatever did spawn.
+                    metrics.on_replica_dead(i);
+                    spawn_err = Some(e);
+                }
+            }
+        }
+        if workers.is_empty() {
+            return Err(ServeError::Build(format!(
+                "could not spawn any serve worker: {}",
+                spawn_err.map_or_else(|| "no engines".into(), |e| e.to_string())
+            )));
+        }
         Ok(Self {
             tx,
             workers,
@@ -193,6 +207,10 @@ impl<S: Scalar + Send + 'static> Client<S> {
                 self.sample_len
             )));
         }
+        if self.metrics.healthy_replicas() == 0 {
+            // Every worker has died; nothing will ever drain the queue.
+            return Err(ServeError::Closed);
+        }
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
         let req = Request {
             input: input.to_vec(),
@@ -221,7 +239,13 @@ impl<S: Scalar + Send + 'static> Client<S> {
 
 /// One worker: pull a first request, assemble a batch within the policy
 /// window, drop expired requests, run the engine, demux the outputs.
+///
+/// The engine run is wrapped in `catch_unwind`: a panicking replica
+/// answers its in-flight batch with [`ServeError::Replica`] and retires —
+/// it never takes the process (or the other replicas) down with it, and
+/// the shared queue keeps draining through the survivors.
 fn worker_loop<S: Scalar + Send + 'static>(
+    replica: usize,
     mut engine: Engine<S>,
     rx: Arc<Mutex<Receiver<Request<S>>>>,
     stop: Arc<AtomicBool>,
@@ -280,22 +304,45 @@ fn worker_loop<S: Scalar + Send + 'static>(
         if live.is_empty() {
             continue;
         }
-        // Phase 4: run and demux.
+        // Phase 4: run and demux. `live` stays outside the unwind boundary
+        // so a panicking engine cannot drop the reply channels — every
+        // in-flight request gets an explicit error instead of a hangup.
         let waits: Vec<Duration> = live.iter().map(|r| now - r.submitted).collect();
         metrics.on_batch(live.len(), &waits);
         let inputs: Vec<&[S]> = live.iter().map(|r| r.input.as_slice()).collect();
-        match engine.infer_batch(&inputs) {
-            Ok(outputs) => {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net::faults::hit("serve.worker").map_err(|e| ServeError::Replica(e.to_string()))?;
+            engine.infer_batch(&inputs)
+        }));
+        drop(inputs);
+        match result {
+            Ok(Ok(outputs)) => {
                 let done = Instant::now();
                 for (r, out) in live.into_iter().zip(outputs) {
                     metrics.on_completed(done - r.submitted);
                     let _ = r.reply.send(Ok(out));
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
+                metrics.on_replica_error(replica);
                 for r in live {
                     let _ = r.reply.send(Err(e.clone()));
                 }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                metrics.on_replica_error(replica);
+                metrics.on_replica_dead(replica);
+                let err = ServeError::Replica(format!("replica {replica} panicked: {msg}"));
+                for r in live {
+                    let _ = r.reply.send(Err(err.clone()));
+                }
+                // Retire: the engine state is suspect after an unwind.
+                return;
             }
         }
     }

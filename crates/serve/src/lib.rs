@@ -71,6 +71,10 @@ pub enum ServeError {
     Build(String),
     /// Snapshot loading failure.
     Weights(String),
+    /// The replica executing the request's batch failed (e.g. panicked).
+    /// The request was consumed; the caller decides whether to retry on
+    /// the surviving replicas.
+    Replica(String),
 }
 
 impl fmt::Display for ServeError {
@@ -82,6 +86,7 @@ impl fmt::Display for ServeError {
             ServeError::BadInput(m) => write!(f, "bad input: {m}"),
             ServeError::Build(m) => write!(f, "engine build failed: {m}"),
             ServeError::Weights(m) => write!(f, "weight loading failed: {m}"),
+            ServeError::Replica(m) => write!(f, "replica failure: {m}"),
         }
     }
 }

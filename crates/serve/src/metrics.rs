@@ -23,6 +23,8 @@ pub struct ServingMetrics {
     depth: AtomicUsize,
     max_depth: AtomicUsize,
     window: Mutex<Option<(Instant, Instant)>>,
+    replica_errors: Mutex<Vec<u64>>,
+    replica_alive: Mutex<Vec<bool>>,
 }
 
 impl ServingMetrics {
@@ -73,6 +75,37 @@ impl ServingMetrics {
         };
     }
 
+    /// Declare `n` replicas, all initially healthy. Called once by the
+    /// server at startup.
+    pub fn set_replicas(&self, n: usize) {
+        *self.replica_errors.lock() = vec![0; n];
+        *self.replica_alive.lock() = vec![true; n];
+    }
+
+    /// Replica `i` failed to execute a batch (engine error or panic).
+    pub fn on_replica_error(&self, i: usize) {
+        let mut errs = self.replica_errors.lock();
+        if i >= errs.len() {
+            errs.resize(i + 1, 0);
+        }
+        errs[i] += 1;
+    }
+
+    /// Replica `i` is permanently out of service (its worker retired).
+    pub fn on_replica_dead(&self, i: usize) {
+        let mut alive = self.replica_alive.lock();
+        if i >= alive.len() {
+            alive.resize(i + 1, true);
+        }
+        alive[i] = false;
+    }
+
+    /// Replicas still in service. `0` means the server can no longer
+    /// answer anything.
+    pub fn healthy_replicas(&self) -> usize {
+        self.replica_alive.lock().iter().filter(|a| **a).count()
+    }
+
     /// Snapshot the accumulated counters into an immutable report.
     pub fn report(&self) -> ServingReport {
         let latencies = self.latencies_us.lock().clone();
@@ -111,6 +144,8 @@ impl ServingMetrics {
             n_batches: batches.len() as u64,
             batch_hist: hist,
             max_queue_depth: self.max_depth.load(Ordering::Relaxed),
+            replica_errors: self.replica_errors.lock().clone(),
+            healthy_replicas: self.healthy_replicas(),
             wall_secs,
             throughput_rps: if wall_secs > 0.0 {
                 completed as f64 / wall_secs
@@ -171,6 +206,11 @@ pub struct ServingReport {
     pub batch_hist: Vec<(usize, u64)>,
     /// Deepest the admission queue ever got.
     pub max_queue_depth: usize,
+    /// Batch-execution failures per replica (engine errors and panics),
+    /// indexed by replica id.
+    pub replica_errors: Vec<u64>,
+    /// Replicas still in service at snapshot time.
+    pub healthy_replicas: usize,
     /// First enqueue → last completion, seconds.
     pub wall_secs: f64,
     /// Completed requests per second over that window.
@@ -197,6 +237,10 @@ impl ServingReport {
         out.push_str(&format!("max_batch,{}\n", self.max_batch));
         out.push_str(&format!("n_batches,{}\n", self.n_batches));
         out.push_str(&format!("max_queue_depth,{}\n", self.max_queue_depth));
+        out.push_str(&format!("healthy_replicas,{}\n", self.healthy_replicas));
+        for (i, e) in self.replica_errors.iter().enumerate() {
+            out.push_str(&format!("replica_{i}_errors,{e}\n"));
+        }
         out.push_str(&format!("wall_secs,{:.4}\n", self.wall_secs));
         out.push_str(&format!("throughput_rps,{:.2}\n", self.throughput_rps));
         out
@@ -228,6 +272,13 @@ impl fmt::Display for ServingReport {
             f,
             "batches: {} executed, mean size {:.2}, max size {}, mean queue wait {:.1} us",
             self.n_batches, self.mean_batch, self.max_batch, self.mean_queue_wait_us
+        )?;
+        writeln!(
+            f,
+            "replicas: {}/{} healthy, errors {:?}",
+            self.healthy_replicas,
+            self.replica_errors.len(),
+            self.replica_errors
         )?;
         write!(
             f,
@@ -273,6 +324,21 @@ mod tests {
         assert_eq!(r.mean_queue_wait_us, 20.0);
         assert_eq!(r.p50_us, 100.0);
         assert_eq!(r.p99_us, 300.0);
+    }
+
+    #[test]
+    fn replica_health_is_tracked() {
+        let m = ServingMetrics::default();
+        m.set_replicas(3);
+        assert_eq!(m.healthy_replicas(), 3);
+        m.on_replica_error(1);
+        m.on_replica_error(1);
+        m.on_replica_dead(1);
+        let r = m.report();
+        assert_eq!(r.replica_errors, vec![0, 2, 0]);
+        assert_eq!(r.healthy_replicas, 2);
+        assert!(r.csv().contains("replica_1_errors,2\n"));
+        assert!(r.csv().contains("healthy_replicas,2\n"));
     }
 
     #[test]

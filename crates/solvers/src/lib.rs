@@ -98,6 +98,9 @@ pub struct Solver<S: Scalar = f32> {
     /// Momentum / accumulated-square history, one buffer per parameter.
     history: Vec<Vec<S>>,
     iter: u64,
+    /// Multiplier applied on top of the LR policy — 1.0 normally; the
+    /// divergence guard drops it on rollback. Part of the saved state.
+    lr_scale: f64,
 }
 
 impl<S: Scalar> Solver<S> {
@@ -107,6 +110,7 @@ impl<S: Scalar> Solver<S> {
             cfg,
             history: Vec::new(),
             iter: 0,
+            lr_scale: 1.0,
         }
     }
 
@@ -115,9 +119,26 @@ impl<S: Scalar> Solver<S> {
         self.iter
     }
 
-    /// Learning rate at iteration `it` under the configured policy.
+    /// The configured hyper-parameters.
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+
+    /// Current learning-rate scale (1.0 unless dropped by a rollback).
+    pub fn lr_scale(&self) -> f64 {
+        self.lr_scale
+    }
+
+    /// Multiply the learning-rate scale by `factor` (the divergence
+    /// guard's LR drop). The scale persists through [`Solver::save_state`].
+    pub fn scale_lr(&mut self, factor: f64) {
+        self.lr_scale *= factor;
+    }
+
+    /// Learning rate at iteration `it` under the configured policy,
+    /// including the rollback scale.
     pub fn lr_at(&self, it: u64) -> f64 {
-        self.cfg.lr_policy.lr(self.cfg.base_lr, it)
+        self.cfg.lr_policy.lr(self.cfg.base_lr, it) * self.lr_scale
     }
 
     /// Run one training iteration: zero diffs, forward, backward, update.
@@ -259,13 +280,19 @@ impl<S: Scalar> Solver<S> {
 }
 
 impl<S: Scalar> Solver<S> {
-    /// Serialize the solver state (iteration counter + history buffers) —
-    /// Caffe's `.solverstate` equivalent. Combine with
-    /// `net::save_params` for a full checkpoint.
+    /// Serialize the solver state — Caffe's `.solverstate` equivalent:
+    /// iteration counter, LR-schedule position (the rollback scale; the
+    /// policy itself is pure in the iteration), and the momentum/history
+    /// blobs. Combine with `net::save_params` for a full checkpoint.
+    ///
+    /// Format (`CGSS` v2, little-endian): `magic | version u32 | iter u64
+    /// | lr_scale f64 | n_buffers u32 | per buffer: len u32, values f64 x
+    /// len`. v1 files (no `lr_scale` field) still load.
     pub fn save_state(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
         w.write_all(b"CGSS")?;
-        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&2u32.to_le_bytes())?;
         w.write_all(&self.iter.to_le_bytes())?;
+        w.write_all(&self.lr_scale.to_le_bytes())?;
         w.write_all(&(self.history.len() as u32).to_le_bytes())?;
         for h in &self.history {
             w.write_all(&(h.len() as u32).to_le_bytes())?;
@@ -276,7 +303,7 @@ impl<S: Scalar> Solver<S> {
         Ok(())
     }
 
-    /// Restore state saved by [`Solver::save_state`].
+    /// Restore state saved by [`Solver::save_state`] (v1 or v2).
     pub fn load_state(&mut self, mut r: impl std::io::Read) -> std::io::Result<()> {
         use std::io::{Error, ErrorKind};
         let bad = |m: &str| Error::new(ErrorKind::InvalidData, format!("solverstate: {m}"));
@@ -287,12 +314,23 @@ impl<S: Scalar> Solver<S> {
         }
         let mut b4 = [0u8; 4];
         r.read_exact(&mut b4)?;
-        if u32::from_le_bytes(b4) != 1 {
-            return Err(bad("unsupported version"));
+        let version = u32::from_le_bytes(b4);
+        if version != 1 && version != 2 {
+            return Err(bad(&format!("unsupported version {version}")));
         }
         let mut b8 = [0u8; 8];
         r.read_exact(&mut b8)?;
-        self.iter = u64::from_le_bytes(b8);
+        let iter = u64::from_le_bytes(b8);
+        let lr_scale = if version >= 2 {
+            r.read_exact(&mut b8)?;
+            let s = f64::from_le_bytes(b8);
+            if !s.is_finite() || s <= 0.0 {
+                return Err(bad(&format!("non-positive lr_scale {s}")));
+            }
+            s
+        } else {
+            1.0
+        };
         r.read_exact(&mut b4)?;
         let n = u32::from_le_bytes(b4) as usize;
         let mut history = Vec::with_capacity(n);
@@ -306,6 +344,8 @@ impl<S: Scalar> Solver<S> {
             }
             history.push(h);
         }
+        self.iter = iter;
+        self.lr_scale = lr_scale;
         self.history = history;
         Ok(())
     }
@@ -558,6 +598,48 @@ mod extended_solver_tests {
             s.apply_update(vec![&mut p], 1.0);
         }
         assert!(p.data()[0].abs() < 1.0, "w = {}", p.data()[0]);
+    }
+
+    #[test]
+    fn lr_scale_round_trips_and_scales_lr() {
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::Sgd, 0.9));
+        assert_eq!(s.lr_at(0), 0.1);
+        s.scale_lr(0.5);
+        s.scale_lr(0.5);
+        assert!((s.lr_at(0) - 0.025).abs() < 1e-15);
+        let mut buf = Vec::new();
+        s.save_state(&mut buf).unwrap();
+        let mut r: Solver<f32> = Solver::new(cfg(SolverType::Sgd, 0.9));
+        r.load_state(buf.as_slice()).unwrap();
+        assert_eq!(r.lr_scale(), 0.25);
+    }
+
+    #[test]
+    fn v1_solver_state_still_loads() {
+        // Hand-build a v1 state: iter 7, one 2-value history buffer.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CGSS");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&0.5f64.to_le_bytes());
+        buf.extend_from_slice(&0.25f64.to_le_bytes());
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::Sgd, 0.9));
+        s.load_state(buf.as_slice()).unwrap();
+        assert_eq!(s.iteration(), 7);
+        assert_eq!(s.lr_scale(), 1.0);
+        assert_eq!(s.history, vec![vec![0.5, 0.25]]);
+    }
+
+    #[test]
+    fn corrupt_lr_scale_is_rejected() {
+        let mut s: Solver<f32> = Solver::new(cfg(SolverType::Sgd, 0.9));
+        let mut buf = Vec::new();
+        s.save_state(&mut buf).unwrap();
+        // lr_scale sits after magic(4) + version(4) + iter(8).
+        buf[16..24].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(s.load_state(buf.as_slice()).is_err());
     }
 
     #[test]

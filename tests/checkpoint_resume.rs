@@ -1,0 +1,114 @@
+//! The checkpoint/resume invariant, end to end through the file system:
+//!
+//! `train(N)  ==  train(k); checkpoint; resume; train(N-k)`
+//!
+//! with **bit-identical** loss sequences — for k ∈ {1, 7}, N = 10, and
+//! thread teams of 1 and 4, in both `f32` and `f64`. A v2 checkpoint
+//! captures parameters, solver history, the iteration/LR position, and the
+//! data cursor; nothing else in the trainer is stateful, so equality is
+//! exact, not approximate.
+
+mod common;
+
+use cgdnn::prelude::*;
+use common::{tiny_net, tiny_net_f64};
+use std::path::PathBuf;
+
+const N: usize = 10;
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cgdnn-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn trainer_f32(threads: usize) -> CoarseGrainTrainer<f32> {
+    CoarseGrainTrainer::new(tiny_net(55), SolverConfig::lenet(), threads)
+}
+
+fn trainer_f64(threads: usize) -> CoarseGrainTrainer<f64> {
+    CoarseGrainTrainer::new(tiny_net_f64(55), SolverConfig::lenet(), threads)
+}
+
+#[test]
+fn resume_is_bit_identical_f32() {
+    let dir = tmp("f32");
+    for threads in [1usize, 4] {
+        let straight = trainer_f32(threads).train(N);
+        for k in [1usize, 7] {
+            let path = dir.join(format!("t{threads}-k{k}.cgdn"));
+            let mut first = trainer_f32(threads);
+            let mut losses = first.train(k);
+            first.checkpoint(&path).unwrap();
+            drop(first); // resume into a genuinely fresh process-like state
+
+            let mut second = trainer_f32(threads);
+            second.resume(&path).unwrap();
+            assert_eq!(second.solver().iteration(), k as u64);
+            losses.extend(second.train(N - k));
+            assert_eq!(losses, straight, "threads={threads}, k={k}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_is_bit_identical_f64() {
+    let dir = tmp("f64");
+    for threads in [1usize, 4] {
+        let straight = trainer_f64(threads).train(N);
+        for k in [1usize, 7] {
+            let path = dir.join(format!("t{threads}-k{k}.cgdn"));
+            let mut first = trainer_f64(threads);
+            let mut losses = first.train(k);
+            first.checkpoint(&path).unwrap();
+            drop(first);
+
+            let mut second = trainer_f64(threads);
+            second.resume(&path).unwrap();
+            losses.extend(second.train(N - k));
+            assert_eq!(losses, straight, "threads={threads}, k={k}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_across_thread_counts_under_canonical_reduction() {
+    // Thread count is not training state: under the canonical reduction a
+    // run checkpointed on 4 threads continues bit-exactly on 1 thread, and
+    // the whole spliced trajectory equals the single-thread straight run.
+    let dir = tmp("xthread");
+    let canonical = ReductionMode::Canonical { groups: 16 };
+    let straight = trainer_f32(1).with_reduction(canonical).train(N);
+
+    let path = dir.join("four-thread.cgdn");
+    let mut on_four = trainer_f32(4).with_reduction(canonical);
+    let mut losses = on_four.train(7);
+    on_four.checkpoint(&path).unwrap();
+    drop(on_four);
+
+    let mut on_one = trainer_f32(1).with_reduction(canonical);
+    on_one.resume(&path).unwrap();
+    losses.extend(on_one.train(N - 7));
+    assert_eq!(losses, straight, "4-thread checkpoint resumed on 1 thread");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn params_only_snapshot_is_rejected_for_resume() {
+    // `--snapshot` files (params only) must not silently masquerade as
+    // full checkpoints: resuming would restart momentum and the schedule.
+    let dir = tmp("reject");
+    let mut t = trainer_f32(1);
+    t.train(2);
+    let path = dir.join("params-only.cgdn");
+    let mut buf = Vec::new();
+    net::save_params(t.net(), &mut buf).unwrap();
+    std::fs::write(&path, &buf).unwrap();
+    let e = t.resume(&path).unwrap_err();
+    assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    assert!(e.to_string().contains("SOLV"), "got: {e}");
+    let _ = std::fs::remove_dir_all(dir);
+}

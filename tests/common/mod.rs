@@ -121,3 +121,38 @@ pub fn tiny_net(seed: u64) -> Net<f32> {
     let spec = NetSpec::parse(TINY_SPEC).expect("tiny spec parses");
     Net::from_spec(&spec, Some(Box::new(TinySource { n: 64, seed }))).expect("tiny net builds")
 }
+
+/// `f64` twin of [`TinySource`] (same pattern, full precision).
+pub struct TinySource64 {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl BatchSource<f64> for TinySource64 {
+    fn num_samples(&self) -> usize {
+        self.n
+    }
+
+    fn sample_shape(&self) -> Shape {
+        Shape::from([1usize, 12, 12])
+    }
+
+    fn fill(&self, index: usize, out: &mut [f64]) -> f64 {
+        let mut rng = mmblas::Pcg32::new(self.seed, index as u64);
+        let label = rng.uniform_u32(10) as usize;
+        let base = 0.1 + 0.08 * label as f64;
+        for (i, v) in out.iter_mut().enumerate() {
+            let y = i / 12;
+            let x = i % 12;
+            let phase = (x as f64 * (label as f64 + 1.0) * 0.35 + y as f64 * 0.2).sin();
+            *v = base + 0.3 * phase + 0.03 * rng.normal();
+        }
+        label as f64
+    }
+}
+
+/// Build the tiny network in `f64` over a fresh deterministic source.
+pub fn tiny_net_f64(seed: u64) -> Net<f64> {
+    let spec = NetSpec::parse(TINY_SPEC).expect("tiny spec parses");
+    Net::from_spec(&spec, Some(Box::new(TinySource64 { n: 64, seed }))).expect("tiny net builds")
+}

@@ -1,0 +1,194 @@
+//! Fault-injection recovery tests: torn checkpoint writes, crashes inside
+//! the commit window, corrupt files on disk, poisoned weights, and serve
+//! replicas panicking mid-batch. Gated behind the `fault-inject` feature
+//! because the injection registry is process-global state:
+//!
+//! ```text
+//! cargo test --features fault-inject --test fault_injection
+//! ```
+
+#![cfg(feature = "fault-inject")]
+
+mod common;
+
+use cgdnn::checkpoint::{train_with_checkpoints, CheckpointDir, GuardConfig, TrainEvent};
+use cgdnn::prelude::*;
+use common::tiny_net;
+use net::faults::{arm, disarm_all, FaultMode};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+// The fault registry is process-global; these tests must not interleave.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    disarm_all();
+    g
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cgdnn-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn trainer() -> CoarseGrainTrainer<f32> {
+    CoarseGrainTrainer::new(tiny_net(7), SolverConfig::lenet(), 2)
+}
+
+#[test]
+fn torn_write_leaves_last_good_checkpoint_resumable() {
+    let _g = guard();
+    let dir = CheckpointDir::new(tmp("torn"));
+    let mut t = trainer();
+    t.train(2);
+    dir.save(&t).unwrap();
+    t.train(2);
+    // The next write dies halfway through the temp file, before the rename.
+    arm("checkpoint.partial", FaultMode::Error, 0);
+    let e = dir.save(&t).unwrap_err();
+    assert!(e.to_string().contains("injected"), "got: {e}");
+
+    let mut fresh = trainer();
+    let outcome = dir.resume_latest(&mut fresh).unwrap();
+    assert_eq!(outcome.iteration, 2, "manifest still points at iteration 2");
+    assert!(
+        outcome.skipped.is_empty(),
+        "no corrupt files were published"
+    );
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+#[test]
+fn crash_in_commit_window_resumes_from_previous_manifest() {
+    let _g = guard();
+    let dir = CheckpointDir::new(tmp("commit"));
+    let mut t = trainer();
+    t.train(2);
+    dir.save(&t).unwrap();
+    t.train(2);
+    // Die after the checkpoint file is durable but before the manifest
+    // update — the crash window the save ordering is designed around.
+    arm("checkpoint.commit", FaultMode::Error, 0);
+    assert!(dir.save(&t).is_err());
+
+    let mut fresh = trainer();
+    let outcome = dir.resume_latest(&mut fresh).unwrap();
+    assert_eq!(outcome.iteration, 2, "unpublished checkpoint is invisible");
+
+    // After the 'crash', a re-save publishes iteration 4 normally.
+    dir.save(&t).unwrap();
+    let mut fresh2 = trainer();
+    assert_eq!(dir.resume_latest(&mut fresh2).unwrap().iteration, 4);
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+#[test]
+fn truncated_newest_checkpoint_falls_back_with_a_warning() {
+    let _g = guard();
+    let dir = CheckpointDir::new(tmp("trunc"));
+    let mut t = trainer();
+    t.train(1);
+    dir.save(&t).unwrap();
+    t.train(1);
+    let newest = dir.save(&t).unwrap();
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+
+    let mut fresh = trainer();
+    let outcome = dir.resume_latest(&mut fresh).unwrap();
+    assert_eq!(outcome.iteration, 1);
+    assert_eq!(outcome.skipped.len(), 1);
+    assert_eq!(outcome.skipped[0].0, newest);
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+#[test]
+fn divergence_guard_rolls_back_poisoned_run_to_completion() {
+    let _g = guard();
+    let dir = CheckpointDir::new(tmp("poison"));
+    let mut t = trainer();
+    // Corrupt a weight to NaN right before the third step. The softmax
+    // loss clamps the resulting NaN probabilities (Caffe's ln(0) guard),
+    // so the symptom is a huge finite loss — the explosion test's job.
+    // With checkpoints every 2 iterations the guard must roll back to 2,
+    // drop the LR, and still finish all 8 iterations.
+    arm("train.poison", FaultMode::Error, 2);
+    let guard_cfg = GuardConfig {
+        window: 2,
+        factor: 4.0,
+        ..GuardConfig::default()
+    };
+    let report = train_with_checkpoints(&mut t, 8, &dir, 2, Some(guard_cfg), |_, _| {}).unwrap();
+    assert_eq!(report.rollbacks, 1);
+    assert_eq!(report.losses.len(), 8, "realized trajectory is complete");
+    assert!(
+        report.losses.iter().all(|l| l.is_finite() && *l < 20.0),
+        "the poisoned iteration was replaced by its replay: {:?}",
+        report.losses
+    );
+    assert_eq!(t.solver().iteration(), 8);
+    assert!(
+        t.solver().lr_scale() < 1.0,
+        "rollback must have dropped the LR"
+    );
+    let mut saw_divergence = false;
+    let mut saw_rollback = false;
+    for e in &report.events {
+        match e {
+            TrainEvent::Divergence { loss, .. } => {
+                saw_divergence = true;
+                assert!(*loss > 20.0, "poisoned loss was huge: {loss}");
+            }
+            TrainEvent::Rollback { to_iteration, .. } => {
+                saw_rollback = true;
+                assert_eq!(*to_iteration, 2);
+            }
+            TrainEvent::Checkpoint { .. } => {}
+        }
+    }
+    assert!(saw_divergence && saw_rollback);
+    let log = std::fs::read_to_string(dir.path().join("training.log")).unwrap();
+    assert!(log.contains("divergence:") && log.contains("rollback:"));
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+#[test]
+fn serve_worker_panic_degrades_but_does_not_kill_the_server() {
+    let _g = guard();
+    let spec = NetSpec::parse(common::TINY_SPEC).unwrap();
+    let engines = serve::engine::build_replicas::<f32>(
+        &spec,
+        &Shape::from([1usize, 12, 12]),
+        &serve::EngineConfig {
+            max_batch: 4,
+            n_threads: 1,
+        },
+        2,
+        None,
+    )
+    .unwrap();
+    let server = serve::Server::start(engines, serve::BatchPolicy::default()).unwrap();
+    let metrics = server.metrics();
+    assert_eq!(metrics.healthy_replicas(), 2);
+
+    // The first batch executed anywhere panics its replica mid-inference.
+    arm("serve.worker", FaultMode::Panic, 0);
+    let e = server.infer(&[0.3; 144]).unwrap_err();
+    assert!(
+        matches!(e, serve::ServeError::Replica(_)),
+        "in-flight request gets an explicit error, not a hangup: {e}"
+    );
+    assert_eq!(metrics.healthy_replicas(), 1, "panicked replica retired");
+
+    // The surviving replica keeps serving the queue.
+    for i in 0..6 {
+        let out = server.infer(&[0.1 * i as f32; 144]).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.healthy_replicas, 1);
+    assert_eq!(report.replica_errors.iter().sum::<u64>(), 1);
+    assert_eq!(report.completed, 6);
+}

@@ -1,17 +1,25 @@
 //! Snapshot error paths at the integration level: the serving tier trusts
 //! `load_params` to reject malformed files loudly, so every corruption
-//! class gets a test — truncation, bad magic, wrong version — plus the
-//! `f32` round-trip (values travel as `f64`, so no precision is lost).
+//! class gets a test — truncation, bad magic, wrong version, CRC damage —
+//! plus the `f32`/`f64` round-trips (values travel as `f64`, so no
+//! precision is lost) and v1 backward compatibility.
 
 mod common;
 
 use cgdnn::prelude::*;
-use common::tiny_net;
+use common::{tiny_net, tiny_net_f64};
 
 fn snapshot_bytes() -> Vec<u8> {
     let net = tiny_net(13);
     let mut buf = Vec::new();
     net::save_params(&net, &mut buf).unwrap();
+    buf
+}
+
+fn v1_snapshot_bytes() -> Vec<u8> {
+    let net = tiny_net(13);
+    let mut buf = Vec::new();
+    net::snapshot::save_params_v1(&net, &mut buf).unwrap();
     buf
 }
 
@@ -32,14 +40,40 @@ fn f32_round_trip_is_bit_exact() {
 }
 
 #[test]
+fn f64_round_trip_is_bit_exact() {
+    let src = tiny_net_f64(13);
+    let mut buf = Vec::new();
+    net::save_params(&src, &mut buf).unwrap();
+    let mut dst = tiny_net_f64(99);
+    net::load_params(&mut dst, buf.as_slice()).unwrap();
+    for (a, b) in src.learnable_params().iter().zip(dst.learnable_params()) {
+        assert_eq!(a.data(), b.data(), "f64 values must round-trip exactly");
+    }
+}
+
+#[test]
+fn v1_snapshot_still_loads() {
+    let src = tiny_net(13);
+    let buf = v1_snapshot_bytes();
+    let mut dst = tiny_net(99);
+    net::load_params(&mut dst, buf.as_slice()).unwrap();
+    for (a, b) in src.learnable_params().iter().zip(dst.learnable_params()) {
+        assert_eq!(a.data(), b.data(), "v1 files must keep loading bit-exact");
+    }
+}
+
+#[test]
 fn truncated_snapshot_is_rejected_at_any_cut() {
     let buf = snapshot_bytes();
-    // Cut in the header, in a shape record, and mid-values.
+    // Cut in the header, in a section header, mid-payload, and inside the
+    // CRC trailer.
     for cut in [0, 2, 7, 11, buf.len() / 2, buf.len() - 1] {
         let mut net = tiny_net(13);
-        assert!(
-            net::load_params(&mut net, &buf[..cut]).is_err(),
-            "truncation at {cut} bytes must fail"
+        let e = net::load_params(&mut net, &buf[..cut]).unwrap_err();
+        assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::InvalidData,
+            "truncation at {cut} bytes must be clean InvalidData, got {e}"
         );
     }
 }
@@ -57,23 +91,37 @@ fn bad_magic_is_rejected() {
 fn wrong_version_is_rejected() {
     let mut buf = snapshot_bytes();
     // Version field sits right after the 4-byte magic, little-endian u32.
-    buf[4..8].copy_from_slice(&2u32.to_le_bytes());
+    buf[4..8].copy_from_slice(&99u32.to_le_bytes());
     let mut net = tiny_net(13);
     let e = net::load_params(&mut net, buf.as_slice()).unwrap_err();
     assert!(e.to_string().contains("version"), "got: {e}");
 }
 
 #[test]
-fn trailing_garbage_is_tolerated_but_short_blob_count_is_not() {
-    // The reader consumes exactly what the header promises; extra trailing
-    // bytes (e.g. a concatenated file) do not corrupt the load.
+fn mid_file_corruption_fails_the_crc() {
     let mut buf = snapshot_bytes();
-    let clean = buf.clone();
-    buf.extend_from_slice(&[0xAB; 16]);
+    let mid = buf.len() / 2;
+    buf[mid] ^= 0x01; // single bit flip deep in the payload
     let mut net = tiny_net(13);
-    net::load_params(&mut net, buf.as_slice()).unwrap();
-    // But a lying blob count fails.
-    let mut lying = clean;
+    let e = net::load_params(&mut net, buf.as_slice()).unwrap_err();
+    assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    assert!(e.to_string().contains("crc"), "got: {e}");
+}
+
+#[test]
+fn trailing_garbage_v1_tolerated_v2_rejected() {
+    // v1 had no trailer: the reader consumes exactly what the header
+    // promises, so a concatenated file still loads.
+    let mut v1 = v1_snapshot_bytes();
+    v1.extend_from_slice(&[0xAB; 16]);
+    let mut net = tiny_net(13);
+    net::load_params(&mut net, v1.as_slice()).unwrap();
+    // v2 is CRC-framed: anything after the trailer is corruption.
+    let mut v2 = snapshot_bytes();
+    v2.extend_from_slice(&[0xAB; 16]);
+    assert!(net::load_params(&mut net, v2.as_slice()).is_err());
+    // And a lying v1 blob count fails too.
+    let mut lying = v1_snapshot_bytes();
     lying[8..12].copy_from_slice(&1u32.to_le_bytes());
     assert!(net::load_params(&mut net, lying.as_slice()).is_err());
 }
@@ -93,6 +141,8 @@ fn serving_engine_propagates_snapshot_errors() {
     .unwrap();
     let e = engine.load_weights(&b"XXXX"[..]).unwrap_err();
     assert!(matches!(e, serve::ServeError::Weights(_)));
-    // A valid snapshot for the same architecture loads fine.
+    // A valid v2 snapshot for the same architecture loads fine, and so
+    // does a v1 one.
     engine.load_weights(snapshot_bytes().as_slice()).unwrap();
+    engine.load_weights(v1_snapshot_bytes().as_slice()).unwrap();
 }

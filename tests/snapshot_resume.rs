@@ -31,19 +31,13 @@ fn resume_is_bitwise_equivalent_to_straight_run() {
     net::save_params(&net_b, &mut params_buf).unwrap();
     let mut state_buf = Vec::new();
     solver_b.save_state(&mut state_buf).unwrap();
+    let cursor = net_b.data_cursor().expect("tiny net has a data layer");
     drop((net_b, solver_b));
 
     let (mut net_c, mut solver_c) = fresh();
-    // The data layer's cursor is part of training state the snapshot does
-    // not capture; replay it by advancing 3 batches in test phase... the
-    // tiny net's data layer advances on every forward, so run 3 forwards.
-    let test_run = RunConfig {
-        phase: Phase::Test,
-        ..run
-    };
-    for _ in 0..3 {
-        net_c.forward(&team, &test_run);
-    }
+    // The data layer's cursor is training state too; restore it through
+    // the cursor API (a full `Trainer::checkpoint` does this implicitly).
+    net_c.set_data_cursor(cursor);
     net::load_params(&mut net_c, params_buf.as_slice()).unwrap();
     solver_c.load_state(&mut state_buf.as_slice()).unwrap();
     assert_eq!(solver_c.iteration(), 3);

@@ -14,7 +14,7 @@
 
 use cgdnn_bench::banner;
 use serve::engine::build_replicas;
-use serve::{BatchPolicy, EngineConfig, Server};
+use serve::{BatchPolicy, Engine, EngineConfig, EngineFactory, Server};
 use std::time::Duration;
 
 const SAMPLE: usize = 28 * 28;
@@ -96,11 +96,77 @@ fn run_config(
     )
     .expect("server starts");
     let (ok, err) = drive(&server, REQUESTS, CLIENTS);
+    let (pool_hits, pool_misses) = (server.pool().hits(), server.pool().misses());
     let r = server.shutdown();
     println!(
         "  {label:<26} {:>8.0} req/s   p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  \
-         mean batch {:>5.2}  ({ok} ok / {err} failed)",
+         mean batch {:>5.2}  ({ok} ok / {err} failed, reply pool {pool_misses} \
+         alloc / {pool_hits} reuse)",
         r.throughput_rps, r.p50_us, r.p95_us, r.p99_us, r.mean_batch
+    );
+}
+
+/// Linux VmRSS in KiB, if /proc is available.
+fn rss_kb() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Show that factory-built replicas hold one decoded weight copy between
+/// them, while independently loaded engines each pay for their own.
+fn weight_sharing_demo(snapshot: &[u8]) {
+    let spec = cgdnn::nets::lenet_spec();
+    let shape = blob::Shape::from(vec![1usize, 28, 28]);
+    let cfg = EngineConfig {
+        max_batch: 16,
+        n_threads: 1,
+    };
+    let factory =
+        EngineFactory::<f32>::new(&spec, &shape, &cfg, Some(snapshot)).expect("factory builds");
+    let one_copy = factory.params_bytes();
+    println!(
+        "  decoded parameter set (data + diff): {:.1} KiB",
+        one_copy as f64 / 1024.0
+    );
+    for n in [1usize, 2, 4, 8] {
+        let before = rss_kb();
+        let replicas = factory.build_n(n).expect("replicas build");
+        let after = rss_kb();
+        // Bytes of weight storage the replicas own privately; everything
+        // else aliases the factory's copy through the Arc-backed blobs.
+        let private: usize = replicas.iter().map(|e| e.params_unique_bytes()).sum();
+        let rss = match (before, after) {
+            (Some(b), Some(a)) => format!("{:+} KiB RSS", a - b),
+            _ => "RSS unavailable".to_string(),
+        };
+        println!(
+            "  {n} shared replica(s):  {:>10} private weight bytes  ({rss})",
+            private
+        );
+        assert_eq!(private, 0, "factory replicas must not copy weights");
+    }
+    let before = rss_kb();
+    let privates: Vec<Engine<f32>> = (0..4)
+        .map(|_| {
+            let mut e = Engine::build(&spec, &shape, &cfg).expect("engine builds");
+            e.load_weights(snapshot).expect("weights load");
+            e
+        })
+        .collect();
+    let after = rss_kb();
+    let private: usize = privates.iter().map(|e| e.params_unique_bytes()).sum();
+    let rss = match (before, after) {
+        (Some(b), Some(a)) => format!("{:+} KiB RSS", a - b),
+        _ => "RSS unavailable".to_string(),
+    };
+    println!(
+        "  4 private engine(s):  {private:>10} private weight bytes  ({rss}) \
+         — {:.2}x one copy",
+        private as f64 / one_copy as f64
     );
 }
 
@@ -150,7 +216,10 @@ fn main() {
     let snapshot = lenet_snapshot();
     println!("LeNet, {REQUESTS} single-sample requests, {CLIENTS} concurrent clients\n");
 
-    println!("replica sweep (2 threads each, max_batch 16, 2 ms window):");
+    println!("replica weight sharing (Arc copy-on-write blobs):");
+    weight_sharing_demo(&snapshot);
+
+    println!("\nreplica sweep (2 threads each, max_batch 16, 2 ms window):");
     for replicas in [1, 2, 4] {
         run_config(
             &format!("{replicas} replica(s)"),

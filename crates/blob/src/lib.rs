@@ -11,6 +11,13 @@
 //! per-(sample, channel) sub-slices that the coarse-grain parallelization
 //! distributes across threads.
 //!
+//! Both buffers are `Arc`-backed with copy-on-write semantics: cloning a
+//! blob shares the underlying storage, and the first mutable access
+//! (`Arc::make_mut`) copies only when the storage is actually shared. This
+//! is what lets serving-engine replicas read one decoded parameter set —
+//! the paper's single-weight-copy invariant — while training code, whose
+//! blobs are uniquely owned, pays nothing but a refcount check.
+//!
 //! ```
 //! use blob::Blob;
 //!
@@ -29,13 +36,18 @@ pub mod shape;
 pub use shape::Shape;
 
 use mmblas::Scalar;
+use std::sync::Arc;
 
 /// N-dimensional array with paired `data`/`diff` storage.
+///
+/// Clones share storage (`Arc`); the first write through a `*_mut`
+/// accessor detaches a private copy (`Arc::make_mut`). A blob that is the
+/// sole owner of its buffers mutates in place with no copying.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Blob<S: Scalar = f32> {
     shape: Shape,
-    data: Vec<S>,
-    diff: Vec<S>,
+    data: Arc<Vec<S>>,
+    diff: Arc<Vec<S>>,
 }
 
 impl<S: Scalar> Default for Blob<S> {
@@ -44,8 +56,8 @@ impl<S: Scalar> Default for Blob<S> {
     fn default() -> Self {
         Self {
             shape: Shape::from(vec![0usize]),
-            data: Vec::new(),
-            diff: Vec::new(),
+            data: Arc::new(Vec::new()),
+            diff: Arc::new(Vec::new()),
         }
     }
 }
@@ -57,8 +69,8 @@ impl<S: Scalar> Blob<S> {
         let count = shape.count();
         Self {
             shape,
-            data: vec![S::ZERO; count],
-            diff: vec![S::ZERO; count],
+            data: Arc::new(vec![S::ZERO; count]),
+            diff: Arc::new(vec![S::ZERO; count]),
         }
     }
 
@@ -78,8 +90,8 @@ impl<S: Scalar> Blob<S> {
         let count = data.len();
         Self {
             shape,
-            data,
-            diff: vec![S::ZERO; count],
+            data: Arc::new(data),
+            diff: Arc::new(vec![S::ZERO; count]),
         }
     }
 
@@ -147,8 +159,8 @@ impl<S: Scalar> Blob<S> {
         let shape = shape.into();
         let count = shape.count();
         if count != self.data.len() {
-            self.data = vec![S::ZERO; count];
-            self.diff = vec![S::ZERO; count];
+            self.data = Arc::new(vec![S::ZERO; count]);
+            self.diff = Arc::new(vec![S::ZERO; count]);
         }
         self.shape = shape;
     }
@@ -158,9 +170,10 @@ impl<S: Scalar> Blob<S> {
         &self.data
     }
 
-    /// Mutable view of the data buffer.
+    /// Mutable view of the data buffer. Detaches a private copy first if
+    /// the buffer is shared with another blob (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [S] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Immutable view of the diff (gradient) buffer.
@@ -168,14 +181,45 @@ impl<S: Scalar> Blob<S> {
         &self.diff
     }
 
-    /// Mutable view of the diff buffer.
+    /// Mutable view of the diff buffer. Detaches a private copy first if
+    /// the buffer is shared with another blob (copy-on-write).
     pub fn diff_mut(&mut self) -> &mut [S] {
-        &mut self.diff
+        Arc::make_mut(&mut self.diff).as_mut_slice()
     }
 
     /// Simultaneous mutable borrows of data and diff (they are disjoint).
     pub fn data_diff_mut(&mut self) -> (&mut [S], &mut [S]) {
-        (&mut self.data, &mut self.diff)
+        (
+            Arc::make_mut(&mut self.data).as_mut_slice(),
+            Arc::make_mut(&mut self.diff).as_mut_slice(),
+        )
+    }
+
+    /// True when this blob's data buffer is the same allocation as
+    /// `other`'s (i.e. a copy-on-write clone that has not yet detached) —
+    /// the property the shared-weight serving tests pin down.
+    pub fn data_shared_with(&self, other: &Blob<S>) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// True when this blob's diff buffer is shared with `other`'s.
+    pub fn diff_shared_with(&self, other: &Blob<S>) -> bool {
+        Arc::ptr_eq(&self.diff, &other.diff)
+    }
+
+    /// Heap bytes this blob is the *sole* owner of: shared buffers are
+    /// counted as 0 here because another blob already pays for them. Used
+    /// by the replica memory accounting.
+    pub fn unique_bytes(&self) -> usize {
+        let per_buf = self.count() * std::mem::size_of::<S>();
+        let mut total = 0;
+        if Arc::strong_count(&self.data) == 1 {
+            total += per_buf;
+        }
+        if Arc::strong_count(&self.diff) == 1 {
+            total += per_buf;
+        }
+        total
     }
 
     /// Elements per sample (`count / num`); `0` for an empty blob.
@@ -196,7 +240,7 @@ impl<S: Scalar> Blob<S> {
     /// Mutable data slice of sample `n`.
     pub fn sample_data_mut(&mut self, n: usize) -> &mut [S] {
         let len = self.sample_len();
-        &mut self.data[n * len..(n + 1) * len]
+        &mut Arc::make_mut(&mut self.data)[n * len..(n + 1) * len]
     }
 
     /// Diff slice of sample `n`.
@@ -208,7 +252,7 @@ impl<S: Scalar> Blob<S> {
     /// Mutable diff slice of sample `n`.
     pub fn sample_diff_mut(&mut self, n: usize) -> &mut [S] {
         let len = self.sample_len();
-        &mut self.diff[n * len..(n + 1) * len]
+        &mut Arc::make_mut(&mut self.diff)[n * len..(n + 1) * len]
     }
 
     /// Elements per `(sample, channel)` segment — the blob "segment" of the
@@ -238,23 +282,23 @@ impl<S: Scalar> Blob<S> {
 
     /// Zero the data buffer.
     pub fn zero_data(&mut self) {
-        mmblas::zero(&mut self.data);
+        mmblas::zero(Arc::make_mut(&mut self.data).as_mut_slice());
     }
 
     /// Zero the diff buffer — `caffe_zero` on the privatized gradients
     /// (Algorithm 5, line 5).
     pub fn zero_diff(&mut self) {
-        mmblas::zero(&mut self.diff);
+        mmblas::zero(Arc::make_mut(&mut self.diff).as_mut_slice());
     }
 
     /// Scale the data buffer by `alpha`.
     pub fn scale_data(&mut self, alpha: S) {
-        mmblas::scal(alpha, &mut self.data);
+        mmblas::scal(alpha, Arc::make_mut(&mut self.data).as_mut_slice());
     }
 
     /// Scale the diff buffer by `alpha`.
     pub fn scale_diff(&mut self, alpha: S) {
-        mmblas::scal(alpha, &mut self.diff);
+        mmblas::scal(alpha, Arc::make_mut(&mut self.diff).as_mut_slice());
     }
 
     /// L1 norm of the data buffer.
@@ -270,7 +314,8 @@ impl<S: Scalar> Blob<S> {
     /// Caffe's `Blob::Update`: `data -= diff` (the diff already holds the
     /// solver-scaled step).
     pub fn update(&mut self) {
-        for (d, &g) in self.data.iter_mut().zip(&self.diff) {
+        let diff = Arc::clone(&self.diff);
+        for (d, &g) in Arc::make_mut(&mut self.data).iter_mut().zip(diff.iter()) {
             *d -= g;
         }
     }
@@ -282,7 +327,11 @@ impl<S: Scalar> Blob<S> {
     /// Panics if counts differ.
     pub fn accumulate_diff_from(&mut self, other: &Blob<S>) {
         assert_eq!(self.count(), other.count(), "accumulate_diff_from: count");
-        mmblas::axpy(S::ONE, &other.diff, &mut self.diff);
+        mmblas::axpy(
+            S::ONE,
+            &other.diff,
+            Arc::make_mut(&mut self.diff).as_mut_slice(),
+        );
     }
 
     /// Copy data (and optionally diff) from another blob of identical count.
@@ -291,9 +340,9 @@ impl<S: Scalar> Blob<S> {
     /// Panics if counts differ.
     pub fn copy_from(&mut self, other: &Blob<S>, copy_diff: bool) {
         assert_eq!(self.count(), other.count(), "copy_from: count");
-        self.data.copy_from_slice(&other.data);
+        Arc::make_mut(&mut self.data).copy_from_slice(&other.data);
         if copy_diff {
-            self.diff.copy_from_slice(&other.diff);
+            Arc::make_mut(&mut self.diff).copy_from_slice(&other.diff);
         }
     }
 
@@ -384,6 +433,57 @@ mod tests {
     fn bytes_accounting() {
         let b: Blob<f32> = Blob::new([10usize, 10]);
         assert_eq!(b.bytes(), 2 * 100 * 4);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_first_write() {
+        let a: Blob<f32> = Blob::from_data([4usize], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = a.clone();
+        assert!(a.data_shared_with(&b));
+        assert!(a.diff_shared_with(&b));
+        // Shared buffers are charged to one owner only.
+        assert_eq!(a.unique_bytes(), 0);
+        assert_eq!(b.unique_bytes(), 0);
+        assert_eq!(a.bytes(), 2 * 4 * 4, "logical bytes unaffected by sharing");
+    }
+
+    #[test]
+    fn write_detaches_writer_only() {
+        let a: Blob<f32> = Blob::from_data([3usize], vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert!(!a.data_shared_with(&b), "writer detached its data buffer");
+        assert!(a.diff_shared_with(&b), "untouched diff stays shared");
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0], "original bits untouched");
+        assert_eq!(b.data(), &[9.0, 2.0, 3.0]);
+        // Reads never detach.
+        let c = a.clone();
+        let _ = c.data();
+        let _ = c.sample_data(0);
+        assert!(a.data_shared_with(&c));
+    }
+
+    #[test]
+    fn cow_update_and_zero_do_not_alias() {
+        let a: Blob<f32> = Blob::from_data([2usize], vec![1.0, 1.0]);
+        let mut b = a.clone();
+        b.diff_mut().copy_from_slice(&[0.25, 0.25]);
+        b.update();
+        assert_eq!(b.data(), &[0.75, 0.75]);
+        assert_eq!(a.data(), &[1.0, 1.0]);
+        let mut d = a.clone();
+        d.zero_data();
+        assert_eq!(a.data(), &[1.0, 1.0]);
+        assert_eq!(d.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn unique_owner_mutates_in_place() {
+        let mut a: Blob<f32> = Blob::from_data([2usize], vec![1.0, 2.0]);
+        let before = a.data().as_ptr();
+        a.data_mut()[0] = 5.0;
+        assert_eq!(a.data().as_ptr(), before, "no copy when uniquely owned");
+        assert_eq!(a.unique_bytes(), a.bytes());
     }
 
     #[test]

@@ -188,38 +188,48 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     let max_delay_us: u64 = args.get_parse("max-delay-us", 2000)?;
     let queue_depth: usize = args.get_parse("queue-depth", 64)?;
     let deadline_us: u64 = args.get_parse("deadline-us", 0)?;
+    let max_restarts: usize = args.get_parse("max-restarts", 5)?;
+    let restart_window_ms: u64 = args.get_parse("restart-window", 30_000)?;
 
     let weights = match args.get("weights") {
         Some(w) => Some(std::fs::read(w).map_err(|e| format!("{w}: {e}"))?),
         None => None,
     };
-    let engines = serve::engine::build_replicas::<f32>(
+    // One factory: the snapshot is decoded exactly once, every replica
+    // shares that decoded copy, and the supervisor rebuilds dead replicas
+    // from it without touching the filesystem again.
+    let factory = serve::EngineFactory::<f32>::new(
         &spec,
         &sample_shape,
         &serve::EngineConfig {
             max_batch,
             n_threads: threads,
         },
-        replicas,
         weights.as_deref(),
     )
     .map_err(|e| e.to_string())?;
     println!(
-        "serving '{}': {} -> {}, {replicas} replica(s) x {threads} thread(s), \
-         max_batch {max_batch}, window {max_delay_us} us, queue depth {queue_depth}",
+        "serving '{}': {replicas} replica(s) x {threads} thread(s), max_batch {max_batch}, \
+         window {max_delay_us} us, queue depth {queue_depth}, {:.1} KiB shared weights, \
+         supervisor: {max_restarts} restarts / {restart_window_ms} ms",
         spec.name,
-        engines[0].input_name(),
-        engines[0].output_name(),
+        factory.params_bytes() as f64 / 1024.0,
     );
     if weights.is_none() {
         println!("note: no --weights given; serving randomly initialized parameters");
     }
 
-    let server = serve::Server::start(
-        engines,
+    let server = serve::Server::start_supervised(
+        factory,
+        replicas,
         serve::BatchPolicy {
             max_delay: std::time::Duration::from_micros(max_delay_us),
             queue_depth,
+        },
+        serve::SupervisorPolicy {
+            max_restarts,
+            restart_window: std::time::Duration::from_millis(restart_window_ms),
+            ..serve::SupervisorPolicy::default()
         },
     )
     .map_err(|e| e.to_string())?;
@@ -326,6 +336,8 @@ infer flags:
   --max-delay-us N  batch assembly window (default 2000)
   --queue-depth N   admission queue bound (default 64)
   --deadline-us N   per-request deadline, 0 = none (default 0)
+  --max-restarts N  replica restarts allowed per window (default 5)
+  --restart-window N  restart-budget window, milliseconds (default 30000)
   --csv FILE        write the serving report as CSV";
 
 fn main() -> ExitCode {

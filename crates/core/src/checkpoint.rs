@@ -134,6 +134,20 @@ impl CheckpointDir {
         for d in dropped {
             let _ = fs::remove_file(self.dir.join(d));
         }
+        // Sweep orphans: `ckpt-*.cgdn` files the manifest does not list.
+        // A crash inside the commit window above leaves a durable file no
+        // manifest ever points to; pruning only manifest-listed names
+        // would let such files accumulate forever. The manifest is the
+        // sole source of truth, so anything off-manifest goes.
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let fname = entry.file_name();
+            let Some(n) = fname.to_str() else { continue };
+            if n.starts_with("ckpt-") && n.ends_with(".cgdn") && !names.iter().any(|kept| kept == n)
+            {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
         Ok(path)
     }
 
@@ -592,6 +606,30 @@ layer {
             "{:?}",
             outcome.skipped
         );
+        let _ = fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn save_sweeps_unlisted_checkpoint_files() {
+        let dir = CheckpointDir::new(tmp("orphan")).with_keep(2);
+        let mut t = micro_trainer();
+        t.train(1);
+        dir.save(&t).unwrap();
+        // Plant an orphan the way a commit-window crash would: a durable
+        // ckpt file no manifest mentions.
+        let orphan = dir.path().join("ckpt-99999999.cgdn");
+        fs::write(&orphan, b"leftover from a crashed save").unwrap();
+        // Unrelated files must survive the sweep.
+        let bystander = dir.path().join("notes.txt");
+        fs::write(&bystander, b"keep me").unwrap();
+        t.train(1);
+        dir.save(&t).unwrap();
+        assert!(!orphan.exists(), "unlisted ckpt file swept");
+        assert!(bystander.exists(), "non-checkpoint files untouched");
+        assert_eq!(dir.entries().unwrap().len(), 2);
+        for e in dir.entries().unwrap() {
+            assert!(e.exists(), "manifest-listed checkpoints kept");
+        }
         let _ = fs::remove_dir_all(dir.path());
     }
 

@@ -404,6 +404,45 @@ impl<S: Scalar> Net<S> {
         self.layers.iter().flat_map(|l| l.params().iter()).collect()
     }
 
+    /// Replace every learnable parameter blob with a copy-on-write clone
+    /// of the corresponding blob in `params` (one decoded weight set, any
+    /// number of nets — the serving tier's zero-copy replica path). The
+    /// clone shares the underlying buffers until someone writes, so N
+    /// adopting nets cost one decoded parameter copy, not N.
+    ///
+    /// # Errors
+    /// Fails when `params` has the wrong blob count or any shape differs.
+    pub fn adopt_params(&mut self, params: &[Blob<S>]) -> Result<(), SpecError> {
+        let mut own = self.learnable_params_mut();
+        if own.len() != params.len() {
+            return Err(SpecError::new(format!(
+                "adopt_params: donor has {} parameter blobs, network has {}",
+                params.len(),
+                own.len()
+            )));
+        }
+        for (i, (dst, src)) in own.iter_mut().zip(params).enumerate() {
+            if dst.shape().dims() != src.shape().dims() {
+                return Err(SpecError::new(format!(
+                    "adopt_params: blob {i} shape {:?} does not match network {:?}",
+                    src.shape().dims(),
+                    dst.shape().dims()
+                )));
+            }
+            **dst = src.clone();
+        }
+        Ok(())
+    }
+
+    /// Heap bytes of parameter storage this net *uniquely* owns — buffers
+    /// shared with another net (via [`Net::adopt_params`]) count as 0.
+    pub fn params_unique_bytes(&self) -> usize {
+        self.learnable_params()
+            .iter()
+            .map(|b| b.unique_bytes())
+            .sum()
+    }
+
     /// Per-parameter learning-rate multipliers, aligned with
     /// [`Net::learnable_params`] (Caffe's `lr_mult`).
     pub fn param_lr_mults(&self) -> Vec<f64> {

@@ -1,4 +1,5 @@
-//! Dynamic micro-batching with bounded-queue backpressure.
+//! Dynamic micro-batching with bounded-queue backpressure and a
+//! self-healing replica pool.
 //!
 //! Clients submit single samples; worker threads (one per engine replica)
 //! assemble them into micro-batches under a two-knob policy:
@@ -13,9 +14,24 @@
 //! no matter the offered load. Requests may carry a deadline; a worker
 //! drops expired ones with [`ServeError::TimedOut`] instead of wasting a
 //! batch slot on an answer nobody is waiting for.
+//!
+//! Replies travel in pooled [`OutputBuf`]s: the worker demuxes the
+//! engine's flat output slice into buffers checked out of a shared
+//! [`BufferPool`], and each buffer returns to the pool when the caller
+//! drops it — the steady-state reply path performs no allocation.
+//!
+//! A server started with [`Server::start_supervised`] also runs a
+//! supervisor thread: it watches the `healthy_replicas` gauge, rebuilds
+//! dead engines from the [`EngineFactory`] (sharing the one decoded weight
+//! copy — no snapshot re-read), and re-staffs their worker threads. The
+//! [`SupervisorPolicy`] bounds restarts to `max_restarts` per sliding
+//! `restart_window`; exhausting the budget means something is
+//! systematically wrong, so the supervisor stands down and the server
+//! keeps serving on the surviving replicas.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineFactory};
 use crate::metrics::{ServingMetrics, ServingReport};
+use crate::pool::{BufferPool, OutputBuf};
 use crate::ServeError;
 use mmblas::Scalar;
 use parking_lot::Mutex;
@@ -44,27 +60,113 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Restart discipline for the supervisor thread.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorPolicy {
+    /// Restarts allowed inside one sliding `restart_window`; the
+    /// supervisor stands down when the budget is exhausted (a replica
+    /// dying this often points at a systematic fault, not a blip).
+    pub max_restarts: usize,
+    /// Width of the sliding restart-budget window.
+    pub restart_window: Duration,
+    /// How often the supervisor scans the `healthy_replicas` gauge.
+    pub poll: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    /// 5 restarts per 30 s window, scanned every 20 ms.
+    fn default() -> Self {
+        Self {
+            max_restarts: 5,
+            restart_window: Duration::from_secs(30),
+            poll: Duration::from_millis(20),
+        }
+    }
+}
+
 /// One in-flight request: the sample, its timing, and the reply channel.
 struct Request<S: Scalar> {
     input: Vec<S>,
     submitted: Instant,
     deadline: Option<Instant>,
-    reply: SyncSender<Result<Vec<S>, ServeError>>,
+    reply: SyncSender<Result<OutputBuf<S>, ServeError>>,
 }
 
-/// A running inference service: engines, workers, queue, metrics.
-pub struct Server<S: Scalar + Send + 'static = f32> {
-    tx: SyncSender<Request<S>>,
-    workers: Vec<JoinHandle<()>>,
+/// Everything a worker thread needs besides its own engine; cloned once
+/// per spawn so the supervisor can re-staff a replica with the same view.
+struct WorkerShared<S: Scalar + Send + 'static> {
+    rx: Arc<Mutex<Receiver<Request<S>>>>,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServingMetrics>,
+    pool: BufferPool<S>,
+    policy: BatchPolicy,
+}
+
+impl<S: Scalar + Send + 'static> Clone for WorkerShared<S> {
+    fn clone(&self) -> Self {
+        Self {
+            rx: Arc::clone(&self.rx),
+            stop: Arc::clone(&self.stop),
+            metrics: Arc::clone(&self.metrics),
+            pool: self.pool.clone(),
+            policy: self.policy,
+        }
+    }
+}
+
+/// Staff replica `i` with a worker thread running `engine`.
+fn spawn_worker<S: Scalar + Send + 'static>(
+    i: usize,
+    engine: Engine<S>,
+    shared: WorkerShared<S>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{i}"))
+        .spawn(move || worker_loop(i, engine, shared))
+}
+
+/// A running inference service: engines, workers, queue, metrics, and
+/// (optionally) a supervisor re-staffing dead replicas.
+pub struct Server<S: Scalar + Send + 'static = f32> {
+    tx: SyncSender<Request<S>>,
+    /// Shared with the supervisor, which appends re-staffed workers here
+    /// so shutdown joins every thread it ever started.
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServingMetrics>,
+    pool: BufferPool<S>,
     sample_len: usize,
 }
 
 impl<S: Scalar + Send + 'static> Server<S> {
     /// Start serving on the given engine replicas (one worker thread
     /// each). All engines must share a sample shape and batch capacity.
+    /// Dead replicas stay dead; use [`Server::start_supervised`] for
+    /// self-healing.
     pub fn start(engines: Vec<Engine<S>>, policy: BatchPolicy) -> Result<Self, ServeError> {
+        Self::start_inner(engines, policy, None)
+    }
+
+    /// Start serving on `n_replicas` engines built from `factory`, plus a
+    /// supervisor thread that rebuilds and re-staffs any replica whose
+    /// worker dies — without re-reading the snapshot, since the factory
+    /// holds the one decoded weight copy all replicas share.
+    pub fn start_supervised(
+        factory: EngineFactory<S>,
+        n_replicas: usize,
+        policy: BatchPolicy,
+        supervisor: SupervisorPolicy,
+    ) -> Result<Self, ServeError> {
+        let engines = factory.build_n(n_replicas)?;
+        Self::start_inner(engines, policy, Some((factory, supervisor)))
+    }
+
+    fn start_inner(
+        engines: Vec<Engine<S>>,
+        policy: BatchPolicy,
+        supervise: Option<(EngineFactory<S>, SupervisorPolicy)>,
+    ) -> Result<Self, ServeError> {
         let first = engines
             .first()
             .ok_or_else(|| ServeError::Build("need at least one engine".into()))?;
@@ -81,25 +183,27 @@ impl<S: Scalar + Send + 'static> Server<S> {
             return Err(ServeError::Build("queue_depth must be >= 1".into()));
         }
         let (tx, rx) = std::sync::mpsc::sync_channel::<Request<S>>(policy.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServingMetrics::default());
         let n_replicas = engines.len();
         metrics.set_replicas(n_replicas);
+        let shared = WorkerShared {
+            rx: Arc::new(Mutex::new(rx)),
+            stop: Arc::new(AtomicBool::new(false)),
+            metrics: Arc::clone(&metrics),
+            // Worst case every queued request plus a full in-flight batch
+            // per replica holds a buffer at once.
+            pool: BufferPool::new(policy.queue_depth + n_replicas * max_batch),
+            policy,
+        };
         let mut workers = Vec::with_capacity(n_replicas);
         let mut spawn_err = None;
         for (i, engine) in engines.into_iter().enumerate() {
-            let rx = Arc::clone(&rx);
-            let stop = Arc::clone(&stop);
-            let worker_metrics = Arc::clone(&metrics);
-            match std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(i, engine, rx, stop, worker_metrics, policy))
-            {
+            match spawn_worker(i, engine, shared.clone()) {
                 Ok(h) => workers.push(h),
                 Err(e) => {
                     // A replica we cannot staff is a dead replica, not a
-                    // fatal error — serve on whatever did spawn.
+                    // fatal error — serve on whatever did spawn (or let
+                    // the supervisor retry it).
                     metrics.on_replica_dead(i);
                     spawn_err = Some(e);
                 }
@@ -111,11 +215,29 @@ impl<S: Scalar + Send + 'static> Server<S> {
                 spawn_err.map_or_else(|| "no engines".into(), |e| e.to_string())
             )));
         }
+        let workers = Arc::new(Mutex::new(workers));
+        let supervisor = match supervise {
+            None => None,
+            Some((factory, sup)) => {
+                let shared = shared.clone();
+                let workers = Arc::clone(&workers);
+                Some(
+                    std::thread::Builder::new()
+                        .name("serve-supervisor".into())
+                        .spawn(move || supervisor_loop(factory, sup, shared, workers))
+                        .map_err(|e| {
+                            ServeError::Build(format!("could not spawn supervisor: {e}"))
+                        })?,
+                )
+            }
+        };
         Ok(Self {
             tx,
             workers,
-            stop,
+            supervisor,
+            stop: shared.stop,
             metrics,
+            pool: shared.pool,
             sample_len,
         })
     }
@@ -131,7 +253,7 @@ impl<S: Scalar + Send + 'static> Server<S> {
     }
 
     /// Submit one sample and block for its output. See [`Client::infer`].
-    pub fn infer(&self, input: &[S]) -> Result<Vec<S>, ServeError> {
+    pub fn infer(&self, input: &[S]) -> Result<OutputBuf<S>, ServeError> {
         self.client().infer(input)
     }
 
@@ -140,7 +262,7 @@ impl<S: Scalar + Send + 'static> Server<S> {
         &self,
         input: &[S],
         deadline: Instant,
-    ) -> Result<Vec<S>, ServeError> {
+    ) -> Result<OutputBuf<S>, ServeError> {
         self.client().infer_with_deadline(input, deadline)
     }
 
@@ -148,6 +270,12 @@ impl<S: Scalar + Send + 'static> Server<S> {
     /// [`ServingMetrics::report`]).
     pub fn metrics(&self) -> Arc<ServingMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The reply-buffer pool (hit/miss counters show whether the reply
+    /// path has stopped allocating).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
     }
 
     /// Drain in-flight requests, stop the workers, and return the final
@@ -158,7 +286,11 @@ impl<S: Scalar + Send + 'static> Server<S> {
         // Dropping our sender closes the channel once all clients are gone;
         // workers also poll `stop` so they exit even while clients linger.
         drop(self.tx);
-        for w in self.workers {
+        // Supervisor first, so no new workers appear while we drain.
+        if let Some(s) = self.supervisor {
+            let _ = s.join();
+        }
+        for w in self.workers.lock().drain(..) {
             let _ = w.join();
         }
         self.metrics.report()
@@ -184,8 +316,10 @@ impl<S: Scalar + Send + 'static> Clone for Client<S> {
 
 impl<S: Scalar + Send + 'static> Client<S> {
     /// Submit one sample and block until its output arrives (or the
-    /// request is rejected / the server closes).
-    pub fn infer(&self, input: &[S]) -> Result<Vec<S>, ServeError> {
+    /// request is rejected / the server closes). The returned
+    /// [`OutputBuf`] derefs to the output values and recycles its storage
+    /// when dropped.
+    pub fn infer(&self, input: &[S]) -> Result<OutputBuf<S>, ServeError> {
         self.submit(input, None)
     }
 
@@ -195,11 +329,11 @@ impl<S: Scalar + Send + 'static> Client<S> {
         &self,
         input: &[S],
         deadline: Instant,
-    ) -> Result<Vec<S>, ServeError> {
+    ) -> Result<OutputBuf<S>, ServeError> {
         self.submit(input, Some(deadline))
     }
 
-    fn submit(&self, input: &[S], deadline: Option<Instant>) -> Result<Vec<S>, ServeError> {
+    fn submit(&self, input: &[S], deadline: Option<Instant>) -> Result<OutputBuf<S>, ServeError> {
         if input.len() != self.sample_len {
             return Err(ServeError::BadInput(format!(
                 "sample has {} values, server expects {}",
@@ -209,6 +343,9 @@ impl<S: Scalar + Send + 'static> Client<S> {
         }
         if self.metrics.healthy_replicas() == 0 {
             // Every worker has died; nothing will ever drain the queue.
+            // (Under a supervisor this is a transient state — the caller
+            // may retry — but blocking here until a restart would turn a
+            // fast failure into an unbounded stall.)
             return Err(ServeError::Closed);
         }
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
@@ -237,24 +374,80 @@ impl<S: Scalar + Send + 'static> Client<S> {
     }
 }
 
+/// The self-healing loop: scan for dead replicas, rebuild their engines
+/// from the factory's shared weight copy, re-staff their worker threads —
+/// at most `max_restarts` times per sliding `restart_window`. Runs until
+/// shutdown or until the budget is exhausted (then the surviving replicas
+/// serve on unsupervised).
+fn supervisor_loop<S: Scalar + Send + 'static>(
+    factory: EngineFactory<S>,
+    sup: SupervisorPolicy,
+    shared: WorkerShared<S>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut restarts: Vec<Instant> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(sup.poll);
+        for i in shared.metrics.dead_replicas() {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            restarts.retain(|t| now.duration_since(*t) < sup.restart_window);
+            if restarts.len() >= sup.max_restarts {
+                // Budget exhausted: replicas are dying faster than a
+                // restart can plausibly fix. Stand down rather than mask
+                // a systematic failure with a restart storm.
+                return;
+            }
+            let engine = match factory.build() {
+                Ok(e) => e,
+                // Build failed (e.g. allocation); leave the replica dead
+                // and try again next poll.
+                Err(_) => continue,
+            };
+            match spawn_worker(i, engine, shared.clone()) {
+                Ok(h) => {
+                    restarts.push(now);
+                    // Re-staff before flipping the gauge so a client never
+                    // observes "healthy" with no worker attached.
+                    workers.lock().push(h);
+                    shared.metrics.on_replica_restarted(i);
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
 /// One worker: pull a first request, assemble a batch within the policy
-/// window, drop expired requests, run the engine, demux the outputs.
+/// window, drop expired requests, run the engine, demux the outputs into
+/// pooled buffers.
 ///
 /// The engine run is wrapped in `catch_unwind`: a panicking replica
 /// answers its in-flight batch with [`ServeError::Replica`] and retires —
 /// it never takes the process (or the other replicas) down with it, and
-/// the shared queue keeps draining through the survivors.
+/// the shared queue keeps draining through the survivors. Under
+/// [`Server::start_supervised`] the retirement is what the supervisor's
+/// gauge scan picks up.
 fn worker_loop<S: Scalar + Send + 'static>(
     replica: usize,
     mut engine: Engine<S>,
-    rx: Arc<Mutex<Receiver<Request<S>>>>,
-    stop: Arc<AtomicBool>,
-    metrics: Arc<ServingMetrics>,
-    policy: BatchPolicy,
+    shared: WorkerShared<S>,
 ) {
     // How long a worker waits for its *first* request before rechecking
     // the stop flag; bounds shutdown latency while clients still exist.
     const IDLE_POLL: Duration = Duration::from_millis(20);
+    let WorkerShared {
+        rx,
+        stop,
+        metrics,
+        pool,
+        policy,
+    } = shared;
     let max_batch = engine.max_batch();
     loop {
         // Phase 1: wait for the batch's first request. The receiver lock
@@ -312,9 +505,18 @@ fn worker_loop<S: Scalar + Send + 'static>(
         let inputs: Vec<&[S]> = live.iter().map(|r| r.input.as_slice()).collect();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             net::faults::hit("serve.worker").map_err(|e| ServeError::Replica(e.to_string()))?;
-            engine.infer_batch(&inputs)
+            // Slice straight out of the engine's output blob into pooled
+            // reply buffers: no per-request allocation once the pool is
+            // warm. The demux stays inside the unwind boundary because the
+            // flat slice borrows the engine.
+            let flat = engine.infer_batch(&inputs)?;
+            let out_len = flat.len() / inputs.len();
+            Ok::<_, ServeError>(
+                flat.chunks(out_len)
+                    .map(|chunk| pool.checkout_from(chunk))
+                    .collect::<Vec<_>>(),
+            )
         }));
-        drop(inputs);
         match result {
             Ok(Ok(outputs)) => {
                 let done = Instant::now();
@@ -341,7 +543,8 @@ fn worker_loop<S: Scalar + Send + 'static>(
                 for r in live {
                     let _ = r.reply.send(Err(err.clone()));
                 }
-                // Retire: the engine state is suspect after an unwind.
+                // Retire: the engine state is suspect after an unwind. The
+                // supervisor (if any) will rebuild from the factory.
                 return;
             }
         }
@@ -381,19 +584,22 @@ layer {
 }
 "#;
 
-    fn engines(n: usize) -> Vec<Engine<f32>> {
+    fn factory() -> EngineFactory<f32> {
         let spec = NetSpec::parse(TRAIN).unwrap();
-        crate::engine::build_replicas(
+        EngineFactory::new(
             &spec,
             &Shape::from(vec![6usize]),
             &EngineConfig {
                 max_batch: 4,
                 n_threads: 1,
             },
-            n,
             None,
         )
         .unwrap()
+    }
+
+    fn engines(n: usize) -> Vec<Engine<f32>> {
+        factory().build_n(n).unwrap()
     }
 
     #[test]
@@ -404,7 +610,7 @@ layer {
                 let client = server.client();
                 std::thread::spawn(move || {
                     let x = [i as f32 * 0.1; 6];
-                    client.infer(&x).unwrap()
+                    client.infer(&x).unwrap().to_vec()
                 })
             })
             .collect();
@@ -436,5 +642,44 @@ layer {
         let report = server.shutdown();
         assert_eq!(report.timed_out, 1);
         assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn reply_path_reuses_pooled_buffers() {
+        let server = Server::start(engines(1), BatchPolicy::default()).unwrap();
+        let x = [0.5f32; 6];
+        // Sequential requests: each reply buffer is back in the pool
+        // before the next checkout, so only the first can allocate.
+        for _ in 0..50 {
+            let out = server.infer(&x).unwrap();
+            assert_eq!(out.len(), 3);
+        }
+        let misses = server.pool().misses();
+        let hits = server.pool().hits();
+        server.shutdown();
+        assert_eq!(misses, 1, "steady state allocates nothing");
+        assert_eq!(hits, 49);
+    }
+
+    #[test]
+    fn supervised_server_without_faults_never_restarts() {
+        let server = Server::start_supervised(
+            factory(),
+            2,
+            BatchPolicy::default(),
+            SupervisorPolicy {
+                poll: Duration::from_millis(1),
+                ..SupervisorPolicy::default()
+            },
+        )
+        .unwrap();
+        let x = [0.25f32; 6];
+        for _ in 0..10 {
+            assert_eq!(server.infer(&x).unwrap().len(), 3);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.replica_restarts, 0);
+        assert_eq!(report.healthy_replicas, 2);
     }
 }

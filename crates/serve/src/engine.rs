@@ -14,7 +14,7 @@
 
 use crate::deploy::deploy_spec;
 use crate::ServeError;
-use blob::Shape;
+use blob::{Blob, Shape};
 use layers::ctx::{Phase, ReductionMode};
 use mmblas::Scalar;
 use net::{Net, NetSpec, RunConfig};
@@ -73,7 +73,11 @@ impl<S: Scalar> Engine<S> {
         let sample_len = sample_shape.count();
         let output_len = net
             .blob(&output_name)
-            .expect("output blob exists")
+            .ok_or_else(|| {
+                ServeError::Build(format!(
+                    "deploy net output '{output_name}' has no backing blob"
+                ))
+            })?
             .sample_len();
 
         let team = ThreadTeam::new(cfg.n_threads.max(1));
@@ -100,16 +104,43 @@ impl<S: Scalar> Engine<S> {
         })
     }
 
-    /// Load a `CGDN` snapshot into the engine's parameters.
+    /// Load a `CGDN` snapshot into the engine's parameters. If the
+    /// parameters were shared with other engines (built through an
+    /// [`EngineFactory`]), this detaches a private copy first — the other
+    /// replicas keep their bits.
     pub fn load_weights(&mut self, r: impl Read) -> Result<(), ServeError> {
         net::load_params(&mut self.net, r).map_err(|e| ServeError::Weights(e.to_string()))
     }
 
+    /// Replace this engine's parameters with copy-on-write clones of
+    /// `params` — the decoded weights are shared, not duplicated. Shapes
+    /// are validated blob by blob.
+    pub fn adopt_params(&mut self, params: &[Blob<S>]) -> Result<(), ServeError> {
+        self.net
+            .adopt_params(params)
+            .map_err(|e| ServeError::Weights(e.to_string()))
+    }
+
+    /// Copy-on-write clones of this engine's parameter blobs (cheap: the
+    /// buffers are shared, not copied).
+    pub fn params(&self) -> Vec<Blob<S>> {
+        self.net.learnable_params().into_iter().cloned().collect()
+    }
+
+    /// Heap bytes of parameter storage this engine uniquely owns; shared
+    /// (factory-built) replicas report ~0 here.
+    pub fn params_unique_bytes(&self) -> usize {
+        self.net.params_unique_bytes()
+    }
+
     /// Run one micro-batch of up to [`Engine::max_batch`] samples; returns
-    /// one output vector (length [`Engine::output_len`]) per sample, in
-    /// input order. The unused tail of the input blob is zeroed, so a
-    /// partial batch produces the same bits regardless of what ran before.
-    pub fn infer_batch(&mut self, samples: &[&[S]]) -> Result<Vec<Vec<S>>, ServeError> {
+    /// the outputs as one flat slice of `samples.len() * output_len`
+    /// values, sample-major, borrowed from the engine's output blob — no
+    /// allocation on the hot path (the batcher demuxes into pooled
+    /// buffers). The slice is valid until the next `infer_batch` call.
+    /// The unused tail of the input blob is zeroed, so a partial batch
+    /// produces the same bits regardless of what ran before.
+    pub fn infer_batch(&mut self, samples: &[&[S]]) -> Result<&[S], ServeError> {
         let n = samples.len();
         if n == 0 || n > self.max_batch {
             return Err(ServeError::BadInput(format!(
@@ -134,11 +165,16 @@ impl<S: Scalar> Engine<S> {
             .map_err(|e| ServeError::Build(e.to_string()))?;
         self.net.forward(&self.team, &self.run);
 
-        let out = self
-            .net
-            .blob(&self.output_name)
-            .expect("output blob exists");
-        Ok((0..n).map(|i| out.sample_data(i).to_vec()).collect())
+        let out = self.net.blob(&self.output_name).ok_or_else(|| {
+            ServeError::Build(format!("output blob '{}' disappeared", self.output_name))
+        })?;
+        Ok(&out.data()[..n * self.output_len])
+    }
+
+    /// Convenience wrapper: run one sample and return an owned output
+    /// vector (allocates — use [`Engine::infer_batch`] on hot paths).
+    pub fn infer_one(&mut self, sample: &[S]) -> Result<Vec<S>, ServeError> {
+        self.infer_batch(&[sample]).map(|o| o.to_vec())
     }
 
     /// Batch capacity of the input blob.
@@ -177,11 +213,83 @@ impl<S: Scalar> Engine<S> {
     }
 }
 
+/// A reusable recipe for engine replicas: one spec, one decoded weight
+/// set, any number of engines. The snapshot bytes are decoded exactly once
+/// (in [`EngineFactory::new`]); every [`EngineFactory::build`] hands the
+/// new engine copy-on-write clones of those parameters, so N replicas
+/// share one decoded copy — the paper's single-weight-copy invariant,
+/// extended to serving. The supervisor uses the same factory to rebuild a
+/// dead replica without re-reading or re-decoding anything.
+pub struct EngineFactory<S: Scalar = f32> {
+    train_spec: NetSpec,
+    sample_shape: Shape,
+    cfg: EngineConfig,
+    params: Vec<Blob<S>>,
+}
+
+impl<S: Scalar> EngineFactory<S> {
+    /// Validate the spec by building a template engine, decode `weights`
+    /// into it (if given) and capture the parameter set for sharing.
+    /// Without weights the template's seeded random initialization becomes
+    /// the shared set, so replicas are still bit-identical to each other.
+    pub fn new(
+        train_spec: &NetSpec,
+        sample_shape: &Shape,
+        cfg: &EngineConfig,
+        weights: Option<&[u8]>,
+    ) -> Result<Self, ServeError> {
+        // The template team is never used for inference; size 1 avoids
+        // spawning throwaway worker threads.
+        let mut template = Engine::build(
+            train_spec,
+            sample_shape,
+            &EngineConfig {
+                n_threads: 1,
+                ..*cfg
+            },
+        )?;
+        if let Some(bytes) = weights {
+            template.load_weights(bytes)?;
+        }
+        Ok(Self {
+            train_spec: train_spec.clone(),
+            sample_shape: sample_shape.clone(),
+            cfg: *cfg,
+            params: template.params(),
+        })
+    }
+
+    /// Build one engine whose parameters are shared with every other
+    /// engine from this factory.
+    pub fn build(&self) -> Result<Engine<S>, ServeError> {
+        let mut e = Engine::build(&self.train_spec, &self.sample_shape, &self.cfg)?;
+        e.adopt_params(&self.params)?;
+        Ok(e)
+    }
+
+    /// Build `n` engines sharing one parameter set.
+    pub fn build_n(&self, n: usize) -> Result<Vec<Engine<S>>, ServeError> {
+        if n == 0 {
+            return Err(ServeError::Build("need at least one replica".into()));
+        }
+        (0..n).map(|_| self.build()).collect()
+    }
+
+    /// Engine configuration the factory builds with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Logical bytes of the shared decoded parameter set (data + diff).
+    pub fn params_bytes(&self) -> usize {
+        self.params.iter().map(|p| p.bytes()).sum()
+    }
+}
+
 /// Build `n` engine replicas from one spec and one snapshot. The snapshot
-/// bytes are read once and decoded into each replica; parameters are
-/// read-only from then on. (True buffer-level sharing would need `Arc`
-/// inside `Blob`; replicating the decoded weights keeps the training
-/// crates untouched at the cost of one parameter copy per replica.)
+/// bytes are decoded once; replicas receive copy-on-write clones of the
+/// decoded parameters (`Arc` inside `Blob`), so memory holds one weight
+/// copy regardless of `n`.
 pub fn build_replicas<S: Scalar>(
     train_spec: &NetSpec,
     sample_shape: &Shape,
@@ -189,18 +297,7 @@ pub fn build_replicas<S: Scalar>(
     n_replicas: usize,
     weights: Option<&[u8]>,
 ) -> Result<Vec<Engine<S>>, ServeError> {
-    if n_replicas == 0 {
-        return Err(ServeError::Build("need at least one replica".into()));
-    }
-    let mut engines = Vec::with_capacity(n_replicas);
-    for _ in 0..n_replicas {
-        let mut e = Engine::build(train_spec, sample_shape, cfg)?;
-        if let Some(bytes) = weights {
-            e.load_weights(bytes)?;
-        }
-        engines.push(e);
-    }
-    Ok(engines)
+    EngineFactory::new(train_spec, sample_shape, cfg, weights)?.build_n(n_replicas)
 }
 
 #[cfg(test)]
@@ -253,9 +350,9 @@ layer {
         assert_eq!(e.output_len(), 3);
         let a = [0.3f32; 6];
         let b = [1.5f32; 6];
-        let outs = e.infer_batch(&[&a, &b]).unwrap();
-        assert_eq!(outs.len(), 2);
-        for o in &outs {
+        let out = e.infer_batch(&[&a, &b]).unwrap();
+        assert_eq!(out.len(), 2 * 3, "flat slice: n_samples x output_len");
+        for o in out.chunks(3) {
             let sum: f32 = o.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "softmax rows sum to 1, got {sum}");
         }
@@ -265,10 +362,14 @@ layer {
     fn partial_batch_matches_full_position() {
         let mut e = engine(4, 2);
         let a = [0.7f32; 6];
-        let alone = e.infer_batch(&[&a]).unwrap();
+        let alone = e.infer_one(&a).unwrap();
         let b = [2.0f32; 6];
         let pair = e.infer_batch(&[&a, &b]).unwrap();
-        assert_eq!(alone[0], pair[0], "batch position must not change the bits");
+        assert_eq!(
+            alone,
+            pair[..3].to_vec(),
+            "batch position must not change the bits"
+        );
     }
 
     #[test]
@@ -285,5 +386,102 @@ layer {
             Err(ServeError::BadInput(_))
         ));
         assert!(matches!(e.infer_batch(&[]), Err(ServeError::BadInput(_))));
+    }
+
+    #[test]
+    fn malformed_spec_is_a_build_error_not_a_panic() {
+        // The Power layer consumes the Accuracy layer's top; Accuracy is
+        // dropped by the deploy transform, so the surviving layer has a
+        // dangling bottom — Engine::build must surface ServeError::Build.
+        const BAD: &str = r#"
+name: bad
+layer {
+  name: d
+  type: Data
+  batch: 2
+  top: data
+  top: label
+}
+layer {
+  name: acc
+  type: Accuracy
+  bottom: data
+  bottom: label
+  top: acc
+}
+layer {
+  name: pow
+  type: Power
+  bottom: acc
+  top: out
+}
+"#;
+        let spec = NetSpec::parse(BAD).unwrap();
+        let r = Engine::<f32>::build(
+            &spec,
+            &Shape::from(vec![6usize]),
+            &EngineConfig {
+                max_batch: 2,
+                n_threads: 1,
+            },
+        );
+        match r {
+            Err(e) => assert!(matches!(e, ServeError::Build(_)), "got: {e}"),
+            Ok(_) => panic!("malformed deploy spec must not build"),
+        }
+    }
+
+    #[test]
+    fn factory_replicas_share_one_decoded_parameter_set() {
+        let spec = NetSpec::parse(TRAIN).unwrap();
+        let cfg = EngineConfig {
+            max_batch: 4,
+            n_threads: 1,
+        };
+        let factory =
+            EngineFactory::<f32>::new(&spec, &Shape::from(vec![6usize]), &cfg, None).unwrap();
+        let engines = factory.build_n(3).unwrap();
+        // Every replica's parameter buffers alias replica 0's.
+        let base = engines[0].params();
+        for e in &engines[1..] {
+            for (a, b) in base.iter().zip(e.params()) {
+                assert!(a.data_shared_with(&b), "weights are one allocation");
+                assert!(b.diff_shared_with(a), "zeroed diffs shared too");
+            }
+            assert_eq!(e.params_unique_bytes(), 0, "replica owns no weight bytes");
+        }
+        // Inference does not detach the shared weights.
+        let mut engines = engines;
+        let x = [0.4f32; 6];
+        let want = engines[0].infer_one(&x).unwrap();
+        for e in engines.iter_mut() {
+            assert_eq!(e.infer_one(&x).unwrap(), want, "replicas agree bitwise");
+        }
+        let base = engines[0].params();
+        for e in &engines[1..] {
+            for (a, b) in base.iter().zip(e.params()) {
+                assert!(a.data_shared_with(&b), "forward pass must not detach");
+            }
+        }
+        // Loading fresh weights into one replica detaches only that one.
+        let mut snap = Vec::new();
+        {
+            let spec = NetSpec::parse(TRAIN).unwrap();
+            let donor = net::Net::<f32>::from_spec_with_inputs(
+                &crate::deploy::deploy_spec(&spec).unwrap().spec,
+                None,
+                &[("data".into(), Shape::from(vec![4usize, 6]))],
+            )
+            .unwrap();
+            net::save_params(&donor, &mut snap).unwrap();
+        }
+        engines[1].load_weights(snap.as_slice()).unwrap();
+        let p0 = engines[0].params();
+        let p1 = engines[1].params();
+        let p2 = engines[2].params();
+        for ((a, b), c) in p0.iter().zip(&p1).zip(&p2) {
+            assert!(!a.data_shared_with(b), "loaded replica detached");
+            assert!(a.data_shared_with(c), "bystander replicas still share");
+        }
     }
 }

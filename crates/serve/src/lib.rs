@@ -22,6 +22,15 @@
 //!   on overload), per-request deadlines ([`ServeError::TimedOut`]), one
 //!   worker thread per engine replica, and [`metrics::ServingMetrics`]
 //!   (latency percentiles, batch-size distribution, throughput, CSV).
+//! - [`EngineFactory`] — decodes a snapshot once and stamps out replicas
+//!   whose parameter blobs share that one decoded copy (`Arc`-backed
+//!   copy-on-write inside [`blob::Blob`]), so replica count does not
+//!   multiply weight memory.
+//! - [`Server::start_supervised`] — a supervisor thread that watches the
+//!   `healthy_replicas` gauge and re-staffs dead replicas from the
+//!   factory, bounded by [`SupervisorPolicy`] restarts per time window.
+//! - [`pool::BufferPool`] / [`OutputBuf`] — recycled reply buffers; the
+//!   steady-state reply path performs no per-request allocation.
 //!
 //! ```
 //! use serve::{BatchPolicy, Engine, EngineConfig, Server};
@@ -46,11 +55,13 @@ pub mod batcher;
 pub mod deploy;
 pub mod engine;
 pub mod metrics;
+pub mod pool;
 
-pub use batcher::{BatchPolicy, Client, Server};
+pub use batcher::{BatchPolicy, Client, Server, SupervisorPolicy};
 pub use deploy::{deploy_spec, DeploySpec};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{build_replicas, Engine, EngineConfig, EngineFactory};
 pub use metrics::{ServingMetrics, ServingReport};
+pub use pool::{BufferPool, OutputBuf};
 
 use std::fmt;
 

@@ -25,6 +25,7 @@ pub struct ServingMetrics {
     window: Mutex<Option<(Instant, Instant)>>,
     replica_errors: Mutex<Vec<u64>>,
     replica_alive: Mutex<Vec<bool>>,
+    replica_restarts: AtomicU64,
 }
 
 impl ServingMetrics {
@@ -100,10 +101,38 @@ impl ServingMetrics {
         alive[i] = false;
     }
 
+    /// Replica `i` came back: its worker was re-staffed by the
+    /// supervisor. Marks it healthy again and counts the restart.
+    pub fn on_replica_restarted(&self, i: usize) {
+        let mut alive = self.replica_alive.lock();
+        if i >= alive.len() {
+            alive.resize(i + 1, true);
+        }
+        alive[i] = true;
+        drop(alive);
+        self.replica_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Replicas still in service. `0` means the server can no longer
     /// answer anything.
     pub fn healthy_replicas(&self) -> usize {
         self.replica_alive.lock().iter().filter(|a| **a).count()
+    }
+
+    /// Ids of the replicas currently out of service — the supervisor's
+    /// work list.
+    pub fn dead_replicas(&self) -> Vec<usize> {
+        self.replica_alive
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, alive)| (!alive).then_some(i))
+            .collect()
+    }
+
+    /// Total worker re-staffs performed by the supervisor so far.
+    pub fn replica_restarts(&self) -> u64 {
+        self.replica_restarts.load(Ordering::Relaxed)
     }
 
     /// Snapshot the accumulated counters into an immutable report.
@@ -146,6 +175,7 @@ impl ServingMetrics {
             max_queue_depth: self.max_depth.load(Ordering::Relaxed),
             replica_errors: self.replica_errors.lock().clone(),
             healthy_replicas: self.healthy_replicas(),
+            replica_restarts: self.replica_restarts.load(Ordering::Relaxed),
             wall_secs,
             throughput_rps: if wall_secs > 0.0 {
                 completed as f64 / wall_secs
@@ -161,8 +191,11 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
+    // total_cmp, not partial_cmp().unwrap(): a NaN latency sample (e.g. a
+    // poisoned clock delta) must not panic the reporting path. NaN sorts
+    // above every real value, so it can only inflate the top percentile.
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
     v[rank - 1]
 }
@@ -211,6 +244,8 @@ pub struct ServingReport {
     pub replica_errors: Vec<u64>,
     /// Replicas still in service at snapshot time.
     pub healthy_replicas: usize,
+    /// Worker re-staffs performed by the supervisor.
+    pub replica_restarts: u64,
     /// First enqueue → last completion, seconds.
     pub wall_secs: f64,
     /// Completed requests per second over that window.
@@ -238,6 +273,7 @@ impl ServingReport {
         out.push_str(&format!("n_batches,{}\n", self.n_batches));
         out.push_str(&format!("max_queue_depth,{}\n", self.max_queue_depth));
         out.push_str(&format!("healthy_replicas,{}\n", self.healthy_replicas));
+        out.push_str(&format!("replica_restarts,{}\n", self.replica_restarts));
         for (i, e) in self.replica_errors.iter().enumerate() {
             out.push_str(&format!("replica_{i}_errors,{e}\n"));
         }
@@ -275,9 +311,10 @@ impl fmt::Display for ServingReport {
         )?;
         writeln!(
             f,
-            "replicas: {}/{} healthy, errors {:?}",
+            "replicas: {}/{} healthy, {} restarted, errors {:?}",
             self.healthy_replicas,
             self.replica_errors.len(),
+            self.replica_restarts,
             self.replica_errors
         )?;
         write!(
@@ -301,6 +338,17 @@ mod tests {
         assert_eq!(percentile(&v, 1.0), 100.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn percentile_survives_nan_samples() {
+        // Regression: sort_by(partial_cmp().unwrap()) panicked here. NaN
+        // must neither panic nor leak into the lower percentiles.
+        let v = vec![3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.25), 1.0);
+        assert!(percentile(&v, 1.0).is_nan(), "NaN sorts to the top rank");
+        assert!(percentile(&[f64::NAN], 0.5).is_nan());
     }
 
     #[test]
@@ -339,6 +387,23 @@ mod tests {
         assert_eq!(r.healthy_replicas, 2);
         assert!(r.csv().contains("replica_1_errors,2\n"));
         assert!(r.csv().contains("healthy_replicas,2\n"));
+    }
+
+    #[test]
+    fn restart_revives_replica_and_is_counted() {
+        let m = ServingMetrics::default();
+        m.set_replicas(2);
+        m.on_replica_dead(0);
+        assert_eq!(m.dead_replicas(), vec![0]);
+        assert_eq!(m.healthy_replicas(), 1);
+        m.on_replica_restarted(0);
+        assert_eq!(m.dead_replicas(), Vec::<usize>::new());
+        assert_eq!(m.healthy_replicas(), 2);
+        assert_eq!(m.replica_restarts(), 1);
+        let r = m.report();
+        assert_eq!(r.replica_restarts, 1);
+        assert!(r.csv().contains("replica_restarts,1\n"));
+        assert!(r.to_string().contains("1 restarted"));
     }
 
     #[test]

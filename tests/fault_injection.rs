@@ -155,6 +155,118 @@ fn divergence_guard_rolls_back_poisoned_run_to_completion() {
 }
 
 #[test]
+fn commit_window_crash_orphan_is_swept_by_the_next_save() {
+    let _g = guard();
+    let dir = CheckpointDir::new(tmp("orphan-sweep"));
+    let mut t = trainer();
+    t.train(2);
+    dir.save(&t).unwrap();
+    t.train(2);
+    // Crash in the commit window: ckpt-00000004.cgdn is durable on disk,
+    // but no manifest will ever point at it.
+    arm("checkpoint.commit", FaultMode::Error, 0);
+    assert!(dir.save(&t).is_err());
+    let orphan = dir.path().join("ckpt-00000004.cgdn");
+    assert!(orphan.exists(), "the crash left a durable unlisted file");
+
+    // 'Restart': resume from the manifest (iteration 2), make different
+    // progress so the orphan's name is never re-used, and save.
+    let mut resumed = trainer();
+    assert_eq!(dir.resume_latest(&mut resumed).unwrap().iteration, 2);
+    resumed.train(1);
+    dir.save(&resumed).unwrap();
+
+    assert!(!orphan.exists(), "next save swept the orphan");
+    // Every ckpt file on disk is manifest-listed, and vice versa.
+    let listed: Vec<String> = dir
+        .entries()
+        .unwrap()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| {
+            let n = e.unwrap().file_name().to_string_lossy().into_owned();
+            (n.starts_with("ckpt-") && n.ends_with(".cgdn")).then_some(n)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed_sorted = listed.clone();
+    listed_sorted.sort();
+    assert_eq!(
+        on_disk, listed_sorted,
+        "manifest is the sole source of truth"
+    );
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+#[test]
+fn supervisor_restores_killed_replica_with_bit_identical_outputs() {
+    let _g = guard();
+    let spec = NetSpec::parse(common::TINY_SPEC).unwrap();
+    let factory = serve::EngineFactory::<f32>::new(
+        &spec,
+        &Shape::from([1usize, 12, 12]),
+        &serve::EngineConfig {
+            max_batch: 4,
+            n_threads: 1,
+        },
+        None,
+    )
+    .unwrap();
+
+    // Reference: a never-killed engine sharing the factory's weights.
+    let mut reference = factory.build().unwrap();
+    let samples: Vec<Vec<f32>> = (0..6).map(|i| vec![0.07 * (i + 1) as f32; 144]).collect();
+    let expected: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|s| reference.infer_one(s).unwrap())
+        .collect();
+
+    let server = serve::Server::start_supervised(
+        factory,
+        2,
+        serve::BatchPolicy::default(),
+        serve::SupervisorPolicy {
+            poll: std::time::Duration::from_millis(1),
+            ..serve::SupervisorPolicy::default()
+        },
+    )
+    .unwrap();
+    let metrics = server.metrics();
+    assert_eq!(metrics.healthy_replicas(), 2);
+
+    // Kill one replica mid-batch: the in-flight request errors, the
+    // worker retires, and the gauge drops.
+    arm("serve.worker", FaultMode::Panic, 0);
+    let e = server.infer(&samples[0]).unwrap_err();
+    assert!(matches!(e, serve::ServeError::Replica(_)), "got: {e}");
+
+    // The supervisor notices within its poll interval and re-staffs.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while metrics.healthy_replicas() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor did not restore healthy_replicas within 5 s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(metrics.replica_restarts(), 1);
+
+    // Post-restart outputs are bit-identical to the never-killed
+    // reference: the rebuilt engine adopted the same shared weight copy.
+    for (s, want) in samples.iter().zip(&expected) {
+        let got = server.infer(s).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice(), "bits differ after restart");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.healthy_replicas, 2);
+    assert_eq!(report.replica_restarts, 1);
+    assert!(report.csv().contains("replica_restarts,1\n"));
+}
+
+#[test]
 fn serve_worker_panic_degrades_but_does_not_kill_the_server() {
     let _g = guard();
     let spec = NetSpec::parse(common::TINY_SPEC).unwrap();

@@ -58,10 +58,7 @@ fn batched_serving_matches_one_at_a_time_forwards() {
 
     // Reference: every sample alone through a solo engine.
     let mut solo = build_engines(1, &snap).remove(0);
-    let expected: Vec<Vec<f32>> = samples
-        .iter()
-        .map(|s| solo.infer_batch(&[s.as_slice()]).unwrap().remove(0))
-        .collect();
+    let expected: Vec<Vec<f32>> = samples.iter().map(|s| solo.infer_one(s).unwrap()).collect();
 
     // Served: concurrent clients through the dynamic batcher over two
     // replicas, so samples land in arbitrary batch compositions.
@@ -78,7 +75,7 @@ fn batched_serving_matches_one_at_a_time_forwards() {
         .map(|s| {
             let client = server.client();
             let s = s.clone();
-            std::thread::spawn(move || client.infer(&s).unwrap())
+            std::thread::spawn(move || client.infer(&s).unwrap().to_vec())
         })
         .collect();
     let served: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

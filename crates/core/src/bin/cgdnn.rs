@@ -7,6 +7,8 @@
 //!                [--reduction ordered|canonical|unordered]
 //!                [--snapshot FILE] [--weights FILE]
 //!                [--snapshot-every K] [--resume DIR] [--snapshot-dir DIR]
+//!                [--profile] [--profile-csv FILE] [--trace FILE]
+//!                [--metrics FILE]
 //! cgdnn simulate <spec.prototxt> [--data KIND]
 //! ```
 //!
@@ -15,11 +17,61 @@
 
 use cgdnn::checkpoint::{train_with_checkpoints, CheckpointDir, GuardConfig};
 use cgdnn::cli::{make_source, Args};
+use cgdnn::observe;
 use cgdnn::prelude::*;
 use machine::report::NetworkSim;
 use std::fs::File;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Start span collection when `--trace` was given (drains any stale
+/// buffered events first so the written file covers only this run).
+fn start_tracing(args: &Args) {
+    if args.get("trace").is_some() {
+        obs::trace::set_enabled(true);
+        let _ = obs::trace::take_events();
+    }
+}
+
+/// Stop tracing and collect the run's events (`None` without `--trace`).
+fn finish_tracing(args: &Args) -> Option<Vec<obs::Event>> {
+    args.get("trace").map(|_| {
+        obs::trace::set_enabled(false);
+        obs::trace::take_events()
+    })
+}
+
+/// Write the collected trace (`--trace FILE`) and the global metrics
+/// registry (`--metrics FILE`, `-` for stdout).
+fn write_observability(args: &Args, events: Option<&[obs::Event]>) -> Result<(), String> {
+    if let (Some(path), Some(events)) = (args.get("trace"), events) {
+        let mut buf = Vec::new();
+        obs::trace::write_chrome_trace(&mut buf, events)
+            .map_err(|e| format!("trace encode: {e}"))?;
+        net::write_atomic(Path::new(path), &buf).map_err(|e| format!("{path}: {e}"))?;
+        let dropped = obs::trace::dropped_events();
+        println!(
+            "trace written to {path} ({} events{})",
+            events.len(),
+            if dropped > 0 {
+                format!(", {dropped} dropped at buffer cap")
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let Some(path) = args.get("metrics") {
+        let csv = obs::registry::global().csv();
+        if path == "-" {
+            print!("{csv}");
+        } else {
+            net::write_atomic(Path::new(path), csv.as_bytes())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("metrics written to {path}");
+        }
+    }
+    Ok(())
+}
 
 fn load_net(args: &Args) -> Result<Net<f32>, String> {
     let spec_path = args
@@ -80,6 +132,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         threads,
     )
     .with_reduction(reduction);
+    if args.has("profile") {
+        trainer.enable_profiling();
+    }
+    start_tracing(args);
 
     let fault_tolerant = snapshot_every > 0 || resume_dir.is_some();
     if fault_tolerant {
@@ -167,6 +223,23 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         net::write_atomic(Path::new(path), &bytes).map_err(|e| format!("{path}: {e}"))?;
         println!("snapshot written to {path}");
     }
+
+    let events = finish_tracing(args);
+    if let Some(profile) = trainer.profile() {
+        print!("{}", profile.table());
+        let analytic = observe::analytic_imbalance(&trainer.net().profiles(), threads);
+        let measured = events.as_deref().and_then(observe::measured_imbalance);
+        print!(
+            "{}",
+            observe::imbalance_comparison(measured.as_ref(), &analytic)
+        );
+        if let Some(path) = args.get("profile-csv") {
+            net::write_atomic(Path::new(path), profile.csv().as_bytes())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("profile written to {path}");
+        }
+    }
+    write_observability(args, events.as_deref())?;
     Ok(())
 }
 
@@ -180,6 +253,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     let source = make_source(args.get("data").unwrap_or("synthetic-mnist"))?;
     let sample_shape = source.sample_shape();
 
+    start_tracing(args);
     let threads: usize = args.get_parse("threads", 4)?;
     let replicas: usize = args.get_parse("replicas", 1)?;
     let requests: usize = args.get_parse("requests", 1000)?;
@@ -289,6 +363,10 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("{path}: {e}"))?;
         println!("report written to {path}");
     }
+    // Serving numbers live in the same registry as the training metrics,
+    // so `--metrics` sees the whole process in one exposition.
+    report.publish(obs::registry::global());
+    write_observability(args, finish_tracing(args).as_deref())?;
     Ok(())
 }
 
@@ -338,10 +416,17 @@ infer flags:
   --deadline-us N   per-request deadline, 0 = none (default 0)
   --max-restarts N  replica restarts allowed per window (default 5)
   --restart-window N  restart-budget window, milliseconds (default 30000)
-  --csv FILE        write the serving report as CSV";
+  --csv FILE        write the serving report as CSV
+observability (train and infer):
+  --profile         print the measured per-layer fwd/bwd table (paper
+                    Table-2 layout) and imbalance factors after training
+  --profile-csv FILE  also write the per-layer table as CSV
+  --trace FILE      record omprt/layer/checkpoint spans and write a Chrome
+                    trace_event JSON (load in chrome://tracing or Perfetto)
+  --metrics FILE    write the global metrics registry as CSV ('-' = stdout)";
 
 fn main() -> ExitCode {
-    let args = match Args::parse(std::env::args().skip(1)) {
+    let args = match Args::parse_with_switches(std::env::args().skip(1), &["profile"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");

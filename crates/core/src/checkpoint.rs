@@ -308,6 +308,18 @@ pub enum TrainEvent {
     },
 }
 
+impl TrainEvent {
+    /// The training iteration the event is anchored to (for a rollback,
+    /// the iteration it rolled back *from*).
+    pub fn iteration(&self) -> u64 {
+        match self {
+            TrainEvent::Checkpoint { iteration, .. } => *iteration,
+            TrainEvent::Divergence { iteration, .. } => *iteration,
+            TrainEvent::Rollback { from_iteration, .. } => *from_iteration,
+        }
+    }
+}
+
 impl fmt::Display for TrainEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -368,8 +380,11 @@ pub fn train_with_checkpoints<S: Scalar>(
     let mut events: Vec<TrainEvent> = Vec::new();
     let mut guard = guard_cfg.map(DivergenceGuard::new);
     let mut rollbacks = 0usize;
+    // Log lines carry a `ts=<unix_secs>.<millis> iter=<n>` prefix (see
+    // `obs::logstamp` and DESIGN.md) so post-mortems can correlate them
+    // with checkpoint file mtimes.
     let record = |events: &mut Vec<TrainEvent>, ev: TrainEvent| {
-        dir.append_log(&ev.to_string());
+        dir.append_log(&format!("{} {ev}", obs::logstamp(ev.iteration())));
         events.push(ev);
     };
 

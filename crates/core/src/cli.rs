@@ -18,11 +18,27 @@ impl Args {
     /// # Errors
     /// Fails when a `--flag` has no following value.
     pub fn parse(raw: impl Iterator<Item = String>) -> Result<Self, String> {
+        Self::parse_with_switches(raw, &[])
+    }
+
+    /// [`Args::parse`], treating each flag named in `switches` as a boolean
+    /// switch that takes no value (query it with [`Args::has`]).
+    ///
+    /// # Errors
+    /// Fails when a non-switch `--flag` has no following value.
+    pub fn parse_with_switches(
+        raw: impl Iterator<Item = String>,
+        switches: &[&str],
+    ) -> Result<Self, String> {
         let mut flags = Vec::new();
         let mut positional = Vec::new();
         let mut it = raw.peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if switches.contains(&name) {
+                    flags.push((name.to_string(), String::new()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -32,6 +48,11 @@ impl Args {
             }
         }
         Ok(Self { flags, positional })
+    }
+
+    /// Whether `--name` appeared at all (boolean switches).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
     }
 
     /// Last occurrence of `--name` wins.
@@ -121,6 +142,23 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Args::parse(argv("train --threads")).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(
+            argv("train spec.txt --profile --threads 4 --trace out.json"),
+            &["profile"],
+        )
+        .unwrap();
+        assert!(a.has("profile"));
+        assert!(!a.has("quiet"));
+        assert_eq!(a.positional, vec!["train", "spec.txt"]);
+        assert_eq!(a.get("threads"), Some("4"));
+        assert_eq!(a.get("trace"), Some("out.json"));
+        // A trailing switch still parses.
+        let b = Args::parse_with_switches(argv("train --profile"), &["profile"]).unwrap();
+        assert!(b.has("profile"));
     }
 
     #[test]

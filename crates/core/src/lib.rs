@@ -32,6 +32,7 @@ pub mod checkpoint;
 pub mod cli;
 pub mod invariance;
 pub mod nets;
+pub mod observe;
 pub mod replica;
 pub mod trainer;
 
@@ -40,6 +41,7 @@ pub use checkpoint::{
     TrainEvent,
 };
 pub use invariance::check_loss_invariance;
+pub use observe::LayerTimeProfile;
 pub use replica::{ShardedSource, SyncDataParallel};
 pub use trainer::CoarseGrainTrainer;
 
@@ -50,6 +52,7 @@ pub use layers;
 pub use machine;
 pub use mmblas;
 pub use net;
+pub use obs;
 pub use omprt;
 pub use solvers;
 

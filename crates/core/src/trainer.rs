@@ -1,6 +1,7 @@
 //! High-level, network-agnostic training driver.
 
 use crate::checkpoint::{SEC_CURSOR, SEC_META, SEC_SOLVER};
+use crate::observe::LayerTimeProfile;
 use layers::data::BatchSource;
 use layers::ReductionMode;
 use mmblas::Scalar;
@@ -10,6 +11,26 @@ use omprt::ThreadTeam;
 use solvers::{Solver, SolverConfig};
 use std::io;
 use std::path::Path;
+use std::time::Instant;
+
+/// Cached handles into the global metrics registry, resolved once per
+/// trainer so the per-step updates are pure atomic operations.
+struct StepMetrics {
+    iterations: obs::Counter,
+    step_seconds: obs::Histogram,
+    last_loss: obs::Gauge,
+}
+
+impl StepMetrics {
+    fn new() -> Self {
+        let reg = obs::registry::global();
+        Self {
+            iterations: reg.counter("train.iterations"),
+            step_seconds: reg.histogram("train.step_seconds", &obs::registry::DURATION_BOUNDS_SECS),
+            last_loss: reg.gauge("train.last_loss"),
+        }
+    }
+}
 
 /// The paper's system in one object: a network, a solver, a thread team,
 /// and the coarse-grain run configuration.
@@ -22,6 +43,8 @@ pub struct CoarseGrainTrainer<S: Scalar = f32> {
     solver: Solver<S>,
     team: ThreadTeam,
     run: RunConfig,
+    metrics: StepMetrics,
+    profiler: Option<LayerTimeProfile>,
 }
 
 impl<S: Scalar> CoarseGrainTrainer<S> {
@@ -32,6 +55,8 @@ impl<S: Scalar> CoarseGrainTrainer<S> {
             solver: Solver::new(solver_cfg),
             team: ThreadTeam::new(threads),
             run: RunConfig::default(),
+            metrics: StepMetrics::new(),
+            profiler: None,
         }
     }
 
@@ -69,14 +94,57 @@ impl<S: Scalar> CoarseGrainTrainer<S> {
         self
     }
 
+    /// Start accumulating a measured per-layer timing profile (see
+    /// [`LayerTimeProfile`] and `cgdnn train --profile`). Idempotent.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            let names = self
+                .net
+                .layer_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            self.profiler = Some(LayerTimeProfile::new(names));
+        }
+    }
+
+    /// Builder form of [`CoarseGrainTrainer::enable_profiling`].
+    pub fn with_profiling(mut self) -> Self {
+        self.enable_profiling();
+        self
+    }
+
+    /// The accumulated per-layer timing profile, if profiling is enabled.
+    pub fn profile(&self) -> Option<&LayerTimeProfile> {
+        self.profiler.as_ref()
+    }
+
     /// Train for `n` iterations; returns the loss of each iteration.
     pub fn train(&mut self, n: usize) -> Vec<S> {
-        self.solver.train(&mut self.net, &self.team, &self.run, n)
+        (0..n).map(|_| self.step()).collect()
     }
 
     /// One training iteration; returns the loss.
+    ///
+    /// Publishes `train.iterations` / `train.step_seconds` /
+    /// `train.last_loss` into [`obs::registry::global`] and, when profiling
+    /// is enabled, folds the net's per-layer pass times into the profile.
+    /// Neither touches training state, so the loss trajectory is unaffected.
     pub fn step(&mut self) -> S {
-        self.solver.step(&mut self.net, &self.team, &self.run)
+        let t0 = Instant::now();
+        let loss = self.solver.step(&mut self.net, &self.team, &self.run);
+        self.metrics.iterations.inc();
+        self.metrics
+            .step_seconds
+            .observe(t0.elapsed().as_secs_f64());
+        self.metrics.last_loss.set(loss.to_f64());
+        if let Some(p) = &mut self.profiler {
+            p.accumulate(
+                self.net.last_forward_seconds(),
+                self.net.last_backward_seconds(),
+            );
+        }
+        loss
     }
 
     /// Evaluate over `batches` test batches:

@@ -36,6 +36,7 @@ where
     let ds = DisjointSlices::new(out, seg_len);
     let n = ds.len();
     ctx.team.parallel(|w| {
+        let _span = obs::trace::span("segments", "driver");
         for_each_index(w, n, ctx.schedule, |i| {
             // SAFETY: each index is executed exactly once across the team.
             let seg = unsafe { ds.segment_mut(i) };
@@ -57,6 +58,7 @@ where
     let ds = DisjointSlices::new(out, seg_len);
     let n = ds.len();
     ctx.team.parallel(|w| {
+        let _span = obs::trace::span("segments", "driver");
         let mut scratch = ctx.workspace.thread_scratch(w.thread_id);
         for_each_index(w, n, ctx.schedule, |i| {
             // SAFETY: each index is executed exactly once across the team.
@@ -122,6 +124,7 @@ pub fn backward_reduce<S, F>(
     ctx.team.parallel(|w| {
         let my_slots = static_chunk(w.thread_id, w.num_threads, nslots);
         {
+            let _span = obs::trace::span("grad_accum", "driver");
             let mut scratch = ctx.workspace.thread_scratch(w.thread_id);
             for slot in my_slots.clone() {
                 let mut sg = ctx.workspace.slot(slot);
@@ -149,6 +152,7 @@ pub fn backward_reduce<S, F>(
                 }
             }
         };
+        let _span = obs::trace::span("grad_merge", "driver");
         if ordered {
             w.ordered(do_merge);
         } else {

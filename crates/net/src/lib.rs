@@ -337,7 +337,11 @@ impl<S: Scalar> Net<S> {
             for (&b, blob) in self.tops[i].iter().zip(tops) {
                 self.blobs[b] = blob;
             }
-            self.fwd_secs[i] = t0.elapsed().as_secs_f64();
+            let dt = t0.elapsed();
+            self.fwd_secs[i] = dt.as_secs_f64();
+            if obs::trace::enabled() {
+                obs::trace::record_owned(format!("fwd:{}", self.layers[i].name()), "layer", t0, dt);
+            }
         }
         loss
     }
@@ -378,7 +382,11 @@ impl<S: Scalar> Net<S> {
             for (&b, blob) in self.bottoms[i].iter().zip(bots) {
                 self.blobs[b] = blob;
             }
-            self.bwd_secs[i] = t0.elapsed().as_secs_f64();
+            let dt = t0.elapsed();
+            self.bwd_secs[i] = dt.as_secs_f64();
+            if obs::trace::enabled() {
+                obs::trace::record_owned(format!("bwd:{}", self.layers[i].name()), "layer", t0, dt);
+            }
         }
     }
 

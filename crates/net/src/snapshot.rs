@@ -220,8 +220,15 @@ pub fn read_sections(mut r: impl Read) -> io::Result<Vec<([u8; 4], Vec<u8>)>> {
 /// Serialize every learnable parameter blob of `net` (in layer order) as a
 /// v2 params-only snapshot.
 pub fn save_params<S: Scalar>(net: &Net<S>, w: impl Write) -> io::Result<()> {
+    let _span = obs::trace::span("snapshot_save", "ckpt");
+    let t0 = std::time::Instant::now();
     let params = params_to_bytes(net);
-    save_sections(&[(SEC_PARAMS, &params)], w)
+    let r = save_sections(&[(SEC_PARAMS, &params)], w);
+    let reg = obs::registry::global();
+    reg.counter("ckpt.saves").inc();
+    reg.histogram("ckpt.save_seconds", &obs::registry::DURATION_BOUNDS_SECS)
+        .observe(t0.elapsed().as_secs_f64());
+    r
 }
 
 /// Legacy v1 writer, kept so the v1→v2 compatibility path stays testable
@@ -236,12 +243,19 @@ pub fn save_params_v1<S: Scalar>(net: &Net<S>, mut w: impl Write) -> io::Result<
 /// Restore parameters saved by [`save_params`] (v2) or [`save_params_v1`]
 /// into an identically-shaped network. Shapes are validated blob by blob.
 pub fn load_params<S: Scalar>(net: &mut Net<S>, r: impl Read) -> io::Result<()> {
+    let _span = obs::trace::span("snapshot_load", "ckpt");
+    let t0 = std::time::Instant::now();
     let sections = read_sections(r)?;
     let params = sections
         .iter()
         .find(|(tag, _)| *tag == SEC_PARAMS)
         .ok_or_else(|| bad("snapshot: no parameter section"))?;
-    params_from_bytes(net, &params.1)
+    let out = params_from_bytes(net, &params.1);
+    let reg = obs::registry::global();
+    reg.counter("ckpt.loads").inc();
+    reg.histogram("ckpt.load_seconds", &obs::registry::DURATION_BOUNDS_SECS)
+        .observe(t0.elapsed().as_secs_f64());
+    out
 }
 
 /// Durably write `bytes` to `path`: temp file in the same directory, fsync,
@@ -250,6 +264,17 @@ pub fn load_params<S: Scalar>(net: &mut Net<S>, r: impl Read) -> io::Result<()> 
 /// mix. Fault-injection points: `checkpoint.partial` fires mid-write (the
 /// temp file is left half-written and the destination untouched).
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let _span = obs::trace::span("write_atomic", "ckpt");
+    let t0 = std::time::Instant::now();
+    let out = write_atomic_inner(path, bytes);
+    let reg = obs::registry::global();
+    reg.counter("ckpt.write_bytes").add(bytes.len() as u64);
+    reg.histogram("ckpt.write_seconds", &obs::registry::DURATION_BOUNDS_SECS)
+        .observe(t0.elapsed().as_secs_f64());
+    out
+}
+
+fn write_atomic_inner(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let file_name = path
         .file_name()
         .ok_or_else(|| bad(format!("write_atomic: no file name in {}", path.display())))?;

@@ -1,0 +1,123 @@
+//! `tracecheck` — validate a Chrome `trace_event` JSON file.
+//!
+//! Used by CI to prove that `cgdnn train --trace out.json` produced a
+//! well-formed, Perfetto-loadable trace with the expected span categories.
+//!
+//! ```text
+//! tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-cat CAT]...
+//!            [--require-name NAME]...
+//! ```
+//!
+//! Exits 0 and prints a one-line summary on success; exits 1 with a
+//! diagnostic on malformed JSON or unmet requirements.
+
+use std::process::ExitCode;
+
+struct Checks {
+    path: String,
+    min_events: usize,
+    min_tids: usize,
+    require_cats: Vec<String>,
+    require_names: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Checks, String> {
+    let mut path = None;
+    let mut checks = Checks {
+        path: String::new(),
+        min_events: 1,
+        min_tids: 1,
+        require_cats: Vec::new(),
+        require_names: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--min-events" => {
+                checks.min_events = take("--min-events")?
+                    .parse()
+                    .map_err(|e| format!("--min-events: {e}"))?
+            }
+            "--min-tids" => {
+                checks.min_tids = take("--min-tids")?
+                    .parse()
+                    .map_err(|e| format!("--min-tids: {e}"))?
+            }
+            "--require-cat" => checks.require_cats.push(take("--require-cat")?),
+            "--require-name" => checks.require_names.push(take("--require-name")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            p => {
+                if path.replace(p.to_string()).is_some() {
+                    return Err("more than one trace file given".to_string());
+                }
+            }
+        }
+    }
+    checks.path = path.ok_or("usage: tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-cat C]... [--require-name N]...")?;
+    Ok(checks)
+}
+
+fn run(checks: &Checks) -> Result<String, String> {
+    let text = std::fs::read_to_string(&checks.path)
+        .map_err(|e| format!("cannot read {}: {e}", checks.path))?;
+    let summary = obs::json::validate_chrome_trace(&text)?;
+    if summary.events < checks.min_events {
+        return Err(format!(
+            "only {} events (need >= {})",
+            summary.events, checks.min_events
+        ));
+    }
+    if summary.tids.len() < checks.min_tids {
+        return Err(format!(
+            "only {} distinct tids (need >= {})",
+            summary.tids.len(),
+            checks.min_tids
+        ));
+    }
+    for cat in &checks.require_cats {
+        if !summary.cats.contains(cat) {
+            return Err(format!(
+                "missing required category '{cat}' (have: {:?})",
+                summary.cats
+            ));
+        }
+    }
+    for name in &checks.require_names {
+        if !summary.names.contains(name) {
+            return Err(format!("missing required event name '{name}'"));
+        }
+    }
+    Ok(format!(
+        "{}: ok — {} events, {} tids, cats {:?}",
+        checks.path,
+        summary.events,
+        summary.tids.len(),
+        summary.cats
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let checks = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tracecheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&checks) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tracecheck: {}: {e}", checks.path);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! A minimal JSON parser and Chrome-trace validator.
+//!
+//! The container has no serde; this hand-rolled recursive-descent parser
+//! exists so tests and the `tracecheck` binary can prove a `--trace` output
+//! is well-formed without external crates. It parses full JSON (objects,
+//! arrays, strings with escapes, numbers, booleans, null) — enough to
+//! round-trip anything [`crate::trace::write_chrome_trace`] emits plus the
+//! hand-edited fixtures tests throw at it.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The f64 if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The &str if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-utf8 number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or_else(|| self.err("short \\u escape"))?;
+                            let d = (c as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.err("bad \\u digit"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-decode the multi-byte UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let width = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + width).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// What a validated Chrome trace contained.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Total event records.
+    pub events: usize,
+    /// Distinct thread ids seen.
+    pub tids: BTreeSet<u64>,
+    /// Distinct categories seen.
+    pub cats: BTreeSet<String>,
+    /// Distinct event names seen.
+    pub names: BTreeSet<String>,
+}
+
+/// Validate a Chrome `trace_event` JSON document: it must be an array of
+/// objects, each with `name`/`ph`/`tid`/`ts`; `"X"` events need a `dur`,
+/// and `"B"`/`"E"` events must balance per (tid, name). Returns a summary
+/// of what the trace contained.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text)?;
+    let Value::Array(events) = doc else {
+        return Err("trace root is not a JSON array".to_string());
+    };
+    let mut summary = TraceSummary {
+        events: events.len(),
+        tids: BTreeSet::new(),
+        cats: BTreeSet::new(),
+        names: BTreeSet::new(),
+    };
+    // (tid, name) → open B count
+    let mut open: BTreeMap<(u64, String), i64> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: missing or invalid '{field}'");
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        let tid = e
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("tid"))? as u64;
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("ts"))?;
+        if !ts.is_finite() {
+            return Err(format!("event {i}: non-finite ts"));
+        }
+        match ph {
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ctx("dur"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: bad dur {dur}"));
+                }
+            }
+            "B" => {
+                *open.entry((tid, name.to_string())).or_default() += 1;
+            }
+            "E" => {
+                let slot = open.entry((tid, name.to_string())).or_default();
+                *slot -= 1;
+                if *slot < 0 {
+                    return Err(format!("event {i}: 'E' for '{name}' with no open 'B'"));
+                }
+            }
+            "M" | "i" | "C" => {} // metadata / instant / counter: fine
+            other => return Err(format!("event {i}: unsupported ph '{other}'")),
+        }
+        summary.tids.insert(tid);
+        if let Some(cat) = e.get("cat").and_then(Value::as_str) {
+            summary.cats.insert(cat.to_string());
+        }
+        summary.names.insert(name.to_string());
+    }
+    if let Some(((tid, name), n)) = open.iter().find(|(_, n)| **n != 0) {
+        return Err(format!(
+            "unbalanced 'B' for '{name}' on tid {tid} ({n} open)"
+        ));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5e1, "x\ny", true, null], "b": {}}"#).unwrap();
+        let arr = match v.get("a").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("a not array"),
+        };
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2].as_str(), Some("x\ny"));
+        assert_eq!(arr[3], Value::Bool(true));
+        assert_eq!(arr[4], Value::Null);
+        assert_eq!(v.get("b"), Some(&Value::Object(BTreeMap::new())));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "[1] garbage",
+            r#"{"a" 1}"#,
+            r#""unterminated"#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_and_utf8_round_trip() {
+        let v = parse(r#""café … ok""#).unwrap();
+        assert_eq!(v.as_str(), Some("café … ok"));
+    }
+
+    #[test]
+    fn round_trips_trace_writer_output() {
+        use crate::trace::{write_chrome_trace, Event};
+        use std::borrow::Cow;
+        let events = vec![
+            Event {
+                name: Cow::Borrowed("fwd:conv1 \"q\""),
+                cat: "layer",
+                ts_us: 10.0,
+                dur_us: 5.5,
+                tid: 0,
+            },
+            Event {
+                name: Cow::Borrowed("barrier_wait"),
+                cat: "omprt",
+                ts_us: 12.0,
+                dur_us: 1.0,
+                tid: 3,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let summary = validate_chrome_trace(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.tids.len(), 2);
+        assert!(summary.cats.contains("omprt"));
+        assert!(summary.names.contains("fwd:conv1 \"q\""));
+    }
+
+    #[test]
+    fn validates_balanced_be_and_rejects_unbalanced() {
+        let ok = r#"[
+            {"name":"r","ph":"B","tid":1,"ts":0},
+            {"name":"r","ph":"E","tid":1,"ts":5}
+        ]"#;
+        assert_eq!(validate_chrome_trace(ok).unwrap().events, 2);
+        let unbalanced = r#"[{"name":"r","ph":"B","tid":1,"ts":0}]"#;
+        assert!(validate_chrome_trace(unbalanced).is_err());
+        let stray_end = r#"[{"name":"r","ph":"E","tid":1,"ts":0}]"#;
+        assert!(validate_chrome_trace(stray_end).is_err());
+    }
+
+    #[test]
+    fn rejects_x_without_dur_and_non_array_root() {
+        let no_dur = r#"[{"name":"x","ph":"X","tid":0,"ts":1}]"#;
+        assert!(validate_chrome_trace(no_dur).is_err());
+        assert!(validate_chrome_trace(r#"{"a":1}"#).is_err());
+    }
+}

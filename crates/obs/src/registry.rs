@@ -1,0 +1,440 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with lock-free updates.
+//!
+//! Registration (name → handle) takes the registry lock once; the returned
+//! handle is an `Arc` over atomics, so the *update* path — the only part
+//! that runs on hot paths — is a few atomic read-modify-writes with no
+//! locks and no allocation. Histogram storage is fixed at registration
+//! (bucket bounds never grow), so a metric's memory footprint is bounded
+//! regardless of how many samples it absorbs.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default histogram bounds for durations in seconds: decades from 1 µs to
+/// 100 s (plus the implicit +Inf bucket).
+pub const DURATION_BOUNDS_SECS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+/// A monotonically increasing `u64` counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistCore {
+    /// Ascending upper bounds; samples `<= bounds[i]` land in bucket `i`,
+    /// anything larger in the final (+Inf) bucket.
+    bounds: Box<[f64]>,
+    /// `bounds.len() + 1` buckets, the last one +Inf.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Lock-free CAS update of an `f64` stored as bits.
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A histogram over fixed bucket bounds, with exact count/sum/min/max.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistCore {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    /// Record one sample. Lock-free; storage never grows.
+    pub fn observe(&self, v: f64) {
+        let c = &self.0;
+        let i = c.bounds.partition_point(|b| v > *b);
+        c.buckets[i].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&c.sum_bits, |s| s + v);
+        atomic_f64_update(&c.min_bits, |m| m.min(v));
+        atomic_f64_update(&c.max_bits, |m| m.max(v));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.0.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.0.max_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs, ending with `(+Inf, count)`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let c = &self.0;
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(c.buckets.len());
+        for (i, b) in c.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            let bound = c.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. Cheap to update (see module docs),
+/// exported as text or `metric,value` CSV.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name` over `bounds` (ascending upper
+    /// bucket bounds; an implicit +Inf bucket is appended). If the name is
+    /// already registered, the existing histogram is returned and `bounds`
+    /// is ignored.
+    ///
+    /// # Panics
+    /// Panics if `name` is registered as a different metric kind, or on
+    /// unsorted/non-finite `bounds` at first registration.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut m = self.metrics.lock();
+        m.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.lock().keys().cloned().collect()
+    }
+
+    /// `metric,value` CSV of every metric, sorted by name — the same form
+    /// factor as `machine::csv` and `ServingReport::csv`. Histograms expand
+    /// to `_count`/`_sum`/`_mean`/`_min`/`_max` rows plus cumulative
+    /// `_le_<bound>` bucket rows.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, metric) in self.metrics.lock().iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name},{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name},{:.6}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "{name}_count,{}", h.count());
+                    let _ = writeln!(out, "{name}_sum,{:.6}", h.sum());
+                    let _ = writeln!(out, "{name}_mean,{:.6}", h.mean());
+                    let _ = writeln!(out, "{name}_min,{:.6}", h.min());
+                    let _ = writeln!(out, "{name}_max,{:.6}", h.max());
+                    for (bound, cum) in h.cumulative_buckets() {
+                        if bound.is_finite() {
+                            let _ = writeln!(out, "{name}_le_{bound:e},{cum}");
+                        } else {
+                            let _ = writeln!(out, "{name}_le_inf,{cum}");
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable one-line-per-metric rendering.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.metrics.lock().iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "counter    {name} = {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "gauge      {name} = {:.6}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram  {name}: count {} mean {:.3e} min {:.3e} max {:.3e}",
+                        h.count(),
+                        h.mean(),
+                        h.min(),
+                        h.max()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry that `Trainer`, the checkpoint writer, and
+/// the serving tier publish into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Second lookup returns the same underlying metric.
+        assert_eq!(reg.counter("a.count").get(), 5);
+        let g = reg.gauge("a.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        assert_eq!(reg.names(), vec!["a.count".to_string(), "a.gauge".into()]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 560.5);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 500.0);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (10.0, 3));
+        assert_eq!(buckets[2], (100.0, 4));
+        assert_eq!(buckets[3].1, 5);
+        assert!(buckets[3].0.is_infinite());
+    }
+
+    #[test]
+    fn histogram_storage_is_fixed() {
+        // "Fixed bounded storage": a million samples never grow the bucket
+        // array — only the atomics advance.
+        let reg = Registry::new();
+        let h = reg.histogram("big", &DURATION_BOUNDS_SECS);
+        let buckets_before = h.cumulative_buckets().len();
+        for i in 0..1_000_000u64 {
+            h.observe(i as f64 * 1e-7);
+        }
+        assert_eq!(h.cumulative_buckets().len(), buckets_before);
+        assert_eq!(h.count(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let reg = Registry::new();
+        let h = reg.histogram("e", &[1.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn csv_rows_have_two_columns_and_sorted_names() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.gauge("a.first").set(1.0);
+        reg.histogram("m.mid", &[0.1, 1.0]).observe(0.05);
+        let csv = reg.csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("metric,value"));
+        let rows: Vec<&str> = lines.collect();
+        for r in &rows {
+            assert_eq!(r.split(',').count(), 2, "row {r}");
+        }
+        // Metrics appear in name order (histogram sub-rows stay grouped in
+        // a fixed count/sum/mean/min/max/buckets order under their metric).
+        let a = csv.find("a.first,").unwrap();
+        let m = csv.find("m.mid_count,").unwrap();
+        let z = csv.find("z.last,").unwrap();
+        assert!(a < m && m < z, "metrics ordered by name");
+        assert!(csv.contains("m.mid_count,1\n"));
+        assert!(csv.contains("m.mid_le_inf,1\n"));
+        assert!(csv.contains("z.last,1\n"));
+        assert!(reg.text().contains("counter    z.last = 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = Registry::new();
+        let h = reg.histogram("conc", &[10.0, 100.0]);
+        let c = reg.counter("conc.n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        h.observe(i as f64 % 200.0);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.cumulative_buckets().last().unwrap().1, 40_000);
+    }
+}

@@ -1,0 +1,343 @@
+//! Span-based tracing with thread-local event buffers and Chrome
+//! `trace_event` JSON export.
+//!
+//! Instrumented sites call [`span`] (RAII) or [`record`] and pay a single
+//! relaxed atomic load plus an untaken branch while tracing is disabled —
+//! no allocation, no lock, no clock read — so the training hot path is
+//! bit-for-bit unaffected. When enabled, each thread appends finished
+//! spans to its own buffer (a per-thread `Mutex` that only its owner
+//! touches on the hot path, so the lock is always uncontended there);
+//! [`take_events`] drains every buffer for a flush, and
+//! [`write_chrome_trace`] serialises the result as an array of complete
+//! ("X") `trace_event` records loadable in `chrome://tracing` / Perfetto.
+
+use parking_lot::Mutex;
+use std::borrow::Cow;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Cap on buffered events per thread; beyond this, events are counted in
+/// [`dropped_events`] instead of stored, so a forgotten flush cannot eat
+/// unbounded memory.
+pub const MAX_EVENTS_PER_THREAD: usize = 1 << 20;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Turn span collection on or off. All instrumented sites observe the flag
+/// with a relaxed load; flipping it does not disturb events already
+/// buffered.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the trace epoch the first time tracing is switched on so
+        // timestamps are small offsets, not process-lifetime offsets.
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span collection is currently on. Instrumentation sites branch on
+/// this before doing any work.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of events discarded because a thread buffer hit
+/// [`MAX_EVENTS_PER_THREAD`].
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// One finished span: `[ts_us, ts_us + dur_us)` on thread `tid`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Span name, e.g. `"fwd:conv1"` or `"barrier_wait"`.
+    pub name: Cow<'static, str>,
+    /// Category, e.g. `"omprt"`, `"layer"`, `"driver"`, `"ckpt"`.
+    pub cat: &'static str,
+    /// Start, microseconds since the trace epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Stable per-thread id (dense, assigned at first event).
+    pub tid: u64,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Mutex<Vec<Event>>,
+}
+
+fn sinks() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static SINKS: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<ThreadBuf> = {
+        let buf = Arc::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Mutex::new(Vec::new()),
+        });
+        sinks().lock().push(buf.clone());
+        buf
+    };
+}
+
+fn push(name: Cow<'static, str>, cat: &'static str, ts_us: f64, dur_us: f64) {
+    LOCAL.with(|buf| {
+        let mut events = buf.events.lock();
+        if events.len() >= MAX_EVENTS_PER_THREAD {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(Event {
+            name,
+            cat,
+            ts_us,
+            dur_us,
+            tid: buf.tid,
+        });
+    });
+}
+
+fn to_us(start: Instant, dur: std::time::Duration) -> (f64, f64) {
+    let ts = start.saturating_duration_since(epoch());
+    (ts.as_secs_f64() * 1e6, dur.as_secs_f64() * 1e6)
+}
+
+/// RAII guard for an in-progress span; records the event when dropped.
+pub struct Span {
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let (ts_us, dur_us) = to_us(self.start, self.start.elapsed());
+        push(
+            std::mem::replace(&mut self.name, Cow::Borrowed("")),
+            self.cat,
+            ts_us,
+            dur_us,
+        );
+    }
+}
+
+/// Open a span named `name` in category `cat`; the span closes (and the
+/// event is recorded) when the returned guard drops. Returns `None` — at
+/// the cost of one relaxed load — while tracing is disabled.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Option<Span> {
+    if !enabled() {
+        return None;
+    }
+    Some(Span {
+        name: Cow::Borrowed(name),
+        cat,
+        start: Instant::now(),
+    })
+}
+
+/// [`span`] with an owned (formatted) name. Callers must gate on
+/// [`enabled`] *before* building the `String` to keep the disabled path
+/// allocation-free.
+#[inline]
+pub fn span_owned(name: String, cat: &'static str) -> Option<Span> {
+    if !enabled() {
+        return None;
+    }
+    Some(Span {
+        name: Cow::Owned(name),
+        cat,
+        start: Instant::now(),
+    })
+}
+
+/// Record an already-measured span (for sites that time with their own
+/// `Instant`, like the per-layer pass loop in `Net`).
+#[inline]
+pub fn record(name: &'static str, cat: &'static str, start: Instant, dur: std::time::Duration) {
+    if !enabled() {
+        return;
+    }
+    let (ts_us, dur_us) = to_us(start, dur);
+    push(Cow::Borrowed(name), cat, ts_us, dur_us);
+}
+
+/// [`record`] with an owned name. Gate on [`enabled`] before formatting.
+#[inline]
+pub fn record_owned(name: String, cat: &'static str, start: Instant, dur: std::time::Duration) {
+    if !enabled() {
+        return;
+    }
+    let (ts_us, dur_us) = to_us(start, dur);
+    push(Cow::Owned(name), cat, ts_us, dur_us);
+}
+
+/// Drain every thread's buffer and return all events sorted by start time.
+/// Buffers belonging to threads that have exited are pruned from the sink
+/// list once emptied.
+pub fn take_events() -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut list = sinks().lock();
+    list.retain(|buf| {
+        out.append(&mut buf.events.lock());
+        // strong_count == 1 ⇒ the owning thread's TLS slot is gone.
+        Arc::strong_count(buf) > 1
+    });
+    drop(list);
+    out.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    out
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Write `events` as a Chrome `trace_event` JSON array of complete ("X")
+/// events — the format `chrome://tracing` and Perfetto load directly.
+pub fn write_chrome_trace(w: &mut impl Write, events: &[Event]) -> io::Result<()> {
+    writeln!(w, "[")?;
+    let mut line = String::new();
+    for (i, e) in events.iter().enumerate() {
+        line.clear();
+        line.push_str("{\"name\":\"");
+        escape_json(&e.name, &mut line);
+        line.push_str("\",\"cat\":\"");
+        escape_json(e.cat, &mut line);
+        line.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = std::fmt::Write::write_fmt(
+            &mut line,
+            format_args!(
+                "{},\"ts\":{:.3},\"dur\":{:.3}}}{}",
+                e.tid,
+                e.ts_us,
+                e.dur_us,
+                if i + 1 < events.len() { "," } else { "" }
+            ),
+        );
+        writeln!(w, "{line}")?;
+    }
+    writeln!(w, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global; keep the tests that toggle it serial.
+    fn serial() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = serial();
+        set_enabled(false);
+        let _ = take_events();
+        assert!(span("x", "t").is_none());
+        record(
+            "y",
+            "t",
+            Instant::now(),
+            std::time::Duration::from_micros(5),
+        );
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn span_records_on_drop_with_duration() {
+        let _g = serial();
+        set_enabled(true);
+        let _ = take_events();
+        {
+            let _s = span("work", "test");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[0].cat, "test");
+        assert!(events[0].dur_us >= 1_000.0, "dur {}", events[0].dur_us);
+    }
+
+    #[test]
+    fn multi_thread_events_get_distinct_tids_and_sorted_ts() {
+        let _g = serial();
+        set_enabled(true);
+        let _ = take_events();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        let _s = span("r", "omprt");
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 30);
+        let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        // Dead threads' buffers are pruned once drained.
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_escapes_and_terminates() {
+        let events = vec![
+            Event {
+                name: Cow::Borrowed("a\"b\\c\nd"),
+                cat: "t",
+                ts_us: 1.0,
+                dur_us: 2.0,
+                tid: 0,
+            },
+            Event {
+                name: Cow::Borrowed("plain"),
+                cat: "t",
+                ts_us: 3.0,
+                dur_us: 4.0,
+                tid: 1,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("[\n"));
+        assert!(s.trim_end().ends_with(']'));
+        assert!(s.contains("a\\\"b\\\\c\\nd"));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"tid\":1"));
+        // Exactly one separator comma between the two records.
+        assert_eq!(s.matches("},").count(), 1);
+    }
+}

@@ -113,6 +113,7 @@ impl WorkerCtx<'_> {
     /// `#pragma omp barrier` — all team threads must call it the same number
     /// of times.
     pub fn barrier(&self) {
+        let _span = obs::trace::span("barrier_wait", "omprt");
         self.shared.user_barrier.wait();
     }
 
@@ -236,7 +237,10 @@ impl ThreadTeam {
                 shared: &dummy,
                 singles_seen: std::cell::Cell::new(0),
             };
-            f(&ctx);
+            {
+                let _span = obs::trace::span("region", "omprt");
+                f(&ctx);
+            }
             return;
         };
 
@@ -256,7 +260,10 @@ impl ThreadTeam {
             shared,
             singles_seen: std::cell::Cell::new(0),
         };
-        f(&ctx);
+        {
+            let _span = obs::trace::span("region", "omprt");
+            f(&ctx);
+        }
         shared.end.wait();
         unsafe { *shared.job.0.get() = None };
     }
@@ -345,7 +352,10 @@ fn worker_loop(tid: usize, size: usize, shared: &TeamShared) {
             shared,
             singles_seen: std::cell::Cell::new(0),
         };
-        unsafe { (*job)(&ctx) };
+        {
+            let _span = obs::trace::span("region", "omprt");
+            unsafe { (*job)(&ctx) };
+        }
         shared.end.wait();
     }
 }

@@ -36,11 +36,13 @@ impl Turn {
         if nthreads <= 1 {
             return f();
         }
-        let mut c = self.counter.lock();
-        while *c % nthreads != tid {
-            self.cv.wait(&mut c);
+        {
+            let _span = obs::trace::span("ordered_wait", "omprt");
+            let mut c = self.counter.lock();
+            while *c % nthreads != tid {
+                self.cv.wait(&mut c);
+            }
         }
-        drop(c);
         let r = f();
         let mut c = self.counter.lock();
         *c += 1;

@@ -5,18 +5,31 @@
 //! [`ServingMetrics`] is the live, thread-shared accumulator the server
 //! and its workers write into; [`ServingReport`] is the immutable summary
 //! snapshotted from it at shutdown (or any other moment).
+//!
+//! Storage is bounded no matter how long the server runs: latency and
+//! queue-wait streams are held in fixed-capacity [`obs::Reservoir`]s
+//! ([`SAMPLE_CAP`] retained samples each; counts, sums, and extrema stay
+//! exact, percentiles become reservoir estimates once the cap is passed),
+//! and batch sizes accumulate into an exact `(size, count)` histogram
+//! whose length is bounded by the number of distinct batch sizes (at most
+//! the configured `max_batch`).
 
+use obs::Reservoir;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Retained samples per latency/queue-wait reservoir. At 8 bytes per
+/// sample this caps each stream at 32 KiB regardless of run length.
+pub const SAMPLE_CAP: usize = 4096;
+
 /// Thread-shared metrics accumulator.
-#[derive(Default)]
 pub struct ServingMetrics {
-    latencies_us: Mutex<Vec<f64>>,
-    queue_wait_us: Mutex<Vec<f64>>,
-    batch_sizes: Mutex<Vec<usize>>,
+    latencies_us: Mutex<Reservoir>,
+    queue_wait_us: Mutex<Reservoir>,
+    /// Exact `(batch_size, count)` histogram, ascending by size.
+    batch_hist: Mutex<Vec<(usize, u64)>>,
     completed: AtomicU64,
     rejected: AtomicU64,
     timed_out: AtomicU64,
@@ -26,6 +39,27 @@ pub struct ServingMetrics {
     replica_errors: Mutex<Vec<u64>>,
     replica_alive: Mutex<Vec<bool>>,
     replica_restarts: AtomicU64,
+}
+
+impl Default for ServingMetrics {
+    fn default() -> Self {
+        Self {
+            // Fixed seeds: the retained sample (and so the reported
+            // percentiles) is reproducible for a given request sequence.
+            latencies_us: Mutex::new(Reservoir::new(SAMPLE_CAP, 0x5e41)),
+            queue_wait_us: Mutex::new(Reservoir::new(SAMPLE_CAP, 0x9_0a17)),
+            batch_hist: Mutex::new(Vec::new()),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            max_depth: AtomicUsize::new(0),
+            window: Mutex::new(None),
+            replica_errors: Mutex::new(Vec::new()),
+            replica_alive: Mutex::new(Vec::new()),
+            replica_restarts: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ServingMetrics {
@@ -59,21 +93,41 @@ impl ServingMetrics {
     /// A micro-batch of `n` live requests is about to run; `waits` are the
     /// per-request queue delays (submit → batch assembly).
     pub fn on_batch(&self, n: usize, waits: &[Duration]) {
-        self.batch_sizes.lock().push(n);
+        {
+            let mut hist = self.batch_hist.lock();
+            match hist.iter_mut().find(|(size, _)| *size == n) {
+                Some((_, c)) => *c += 1,
+                None => {
+                    hist.push((n, 1));
+                    hist.sort_unstable();
+                }
+            }
+        }
         let mut q = self.queue_wait_us.lock();
-        q.extend(waits.iter().map(|d| d.as_secs_f64() * 1e6));
+        for d in waits {
+            q.record(d.as_secs_f64() * 1e6);
+        }
     }
 
     /// A request completed successfully after `latency` (submit → reply).
     pub fn on_completed(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latencies_us.lock().push(latency.as_secs_f64() * 1e6);
+        self.latencies_us.lock().record(latency.as_secs_f64() * 1e6);
         let now = Instant::now();
         let mut w = self.window.lock();
         *w = match *w {
             None => Some((now, now)),
             Some((s, e)) => Some((s, e.max(now))),
         };
+    }
+
+    /// `(retained latency samples, retained queue-wait samples)` — bounded
+    /// by [`SAMPLE_CAP`] each; the regression test for unbounded growth.
+    pub fn sample_counts(&self) -> (usize, usize) {
+        (
+            self.latencies_us.lock().samples().len(),
+            self.queue_wait_us.lock().samples().len(),
+        )
     }
 
     /// Declare `n` replicas, all initially healthy. Called once by the
@@ -136,41 +190,40 @@ impl ServingMetrics {
     }
 
     /// Snapshot the accumulated counters into an immutable report.
+    ///
+    /// Latency/queue-wait counts, means, and maxima are exact; the
+    /// percentiles are computed over the retained reservoir sample, so
+    /// they are exact until [`SAMPLE_CAP`] samples have been recorded and
+    /// an unbiased estimate after that.
     pub fn report(&self) -> ServingReport {
-        let latencies = self.latencies_us.lock().clone();
-        let waits = self.queue_wait_us.lock().clone();
-        let batches = self.batch_sizes.lock().clone();
+        let latencies = self.latencies_us.lock();
+        let waits = self.queue_wait_us.lock();
+        let hist = self.batch_hist.lock().clone();
         let wall_secs = self
             .window
             .lock()
             .map(|(s, e)| (e - s).as_secs_f64())
             .unwrap_or(0.0);
         let completed = self.completed.load(Ordering::Relaxed);
-        let mut hist: Vec<(usize, u64)> = Vec::new();
-        for &b in &batches {
-            match hist.iter_mut().find(|(size, _)| *size == b) {
-                Some((_, c)) => *c += 1,
-                None => hist.push((b, 1)),
-            }
-        }
-        hist.sort_unstable();
+        let n_batches: u64 = hist.iter().map(|&(_, c)| c).sum();
+        let batch_total: u64 = hist.iter().map(|&(s, c)| s as u64 * c).sum();
         ServingReport {
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
-            p50_us: percentile(&latencies, 0.50),
-            p95_us: percentile(&latencies, 0.95),
-            p99_us: percentile(&latencies, 0.99),
-            mean_latency_us: mean(&latencies),
-            max_latency_us: latencies.iter().cloned().fold(0.0, f64::max),
-            mean_queue_wait_us: mean(&waits),
-            mean_batch: if batches.is_empty() {
+            p50_us: percentile(latencies.samples(), 0.50),
+            p95_us: percentile(latencies.samples(), 0.95),
+            p99_us: percentile(latencies.samples(), 0.99),
+            mean_latency_us: latencies.mean(),
+            max_latency_us: latencies.max(),
+            mean_queue_wait_us: waits.mean(),
+            mean_batch: if n_batches == 0 {
                 0.0
             } else {
-                batches.iter().sum::<usize>() as f64 / batches.len() as f64
+                batch_total as f64 / n_batches as f64
             },
-            max_batch: batches.iter().cloned().max().unwrap_or(0),
-            n_batches: batches.len() as u64,
+            max_batch: hist.last().map(|&(s, _)| s).unwrap_or(0),
+            n_batches,
             batch_hist: hist,
             max_queue_depth: self.max_depth.load(Ordering::Relaxed),
             replica_errors: self.replica_errors.lock().clone(),
@@ -198,14 +251,6 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     v.sort_by(f64::total_cmp);
     let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
     v[rank - 1]
-}
-
-fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
 }
 
 /// Immutable summary of one serving run.
@@ -289,6 +334,38 @@ impl ServingReport {
             out.push_str(&format!("{size},{count}\n"));
         }
         out
+    }
+
+    /// Mirror the report's scalars into a metrics [`obs::Registry`] under
+    /// `serve.*` names, so serving numbers appear in the same exposition
+    /// (`--metrics`, [`obs::Registry::csv`]) as the training counters.
+    ///
+    /// Everything is published as a gauge — the report is already an
+    /// aggregate snapshot, so re-publishing a newer report must replace the
+    /// old values, not add to them.
+    pub fn publish(&self, reg: &obs::Registry) {
+        let pairs = [
+            ("serve.completed", self.completed as f64),
+            ("serve.rejected", self.rejected as f64),
+            ("serve.timed_out", self.timed_out as f64),
+            ("serve.p50_us", self.p50_us),
+            ("serve.p95_us", self.p95_us),
+            ("serve.p99_us", self.p99_us),
+            ("serve.mean_latency_us", self.mean_latency_us),
+            ("serve.max_latency_us", self.max_latency_us),
+            ("serve.mean_queue_wait_us", self.mean_queue_wait_us),
+            ("serve.mean_batch", self.mean_batch),
+            ("serve.max_batch", self.max_batch as f64),
+            ("serve.n_batches", self.n_batches as f64),
+            ("serve.max_queue_depth", self.max_queue_depth as f64),
+            ("serve.healthy_replicas", self.healthy_replicas as f64),
+            ("serve.replica_restarts", self.replica_restarts as f64),
+            ("serve.wall_secs", self.wall_secs),
+            ("serve.throughput_rps", self.throughput_rps),
+        ];
+        for (name, value) in pairs {
+            reg.gauge(name).set(value);
+        }
     }
 }
 
@@ -404,6 +481,56 @@ mod tests {
         assert_eq!(r.replica_restarts, 1);
         assert!(r.csv().contains("replica_restarts,1\n"));
         assert!(r.to_string().contains("1 restarted"));
+    }
+
+    #[test]
+    fn storage_stays_bounded_over_a_million_records() {
+        // Regression for unbounded Vec growth: a long-running server must
+        // not accumulate one f64 per request. Aggregates stay exact.
+        let m = ServingMetrics::default();
+        let n = 1_000_000u64;
+        for i in 0..n {
+            m.on_completed(Duration::from_micros(i % 1000));
+            if i % 4 == 0 {
+                m.on_batch(1 + (i % 8) as usize, &[Duration::from_micros(i % 100)]);
+            }
+        }
+        let (lat_samples, wait_samples) = m.sample_counts();
+        assert_eq!(lat_samples, SAMPLE_CAP);
+        assert_eq!(wait_samples, SAMPLE_CAP);
+        let r = m.report();
+        assert_eq!(r.completed, n);
+        // Duration → secs_f64 → µs round-trips with ~1 ulp of noise.
+        assert!((r.max_latency_us - 999.0).abs() < 1e-9);
+        assert_eq!(r.n_batches, n / 4);
+        assert!(r.batch_hist.len() <= 8, "one bucket per distinct size");
+        assert_eq!(r.batch_hist.iter().map(|&(_, c)| c).sum::<u64>(), n / 4);
+        // Percentiles are estimates past the cap, but over a uniform
+        // 0..1000 stream they must land in the right neighbourhood.
+        assert!((r.p50_us - 500.0).abs() < 50.0, "p50 {}", r.p50_us);
+        assert!((r.p99_us - 990.0).abs() < 15.0, "p99 {}", r.p99_us);
+    }
+
+    #[test]
+    fn publish_mirrors_report_into_registry_idempotently() {
+        let m = ServingMetrics::default();
+        m.set_replicas(2);
+        m.on_batch(3, &[Duration::from_micros(5)]);
+        for _ in 0..3 {
+            m.on_completed(Duration::from_micros(40));
+        }
+        let r = m.report();
+        let reg = obs::Registry::new();
+        r.publish(&reg);
+        r.publish(&reg); // gauges: second publish must not double anything
+        let csv = reg.csv();
+        assert!(csv.contains("serve.completed,3.000000\n"), "csv:\n{csv}");
+        assert!(csv.contains("serve.p50_us,40.000000\n"), "csv:\n{csv}");
+        assert!(
+            csv.contains("serve.healthy_replicas,2.000000\n"),
+            "csv:\n{csv}"
+        );
+        assert!(csv.contains("serve.n_batches,1.000000\n"), "csv:\n{csv}");
     }
 
     #[test]

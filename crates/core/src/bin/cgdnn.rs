@@ -9,6 +9,10 @@
 //!                [--snapshot-every K] [--resume DIR] [--snapshot-dir DIR]
 //!                [--profile] [--profile-csv FILE] [--trace FILE]
 //!                [--metrics FILE]
+//! cgdnn infer    <spec.prototxt> [--weights FILE] [--replicas N] ...
+//!                [--listen ADDR]      # serve over TCP instead of in-process
+//! cgdnn load     --connect ADDR [--clients N] [--requests M] [--fuzz K]
+//!                [--drain-server]     # wire load generator (E17)
 //! cgdnn simulate <spec.prototxt> [--data KIND]
 //! ```
 //!
@@ -26,11 +30,15 @@ use std::process::ExitCode;
 
 /// Start span collection when `--trace` was given (drains any stale
 /// buffered events first so the written file covers only this run).
-fn start_tracing(args: &Args) {
+/// `--trace-limit N` bounds retained events per thread; beyond it the
+/// oldest are overwritten and counted in the flushed `dropped_events`.
+fn start_tracing(args: &Args) -> Result<(), String> {
+    obs::trace::set_event_limit(args.get_parse("trace-limit", obs::trace::MAX_EVENTS_PER_THREAD)?);
     if args.get("trace").is_some() {
         obs::trace::set_enabled(true);
         let _ = obs::trace::take_events();
     }
+    Ok(())
 }
 
 /// Stop tracing and collect the run's events (`None` without `--trace`).
@@ -45,16 +53,16 @@ fn finish_tracing(args: &Args) -> Option<Vec<obs::Event>> {
 /// registry (`--metrics FILE`, `-` for stdout).
 fn write_observability(args: &Args, events: Option<&[obs::Event]>) -> Result<(), String> {
     if let (Some(path), Some(events)) = (args.get("trace"), events) {
+        let dropped = obs::trace::dropped_events();
         let mut buf = Vec::new();
-        obs::trace::write_chrome_trace(&mut buf, events)
+        obs::trace::write_chrome_trace_with_dropped(&mut buf, events, dropped)
             .map_err(|e| format!("trace encode: {e}"))?;
         net::write_atomic(Path::new(path), &buf).map_err(|e| format!("{path}: {e}"))?;
-        let dropped = obs::trace::dropped_events();
         println!(
             "trace written to {path} ({} events{})",
             events.len(),
             if dropped > 0 {
-                format!(", {dropped} dropped at buffer cap")
+                format!(", {dropped} oldest dropped at the event limit")
             } else {
                 String::new()
             }
@@ -135,7 +143,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     if args.has("profile") {
         trainer.enable_profiling();
     }
-    start_tracing(args);
+    start_tracing(args)?;
 
     let fault_tolerant = snapshot_every > 0 || resume_dir.is_some();
     if fault_tolerant {
@@ -253,7 +261,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     let source = make_source(args.get("data").unwrap_or("synthetic-mnist"))?;
     let sample_shape = source.sample_shape();
 
-    start_tracing(args);
+    start_tracing(args)?;
     let threads: usize = args.get_parse("threads", 4)?;
     let replicas: usize = args.get_parse("replicas", 1)?;
     let requests: usize = args.get_parse("requests", 1000)?;
@@ -307,6 +315,12 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
+
+    // `--listen ADDR` turns this process into a network server on the
+    // same micro-batcher instead of running the in-process load loop.
+    if let Some(listen) = args.get("listen") {
+        return run_rpc_server(args, server, listen);
+    }
 
     // Load generation: `clients` threads submit single-sample requests
     // drawn from the data source, blocking on each reply. Samples are
@@ -370,6 +384,124 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Serve the micro-batcher over TCP until a client sends a drain request
+/// (or `--serve-for-ms` elapses). Blocks the main thread; the acceptor and
+/// connection handlers run on their own threads inside [`rpc::RpcServer`].
+fn run_rpc_server(args: &Args, server: serve::Server<f32>, listen: &str) -> Result<(), String> {
+    let cfg = rpc::RpcConfig {
+        handlers: args.get_parse("rpc-handlers", 8usize)?,
+        read_timeout: std::time::Duration::from_millis(
+            args.get_parse("rpc-read-timeout-ms", 100u64)?,
+        ),
+        write_timeout: std::time::Duration::from_millis(
+            args.get_parse("rpc-write-timeout-ms", 1000u64)?,
+        ),
+        ..rpc::RpcConfig::default()
+    };
+    let serve_for_ms: u64 = args.get_parse("serve-for-ms", 0)?;
+    let rpc_server = rpc::RpcServer::start(
+        listen,
+        server.client(),
+        server.output_len(),
+        cfg,
+        obs::registry::global(),
+    )
+    .map_err(|e| format!("listen on {listen}: {e}"))?;
+    let addr = rpc_server.local_addr();
+    println!("listening on {addr} (send a drain frame or `cgdnn load --drain-server` to stop)");
+    if let Some(path) = args.get("port-file") {
+        // Written atomically so a poller never reads a half-written addr.
+        net::write_atomic(Path::new(path), addr.to_string().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let t0 = std::time::Instant::now();
+    while !rpc_server.drain_requested() {
+        if serve_for_ms > 0 && t0.elapsed().as_millis() as u64 >= serve_for_ms {
+            println!("--serve-for-ms elapsed; draining");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    rpc_server.shutdown();
+    let report = server.shutdown();
+    println!("{report}");
+    if let Some(path) = args.get("csv") {
+        net::write_atomic(Path::new(path), report.csv().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    report.publish(obs::registry::global());
+    write_observability(args, finish_tracing(args).as_deref())?;
+    Ok(())
+}
+
+/// `cgdnn load` — closed-loop wire load against a `--listen` server.
+fn cmd_load(args: &Args) -> Result<(), String> {
+    let connect = args.get("connect").ok_or("missing --connect ADDR")?;
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(connect)
+        .map_err(|e| format!("{connect}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{connect}: resolves to no address"))?;
+    let cfg = rpc::LoadConfig {
+        clients: args.get_parse("clients", 4usize)?,
+        requests: args.get_parse("requests", 1000usize)?,
+        deadline_us: args.get_parse("deadline-us", 0u32)?,
+        ..rpc::LoadConfig::default()
+    };
+    let fuzz_conns: usize = args.get_parse("fuzz", 0)?;
+
+    // Probe handshake: learn the server's sample shape and fail fast on a
+    // mismatched data source. Dropped before the run so it does not hold a
+    // handler slot while the load clients connect.
+    let sample_len = {
+        let probe = rpc::RpcClient::connect(addr).map_err(|e| e.to_string())?;
+        probe.sample_len()
+    };
+    let source = make_source(args.get("data").unwrap_or("synthetic-mnist"))?;
+    if source.sample_shape().count() != sample_len {
+        return Err(format!(
+            "--data samples have {} values but the server expects {sample_len}",
+            source.sample_shape().count()
+        ));
+    }
+    let n_samples = source.num_samples();
+    let distinct = cfg.requests.clamp(1, 256).min(n_samples);
+    let samples: Vec<Vec<f32>> = (0..distinct)
+        .map(|i| {
+            let mut s = vec![0.0f32; sample_len];
+            source.fill(i % n_samples, &mut s);
+            s
+        })
+        .collect();
+
+    println!(
+        "wire load against {addr}: {} clients, {} requests, deadline {} us",
+        cfg.clients, cfg.requests, cfg.deadline_us
+    );
+    let report = rpc::load::run(addr, &cfg, &samples).map_err(|e| e.to_string())?;
+    println!("{report}");
+
+    if fuzz_conns > 0 {
+        let fz = rpc::load::fuzz(addr, fuzz_conns, 0x5eed, std::time::Duration::from_secs(5))
+            .map_err(|e| format!("fuzz: {e}"))?;
+        println!(
+            "fuzz: {} malformed connections sent, {} answered with an error frame",
+            fz.connections, fz.answered
+        );
+    }
+    if args.has("drain-server") {
+        let mut c = rpc::RpcClient::connect(addr).map_err(|e| e.to_string())?;
+        c.drain_server().map_err(|e| e.to_string())?;
+        println!("server acknowledged drain");
+    }
+    if let Some(path) = args.get("csv") {
+        net::write_atomic(Path::new(path), report.csv().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let net = load_net(args)?;
     let sim = NetworkSim::paper_machine(&net.profiles());
@@ -385,7 +517,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: cgdnn <summary|train|infer|simulate> <spec.prototxt> [flags]
+const USAGE: &str = "usage: cgdnn <summary|train|infer|load|simulate> <spec.prototxt> [flags]
   --data synthetic-mnist|synthetic-cifar|idx:<imgs>,<lbls>|cifar-bin:<file>
   --threads N     team size (train, infer)
   --iters N       iterations (train)
@@ -417,26 +549,41 @@ infer flags:
   --max-restarts N  replica restarts allowed per window (default 5)
   --restart-window N  restart-budget window, milliseconds (default 30000)
   --csv FILE        write the serving report as CSV
+network serving (infer --listen / load):
+  --listen ADDR     serve the micro-batcher over TCP (e.g. 127.0.0.1:0);
+                    replaces the in-process load loop
+  --port-file FILE  write the bound address (for ephemeral-port scripts)
+  --serve-for-ms N  stop serving after N ms; 0 = until drained (default 0)
+  --rpc-handlers N  concurrent connection handlers (default 8)
+  --rpc-read-timeout-ms N   per-connection read poll (default 100)
+  --rpc-write-timeout-ms N  per-connection write timeout (default 1000)
+  --connect ADDR    (load) server to target
+  --fuzz N          (load) also throw N malformed connections at the server
+  --drain-server    (load) ask the server to drain and exit afterwards
 observability (train and infer):
   --profile         print the measured per-layer fwd/bwd table (paper
                     Table-2 layout) and imbalance factors after training
   --profile-csv FILE  also write the per-layer table as CSV
   --trace FILE      record omprt/layer/checkpoint spans and write a Chrome
                     trace_event JSON (load in chrome://tracing or Perfetto)
+  --trace-limit N   retain at most N events per thread (oldest dropped and
+                    counted in the trace's dropped_events record)
   --metrics FILE    write the global metrics registry as CSV ('-' = stdout)";
 
 fn main() -> ExitCode {
-    let args = match Args::parse_with_switches(std::env::args().skip(1), &["profile"]) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let args =
+        match Args::parse_with_switches(std::env::args().skip(1), &["profile", "drain-server"]) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
     let r = match args.positional.first().map(|s| s.as_str()) {
         Some("summary") => cmd_summary(&args),
         Some("train") => cmd_train(&args),
         Some("infer") => cmd_infer(&args),
+        Some("load") => cmd_load(&args),
         Some("simulate") => cmd_simulate(&args),
         _ => {
             eprintln!("{USAGE}");

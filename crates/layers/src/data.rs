@@ -81,6 +81,7 @@ impl<S: Scalar> Layer<S> for DataLayer<S> {
 
     fn forward(&mut self, _ctx: &ExecCtx<'_, S>, _bottom: &[&Blob<S>], top: &mut [Blob<S>]) {
         // Deliberately sequential (see module docs).
+        let _span = obs::trace::span("data_load", "data");
         let n = self.source.num_samples();
         let (data_blob, label_blob) = {
             let (a, b) = top.split_at_mut(1);

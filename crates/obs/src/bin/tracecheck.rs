@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-cat CAT]...
-//!            [--require-name NAME]...
+//!            [--require-name NAME]... [--require-dropped-counter] [--max-dropped N]
 //! ```
 //!
 //! Exits 0 and prints a one-line summary on success; exits 1 with a
@@ -19,6 +19,8 @@ struct Checks {
     min_tids: usize,
     require_cats: Vec<String>,
     require_names: Vec<String>,
+    require_dropped: bool,
+    max_dropped: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Checks, String> {
@@ -29,6 +31,8 @@ fn parse_args(args: &[String]) -> Result<Checks, String> {
         min_tids: 1,
         require_cats: Vec::new(),
         require_names: Vec::new(),
+        require_dropped: false,
+        max_dropped: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -50,6 +54,14 @@ fn parse_args(args: &[String]) -> Result<Checks, String> {
             }
             "--require-cat" => checks.require_cats.push(take("--require-cat")?),
             "--require-name" => checks.require_names.push(take("--require-name")?),
+            "--require-dropped-counter" => checks.require_dropped = true,
+            "--max-dropped" => {
+                checks.max_dropped = Some(
+                    take("--max-dropped")?
+                        .parse()
+                        .map_err(|e| format!("--max-dropped: {e}"))?,
+                )
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             p => {
                 if path.replace(p.to_string()).is_some() {
@@ -58,7 +70,7 @@ fn parse_args(args: &[String]) -> Result<Checks, String> {
             }
         }
     }
-    checks.path = path.ok_or("usage: tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-cat C]... [--require-name N]...")?;
+    checks.path = path.ok_or("usage: tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-cat C]... [--require-name N]... [--require-dropped-counter] [--max-dropped N]")?;
     Ok(checks)
 }
 
@@ -92,8 +104,19 @@ fn run(checks: &Checks) -> Result<String, String> {
             return Err(format!("missing required event name '{name}'"));
         }
     }
+    if (checks.require_dropped || checks.max_dropped.is_some()) && summary.dropped.is_none() {
+        return Err("trace has no dropped_events counter record".to_string());
+    }
+    if let (Some(max), Some(dropped)) = (checks.max_dropped, summary.dropped) {
+        if dropped > max {
+            return Err(format!("{dropped} events dropped (allow <= {max})"));
+        }
+    }
+    let dropped = summary
+        .dropped
+        .map_or(String::new(), |d| format!(", {d} dropped"));
     Ok(format!(
-        "{}: ok — {} events, {} tids, cats {:?}",
+        "{}: ok — {} events, {} tids, cats {:?}{dropped}",
         checks.path,
         summary.events,
         summary.tids.len(),

@@ -241,6 +241,9 @@ pub struct TraceSummary {
     pub cats: BTreeSet<String>,
     /// Distinct event names seen.
     pub names: BTreeSet<String>,
+    /// Value of the `dropped_events` counter record, when present — how
+    /// many events the writer's ring buffers overwrote before the flush.
+    pub dropped: Option<u64>,
 }
 
 /// Validate a Chrome `trace_event` JSON document: it must be an array of
@@ -257,6 +260,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
         tids: BTreeSet::new(),
         cats: BTreeSet::new(),
         names: BTreeSet::new(),
+        dropped: None,
     };
     // (tid, name) → open B count
     let mut open: BTreeMap<(u64, String), i64> = BTreeMap::new();
@@ -301,7 +305,23 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
                     return Err(format!("event {i}: 'E' for '{name}' with no open 'B'"));
                 }
             }
-            "M" | "i" | "C" => {} // metadata / instant / counter: fine
+            "M" | "i" | "C" => {
+                // A counter named `dropped_events` is the writer's own
+                // completeness report; pick out (and sanity-check) its value.
+                if ph == "C" && name == "dropped_events" {
+                    let n = e
+                        .get("args")
+                        .and_then(|a| a.get("dropped"))
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| {
+                            format!("event {i}: dropped_events counter lacks args.dropped")
+                        })?;
+                    if !n.is_finite() || n < 0.0 {
+                        return Err(format!("event {i}: bad dropped_events value {n}"));
+                    }
+                    summary.dropped = Some(n as u64);
+                }
+            }
             other => return Err(format!("event {i}: unsupported ph '{other}'")),
         }
         summary.tids.insert(tid);
@@ -397,6 +417,34 @@ mod tests {
         assert!(validate_chrome_trace(unbalanced).is_err());
         let stray_end = r#"[{"name":"r","ph":"E","tid":1,"ts":0}]"#;
         assert!(validate_chrome_trace(stray_end).is_err());
+    }
+
+    #[test]
+    fn surfaces_dropped_events_counter() {
+        use crate::trace::{write_chrome_trace_with_dropped, Event};
+        use std::borrow::Cow;
+        let events = vec![Event {
+            name: Cow::Borrowed("w"),
+            cat: "t",
+            ts_us: 1.0,
+            dur_us: 2.0,
+            tid: 0,
+        }];
+        let mut buf = Vec::new();
+        write_chrome_trace_with_dropped(&mut buf, &events, 42).unwrap();
+        let summary = validate_chrome_trace(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(summary.dropped, Some(42));
+        assert_eq!(summary.events, 2); // the span plus the counter record
+
+        // Plain writer output carries no counter.
+        let mut plain = Vec::new();
+        crate::trace::write_chrome_trace(&mut plain, &events).unwrap();
+        let summary = validate_chrome_trace(std::str::from_utf8(&plain).unwrap()).unwrap();
+        assert_eq!(summary.dropped, None);
+
+        // A counter record without args.dropped is malformed.
+        let bad = r#"[{"name":"dropped_events","ph":"C","tid":0,"ts":0}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
     }
 
     #[test]

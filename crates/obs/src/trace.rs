@@ -14,18 +14,34 @@
 use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// Cap on buffered events per thread; beyond this, events are counted in
-/// [`dropped_events`] instead of stored, so a forgotten flush cannot eat
-/// unbounded memory.
+/// Default cap on buffered events per thread; at the cap each thread's
+/// buffer becomes a ring that overwrites its OLDEST event (counted in
+/// [`dropped_events`]), so a forgotten flush cannot eat unbounded memory
+/// and the trace keeps the most recent window — the part that explains a
+/// crash. Tune per run with [`set_event_limit`] (`--trace-limit`).
 pub const MAX_EVENTS_PER_THREAD: usize = 1 << 20;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static EVENT_LIMIT: AtomicUsize = AtomicUsize::new(MAX_EVENTS_PER_THREAD);
+
+/// Bound retained trace events per thread to `n` (clamped to ≥ 1). Beyond
+/// the bound the oldest events are overwritten and counted in
+/// [`dropped_events`]. Takes effect for subsequently recorded events;
+/// already-buffered ones are kept.
+pub fn set_event_limit(n: usize) {
+    EVENT_LIMIT.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current per-thread retained-event bound.
+pub fn event_limit() -> usize {
+    EVENT_LIMIT.load(Ordering::Relaxed)
+}
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -51,8 +67,8 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Number of events discarded because a thread buffer hit
-/// [`MAX_EVENTS_PER_THREAD`].
+/// Number of (oldest-first) events overwritten because a thread buffer hit
+/// its [`event_limit`].
 pub fn dropped_events() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
@@ -72,9 +88,42 @@ pub struct Event {
     pub tid: u64,
 }
 
+/// Per-thread event store: a plain Vec until [`event_limit`] is reached,
+/// then a ring overwriting from `head` (the oldest slot).
+#[derive(Default)]
+struct RingBuf {
+    events: Vec<Event>,
+    head: usize,
+}
+
+impl RingBuf {
+    fn push(&mut self, ev: Event) {
+        let limit = event_limit();
+        if self.events.len() < limit {
+            self.events.push(ev);
+            return;
+        }
+        // At capacity (or above it, if the limit was lowered mid-run):
+        // overwrite the oldest slot and count the casualty.
+        if self.head >= self.events.len() {
+            self.head = 0;
+        }
+        self.events[self.head] = ev;
+        self.head += 1;
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<Event>) {
+        // Rotation does not matter downstream: take_events sorts globally
+        // by start time.
+        out.append(&mut self.events);
+        self.head = 0;
+    }
+}
+
 struct ThreadBuf {
     tid: u64,
-    events: Mutex<Vec<Event>>,
+    events: Mutex<RingBuf>,
 }
 
 fn sinks() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
@@ -86,7 +135,7 @@ thread_local! {
     static LOCAL: Arc<ThreadBuf> = {
         let buf = Arc::new(ThreadBuf {
             tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
-            events: Mutex::new(Vec::new()),
+            events: Mutex::new(RingBuf::default()),
         });
         sinks().lock().push(buf.clone());
         buf
@@ -95,12 +144,7 @@ thread_local! {
 
 fn push(name: Cow<'static, str>, cat: &'static str, ts_us: f64, dur_us: f64) {
     LOCAL.with(|buf| {
-        let mut events = buf.events.lock();
-        if events.len() >= MAX_EVENTS_PER_THREAD {
-            DROPPED.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        events.push(Event {
+        buf.events.lock().push(Event {
             name,
             cat,
             ts_us,
@@ -192,7 +236,7 @@ pub fn take_events() -> Vec<Event> {
     let mut out = Vec::new();
     let mut list = sinks().lock();
     list.retain(|buf| {
-        out.append(&mut buf.events.lock());
+        buf.events.lock().drain_into(&mut out);
         // strong_count == 1 ⇒ the owning thread's TLS slot is gone.
         Arc::strong_count(buf) > 1
     });
@@ -217,10 +261,11 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
-/// Write `events` as a Chrome `trace_event` JSON array of complete ("X")
-/// events — the format `chrome://tracing` and Perfetto load directly.
-pub fn write_chrome_trace(w: &mut impl Write, events: &[Event]) -> io::Result<()> {
-    writeln!(w, "[")?;
+fn write_event_records(
+    w: &mut impl Write,
+    events: &[Event],
+    comma_after_last: bool,
+) -> io::Result<()> {
     let mut line = String::new();
     for (i, e) in events.iter().enumerate() {
         line.clear();
@@ -236,11 +281,43 @@ pub fn write_chrome_trace(w: &mut impl Write, events: &[Event]) -> io::Result<()
                 e.tid,
                 e.ts_us,
                 e.dur_us,
-                if i + 1 < events.len() { "," } else { "" }
+                if i + 1 < events.len() || comma_after_last {
+                    ","
+                } else {
+                    ""
+                }
             ),
         );
         writeln!(w, "{line}")?;
     }
+    Ok(())
+}
+
+/// Write `events` as a Chrome `trace_event` JSON array of complete ("X")
+/// events — the format `chrome://tracing` and Perfetto load directly.
+pub fn write_chrome_trace(w: &mut impl Write, events: &[Event]) -> io::Result<()> {
+    writeln!(w, "[")?;
+    write_event_records(w, events, false)?;
+    writeln!(w, "]")?;
+    Ok(())
+}
+
+/// [`write_chrome_trace`], plus a final counter ("C") record named
+/// `dropped_events` carrying `dropped` — how many events the ring buffers
+/// overwrote — so a flushed trace self-reports whether it is complete.
+/// `tracecheck` validates the counter's presence and value.
+pub fn write_chrome_trace_with_dropped(
+    w: &mut impl Write,
+    events: &[Event],
+    dropped: u64,
+) -> io::Result<()> {
+    writeln!(w, "[")?;
+    write_event_records(w, events, true)?;
+    writeln!(
+        w,
+        "{{\"name\":\"dropped_events\",\"cat\":\"obs\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\
+         \"ts\":0.000,\"args\":{{\"dropped\":{dropped}}}}}"
+    )?;
     writeln!(w, "]")?;
     Ok(())
 }
@@ -339,5 +416,62 @@ mod tests {
         assert!(s.contains("\"tid\":1"));
         // Exactly one separator comma between the two records.
         assert_eq!(s.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn event_limit_keeps_newest_and_counts_dropped() {
+        let _g = serial();
+        set_enabled(true);
+        let _ = take_events();
+        set_event_limit(4);
+        let before = dropped_events();
+        for i in 0..10 {
+            record_owned(
+                format!("e{i}"),
+                "t",
+                Instant::now(),
+                std::time::Duration::from_micros(1),
+            );
+        }
+        set_enabled(false);
+        set_event_limit(MAX_EVENTS_PER_THREAD);
+        let events = take_events();
+        assert_eq!(events.len(), 4);
+        // Drop-OLDEST: the survivors are the last four recorded.
+        let names: std::collections::BTreeSet<&str> =
+            events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(
+            names,
+            ["e6", "e7", "e8", "e9"].into_iter().collect(),
+            "ring should retain the newest events"
+        );
+        assert_eq!(dropped_events() - before, 6);
+    }
+
+    #[test]
+    fn chrome_trace_with_dropped_appends_counter_record() {
+        let events = vec![Event {
+            name: Cow::Borrowed("x"),
+            cat: "t",
+            ts_us: 1.0,
+            dur_us: 2.0,
+            tid: 0,
+        }];
+        let mut buf = Vec::new();
+        write_chrome_trace_with_dropped(&mut buf, &events, 7).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"name\":\"dropped_events\""));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"dropped\":7"));
+        assert!(s.trim_end().ends_with(']'));
+        // Both records present, separated by exactly one comma each.
+        assert_eq!(s.matches("},").count(), 1);
+
+        // Zero events still yields a well-formed array with the counter.
+        let mut empty = Vec::new();
+        write_chrome_trace_with_dropped(&mut empty, &[], 0).unwrap();
+        let s = String::from_utf8(empty).unwrap();
+        assert!(s.contains("\"dropped\":0"));
+        assert_eq!(s.matches("},").count(), 0);
     }
 }

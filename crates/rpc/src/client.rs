@@ -1,0 +1,164 @@
+//! `RpcClient` — a blocking, single-connection wire client.
+//!
+//! One request is in flight at a time (the closed-loop shape the load
+//! generator wants); the response id is checked against the request id, so
+//! a desynchronised stream surfaces as [`RpcError::Protocol`] instead of
+//! silently mismatched answers.
+
+use crate::proto::{self};
+use crate::RpcError;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected wire client. See [`RpcClient::connect`].
+pub struct RpcClient {
+    stream: TcpStream,
+    sample_len: usize,
+    output_len: usize,
+    next_id: u64,
+    buf: Vec<u8>,
+}
+
+/// Map a failed read: a clean hangup means the server finished draining.
+fn read_err(e: io::Error) -> RpcError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        RpcError::ServerShutdown
+    } else {
+        RpcError::Io(e.to_string())
+    }
+}
+
+impl RpcClient {
+    /// Connect with a 5 s I/O timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, RpcError> {
+        Self::connect_with(addr, Duration::from_secs(5))
+    }
+
+    /// Connect, perform the handshake, and learn the server's sample and
+    /// output shapes. `io_timeout` bounds every subsequent read and write.
+    pub fn connect_with(addr: impl ToSocketAddrs, io_timeout: Duration) -> Result<Self, RpcError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        let mut client = Self {
+            stream,
+            sample_len: 0,
+            output_len: 0,
+            next_id: 1,
+            buf: Vec::new(),
+        };
+        let mut hello = [0u8; proto::SERVER_HELLO_LEN];
+        client.stream.read_exact(&mut hello).map_err(read_err)?;
+        let h = proto::decode_server_hello(&hello)?;
+        match h.status {
+            proto::HELLO_OK => {}
+            proto::HELLO_BUSY => return Err(RpcError::Busy),
+            proto::HELLO_DRAINING => return Err(RpcError::ServerShutdown),
+            s => return Err(RpcError::Protocol(format!("unknown hello status {s}"))),
+        }
+        client.stream.write_all(&proto::encode_client_hello())?;
+        client.sample_len = h.sample_len as usize;
+        client.output_len = h.output_len as usize;
+        Ok(client)
+    }
+
+    /// Values per sample, from the handshake.
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
+    /// Values per output, from the handshake.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// Submit one sample and block for its softmax outputs.
+    pub fn infer(&mut self, sample: &[f32]) -> Result<Vec<f32>, RpcError> {
+        self.request(sample, 0)
+    }
+
+    /// Like [`RpcClient::infer`], but the server drops the request with
+    /// [`RpcError::TimedOut`] if it is still queued after `budget_us`
+    /// microseconds (measured server-side from decode).
+    pub fn infer_with_budget(
+        &mut self,
+        sample: &[f32],
+        budget_us: u32,
+    ) -> Result<Vec<f32>, RpcError> {
+        self.request(sample, budget_us.max(1))
+    }
+
+    /// Ask the server to drain and shut down; returns once acknowledged.
+    pub fn drain_server(&mut self) -> Result<(), RpcError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream
+            .write_all(&proto::encode_header(proto::REQ_DRAIN, id, 0, 0))?;
+        let (kind, rid, _) = self.read_response()?;
+        if kind != proto::RESP_SHUTDOWN || rid != id {
+            return Err(RpcError::Protocol(format!(
+                "drain answered with kind {kind}, id {rid}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn request(&mut self, sample: &[f32], budget_us: u32) -> Result<Vec<f32>, RpcError> {
+        if sample.len() != self.sample_len {
+            return Err(RpcError::ShapeMismatch {
+                got: sample.len(),
+                want: self.sample_len,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buf.clear();
+        proto::write_f32s(&mut self.buf, sample);
+        let head = proto::encode_header(proto::REQ_INFER, id, budget_us, self.buf.len() as u32);
+        self.stream.write_all(&head)?;
+        self.stream.write_all(&self.buf)?;
+        let (kind, rid, payload) = self.read_response()?;
+        if rid != id {
+            return Err(RpcError::Protocol(format!(
+                "response carries id {rid}, expected {id}"
+            )));
+        }
+        match kind {
+            proto::RESP_PROBS => {
+                let out = proto::read_f32s(&payload)?;
+                if out.len() != self.output_len {
+                    return Err(RpcError::Protocol(format!(
+                        "{} output values, handshake promised {}",
+                        out.len(),
+                        self.output_len
+                    )));
+                }
+                Ok(out)
+            }
+            proto::RESP_REJECTED => Err(RpcError::Rejected),
+            proto::RESP_TIMED_OUT => Err(RpcError::TimedOut),
+            proto::RESP_SHUTDOWN => Err(RpcError::ServerShutdown),
+            proto::RESP_ERROR => Err(RpcError::Server(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            k => Err(RpcError::Protocol(format!("unknown response kind {k}"))),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<(u8, u64, Vec<u8>), RpcError> {
+        let mut head = [0u8; proto::FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut head).map_err(read_err)?;
+        let h = proto::decode_header(&head)?;
+        if h.payload_len > proto::MAX_PAYLOAD {
+            return Err(RpcError::Protocol(format!(
+                "response payload of {} bytes exceeds the cap",
+                h.payload_len
+            )));
+        }
+        let mut payload = vec![0u8; h.payload_len as usize];
+        self.stream.read_exact(&mut payload).map_err(read_err)?;
+        Ok((h.kind, h.id, payload))
+    }
+}

@@ -1,0 +1,93 @@
+//! `rpc` — the network serving front-end: a TCP wire path onto the
+//! `serve` micro-batching engine, built on `std::net` alone (no new
+//! dependencies — the build environment has no registry access).
+//!
+//! Training parallelizes within a batch (the paper's coarse-grain scheme)
+//! and `serve` assembles batches from in-process callers; this crate adds
+//! the last hop, where real request traffic actually arrives: a socket.
+//! Three modules:
+//!
+//! - [`proto`] — the versioned `CGRP` handshake and CRC-protected,
+//!   length-prefixed binary frames (request: id + deadline budget + `f32`
+//!   sample; response: probs / rejected / timed-out / shutdown / error).
+//! - [`server`] — [`RpcServer`]: acceptor thread, bounded handler pool
+//!   (the connection admission cap), per-connection read/write timeouts,
+//!   graceful drain, and `rpc.*` metrics + trace spans.
+//! - [`client`] / [`load`] — [`RpcClient`] (blocking, one request in
+//!   flight) and the closed-loop load generator + malformed-traffic
+//!   fuzzer behind `cgdnn load`.
+//!
+//! Deadlines and backpressure propagate end to end: a frame's µs budget
+//! becomes [`serve::Client::infer_with_deadline`], and the batcher's
+//! `Rejected`/`TimedOut` come back as typed response frames, so a remote
+//! client sees exactly what an in-process one does.
+
+pub mod client;
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use client::RpcClient;
+pub use load::{FuzzReport, LoadConfig, LoadReport};
+pub use server::{RpcConfig, RpcMetrics, RpcServer};
+
+use std::fmt;
+
+/// Client-side failures. The middle three mirror the server's typed
+/// response frames; the rest are local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(String),
+    /// The peer violated the wire protocol (bad magic/version/CRC,
+    /// mismatched response id, unknown frame kind).
+    Protocol(String),
+    /// The server's connection admission cap is full; back off and retry.
+    Busy,
+    /// The sample does not match the server's advertised shape.
+    ShapeMismatch {
+        /// Values provided.
+        got: usize,
+        /// Values the handshake promised.
+        want: usize,
+    },
+    /// The server's request queue was full ([`proto::RESP_REJECTED`]).
+    Rejected,
+    /// The request's deadline budget expired ([`proto::RESP_TIMED_OUT`]).
+    TimedOut,
+    /// The server is draining or gone ([`proto::RESP_SHUTDOWN`] or EOF).
+    ServerShutdown,
+    /// The server answered with an error frame; the payload message.
+    Server(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(m) => write!(f, "io: {m}"),
+            RpcError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            RpcError::Busy => write!(f, "server at connection capacity"),
+            RpcError::ShapeMismatch { got, want } => {
+                write!(f, "sample has {got} values, server expects {want}")
+            }
+            RpcError::Rejected => write!(f, "request rejected: server queue full"),
+            RpcError::TimedOut => write!(f, "request timed out server-side"),
+            RpcError::ServerShutdown => write!(f, "server shut down"),
+            RpcError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e.to_string())
+    }
+}
+
+impl From<proto::DecodeError> for RpcError {
+    fn from(e: proto::DecodeError) -> Self {
+        RpcError::Protocol(e.to_string())
+    }
+}

@@ -1,0 +1,282 @@
+//! Closed-loop load generation and malformed-traffic fuzzing over the
+//! wire — `cgdnn load`'s engine, and the E17 measurement harness.
+//!
+//! [`run`] opens `clients` connections up front (failing fast if the
+//! server refuses any), then drives each in a closed loop: send one
+//! request, block for its response, repeat. Per-request round-trip times
+//! are merged at the end into nearest-rank percentiles (the same
+//! [`serve::metrics::percentile`] the in-process report uses, so E17
+//! compares like with like).
+//!
+//! [`fuzz`] is deliberate vandalism: seeded-random byte prefixes thrown at
+//! the socket — half of them from byte zero (bad magic), half after a
+//! valid hello (corrupt frame headers) — to prove the server answers junk
+//! with a typed error frame or a clean close, never a panic or a hang.
+
+use crate::client::RpcClient;
+use crate::proto;
+use crate::RpcError;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Load-run shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections (threads), each with its own closed loop.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Per-request deadline budget in µs; 0 = none.
+    pub deadline_us: u32,
+    /// Socket I/O timeout per connection.
+    pub io_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    /// 4 clients, 1000 requests, no deadline, 10 s socket timeout.
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests: 1000,
+            deadline_us: 0,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Outcome counts and round-trip latency distribution of a load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests answered with probabilities.
+    pub completed: u64,
+    /// Requests bounced by admission control.
+    pub rejected: u64,
+    /// Requests whose deadline budget expired server-side.
+    pub timed_out: u64,
+    /// Requests cut short by server drain.
+    pub shutdown: u64,
+    /// Protocol or socket failures (each ends its client's loop).
+    pub errors: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Median round-trip, µs (completed requests only).
+    pub p50_us: f64,
+    /// 95th-percentile round-trip, µs.
+    pub p95_us: f64,
+    /// 99th-percentile round-trip, µs.
+    pub p99_us: f64,
+    /// Worst round-trip, µs.
+    pub max_us: f64,
+    /// Mean round-trip, µs.
+    pub mean_us: f64,
+}
+
+impl LoadReport {
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// `metric,value` CSV, one line per field (same form factor as the
+    /// serving report).
+    pub fn csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (k, v) in [
+            ("completed", self.completed as f64),
+            ("rejected", self.rejected as f64),
+            ("timed_out", self.timed_out as f64),
+            ("shutdown", self.shutdown as f64),
+            ("errors", self.errors as f64),
+            ("wall_secs", self.wall.as_secs_f64()),
+            ("throughput_rps", self.throughput_rps()),
+            ("rtt_p50_us", self.p50_us),
+            ("rtt_p95_us", self.p95_us),
+            ("rtt_p99_us", self.p99_us),
+            ("rtt_max_us", self.max_us),
+            ("rtt_mean_us", self.mean_us),
+        ] {
+            out.push_str(&format!("{k},{v:.3}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wire load: {} completed, {} rejected, {} timed out, {} shutdown, {} errors \
+             in {:.3} s ({:.0} req/s)",
+            self.completed,
+            self.rejected,
+            self.timed_out,
+            self.shutdown,
+            self.errors,
+            self.wall.as_secs_f64(),
+            self.throughput_rps(),
+        )?;
+        write!(
+            f,
+            "wire RTT us: p50 {:.0}, p95 {:.0}, p99 {:.0}, max {:.0}, mean {:.0}",
+            self.p50_us, self.p95_us, self.p99_us, self.max_us, self.mean_us
+        )
+    }
+}
+
+/// Drive a closed-loop load run against `addr`. `samples` are cycled
+/// (staggered per client so concurrent batches mix inputs); they must
+/// match the server's sample shape.
+pub fn run(
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+    samples: &[Vec<f32>],
+) -> Result<LoadReport, RpcError> {
+    if samples.is_empty() {
+        return Err(RpcError::Protocol(
+            "load run needs at least one sample".into(),
+        ));
+    }
+    let clients = cfg.clients.max(1);
+    // Connect everything first: a refused or half-dead server fails the
+    // run instead of polluting the numbers.
+    let conns: Vec<RpcClient> = (0..clients)
+        .map(|_| RpcClient::connect_with(addr, cfg.io_timeout))
+        .collect::<Result<_, _>>()?;
+    let mut report = LoadReport::default();
+    let mut rtts_us: Vec<f64> = Vec::with_capacity(cfg.requests);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = conns
+            .into_iter()
+            .enumerate()
+            .map(|(c, mut client)| {
+                let quota = cfg.requests / clients + usize::from(c < cfg.requests % clients);
+                let deadline_us = cfg.deadline_us;
+                s.spawn(move || {
+                    let mut part = LoadReport::default();
+                    let mut rtts = Vec::with_capacity(quota);
+                    for i in 0..quota {
+                        let sample = &samples[(c + i * clients) % samples.len()];
+                        let t = Instant::now();
+                        let r = if deadline_us > 0 {
+                            client.infer_with_budget(sample, deadline_us)
+                        } else {
+                            client.infer(sample)
+                        };
+                        match r {
+                            Ok(_) => {
+                                part.completed += 1;
+                                rtts.push(t.elapsed().as_secs_f64() * 1e6);
+                            }
+                            Err(RpcError::Rejected) => part.rejected += 1,
+                            Err(RpcError::TimedOut) => part.timed_out += 1,
+                            Err(RpcError::ServerShutdown) => {
+                                // The server is draining: everything this
+                                // client still owes is cut short.
+                                part.shutdown += (quota - i) as u64;
+                                break;
+                            }
+                            Err(_) => {
+                                part.errors += 1;
+                                break;
+                            }
+                        }
+                    }
+                    (part, rtts)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (part, rtts) = h.join().unwrap_or_default();
+            report.completed += part.completed;
+            report.rejected += part.rejected;
+            report.timed_out += part.timed_out;
+            report.shutdown += part.shutdown;
+            report.errors += part.errors;
+            rtts_us.extend(rtts);
+        }
+    });
+    report.wall = t0.elapsed();
+    rtts_us.sort_by(f64::total_cmp);
+    report.p50_us = serve::metrics::percentile(&rtts_us, 0.50);
+    report.p95_us = serve::metrics::percentile(&rtts_us, 0.95);
+    report.p99_us = serve::metrics::percentile(&rtts_us, 0.99);
+    report.max_us = rtts_us.last().copied().unwrap_or(0.0);
+    report.mean_us = if rtts_us.is_empty() {
+        0.0
+    } else {
+        rtts_us.iter().sum::<f64>() / rtts_us.len() as f64
+    };
+    Ok(report)
+}
+
+/// What [`fuzz`] observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzReport {
+    /// Malformed connections attempted.
+    pub connections: usize,
+    /// Connections the server answered with bytes (an error frame) before
+    /// closing; the rest were closed without comment (mid-frame EOF).
+    pub answered: usize,
+}
+
+/// xorshift64 — deterministic junk without pulling in an RNG crate.
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x
+}
+
+/// Throw `connections` seeded-random byte prefixes at `addr` — even
+/// connections from byte zero (bad magic territory), odd ones after a
+/// valid hello (corrupt frame headers) — and read each socket to EOF. The
+/// server must survive all of it; every rejection shows up in its
+/// `rpc.decode_errors` counter.
+pub fn fuzz(
+    addr: SocketAddr,
+    connections: usize,
+    seed: u64,
+    io_timeout: Duration,
+) -> io::Result<FuzzReport> {
+    let mut state = seed | 1;
+    let mut report = FuzzReport::default();
+    for i in 0..connections {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(io_timeout))?;
+        s.set_write_timeout(Some(io_timeout))?;
+        let mut hello = [0u8; proto::SERVER_HELLO_LEN];
+        s.read_exact(&mut hello)?; // the server speaks first, even to us
+        let mut junk = Vec::new();
+        if i % 2 == 1 {
+            junk.extend_from_slice(&proto::encode_client_hello());
+        }
+        let n = 1 + (xorshift(&mut state) % 64) as usize;
+        junk.extend((0..n).map(|_| xorshift(&mut state) as u8));
+        report.connections += 1;
+        if s.write_all(&junk).is_err() {
+            continue; // server already slammed the door — that's a pass
+        }
+        let _ = s.shutdown(Shutdown::Write);
+        let mut sink = [0u8; 256];
+        let mut answered = false;
+        loop {
+            match s.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => answered = true,
+                Err(_) => break,
+            }
+        }
+        report.answered += usize::from(answered);
+    }
+    Ok(report)
+}

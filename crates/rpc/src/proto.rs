@@ -1,0 +1,303 @@
+//! The `CGRP` wire protocol: versioned handshake and CRC-protected,
+//! length-prefixed binary frames.
+//!
+//! Everything on the wire is little-endian and fixed-layout, so both ends
+//! can encode/decode with no allocation beyond the payload itself.
+//!
+//! **Handshake** — the server speaks first, so a client learns the sample
+//! and output shapes (and whether the server is full or draining) before
+//! it sends a byte:
+//!
+//! ```text
+//! ServerHello (16 bytes): magic "CGRP" | version u16 | status u8 | pad u8
+//!                         | sample_len u32 | output_len u32
+//! ClientHello ( 8 bytes): magic "CGRP" | version u16 | pad u16
+//! ```
+//!
+//! **Frames** — one 24-byte header, then `payload_len` bytes of payload:
+//!
+//! ```text
+//! FrameHeader (24 bytes): kind u8 | pad [u8;3] | id u64 | aux u32
+//!                         | payload_len u32 | crc u32
+//! ```
+//!
+//! `aux` carries the request's deadline budget in microseconds (0 = no
+//! deadline) and is reserved (0) in responses. `crc` is IEEE CRC-32 (the
+//! snapshot format's [`net::snapshot::crc32`]) over the first 20 header
+//! bytes, so a corrupted or misaligned header is detected before
+//! `payload_len` is trusted. Request payloads are `f32` little-endian
+//! samples; [`RESP_PROBS`] payloads are `f32` outputs; [`RESP_ERROR`]
+//! payloads are UTF-8 diagnostics.
+
+use std::fmt;
+
+/// Protocol magic, first bytes of both hello messages.
+pub const MAGIC: [u8; 4] = *b"CGRP";
+/// Protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+/// Size of the server's hello (sent first, on accept).
+pub const SERVER_HELLO_LEN: usize = 16;
+/// Size of the client's hello reply.
+pub const CLIENT_HELLO_LEN: usize = 8;
+/// Size of every frame header.
+pub const FRAME_HEADER_LEN: usize = 24;
+/// Default cap on a single frame's payload; a header announcing more is a
+/// decode error, rejected *before* any allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// ServerHello status: accepting requests.
+pub const HELLO_OK: u8 = 0;
+/// ServerHello status: connection limit reached; the server closes after
+/// this hello and the client should back off and retry.
+pub const HELLO_BUSY: u8 = 1;
+/// ServerHello status: the server is draining; no requests will be served.
+pub const HELLO_DRAINING: u8 = 2;
+
+/// Request frame: one `f32` sample, answered by exactly one response.
+pub const REQ_INFER: u8 = 1;
+/// Request frame: ask the server to drain and shut down. Acknowledged with
+/// [`RESP_SHUTDOWN`].
+pub const REQ_DRAIN: u8 = 2;
+
+/// Response frame: softmax outputs (`f32` payload).
+pub const RESP_PROBS: u8 = 1;
+/// Response frame: admission queue full — back off and retry.
+pub const RESP_REJECTED: u8 = 2;
+/// Response frame: the request's deadline budget expired in the queue.
+pub const RESP_TIMED_OUT: u8 = 3;
+/// Response frame: the server is shutting down (also the [`REQ_DRAIN`]
+/// acknowledgement). No further responses follow on this connection.
+pub const RESP_SHUTDOWN: u8 = 4;
+/// Response frame: typed failure; the payload is a UTF-8 message.
+pub const RESP_ERROR: u8 = 5;
+
+/// Why a received byte sequence was rejected. Every variant maps to a
+/// `rpc.decode_errors` metric bump on the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Hello did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Hello spoke an unsupported protocol version.
+    BadVersion(u16),
+    /// Frame-header CRC mismatch: the header bytes are corrupt (or the
+    /// stream is misaligned), so `payload_len` cannot be trusted.
+    BadCrc { stored: u32, computed: u32 },
+    /// Header announced a payload larger than the negotiated cap.
+    Oversize { len: u32, max: u32 },
+    /// The peer disconnected mid-hello, mid-header, or mid-payload.
+    Truncated(&'static str),
+    /// Payload bytes are not a whole number of `f32` values.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"CGRP\")"),
+            DecodeError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this end speaks {VERSION})"
+                )
+            }
+            DecodeError::BadCrc { stored, computed } => write!(
+                f,
+                "frame header crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DecodeError::Oversize { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte cap")
+            }
+            DecodeError::Truncated(what) => write!(f, "stream truncated mid-{what}"),
+            DecodeError::BadPayload(m) => write!(f, "bad payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decoded server hello.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// One of [`HELLO_OK`] / [`HELLO_BUSY`] / [`HELLO_DRAINING`].
+    pub status: u8,
+    /// Values per request sample.
+    pub sample_len: u32,
+    /// Values per [`RESP_PROBS`] payload.
+    pub output_len: u32,
+}
+
+/// Encode the server's opening message.
+pub fn encode_server_hello(status: u8, sample_len: u32, output_len: u32) -> [u8; SERVER_HELLO_LEN] {
+    let mut b = [0u8; SERVER_HELLO_LEN];
+    b[0..4].copy_from_slice(&MAGIC);
+    b[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    b[6] = status;
+    b[8..12].copy_from_slice(&sample_len.to_le_bytes());
+    b[12..16].copy_from_slice(&output_len.to_le_bytes());
+    b
+}
+
+/// Decode and validate a server hello.
+pub fn decode_server_hello(b: &[u8; SERVER_HELLO_LEN]) -> Result<ServerHello, DecodeError> {
+    if b[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic([b[0], b[1], b[2], b[3]]));
+    }
+    let version = u16::from_le_bytes([b[4], b[5]]);
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    Ok(ServerHello {
+        status: b[6],
+        sample_len: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+        output_len: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+    })
+}
+
+/// Encode the client's hello reply.
+pub fn encode_client_hello() -> [u8; CLIENT_HELLO_LEN] {
+    let mut b = [0u8; CLIENT_HELLO_LEN];
+    b[0..4].copy_from_slice(&MAGIC);
+    b[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    b
+}
+
+/// Decode and validate a client hello.
+pub fn decode_client_hello(b: &[u8; CLIENT_HELLO_LEN]) -> Result<(), DecodeError> {
+    if b[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic([b[0], b[1], b[2], b[3]]));
+    }
+    let version = u16::from_le_bytes([b[4], b[5]]);
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    Ok(())
+}
+
+/// Decoded frame header. `kind` is direction-dependent (`REQ_*` on the
+/// way in, `RESP_*` on the way out); unknown kinds are the *receiver's*
+/// business, since an intact CRC proves the framing can be trusted to skip
+/// the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame kind (`REQ_*` / `RESP_*`).
+    pub kind: u8,
+    /// Request id; echoed verbatim in the response.
+    pub id: u64,
+    /// Requests: deadline budget in µs (0 = none). Responses: reserved 0.
+    pub aux: u32,
+    /// Payload bytes following this header.
+    pub payload_len: u32,
+}
+
+/// Encode a frame header, computing the CRC over the first 20 bytes.
+pub fn encode_header(kind: u8, id: u64, aux: u32, payload_len: u32) -> [u8; FRAME_HEADER_LEN] {
+    let mut b = [0u8; FRAME_HEADER_LEN];
+    b[0] = kind;
+    b[4..12].copy_from_slice(&id.to_le_bytes());
+    b[12..16].copy_from_slice(&aux.to_le_bytes());
+    b[16..20].copy_from_slice(&payload_len.to_le_bytes());
+    let crc = net::snapshot::crc32(&b[0..20]);
+    b[20..24].copy_from_slice(&crc.to_le_bytes());
+    b
+}
+
+/// Decode a frame header, verifying its CRC. The payload-length cap is the
+/// caller's to enforce (it is configurable server-side).
+pub fn decode_header(b: &[u8; FRAME_HEADER_LEN]) -> Result<FrameHeader, DecodeError> {
+    let stored = u32::from_le_bytes(b[20..24].try_into().unwrap());
+    let computed = net::snapshot::crc32(&b[0..20]);
+    if stored != computed {
+        return Err(DecodeError::BadCrc { stored, computed });
+    }
+    Ok(FrameHeader {
+        kind: b[0],
+        id: u64::from_le_bytes(b[4..12].try_into().unwrap()),
+        aux: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+        payload_len: u32::from_le_bytes(b[16..20].try_into().unwrap()),
+    })
+}
+
+/// Append `vals` to `out` as little-endian `f32` bytes.
+pub fn write_f32s(out: &mut Vec<u8>, vals: &[f32]) {
+    out.reserve(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode a little-endian `f32` payload.
+pub fn read_f32s(bytes: &[u8]) -> Result<Vec<f32>, DecodeError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(DecodeError::BadPayload("length is not a multiple of 4"));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let b = encode_header(REQ_INFER, 0xDEAD_BEEF_u64, 1500, 96);
+        let h = decode_header(&b).unwrap();
+        assert_eq!(h.kind, REQ_INFER);
+        assert_eq!(h.id, 0xDEAD_BEEF);
+        assert_eq!(h.aux, 1500);
+        assert_eq!(h.payload_len, 96);
+    }
+
+    #[test]
+    fn corrupting_any_header_byte_fails_the_crc() {
+        let good = encode_header(RESP_PROBS, 7, 0, 12);
+        for i in 0..FRAME_HEADER_LEN {
+            let mut bad = good;
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(decode_header(&bad), Err(DecodeError::BadCrc { .. })),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn hellos_round_trip_and_reject_bad_magic_and_version() {
+        let h = decode_server_hello(&encode_server_hello(HELLO_OK, 784, 10)).unwrap();
+        assert_eq!(
+            h,
+            ServerHello {
+                status: HELLO_OK,
+                sample_len: 784,
+                output_len: 10
+            }
+        );
+        decode_client_hello(&encode_client_hello()).unwrap();
+
+        let mut bad = encode_client_hello();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_client_hello(&bad),
+            Err(DecodeError::BadMagic(_))
+        ));
+        let mut bad = encode_server_hello(HELLO_OK, 1, 1);
+        bad[4..6].copy_from_slice(&999u16.to_le_bytes());
+        assert_eq!(decode_server_hello(&bad), Err(DecodeError::BadVersion(999)));
+    }
+
+    #[test]
+    fn f32_payloads_round_trip() {
+        let vals = [0.0f32, -1.5, f32::MIN_POSITIVE, 3.25e7];
+        let mut bytes = Vec::new();
+        write_f32s(&mut bytes, &vals);
+        assert_eq!(bytes.len(), 16);
+        let back = read_f32s(&bytes).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(read_f32s(&bytes[..=6]).is_err());
+    }
+}

@@ -1,0 +1,589 @@
+//! `RpcServer` — acceptor thread + bounded connection-handler pool
+//! bridging decoded wire requests into the `serve` micro-batcher.
+//!
+//! The acceptor owns the listening socket. On accept it immediately writes
+//! the [`proto::encode_server_hello`] (so a connecting client never blocks
+//! waiting for a handler slot just to finish its handshake) and hands the
+//! stream to a bounded queue; when the queue is full the hello says
+//! [`proto::HELLO_BUSY`] and the connection is closed — the admission cap.
+//!
+//! Handlers are a fixed pool of threads, each serving one connection for
+//! that connection's lifetime: read a CRC-checked frame header, read the
+//! payload, submit the sample to the shared [`serve::Client`] (propagating
+//! the wire deadline budget into [`serve::Client::infer_with_deadline`]),
+//! and write the typed response — the reply bytes are encoded straight out
+//! of the batcher's pooled [`serve::OutputBuf`], no intermediate copy. All
+//! socket reads carry a short timeout so an idle connection re-checks the
+//! stop flag every tick; that bound is what makes drain prompt.
+//!
+//! **Drain state machine** (see DESIGN.md): `serving` → (`shutdown()` or a
+//! client's [`proto::REQ_DRAIN`] observed by the owner) → `draining`: the
+//! acceptor stops accepting and is joined, the connection queue closes,
+//! each handler finishes the frame in flight, sends [`proto::RESP_SHUTDOWN`]
+//! on its connection — including connections still queued, which get a
+//! hello-then-shutdown goodbye — and exits; `shutdown()` returns once every
+//! thread is joined. A client blocked in `read` therefore sees a shutdown
+//! frame (or a clean FIN) within roughly one read-timeout tick plus the
+//! time to answer the in-flight frame; a reader that never drains its
+//! socket cannot wedge the drain because every write carries a timeout.
+//!
+//! Decode errors never panic and never take down the server: a bad hello
+//! or corrupt header poisons only its own connection (error frame, then
+//! close — resynchronising a byte stream after a bad length prefix is not
+//! possible), while an intact header with an unexpected kind or payload
+//! length is answered with [`proto::RESP_ERROR`] and the connection lives
+//! on. Every rejection bumps `rpc.decode_errors`.
+
+use crate::proto::{self, DecodeError};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the wire front-end.
+#[derive(Debug, Clone)]
+pub struct RpcConfig {
+    /// Handler threads — the maximum number of concurrently served
+    /// connections.
+    pub handlers: usize,
+    /// Accepted connections allowed to queue for a free handler; one more
+    /// is greeted with [`proto::HELLO_BUSY`] and closed.
+    pub backlog: usize,
+    /// Per-read socket timeout. Idle handlers re-check the stop flag at
+    /// this cadence, so it also bounds drain latency.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout; a reader that never drains its socket
+    /// costs at most this long, then its connection is dropped.
+    pub write_timeout: Duration,
+    /// Per-frame payload cap; headers announcing more are decode errors.
+    pub max_payload: u32,
+}
+
+impl Default for RpcConfig {
+    /// 8 handlers over a 16-deep accept queue; 100 ms reads, 1 s writes.
+    fn default() -> Self {
+        Self {
+            handlers: 8,
+            backlog: 16,
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(1),
+            max_payload: proto::MAX_PAYLOAD,
+        }
+    }
+}
+
+/// Cached `rpc.*` registry handles; every update is a few atomics.
+pub struct RpcMetrics {
+    /// Connections accepted (including busy-rejected ones).
+    pub connections: obs::Counter,
+    /// Connections refused with [`proto::HELLO_BUSY`].
+    pub rejected_connections: obs::Counter,
+    /// Currently served connections (gauge `rpc.active_connections`).
+    pub active_connections: obs::Gauge,
+    /// Request frames with a valid header.
+    pub frames_in: obs::Counter,
+    /// Response frames written.
+    pub frames_out: obs::Counter,
+    /// Bytes read off the wire.
+    pub bytes_in: obs::Counter,
+    /// Bytes written to the wire.
+    pub bytes_out: obs::Counter,
+    /// Malformed hellos/headers/payloads rejected (see [`DecodeError`]).
+    pub decode_errors: obs::Counter,
+    /// Socket-level read/write failures (timeouts, resets).
+    pub io_errors: obs::Counter,
+    /// Infer requests answered with probabilities.
+    pub completed: obs::Counter,
+    /// Infer requests answered with [`proto::RESP_REJECTED`].
+    pub rejected: obs::Counter,
+    /// Infer requests answered with [`proto::RESP_TIMED_OUT`].
+    pub timed_out: obs::Counter,
+    /// Handler panics survived (the thread returns to the pool).
+    pub handler_panics: obs::Counter,
+    /// Decode-to-response latency of answered infer frames.
+    pub frame_seconds: obs::Histogram,
+    active: AtomicI64,
+}
+
+impl RpcMetrics {
+    /// Resolve the `rpc.*` handles in `reg` (usually
+    /// [`obs::registry::global`]; tests pass their own registry).
+    pub fn register(reg: &obs::Registry) -> Arc<Self> {
+        Arc::new(Self {
+            connections: reg.counter("rpc.connections"),
+            rejected_connections: reg.counter("rpc.rejected_connections"),
+            active_connections: reg.gauge("rpc.active_connections"),
+            frames_in: reg.counter("rpc.frames_in"),
+            frames_out: reg.counter("rpc.frames_out"),
+            bytes_in: reg.counter("rpc.bytes_in"),
+            bytes_out: reg.counter("rpc.bytes_out"),
+            decode_errors: reg.counter("rpc.decode_errors"),
+            io_errors: reg.counter("rpc.io_errors"),
+            completed: reg.counter("rpc.completed"),
+            rejected: reg.counter("rpc.rejected"),
+            timed_out: reg.counter("rpc.timed_out"),
+            handler_panics: reg.counter("rpc.handler_panics"),
+            frame_seconds: reg.histogram("rpc.frame_seconds", &obs::registry::DURATION_BOUNDS_SECS),
+            active: AtomicI64::new(0),
+        })
+    }
+
+    fn conn_opened(&self) {
+        let n = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        self.active_connections.set(n as f64);
+    }
+
+    fn conn_closed(&self) {
+        let n = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.active_connections.set(n as f64);
+    }
+}
+
+/// Everything a handler thread needs; one clone per thread.
+#[derive(Clone)]
+struct HandlerCtx {
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    bridge: serve::Client<f32>,
+    stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    metrics: Arc<RpcMetrics>,
+    cfg: RpcConfig,
+    sample_len: usize,
+}
+
+/// The running wire front-end. Dropping it signals the threads to stop;
+/// [`RpcServer::shutdown`] performs the graceful drain and joins them.
+pub struct RpcServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+    metrics: Arc<RpcMetrics>,
+}
+
+impl RpcServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `bridge`. `output_len` is what the server hello advertises
+    /// (take it from [`serve::Server::output_len`]); `reg` receives the
+    /// `rpc.*` metrics.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        bridge: serve::Client<f32>,
+        output_len: usize,
+        cfg: RpcConfig,
+        reg: &obs::Registry,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        let metrics = RpcMetrics::register(reg);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.backlog.max(1));
+        let ctx = HandlerCtx {
+            rx: Arc::new(Mutex::new(rx)),
+            sample_len: bridge.sample_len(),
+            bridge,
+            stop: Arc::clone(&stop),
+            drain: Arc::clone(&drain),
+            metrics: Arc::clone(&metrics),
+            cfg: cfg.clone(),
+        };
+        let mut handlers = Vec::with_capacity(cfg.handlers.max(1));
+        let spawn_result = (|| -> io::Result<JoinHandle<()>> {
+            for i in 0..cfg.handlers.max(1) {
+                let ctx = ctx.clone();
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name(format!("rpc-handler-{i}"))
+                        .spawn(move || handler_main(ctx))?,
+                );
+            }
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            let hello = proto::encode_server_hello(
+                proto::HELLO_OK,
+                ctx.sample_len as u32,
+                output_len as u32,
+            );
+            let write_timeout = cfg.write_timeout;
+            std::thread::Builder::new()
+                .name("rpc-acceptor".into())
+                .spawn(move || acceptor_loop(listener, tx, stop, metrics, hello, write_timeout))
+        })();
+        match spawn_result {
+            Ok(acceptor) => Ok(Self {
+                local_addr,
+                stop,
+                drain,
+                acceptor: Some(acceptor),
+                handlers,
+                metrics,
+            }),
+            Err(e) => {
+                stop.store(true, Ordering::SeqCst);
+                for h in handlers {
+                    let _ = h.join();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether some client sent [`proto::REQ_DRAIN`]. The owner polls this
+    /// and calls [`RpcServer::shutdown`] — the drain frame requests, it
+    /// does not force.
+    pub fn drain_requested(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    /// The `rpc.*` metrics handles.
+    pub fn metrics(&self) -> Arc<RpcMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Graceful drain: stop accepting, answer in-flight frames, send
+    /// [`proto::RESP_SHUTDOWN`] on every live connection, close, and join
+    /// every thread. Bounded by the read/write timeouts plus the in-flight
+    /// work — a stalled peer cannot wedge it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // The acceptor's exit dropped the queue sender: handlers drain the
+        // remaining queued connections (hello already sent; they get the
+        // shutdown frame) and exit on disconnect.
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        // Belt and suspenders for the no-shutdown path: signal the threads
+        // so they exit within a poll tick; joining is shutdown()'s job.
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<RpcMetrics>,
+    hello: [u8; proto::SERVER_HELLO_LEN],
+    write_timeout: Duration,
+) {
+    const ACCEPT_POLL: Duration = Duration::from_millis(10);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                metrics.connections.inc();
+                // The hello goes out here, not in the handler, so a client
+                // finishes its handshake even while every handler is busy.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_write_timeout(Some(write_timeout));
+                if stream.write_all(&hello).is_err() {
+                    metrics.io_errors.inc();
+                    continue;
+                }
+                metrics.bytes_out.add(hello.len() as u64);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        metrics.rejected_connections.inc();
+                        busy_goodbye(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept failures (EMFILE, aborted connections):
+            // back off and keep listening.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Over-capacity goodbye: the OK hello already went out (the admission
+/// decision happens after the handshake write), so follow it with a
+/// shutdown frame and close.
+fn busy_goodbye(mut stream: TcpStream) {
+    let _ = stream.write_all(&proto::encode_header(proto::RESP_SHUTDOWN, 0, 0, 0));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handler_main(ctx: HandlerCtx) {
+    const CONN_POLL: Duration = Duration::from_millis(50);
+    loop {
+        let next = lock(&ctx.rx).recv_timeout(CONN_POLL);
+        match next {
+            Ok(stream) => {
+                ctx.metrics.conn_opened();
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| handle_conn(stream, &ctx)));
+                ctx.metrics.conn_closed();
+                if r.is_err() {
+                    // A panic poisons only its own connection; the thread
+                    // returns to the pool for the next one.
+                    ctx.metrics.handler_panics.inc();
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// What an interruptible full-buffer read observed.
+enum ReadOutcome {
+    /// Buffer filled.
+    Done,
+    /// Peer closed; `partial` when it hung up mid-buffer.
+    Eof { partial: bool },
+    /// The stop flag was raised while waiting.
+    Stopped,
+}
+
+/// Fill `buf` from `stream`, re-checking `stop` on every read-timeout tick
+/// so a drain interrupts an idle read instead of waiting for the peer.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(ReadOutcome::Eof {
+                    partial: filled > 0,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Stopped);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+fn send_frame(
+    stream: &mut TcpStream,
+    kind: u8,
+    id: u64,
+    payload: &[u8],
+    m: &RpcMetrics,
+) -> io::Result<()> {
+    let head = proto::encode_header(kind, id, 0, payload.len() as u32);
+    stream.write_all(&head)?;
+    stream.write_all(payload)?;
+    m.frames_out.inc();
+    m.bytes_out.add((head.len() + payload.len()) as u64);
+    Ok(())
+}
+
+/// Best-effort shutdown frame; the connection is closing either way.
+fn send_shutdown(stream: &mut TcpStream, m: &RpcMetrics) {
+    let _ = send_frame(stream, proto::RESP_SHUTDOWN, 0, &[], m);
+}
+
+/// Serve one connection until EOF, a fatal decode error, or drain.
+fn handle_conn(mut stream: TcpStream, ctx: &HandlerCtx) {
+    let m = &ctx.metrics;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.cfg.write_timeout));
+    let _conn_span = obs::trace::span("conn", "rpc");
+
+    // The acceptor already sent our hello; the client's comes first.
+    let mut hb = [0u8; proto::CLIENT_HELLO_LEN];
+    match read_full(&mut stream, &mut hb, &ctx.stop) {
+        Ok(ReadOutcome::Done) => m.bytes_in.add(hb.len() as u64),
+        Ok(ReadOutcome::Eof { partial }) => {
+            if partial {
+                m.decode_errors.inc();
+            }
+            return;
+        }
+        Ok(ReadOutcome::Stopped) => return send_shutdown(&mut stream, m),
+        Err(_) => return m.io_errors.inc(),
+    }
+    if let Err(e) = proto::decode_client_hello(&hb) {
+        m.decode_errors.inc();
+        let _ = send_frame(
+            &mut stream,
+            proto::RESP_ERROR,
+            0,
+            e.to_string().as_bytes(),
+            m,
+        );
+        return;
+    }
+
+    let expected_payload = ctx.sample_len * std::mem::size_of::<f32>();
+    let mut payload = Vec::new();
+    let mut reply = Vec::new();
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return send_shutdown(&mut stream, m);
+        }
+        let mut head = [0u8; proto::FRAME_HEADER_LEN];
+        match read_full(&mut stream, &mut head, &ctx.stop) {
+            Ok(ReadOutcome::Done) => m.bytes_in.add(head.len() as u64),
+            Ok(ReadOutcome::Eof { partial }) => {
+                // EOF on a frame boundary is the normal goodbye; EOF inside
+                // a header is a mid-frame disconnect.
+                if partial {
+                    m.decode_errors.inc();
+                }
+                return;
+            }
+            Ok(ReadOutcome::Stopped) => return send_shutdown(&mut stream, m),
+            Err(_) => return m.io_errors.inc(),
+        }
+        let header = match proto::decode_header(&head) {
+            Ok(h) => h,
+            Err(e) => {
+                // A corrupt header leaves no trustworthy payload_len to
+                // resynchronise on; explain and close.
+                m.decode_errors.inc();
+                let _ = send_frame(
+                    &mut stream,
+                    proto::RESP_ERROR,
+                    0,
+                    e.to_string().as_bytes(),
+                    m,
+                );
+                return;
+            }
+        };
+        if header.payload_len > ctx.cfg.max_payload {
+            // Reject before allocating a byte of it.
+            m.decode_errors.inc();
+            let e = DecodeError::Oversize {
+                len: header.payload_len,
+                max: ctx.cfg.max_payload,
+            };
+            let _ = send_frame(
+                &mut stream,
+                proto::RESP_ERROR,
+                header.id,
+                e.to_string().as_bytes(),
+                m,
+            );
+            return;
+        }
+        m.frames_in.inc();
+        let _frame_span = obs::trace::span("frame", "rpc");
+        let t0 = Instant::now();
+        // The header CRC held, so the framing is trustworthy: consume the
+        // payload even for kinds/lengths we then refuse, keeping the
+        // connection usable.
+        payload.clear();
+        payload.resize(header.payload_len as usize, 0);
+        match read_full(&mut stream, &mut payload, &ctx.stop) {
+            Ok(ReadOutcome::Done) => m.bytes_in.add(payload.len() as u64),
+            Ok(ReadOutcome::Eof { .. }) => {
+                m.decode_errors.inc(); // truncated payload
+                return;
+            }
+            Ok(ReadOutcome::Stopped) => return send_shutdown(&mut stream, m),
+            Err(_) => return m.io_errors.inc(),
+        }
+        let sent = match header.kind {
+            proto::REQ_DRAIN => {
+                // Surface the request to the owner (who decides to stop);
+                // acknowledge so the drainer can hang up immediately.
+                ctx.drain.store(true, Ordering::SeqCst);
+                send_frame(&mut stream, proto::RESP_SHUTDOWN, header.id, &[], m)
+            }
+            proto::REQ_INFER if payload.len() != expected_payload => {
+                m.decode_errors.inc();
+                let msg = format!(
+                    "infer payload is {} bytes, sample shape needs {expected_payload}",
+                    payload.len()
+                );
+                send_frame(&mut stream, proto::RESP_ERROR, header.id, msg.as_bytes(), m)
+            }
+            proto::REQ_INFER => {
+                let sample = proto::read_f32s(&payload).expect("length checked above");
+                let result = if header.aux > 0 {
+                    ctx.bridge.infer_with_deadline(
+                        &sample,
+                        Instant::now() + Duration::from_micros(u64::from(header.aux)),
+                    )
+                } else {
+                    ctx.bridge.infer(&sample)
+                };
+                match result {
+                    Ok(out) => {
+                        // Encode straight from the batcher's pooled buffer.
+                        reply.clear();
+                        proto::write_f32s(&mut reply, &out);
+                        m.completed.inc();
+                        send_frame(&mut stream, proto::RESP_PROBS, header.id, &reply, m)
+                    }
+                    Err(serve::ServeError::Rejected) => {
+                        m.rejected.inc();
+                        send_frame(&mut stream, proto::RESP_REJECTED, header.id, &[], m)
+                    }
+                    Err(serve::ServeError::TimedOut) => {
+                        m.timed_out.inc();
+                        send_frame(&mut stream, proto::RESP_TIMED_OUT, header.id, &[], m)
+                    }
+                    Err(serve::ServeError::Closed) => {
+                        let _ = send_frame(&mut stream, proto::RESP_SHUTDOWN, header.id, &[], m);
+                        return;
+                    }
+                    Err(e) => send_frame(
+                        &mut stream,
+                        proto::RESP_ERROR,
+                        header.id,
+                        e.to_string().as_bytes(),
+                        m,
+                    ),
+                }
+            }
+            k => {
+                m.decode_errors.inc();
+                let msg = format!("unknown request kind {k}");
+                send_frame(&mut stream, proto::RESP_ERROR, header.id, msg.as_bytes(), m)
+            }
+        };
+        m.frame_seconds.observe(t0.elapsed().as_secs_f64());
+        if sent.is_err() {
+            // The peer stalled past the write timeout or went away.
+            m.io_errors.inc();
+            return;
+        }
+    }
+}

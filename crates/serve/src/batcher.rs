@@ -137,6 +137,7 @@ pub struct Server<S: Scalar + Send + 'static = f32> {
     metrics: Arc<ServingMetrics>,
     pool: BufferPool<S>,
     sample_len: usize,
+    output_len: usize,
 }
 
 impl<S: Scalar + Send + 'static> Server<S> {
@@ -170,7 +171,8 @@ impl<S: Scalar + Send + 'static> Server<S> {
         let first = engines
             .first()
             .ok_or_else(|| ServeError::Build("need at least one engine".into()))?;
-        let (sample_len, max_batch) = (first.sample_len(), first.max_batch());
+        let (sample_len, output_len, max_batch) =
+            (first.sample_len(), first.output_len(), first.max_batch());
         if engines
             .iter()
             .any(|e| e.sample_len() != sample_len || e.max_batch() != max_batch)
@@ -239,7 +241,19 @@ impl<S: Scalar + Send + 'static> Server<S> {
             metrics,
             pool: shared.pool,
             sample_len,
+            output_len,
         })
+    }
+
+    /// Values per input sample, as the engine replicas expect.
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
+    /// Values per output row the engines produce (the wire front-end
+    /// advertises this in its handshake).
+    pub fn output_len(&self) -> usize {
+        self.output_len
     }
 
     /// A cheap cloneable handle for submitting requests from other threads
@@ -315,6 +329,11 @@ impl<S: Scalar + Send + 'static> Clone for Client<S> {
 }
 
 impl<S: Scalar + Send + 'static> Client<S> {
+    /// Values per input sample, as the engine replicas expect.
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
     /// Submit one sample and block until its output arrives (or the
     /// request is rejected / the server closes). The returned
     /// [`OutputBuf`] derefs to the output values and recycles its storage

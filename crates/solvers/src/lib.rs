@@ -150,7 +150,10 @@ impl<S: Scalar> Solver<S> {
         net.backward(team, run);
         let lr = self.lr_at(self.iter);
         let mults = net.param_lr_mults();
-        self.apply_update_with_mults(net.learnable_params_mut(), lr, &mults);
+        {
+            let _span = obs::trace::span("solver_update", "solver");
+            self.apply_update_with_mults(net.learnable_params_mut(), lr, &mults);
+        }
         self.iter += 1;
         loss
     }

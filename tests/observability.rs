@@ -102,6 +102,11 @@ fn trace_covers_every_layer_pass_and_ordered_sections() {
         names.contains("ordered_wait"),
         "no ordered-section wait spans at 2 threads"
     );
+    assert!(
+        names.contains("solver_update"),
+        "no solver parameter-update spans"
+    );
+    assert!(names.contains("data_load"), "no data-loading spans");
     let tids: BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
     assert!(
         tids.len() >= 2,
@@ -117,6 +122,8 @@ fn trace_covers_every_layer_pass_and_ordered_sections() {
     assert_eq!(summary.events, events.len());
     assert!(summary.cats.contains("omprt"));
     assert!(summary.cats.contains("layer"));
+    assert!(summary.cats.contains("solver"));
+    assert!(summary.cats.contains("data"));
     assert_eq!(summary.tids.len(), tids.len());
 
     // The same events drive the measured imbalance report: every omprt

@@ -4,11 +4,16 @@
 //! cgdnn summary  <spec.prototxt> [--data KIND]
 //! cgdnn train    <spec.prototxt> [--data KIND] [--threads N] [--iters N]
 //!                [--lr X] [--solver sgd|nesterov|adagrad]
-//!                [--reduction ordered|canonical|unordered]
-//!                [--snapshot FILE] [--weights FILE]
+//!                [--reduction ordered|canonical[:G]|unordered]
+//!                [--snapshot FILE] [--weights FILE] [--loss-log FILE]
 //!                [--snapshot-every K] [--resume DIR] [--snapshot-dir DIR]
+//!                [--keep N] [--keep-epoch-every N]
 //!                [--profile] [--profile-csv FILE] [--trace FILE]
-//!                [--metrics FILE]
+//!                [--trace-stream FILE] [--metrics FILE]
+//! cgdnn train    <spec.prototxt> --coordinator ADDR --workers N ...
+//!                                      # distributed: spawn + coordinate
+//! cgdnn train    <spec.prototxt> --worker-connect ADDR --rank R --workers N
+//!                                      # distributed: one worker process
 //! cgdnn infer    <spec.prototxt> [--weights FILE] [--replicas N] ...
 //!                [--listen ADDR]      # serve over TCP instead of in-process
 //! cgdnn load     --connect ADDR [--clients N] [--requests M] [--fuzz K]
@@ -34,24 +39,52 @@ use std::process::ExitCode;
 /// oldest are overwritten and counted in the flushed `dropped_events`.
 fn start_tracing(args: &Args) -> Result<(), String> {
     obs::trace::set_event_limit(args.get_parse("trace-limit", obs::trace::MAX_EVENTS_PER_THREAD)?);
-    if args.get("trace").is_some() {
+    if args.get("trace").is_some() && args.get("trace-stream").is_some() {
+        return Err("--trace and --trace-stream are mutually exclusive".into());
+    }
+    if let Some(path) = args.get("trace-stream") {
+        // Streaming mode: events go to disk as they finish instead of
+        // accumulating in memory; any stale buffered events are discarded
+        // first so the file covers only this run.
+        let _ = obs::trace::take_events();
+        obs::trace::stream_open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        obs::trace::set_enabled(true);
+    } else if args.get("trace").is_some() {
         obs::trace::set_enabled(true);
         let _ = obs::trace::take_events();
     }
     Ok(())
 }
 
-/// Stop tracing and collect the run's events (`None` without `--trace`).
+/// Stop tracing and collect the run's events (`None` without `--trace`;
+/// streamed runs buffer nothing, so they also yield `None`).
 fn finish_tracing(args: &Args) -> Option<Vec<obs::Event>> {
+    if args.get("trace-stream").is_some() {
+        obs::trace::set_enabled(false);
+        return None;
+    }
     args.get("trace").map(|_| {
         obs::trace::set_enabled(false);
         obs::trace::take_events()
     })
 }
 
-/// Write the collected trace (`--trace FILE`) and the global metrics
-/// registry (`--metrics FILE`, `-` for stdout).
+/// Write the collected trace (`--trace FILE`), terminate a streamed trace
+/// (`--trace-stream FILE`), and dump the global metrics registry
+/// (`--metrics FILE`, `-` for stdout).
 fn write_observability(args: &Args, events: Option<&[obs::Event]>) -> Result<(), String> {
+    if let Some(path) = args.get("trace-stream") {
+        let dropped = obs::trace::dropped_events();
+        let n = obs::trace::stream_close(dropped).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "trace streamed to {path} ({n} events{})",
+            if dropped > 0 {
+                format!(", {dropped} write failures dropped")
+            } else {
+                String::new()
+            }
+        );
+    }
     if let (Some(path), Some(events)) = (args.get("trace"), events) {
         let dropped = obs::trace::dropped_events();
         let mut buf = Vec::new();
@@ -100,7 +133,60 @@ fn cmd_summary(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `--solver` flag to solver type.
+fn parse_solver(args: &Args) -> Result<SolverType, String> {
+    match args.get("solver").unwrap_or("sgd") {
+        "sgd" => Ok(SolverType::Sgd),
+        "nesterov" => Ok(SolverType::Nesterov),
+        "adagrad" => Ok(SolverType::AdaGrad),
+        other => Err(format!("unknown solver '{other}'")),
+    }
+}
+
+/// `--reduction` flag to reduction mode; `canonical:G` pins the canonical
+/// group count (the knob that makes a single process reproduce a G-worker
+/// distributed run bit-for-bit — see DESIGN.md).
+fn parse_reduction(s: &str) -> Result<ReductionMode, String> {
+    if let Some(g) = s.strip_prefix("canonical:") {
+        let groups: usize = g
+            .parse()
+            .map_err(|_| format!("bad canonical group count '{g}'"))?;
+        if groups == 0 {
+            return Err("canonical group count must be >= 1".into());
+        }
+        return Ok(ReductionMode::Canonical { groups });
+    }
+    match s {
+        "ordered" => Ok(ReductionMode::Ordered),
+        "canonical" => Ok(ReductionMode::Canonical { groups: 16 }),
+        "unordered" => Ok(ReductionMode::Unordered),
+        other => Err(format!("unknown reduction '{other}'")),
+    }
+}
+
+/// Write the `--loss-log` file: one `<iteration> <loss:.8e>` line per
+/// step. 9 significant digits round-trip f32 exactly, so two logs from
+/// bit-identical runs compare equal with `cmp`.
+fn write_loss_log(args: &Args, lines: &[String]) -> Result<(), String> {
+    if let Some(path) = args.get("loss-log") {
+        let mut body = lines.join("\n");
+        body.push('\n');
+        net::write_atomic(Path::new(path), body.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+        println!("loss log written to {path} ({} steps)", lines.len());
+    }
+    Ok(())
+}
+
 fn cmd_train(args: &Args) -> Result<(), String> {
+    // Distributed data-parallel modes divert before the in-process
+    // trainer is built: the coordinator owns the solver, workers own
+    // only their shard's compute.
+    if args.get("worker-connect").is_some() {
+        return cmd_train_worker(args);
+    }
+    if args.get("coordinator").is_some() {
+        return cmd_train_coordinator(args);
+    }
     let mut net = load_net(args)?;
     if let Some(w) = args.get("weights") {
         net::load_params(&mut net, File::open(w).map_err(|e| format!("{w}: {e}"))?)
@@ -110,18 +196,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let threads: usize = args.get_parse("threads", 4)?;
     let iters: usize = args.get_parse("iters", 100)?;
     let lr: f64 = args.get_parse("lr", 0.01)?;
-    let solver_type = match args.get("solver").unwrap_or("sgd") {
-        "sgd" => SolverType::Sgd,
-        "nesterov" => SolverType::Nesterov,
-        "adagrad" => SolverType::AdaGrad,
-        other => return Err(format!("unknown solver '{other}'")),
-    };
-    let reduction = match args.get("reduction").unwrap_or("ordered") {
-        "ordered" => ReductionMode::Ordered,
-        "canonical" => ReductionMode::Canonical { groups: 16 },
-        "unordered" => ReductionMode::Unordered,
-        other => return Err(format!("unknown reduction '{other}'")),
-    };
+    let solver_type = parse_solver(args)?;
+    let reduction = parse_reduction(args.get("reduction").unwrap_or("ordered"))?;
     let snapshot_every: usize = args.get_parse("snapshot-every", 0)?;
     let resume_dir = args.get("resume");
     let keep: usize = args.get_parse("keep", 3)?;
@@ -145,6 +221,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     }
     start_tracing(args)?;
 
+    let mut loss_lines: Vec<String> = Vec::new();
     let fault_tolerant = snapshot_every > 0 || resume_dir.is_some();
     if fault_tolerant {
         // Checkpointed path: crash-safe snapshots + divergence rollback.
@@ -154,7 +231,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .get("snapshot-dir")
             .or(resume_dir)
             .unwrap_or("checkpoints");
-        let dir = CheckpointDir::new(dir_path).with_keep(keep);
+        let keep_epoch_every: usize = args.get_parse("keep-epoch-every", 0)?;
+        let dir = CheckpointDir::new(dir_path)
+            .with_keep(keep)
+            .with_keep_epoch_every(keep_epoch_every);
         if resume_dir.is_some() {
             let outcome = dir.resume_latest(&mut trainer).map_err(|e| e.to_string())?;
             for (p, why) in &outcome.skipped {
@@ -194,6 +274,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             snapshot_every,
             guard,
             |it, loss| {
+                loss_lines.push(format!("{it} {loss:.8e}"));
                 if it % every == 0 || it == target {
                     println!("iter {it:>6}  loss {loss:.8e}");
                 }
@@ -214,6 +295,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         let every = (iters / 20).max(1);
         for i in 0..iters {
             let loss = trainer.step();
+            loss_lines.push(format!("{} {loss:.8e}", i + 1));
             if i % every == 0 || i + 1 == iters {
                 println!("iter {:>6}  loss {loss:.5}", i + 1);
             }
@@ -225,6 +307,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             }
         }
     }
+    write_loss_log(args, &loss_lines)?;
     if let Some(path) = args.get("snapshot") {
         let mut bytes = Vec::new();
         net::save_params(trainer.net(), &mut bytes).map_err(|e| e.to_string())?;
@@ -248,6 +331,218 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         }
     }
     write_observability(args, events.as_deref())?;
+    Ok(())
+}
+
+/// Spec path + parsed spec + data kind — shared by both distributed roles.
+fn load_spec(args: &Args) -> Result<(String, NetSpec, String), String> {
+    let spec_path = args
+        .positional
+        .get(1)
+        .ok_or("missing <spec.prototxt> argument")?
+        .clone();
+    let text = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = NetSpec::parse(&text).map_err(|e| e.to_string())?;
+    let data_kind = args.get("data").unwrap_or("synthetic-mnist").to_string();
+    Ok((spec_path, spec, data_kind))
+}
+
+/// The spec's `Data` layer batch size — the distributed *effective* batch.
+fn spec_batch(spec: &NetSpec) -> Result<usize, String> {
+    spec.layers
+        .iter()
+        .find(|l| l.layer_type == "Data")
+        .ok_or("spec has no Data layer")?
+        .get_usize("batch")
+        .map_err(|e| e.to_string())
+}
+
+/// Wait for every spawned worker to exit; after `grace` the stragglers are
+/// killed (they already received `FRAME_DONE`, so a straggler is stuck,
+/// not slow). Returns each worker's exit code (`-1` = killed/unknown).
+fn reap_workers(children: &mut [std::process::Child], grace: std::time::Duration) -> Vec<i32> {
+    let deadline = std::time::Instant::now() + grace;
+    let mut codes: Vec<Option<i32>> = vec![None; children.len()];
+    loop {
+        let mut pending = false;
+        for (i, c) in children.iter_mut().enumerate() {
+            if codes[i].is_none() {
+                match c.try_wait() {
+                    Ok(Some(st)) => codes[i] = Some(st.code().unwrap_or(-1)),
+                    Ok(None) => pending = true,
+                    Err(_) => codes[i] = Some(-1),
+                }
+            }
+        }
+        if !pending {
+            break;
+        }
+        if std::time::Instant::now() >= deadline {
+            for (i, c) in children.iter_mut().enumerate() {
+                if codes[i].is_none() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                    codes[i] = Some(-1);
+                }
+            }
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    codes.into_iter().map(|c| c.unwrap_or(-1)).collect()
+}
+
+/// `cgdnn train --coordinator ADDR --workers N`: bind, self-spawn the
+/// worker processes (same binary, `--worker-connect` mode), and drive the
+/// synchronous data-parallel run. The loss trajectory and final parameters
+/// are bit-identical to `--reduction canonical:N --threads 1` on one
+/// process (see DESIGN.md for the argument; tests/dist_training.rs and the
+/// CI smoke prove it).
+fn cmd_train_coordinator(args: &Args) -> Result<(), String> {
+    let (spec_path, spec, data_kind) = load_spec(args)?;
+    let source = make_source(&data_kind)?;
+    let num_samples = source.num_samples();
+    let effective_batch = spec_batch(&spec)?;
+    let mut net = Net::from_spec(&spec, Some(source)).map_err(|e| e.to_string())?;
+
+    let workers: usize = args.get_parse("workers", 2)?;
+    let iters: usize = args.get_parse("iters", 100)?;
+    let lr: f64 = args.get_parse("lr", 0.01)?;
+    let solver_type = parse_solver(args)?;
+    let mut solver = Solver::<f32>::new(SolverConfig {
+        base_lr: lr,
+        solver_type,
+        ..SolverConfig::lenet()
+    });
+
+    let dist_cfg = dist::DistConfig {
+        world: workers,
+        effective_batch,
+        num_samples,
+        iters,
+        io_timeout: std::time::Duration::from_secs(30),
+    };
+    // Fail on a bad shape before any child process exists.
+    dist_cfg.validate().map_err(|e| e.to_string())?;
+
+    let bind = args.get("coordinator").unwrap();
+    let listener = std::net::TcpListener::bind(bind).map_err(|e| format!("bind {bind}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(pf) = args.get("port-file") {
+        net::write_atomic(Path::new(pf), addr.to_string().as_bytes())
+            .map_err(|e| format!("{pf}: {e}"))?;
+    }
+    println!(
+        "coordinator on {addr}: {workers} worker(s) x local batch {}, {iters} iterations \
+         ({solver_type:?}, lr {lr})",
+        effective_batch / workers
+    );
+    start_tracing(args)?;
+
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children = Vec::with_capacity(workers);
+    for r in 0..workers {
+        let child = std::process::Command::new(&exe)
+            .arg("train")
+            .arg(&spec_path)
+            .arg("--worker-connect")
+            .arg(addr.to_string())
+            .arg("--rank")
+            .arg(r.to_string())
+            .arg("--workers")
+            .arg(workers.to_string())
+            .arg("--data")
+            .arg(&data_kind)
+            .stdin(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawning worker {r}: {e}"))?;
+        children.push(child);
+    }
+
+    let mut loss_lines: Vec<String> = Vec::new();
+    let every = (iters / 20).max(1) as u64;
+    let result = dist::run_coordinator(
+        listener,
+        &mut net,
+        &mut solver,
+        &dist::CoordinatorConfig {
+            dist: dist_cfg,
+            join_timeout: std::time::Duration::from_secs(20),
+        },
+        |it, loss, _net, _solver| {
+            loss_lines.push(format!("{it} {loss:.8e}"));
+            if it % every == 0 || it == iters as u64 {
+                println!("iter {it:>6}  loss {loss:.8e}");
+            }
+            Ok(())
+        },
+    );
+    let codes = reap_workers(&mut children, std::time::Duration::from_secs(10));
+
+    match result {
+        Ok(_losses) => {
+            println!(
+                "distributed run complete; worker exit codes {codes:?} \
+                 (final iteration {})",
+                solver.iteration()
+            );
+            write_loss_log(args, &loss_lines)?;
+            if let Some(path) = args.get("snapshot") {
+                let mut bytes = Vec::new();
+                net::save_params(&net, &mut bytes).map_err(|e| e.to_string())?;
+                net::write_atomic(Path::new(path), &bytes).map_err(|e| format!("{path}: {e}"))?;
+                println!("snapshot written to {path}");
+            }
+            write_observability(args, finish_tracing(args).as_deref())?;
+            Ok(())
+        }
+        Err(e) => {
+            let _ = finish_tracing(args);
+            Err(format!("{e} (worker exit codes {codes:?})"))
+        }
+    }
+}
+
+/// `cgdnn train --worker-connect ADDR --rank R --workers N`: one worker
+/// process. The spec's Data batch is rewritten to the local shard size and
+/// the source is wrapped in [`datasets::ShardedSource`] so this rank sees
+/// exactly its slice of every global batch.
+fn cmd_train_worker(args: &Args) -> Result<(), String> {
+    let addr = args.get("worker-connect").unwrap().to_string();
+    let rank: usize = args.get_parse("rank", 0)?;
+    let world: usize = args.get_parse("workers", 2)?;
+    let (_, mut spec, data_kind) = load_spec(args)?;
+    let effective_batch = spec_batch(&spec)?;
+    if world == 0 || rank >= world {
+        return Err(format!("--rank {rank} outside --workers {world}"));
+    }
+    if effective_batch % world != 0 {
+        return Err(format!(
+            "batch {effective_batch} not divisible by {world} workers"
+        ));
+    }
+    let local_batch = effective_batch / world;
+    let data_layer = spec
+        .layers
+        .iter_mut()
+        .find(|l| l.layer_type == "Data")
+        .expect("checked by spec_batch");
+    data_layer
+        .params
+        .insert("batch".to_string(), local_batch.to_string());
+
+    let source = make_source(&data_kind)?;
+    if source.num_samples() % effective_batch != 0 {
+        return Err(format!(
+            "{} samples not a multiple of effective batch {effective_batch}",
+            source.num_samples()
+        ));
+    }
+    let sharded = datasets::ShardedSource::new(source, rank, world, effective_batch);
+    let mut net = Net::from_spec(&spec, Some(Box::new(sharded))).map_err(|e| e.to_string())?;
+    let cfg = dist::WorkerConfig::new(addr, rank);
+    let report = dist::run_worker(&mut net, &cfg).map_err(|e| format!("worker {rank}: {e}"))?;
+    println!("worker {rank} done: {} step(s)", report.steps);
     Ok(())
 }
 
@@ -514,6 +809,40 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     }
     println!("  plain-GPU : {:>6.2}x", sim.gpu_plain_speedup());
     println!("  cuDNN-GPU : {:>6.2}x", sim.gpu_cudnn_speedup());
+
+    // `--cluster 1,2,4,8`: project the dist subsystem's synchronous
+    // data-parallel step onto a multi-node cluster under the two
+    // FireCaffe aggregation schemes.
+    if let Some(list) = args.get("cluster") {
+        let counts: Vec<usize> = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad worker count '{s}' in --cluster"))
+            })
+            .collect::<Result<_, _>>()?;
+        if counts.is_empty() {
+            return Err("--cluster needs at least one worker count".into());
+        }
+        let model = machine::ClusterModel::from_sim(&sim, net.num_params());
+        println!(
+            "\nmulti-node data-parallel projection ({:.2} MB gradients over 10 GbE, \
+             {:.1} ms single-node step):",
+            model.param_bytes / 1e6,
+            model.step_compute_s * 1e3
+        );
+        print!(
+            "{}",
+            machine::cluster::format_cluster_table(&model, &counts)
+        );
+        if let Some(path) = args.get("csv") {
+            let csv = machine::cluster::cluster_csv(&model, &counts);
+            net::write_atomic(Path::new(path), csv.as_bytes())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("cluster projection written to {path}");
+        }
+    }
     Ok(())
 }
 
@@ -523,9 +852,19 @@ const USAGE: &str = "usage: cgdnn <summary|train|infer|load|simulate> <spec.prot
   --iters N       iterations (train)
   --lr X          base learning rate (train)
   --solver sgd|nesterov|adagrad
-  --reduction ordered|canonical|unordered
+  --reduction ordered|canonical[:G]|unordered (canonical:G pins G groups)
   --snapshot FILE write parameters after training
   --weights FILE  initialize parameters before training / serving
+  --loss-log FILE write '<iter> <loss>' per step (f32-exact; two
+                  bit-identical runs produce byte-identical logs)
+distributed data-parallel training (multi-process, one host):
+  --coordinator ADDR  bind here (e.g. 127.0.0.1:0), self-spawn the workers,
+                      and coordinate synchronous data-parallel SGD; the
+                      trajectory is bit-identical to single-process
+                      --reduction canonical:N --threads 1
+  --workers N         worker process count (power of two dividing batch)
+  --worker-connect ADDR  run as one worker of a coordinator at ADDR
+  --rank R            this worker's rank in 0..N (with --worker-connect)
 fault-tolerant training (activated by --snapshot-every or --resume):
   --snapshot-every K  full checkpoint (params+solver+cursor) every K iters
   --resume DIR        continue from the newest good checkpoint in DIR;
@@ -533,6 +872,8 @@ fault-tolerant training (activated by --snapshot-every or --resume):
   --snapshot-dir DIR  where checkpoints go (default: the resume dir,
                       else 'checkpoints')
   --keep N            checkpoints retained (default 3)
+  --keep-epoch-every N  also retain every checkpoint whose iteration is a
+                      multiple of N, exempt from --keep pruning (0 = off)
   --guard-factor X    divergence when loss > X * trailing mean; 0 disables
                       the explosion test (default 4.0)
   --guard-window N    trailing-window length (default 8)
@@ -568,7 +909,13 @@ observability (train and infer):
                     trace_event JSON (load in chrome://tracing or Perfetto)
   --trace-limit N   retain at most N events per thread (oldest dropped and
                     counted in the trace's dropped_events record)
-  --metrics FILE    write the global metrics registry as CSV ('-' = stdout)";
+  --trace-stream FILE  stream each span to FILE as it finishes instead of
+                    buffering (O(1) trace memory for arbitrarily long runs)
+  --metrics FILE    write the global metrics registry as CSV ('-' = stdout)
+simulate flags:
+  --cluster W1,W2,..  also project multi-node data-parallel scaling at the
+                    given worker counts (param-server vs reduction tree);
+                    --csv FILE writes the series";
 
 fn main() -> ExitCode {
     let args =

@@ -53,6 +53,7 @@ pub const MANIFEST: &str = "MANIFEST";
 pub struct CheckpointDir {
     dir: PathBuf,
     keep: usize,
+    keep_epoch_every: usize,
 }
 
 /// Result of a successful [`CheckpointDir::resume_latest`].
@@ -74,6 +75,7 @@ impl CheckpointDir {
         Self {
             dir: dir.into(),
             keep: 3,
+            keep_epoch_every: 0,
         }
     }
 
@@ -81,6 +83,30 @@ impl CheckpointDir {
     pub fn with_keep(mut self, keep: usize) -> Self {
         self.keep = keep.max(1);
         self
+    }
+
+    /// Exempt "epoch" checkpoints — those whose iteration is a multiple of
+    /// `every` — from the [`CheckpointDir::with_keep`] pruning, so long
+    /// runs retain durable restore points beyond the rolling window
+    /// (`0`, the default, disables the exemption). The iteration-0 anchor
+    /// is a multiple of everything and is therefore also retained.
+    pub fn with_keep_epoch_every(mut self, every: usize) -> Self {
+        self.keep_epoch_every = every;
+        self
+    }
+
+    /// Iteration encoded in a `ckpt-NNNNNNNN.cgdn` file name.
+    fn name_iteration(name: &str) -> Option<u64> {
+        name.strip_prefix("ckpt-")?
+            .strip_suffix(".cgdn")?
+            .parse()
+            .ok()
+    }
+
+    fn is_epoch_name(&self, name: &str) -> bool {
+        self.keep_epoch_every > 0
+            && Self::name_iteration(name)
+                .is_some_and(|it| it.is_multiple_of(self.keep_epoch_every as u64))
     }
 
     /// The managed directory.
@@ -128,7 +154,23 @@ impl CheckpointDir {
                 }
             }
         }
-        let dropped = names.split_off(self.keep.min(names.len()));
+        // Prune: epoch-exempt names never count against `keep`; regular
+        // names keep only the newest `keep`. Order (newest first) is
+        // preserved in the manifest.
+        let mut kept: Vec<String> = Vec::new();
+        let mut dropped: Vec<String> = Vec::new();
+        let mut regular = 0usize;
+        for n in names {
+            if self.is_epoch_name(&n) {
+                kept.push(n);
+            } else if regular < self.keep {
+                regular += 1;
+                kept.push(n);
+            } else {
+                dropped.push(n);
+            }
+        }
+        let names = kept;
         let manifest = names.join("\n") + "\n";
         net::write_atomic(&self.manifest_path(), manifest.as_bytes())?;
         for d in dropped {
@@ -621,6 +663,46 @@ layer {
             "{:?}",
             outcome.skipped
         );
+        let _ = fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn epoch_checkpoints_survive_keep_pruning() {
+        let dir = CheckpointDir::new(tmp("epoch"))
+            .with_keep(2)
+            .with_keep_epoch_every(3);
+        let mut t = micro_trainer();
+        // Save at iterations 0..=7: epoch names are 0, 3, 6.
+        dir.save(&t).unwrap();
+        for _ in 0..7 {
+            t.train(1);
+            dir.save(&t).unwrap();
+        }
+        let names: Vec<String> = dir
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        // Newest first: the two newest regular (7, 5) interleaved with all
+        // epoch checkpoints (6, 3, 0).
+        assert_eq!(
+            names,
+            vec![
+                "ckpt-00000007.cgdn",
+                "ckpt-00000006.cgdn",
+                "ckpt-00000005.cgdn",
+                "ckpt-00000003.cgdn",
+                "ckpt-00000000.cgdn",
+            ]
+        );
+        for e in dir.entries().unwrap() {
+            assert!(e.exists());
+        }
+        assert!(!dir.path().join("ckpt-00000004.cgdn").exists(), "pruned");
+        // Resume still picks the newest.
+        let mut fresh = micro_trainer();
+        assert_eq!(dir.resume_latest(&mut fresh).unwrap().iteration, 7);
         let _ = fs::remove_dir_all(dir.path());
     }
 

@@ -48,6 +48,7 @@ pub use trainer::CoarseGrainTrainer;
 // Re-export the whole stack under one roof.
 pub use blob;
 pub use datasets;
+pub use dist;
 pub use layers;
 pub use machine;
 pub use mmblas;

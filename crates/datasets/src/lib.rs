@@ -26,5 +26,5 @@ pub use cifar_bin::read_cifar_bin;
 pub use idx::{read_idx_images, read_idx_labels};
 pub use layers::data::BatchSource;
 pub use memory::InMemoryDataset;
-pub use sampler::{permutation, train_test_split, ShuffledSource, SliceSource};
+pub use sampler::{permutation, train_test_split, ShardedSource, ShuffledSource, SliceSource};
 pub use synthetic::{SyntheticCifar, SyntheticMnist};

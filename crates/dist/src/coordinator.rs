@@ -1,0 +1,288 @@
+//! The coordinator: owner of the parameters, the solver, and the data
+//! cursor — the only process that mutates training state.
+//!
+//! Per step it broadcasts the current parameters, releases the step
+//! barrier, collects one gradient per worker *in fixed rank order*, folds
+//! them with an exact `1/W` rescale into the net's parameter diffs (the
+//! same `axpy` merge sequence the in-process canonical reduction uses),
+//! reconstructs the global loss from the per-rank partial losses, applies
+//! the solver update, and advances the LR schedule and the data cursor
+//! exactly as [`solvers::Solver::step`] would have. A checkpoint taken
+//! from the coordinator's net + solver is therefore bit-identical to a
+//! single-process checkpoint at the same iteration.
+
+use crate::frames::{
+    accumulate_scaled_into_diffs, done_to_err, encode_welcome, flatten_params, recv_frame,
+    recv_tensor, send_frame, send_tensor,
+};
+use crate::{DistConfig, DistError};
+use net::Net;
+use rpc::proto;
+use solvers::Solver;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Coordinator-side configuration: the shared [`DistConfig`] plus how
+/// long to wait for the full worker complement to join.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// The shared run shape (validated before any worker is admitted).
+    pub dist: DistConfig,
+    /// How long to wait for all `world` workers to connect and join.
+    pub join_timeout: Duration,
+}
+
+/// Cached `dist.*` metric handles.
+struct Metrics {
+    steps: obs::Counter,
+    grad_bytes: obs::Counter,
+    param_bytes: obs::Counter,
+    worker_deaths: obs::Counter,
+    step_seconds: obs::Histogram,
+    reduce_seconds: obs::Histogram,
+    last_loss: obs::Gauge,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let reg = obs::registry::global();
+        Self {
+            steps: reg.counter("dist.steps"),
+            grad_bytes: reg.counter("dist.grad_bytes"),
+            param_bytes: reg.counter("dist.param_bytes"),
+            worker_deaths: reg.counter("dist.worker_deaths"),
+            step_seconds: reg.histogram("dist.step_seconds", &obs::registry::DURATION_BOUNDS_SECS),
+            reduce_seconds: reg
+                .histogram("dist.reduce_seconds", &obs::registry::DURATION_BOUNDS_SECS),
+            last_loss: reg.gauge("dist.last_loss"),
+        }
+    }
+}
+
+/// Accept and admit `world` workers: hello exchange, `FRAME_JOIN` with the
+/// rank in `aux`, `FRAME_WELCOME` reply. Returns streams indexed by rank.
+fn admit_workers(
+    listener: &TcpListener,
+    cfg: &CoordinatorConfig,
+    num_params: usize,
+) -> Result<Vec<TcpStream>, DistError> {
+    let _span = obs::trace::span("dist_admit", "dist");
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + cfg.join_timeout;
+    let world = cfg.dist.world;
+    let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+    let mut joined = 0usize;
+    while joined < world {
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(DistError::JoinTimeout { joined, world });
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.dist.io_timeout))?;
+        stream.set_write_timeout(Some(cfg.dist.io_timeout))?;
+        // Server speaks first: advertise the flat parameter count and the
+        // world size so a mismatched worker fails before training starts.
+        io::Write::write_all(
+            &mut stream,
+            &proto::encode_server_hello(proto::HELLO_OK, num_params as u32, world as u32),
+        )
+        .map_err(|e| DistError::Io(format!("writing hello: {e}")))?;
+        let mut hello = [0u8; proto::CLIENT_HELLO_LEN];
+        io::Read::read_exact(&mut stream, &mut hello)
+            .map_err(|e| DistError::Io(format!("reading client hello: {e}")))?;
+        proto::decode_client_hello(&hello)?;
+        let join = recv_frame(&mut stream)?;
+        if join.kind != proto::FRAME_JOIN {
+            return Err(DistError::Protocol(format!(
+                "expected FRAME_JOIN, got kind {}",
+                join.kind
+            )));
+        }
+        let rank = join.aux as usize;
+        if rank >= world {
+            return Err(DistError::Protocol(format!(
+                "worker joined with rank {rank}, world is {world}"
+            )));
+        }
+        if streams[rank].is_some() {
+            return Err(DistError::Protocol(format!("duplicate rank {rank}")));
+        }
+        send_frame(
+            &mut stream,
+            proto::FRAME_WELCOME,
+            0,
+            rank as u32,
+            &encode_welcome(
+                world as u32,
+                cfg.dist.effective_batch as u32,
+                cfg.dist.iters as u32,
+            ),
+        )?;
+        streams[rank] = Some(stream);
+        joined += 1;
+    }
+    Ok(streams.into_iter().map(|s| s.unwrap()).collect())
+}
+
+/// Broadcast `FRAME_DONE` to every worker, best-effort (a send to an
+/// already-dead worker is ignored — teardown must not fail teardown).
+fn broadcast_done(streams: &mut [TcpStream], aux: u32, reason: &str) {
+    for s in streams.iter_mut() {
+        let _ = send_frame(s, proto::FRAME_DONE, 0, aux, reason.as_bytes());
+    }
+}
+
+/// Run the coordinator over an already-bound listener: admit `world`
+/// workers, then drive `iters` synchronous steps. Returns the loss
+/// trajectory — bit-identical to the single-process reference (see the
+/// crate docs for the argument).
+///
+/// `on_step(iteration_completed, loss, net, solver)` fires after each
+/// applied update, with the iteration counter already advanced — the hook
+/// where the CLI writes loss logs and checkpoints.
+///
+/// On a worker failure the remaining workers receive `FRAME_DONE(error)`
+/// before the typed error returns, so nothing is left blocked on the
+/// barrier; every wait is bounded by `io_timeout` regardless.
+pub fn run_coordinator<F>(
+    listener: TcpListener,
+    net: &mut Net<f32>,
+    solver: &mut Solver<f32>,
+    cfg: &CoordinatorConfig,
+    mut on_step: F,
+) -> Result<Vec<f32>, DistError>
+where
+    F: FnMut(u64, f32, &mut Net<f32>, &mut Solver<f32>) -> io::Result<()>,
+{
+    cfg.dist.validate()?;
+    let num_params = net.num_params();
+    let world = cfg.dist.world;
+    let metrics = Metrics::new();
+    let mut streams = admit_workers(&listener, cfg, num_params)?;
+
+    // Exact because `world` is a power of two — the inverse of the
+    // workers' local-batch loss normalization (see crate docs).
+    let inv_world = 1.0f32 / world as f32;
+    let local_batch = cfg.dist.local_batch() as f32;
+    let effective_batch = cfg.dist.effective_batch as f32;
+
+    let mut losses = Vec::with_capacity(cfg.dist.iters);
+    let result = (|| -> Result<(), DistError> {
+        for _ in 0..cfg.dist.iters {
+            let _span = obs::trace::span("dist_step", "dist");
+            let t0 = Instant::now();
+            let step = solver.iteration();
+
+            {
+                let _span = obs::trace::span("dist_broadcast", "dist");
+                let params = flatten_params(net);
+                for (rank, s) in streams.iter_mut().enumerate() {
+                    send_tensor(s, proto::FRAME_PARAMS, step, &params)
+                        .map_err(|e| died_if_io(rank, e))?;
+                    send_frame(s, proto::FRAME_STEP, step, 0, &[])
+                        .map_err(|e| died_if_io(rank, e))?;
+                }
+                metrics.param_bytes.add((params.len() * 4 * world) as u64);
+            }
+
+            // Collect and fold in fixed rank order. Workers compute
+            // concurrently; rank r+1's frames sit in kernel buffers (or
+            // its sends block) until rank r is drained — order on the
+            // reduction, not on the computation.
+            net.zero_param_diffs();
+            let mut total_loss = 0.0f32;
+            {
+                let _span = obs::trace::span("dist_collect", "dist");
+                for (rank, s) in streams.iter_mut().enumerate() {
+                    let grad = recv_tensor(s, proto::FRAME_GRAD, step, num_params, None)
+                        .map_err(|e| died_if_io(rank, e))?;
+                    let loss_frame = recv_frame(s).map_err(|e| died_if_io(rank, e))?;
+                    if loss_frame.kind != proto::FRAME_LOSS || loss_frame.id != step {
+                        if loss_frame.kind == proto::FRAME_DONE {
+                            return Err(done_to_err(&loss_frame));
+                        }
+                        return Err(DistError::Protocol(format!(
+                            "expected FRAME_LOSS for step {step}, got kind {} id {}",
+                            loss_frame.kind, loss_frame.id
+                        )));
+                    }
+                    let local_loss = match proto::read_f32s(&loss_frame.payload) {
+                        Ok(v) if v.len() == 1 => v[0],
+                        _ => {
+                            return Err(DistError::Protocol(
+                                "FRAME_LOSS payload is not one f32".into(),
+                            ))
+                        }
+                    };
+                    metrics.grad_bytes.add((grad.len() * 4) as u64);
+                    let tr = Instant::now();
+                    accumulate_scaled_into_diffs(net, &grad, inv_world)?;
+                    metrics.reduce_seconds.observe(tr.elapsed().as_secs_f64());
+                    // Undo the worker's 1/b normalization (exact: b is a
+                    // power of two), fold partial sums in rank order.
+                    total_loss += local_loss * local_batch;
+                }
+            }
+            let loss = total_loss / effective_batch;
+
+            {
+                let _span = obs::trace::span("dist_update", "dist");
+                let lr = solver.lr_at(step);
+                let mults = net.param_lr_mults();
+                solver.apply_update_with_mults(net.learnable_params_mut(), lr, &mults);
+                solver.advance_iteration();
+            }
+            // The coordinator's data layer never runs forward, so walk its
+            // cursor by hand — checkpoints then carry the exact cursor the
+            // single-process run would have.
+            if let Some(c) = net.data_cursor() {
+                net.set_data_cursor((c + cfg.dist.effective_batch) % cfg.dist.num_samples);
+            }
+            net.set_iteration(solver.iteration());
+
+            metrics.steps.inc();
+            metrics.step_seconds.observe(t0.elapsed().as_secs_f64());
+            metrics.last_loss.set(loss as f64);
+            losses.push(loss);
+            on_step(solver.iteration(), loss, net, solver)
+                .map_err(|e| DistError::Io(format!("on_step hook: {e}")))?;
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => {
+            broadcast_done(&mut streams, 0, "training complete");
+            Ok(losses)
+        }
+        Err(e) => {
+            if matches!(e, DistError::WorkerDied { .. }) {
+                metrics.worker_deaths.inc();
+            }
+            broadcast_done(&mut streams, 1, &e.to_string());
+            Err(e)
+        }
+    }
+}
+
+/// On the coordinator, a socket-level failure talking to rank `r` *is*
+/// that worker dying; protocol/decode failures keep their own type.
+fn died_if_io(rank: usize, e: DistError) -> DistError {
+    match e {
+        DistError::Io(detail) => DistError::WorkerDied { rank, detail },
+        DistError::Decode(proto::DecodeError::Truncated(what)) => DistError::WorkerDied {
+            rank,
+            detail: format!("connection closed mid-{what}"),
+        },
+        other => other,
+    }
+}

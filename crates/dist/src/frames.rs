@@ -1,0 +1,447 @@
+//! Framing for the distributed step: chunked tensor transfer and the
+//! small fixed-layout control payloads, all over the CGRP frame header
+//! (`rpc::proto`), all CRC-protected.
+//!
+//! Gradients and parameters are flat `f32` vectors in the net's learnable
+//! parameter order, split into chunks of at most
+//! [`proto::MAX_CHUNK_F32S`] values. Each chunk frame carries the step in
+//! `id` and `(chunk_idx, n_chunks)` packed into `aux`, so the receiver
+//! detects reordering, truncation, and length lies with typed
+//! [`DistError`]s — every decode failure also bumps the shared
+//! `rpc.decode_errors` counter, mirroring the serving tier.
+
+use crate::DistError;
+use net::Net;
+use rpc::proto::{self, DecodeError};
+use std::io::{Read, Write};
+
+/// Hard cap on a single tensor-chunk payload, in bytes (256 KiB).
+pub const MAX_CHUNK_BYTES: u32 = (proto::MAX_CHUNK_F32S * 4) as u32;
+
+/// One received frame: validated header fields plus its payload.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame kind (`rpc::proto::FRAME_*`).
+    pub kind: u8,
+    /// Step number (or rank, for `FRAME_JOIN`).
+    pub id: u64,
+    /// Kind-specific auxiliary word.
+    pub aux: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+fn bump_decode_errors() {
+    obs::registry::global().counter("rpc.decode_errors").inc();
+}
+
+fn decode_err(e: DecodeError) -> DistError {
+    bump_decode_errors();
+    DistError::Decode(e)
+}
+
+/// Write one frame: header (with CRC) then payload.
+pub fn send_frame(
+    w: &mut impl Write,
+    kind: u8,
+    id: u64,
+    aux: u32,
+    payload: &[u8],
+) -> Result<(), DistError> {
+    let mut buf = Vec::with_capacity(proto::FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&proto::encode_header(kind, id, aux, payload.len() as u32));
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Read and validate one frame. CRC failures, oversized announcements
+/// (checked *before* the payload is allocated) and mid-frame EOF all come
+/// back as [`DistError::Decode`] and bump `rpc.decode_errors`.
+pub fn recv_frame(r: &mut impl Read) -> Result<Frame, DistError> {
+    let mut hdr = [0u8; proto::FRAME_HEADER_LEN];
+    read_exact_or(r, &mut hdr, "frame header")?;
+    let h = proto::decode_header(&hdr).map_err(decode_err)?;
+    if h.payload_len > proto::MAX_PAYLOAD {
+        return Err(decode_err(DecodeError::Oversize {
+            len: h.payload_len,
+            max: proto::MAX_PAYLOAD,
+        }));
+    }
+    let mut payload = vec![0u8; h.payload_len as usize];
+    read_exact_or(r, &mut payload, "frame payload")?;
+    Ok(Frame {
+        kind: h.kind,
+        id: h.id,
+        aux: h.aux,
+        payload,
+    })
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], what: &'static str) -> Result<(), DistError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            decode_err(DecodeError::Truncated(what))
+        } else {
+            DistError::Io(e.to_string())
+        }
+    })
+}
+
+/// Send `vals` as a run of chunk frames of `kind` for step `step`.
+pub fn send_tensor(w: &mut impl Write, kind: u8, step: u64, vals: &[f32]) -> Result<(), DistError> {
+    let n_chunks = vals.len().div_ceil(proto::MAX_CHUNK_F32S).max(1);
+    for (i, chunk) in vals.chunks(proto::MAX_CHUNK_F32S).enumerate() {
+        let mut payload = Vec::new();
+        proto::write_f32s(&mut payload, chunk);
+        send_frame(
+            w,
+            kind,
+            step,
+            proto::encode_chunk_aux(i, n_chunks),
+            &payload,
+        )?;
+    }
+    Ok(())
+}
+
+/// Receive a chunked tensor of exactly `want_len` values: frames of
+/// `want_kind` for step `want_step`, chunk indices strictly in order.
+/// `first` is a frame the caller already pulled off the stream (the
+/// worker's dispatch loop reads one frame to decide what is happening).
+///
+/// A `FRAME_DONE(error)` arriving instead surfaces as
+/// [`DistError::Remote`] — the peer's abort reaches the waiter directly.
+pub fn recv_tensor(
+    r: &mut impl Read,
+    want_kind: u8,
+    want_step: u64,
+    want_len: usize,
+    mut first: Option<Frame>,
+) -> Result<Vec<f32>, DistError> {
+    let mut vals: Vec<f32> = Vec::with_capacity(want_len);
+    let mut n_chunks: Option<usize> = None;
+    let mut next_idx = 0usize;
+    loop {
+        let f = match first.take() {
+            Some(f) => f,
+            None => recv_frame(r)?,
+        };
+        if f.kind == proto::FRAME_DONE {
+            return Err(done_to_err(&f));
+        }
+        if f.kind != want_kind {
+            return Err(DistError::Protocol(format!(
+                "expected frame kind {want_kind}, got {}",
+                f.kind
+            )));
+        }
+        if f.id != want_step {
+            return Err(DistError::Protocol(format!(
+                "tensor frame for step {}, expected step {want_step}",
+                f.id
+            )));
+        }
+        if f.payload.len() as u32 > MAX_CHUNK_BYTES {
+            return Err(decode_err(DecodeError::Oversize {
+                len: f.payload.len() as u32,
+                max: MAX_CHUNK_BYTES,
+            }));
+        }
+        let (idx, n) = proto::decode_chunk_aux(f.aux);
+        if n == 0 {
+            return Err(DistError::Protocol("tensor with zero chunks".into()));
+        }
+        match n_chunks {
+            None => n_chunks = Some(n),
+            Some(expect) if expect != n => {
+                return Err(DistError::Protocol(format!(
+                    "chunk count changed mid-tensor: {expect} then {n}"
+                )))
+            }
+            _ => {}
+        }
+        if idx != next_idx {
+            return Err(decode_err(DecodeError::BadChunk {
+                expected: next_idx,
+                got: idx,
+            }));
+        }
+        vals.extend(proto::read_f32s(&f.payload).map_err(decode_err)?);
+        next_idx += 1;
+        if next_idx == n_chunks.unwrap() {
+            break;
+        }
+    }
+    if vals.len() != want_len {
+        return Err(DistError::Protocol(format!(
+            "tensor has {} values, expected {want_len}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Convert a received `FRAME_DONE` into the corresponding result.
+pub fn done_to_err(f: &Frame) -> DistError {
+    if f.aux == 1 {
+        DistError::Remote(String::from_utf8_lossy(&f.payload).into_owned())
+    } else {
+        DistError::Protocol("unexpected clean FRAME_DONE mid-step".into())
+    }
+}
+
+/// Encode the `FRAME_WELCOME` payload: world | effective batch | iters.
+pub fn encode_welcome(world: u32, effective_batch: u32, iters: u32) -> [u8; 12] {
+    let mut b = [0u8; 12];
+    b[0..4].copy_from_slice(&world.to_le_bytes());
+    b[4..8].copy_from_slice(&effective_batch.to_le_bytes());
+    b[8..12].copy_from_slice(&iters.to_le_bytes());
+    b
+}
+
+/// Decode a `FRAME_WELCOME` payload into `(world, effective_batch, iters)`.
+pub fn decode_welcome(b: &[u8]) -> Result<(u32, u32, u32), DistError> {
+    if b.len() != 12 {
+        return Err(decode_err(DecodeError::BadPayload(
+            "welcome payload is not 12 bytes",
+        )));
+    }
+    Ok((
+        u32::from_le_bytes(b[0..4].try_into().unwrap()),
+        u32::from_le_bytes(b[4..8].try_into().unwrap()),
+        u32::from_le_bytes(b[8..12].try_into().unwrap()),
+    ))
+}
+
+/// Flatten the net's learnable parameter *data* in parameter order.
+pub fn flatten_params(net: &Net<f32>) -> Vec<f32> {
+    let mut out = Vec::with_capacity(net.num_params());
+    for p in net.learnable_params() {
+        out.extend_from_slice(p.data());
+    }
+    out
+}
+
+/// Flatten the net's learnable parameter *diffs* in parameter order.
+pub fn flatten_diffs(net: &Net<f32>) -> Vec<f32> {
+    let mut out = Vec::with_capacity(net.num_params());
+    for p in net.learnable_params() {
+        out.extend_from_slice(p.diff());
+    }
+    out
+}
+
+/// Overwrite the net's learnable parameter data from a flat vector.
+pub fn load_params(net: &mut Net<f32>, vals: &[f32]) -> Result<(), DistError> {
+    if vals.len() != net.num_params() {
+        return Err(DistError::Protocol(format!(
+            "parameter vector has {} values, net has {}",
+            vals.len(),
+            net.num_params()
+        )));
+    }
+    let mut off = 0;
+    for p in net.learnable_params_mut() {
+        let n = p.count();
+        p.data_mut().copy_from_slice(&vals[off..off + n]);
+        off += n;
+    }
+    Ok(())
+}
+
+/// `diffs += scale * grad`, parameter by parameter in order — one rank's
+/// contribution to the coordinator's reduction, applied with the same
+/// `mmblas::axpy` the in-process canonical merge uses.
+pub fn accumulate_scaled_into_diffs(
+    net: &mut Net<f32>,
+    grad: &[f32],
+    scale: f32,
+) -> Result<(), DistError> {
+    if grad.len() != net.num_params() {
+        return Err(DistError::Protocol(format!(
+            "gradient vector has {} values, net has {}",
+            grad.len(),
+            net.num_params()
+        )));
+    }
+    let mut off = 0;
+    for p in net.learnable_params_mut() {
+        let n = p.count();
+        mmblas::axpy(scale, &grad[off..off + n], p.diff_mut());
+        off += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn decode_errors() -> u64 {
+        obs::registry::global().counter("rpc.decode_errors").get()
+    }
+
+    fn encode_tensor(kind: u8, step: u64, vals: &[f32]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        send_tensor(&mut buf, kind, step, vals).unwrap();
+        buf
+    }
+
+    #[test]
+    fn tensor_round_trips_across_chunks() {
+        // 3 chunks: MAX + MAX + 5 values.
+        let n = proto::MAX_CHUNK_F32S * 2 + 5;
+        let vals: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 - 17.0).collect();
+        let buf = encode_tensor(proto::FRAME_GRAD, 9, &vals);
+        let mut r = Cursor::new(buf);
+        let back = recv_tensor(&mut r, proto::FRAME_GRAD, 9, n, None).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupt_crc_is_typed_and_counted() {
+        let before = decode_errors();
+        let mut buf = encode_tensor(proto::FRAME_GRAD, 1, &[1.0, 2.0]);
+        buf[5] ^= 0xFF; // inside the header's id field
+        let got = recv_tensor(&mut Cursor::new(buf), proto::FRAME_GRAD, 1, 2, None);
+        assert!(
+            matches!(got, Err(DistError::Decode(DecodeError::BadCrc { .. }))),
+            "{got:?}"
+        );
+        assert!(decode_errors() > before);
+    }
+
+    #[test]
+    fn truncated_chunk_is_typed_and_counted() {
+        let before = decode_errors();
+        let mut buf = encode_tensor(proto::FRAME_GRAD, 1, &[1.0, 2.0, 3.0]);
+        buf.truncate(buf.len() - 5); // cut into the payload
+        let got = recv_tensor(&mut Cursor::new(buf), proto::FRAME_GRAD, 1, 3, None);
+        assert!(
+            matches!(
+                got,
+                Err(DistError::Decode(DecodeError::Truncated("frame payload")))
+            ),
+            "{got:?}"
+        );
+        assert!(decode_errors() > before);
+    }
+
+    #[test]
+    fn out_of_order_chunk_is_typed_and_counted() {
+        let before = decode_errors();
+        // Hand-build chunk 1-of-2 arriving first.
+        let mut payload = Vec::new();
+        proto::write_f32s(&mut payload, &[4.0f32]);
+        let mut buf = Vec::new();
+        send_frame(
+            &mut buf,
+            proto::FRAME_GRAD,
+            3,
+            proto::encode_chunk_aux(1, 2),
+            &payload,
+        )
+        .unwrap();
+        let got = recv_tensor(&mut Cursor::new(buf), proto::FRAME_GRAD, 3, 2, None);
+        assert!(
+            matches!(
+                got,
+                Err(DistError::Decode(DecodeError::BadChunk {
+                    expected: 0,
+                    got: 1
+                }))
+            ),
+            "{got:?}"
+        );
+        assert!(decode_errors() > before);
+    }
+
+    #[test]
+    fn oversized_announcement_is_rejected_before_allocation() {
+        let before = decode_errors();
+        // A header honestly announcing 2 MiB — over MAX_PAYLOAD.
+        let hdr =
+            proto::encode_header(proto::FRAME_GRAD, 0, proto::encode_chunk_aux(0, 1), 2 << 20);
+        let got = recv_frame(&mut Cursor::new(hdr.to_vec()));
+        assert!(
+            matches!(got, Err(DistError::Decode(DecodeError::Oversize { .. }))),
+            "{got:?}"
+        );
+        assert!(decode_errors() > before);
+    }
+
+    #[test]
+    fn oversized_chunk_payload_is_rejected() {
+        let before = decode_errors();
+        // Between the chunk cap (256 KiB) and the frame cap (1 MiB):
+        // recv_frame accepts it, recv_tensor must reject it.
+        let payload = vec![0u8; (MAX_CHUNK_BYTES + 4) as usize];
+        let mut buf = Vec::new();
+        send_frame(
+            &mut buf,
+            proto::FRAME_GRAD,
+            0,
+            proto::encode_chunk_aux(0, 1),
+            &payload,
+        )
+        .unwrap();
+        let got = recv_tensor(
+            &mut Cursor::new(buf),
+            proto::FRAME_GRAD,
+            0,
+            proto::MAX_CHUNK_F32S + 1,
+            None,
+        );
+        assert!(
+            matches!(
+                got,
+                Err(DistError::Decode(DecodeError::Oversize { max, .. })) if max == MAX_CHUNK_BYTES
+            ),
+            "{got:?}"
+        );
+        assert!(decode_errors() > before);
+    }
+
+    #[test]
+    fn wrong_kind_step_and_length_are_protocol_errors() {
+        let buf = encode_tensor(proto::FRAME_GRAD, 7, &[1.0, 2.0]);
+        let wrong_kind = recv_tensor(
+            &mut Cursor::new(buf.clone()),
+            proto::FRAME_PARAMS,
+            7,
+            2,
+            None,
+        );
+        assert!(matches!(wrong_kind, Err(DistError::Protocol(_))));
+        let wrong_step = recv_tensor(&mut Cursor::new(buf.clone()), proto::FRAME_GRAD, 8, 2, None);
+        assert!(matches!(wrong_step, Err(DistError::Protocol(_))));
+        let wrong_len = recv_tensor(&mut Cursor::new(buf), proto::FRAME_GRAD, 7, 3, None);
+        assert!(matches!(wrong_len, Err(DistError::Protocol(_))));
+    }
+
+    #[test]
+    fn done_error_frame_surfaces_the_reason() {
+        let mut buf = Vec::new();
+        send_frame(&mut buf, proto::FRAME_DONE, 0, 1, b"worker 1 died: eof").unwrap();
+        let got = recv_tensor(&mut Cursor::new(buf), proto::FRAME_PARAMS, 0, 4, None);
+        assert_eq!(
+            got,
+            Err(DistError::Remote("worker 1 died: eof".to_string()))
+        );
+    }
+
+    #[test]
+    fn welcome_round_trips_and_rejects_bad_length() {
+        let b = encode_welcome(4, 64, 1000);
+        assert_eq!(decode_welcome(&b).unwrap(), (4, 64, 1000));
+        assert!(matches!(
+            decode_welcome(&b[..11]),
+            Err(DistError::Decode(DecodeError::BadPayload(_)))
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! The worker: a stateless compute loop over its shard of each batch.
+//!
+//! Workers never apply updates and never advance a solver — per step they
+//! load the broadcast parameters, run one forward/backward on their local
+//! shard, and ship the raw accumulated gradient plus the local loss back.
+//! Determinism requires the *least* parallel configuration: one thread and
+//! one canonical reduction slot, so the local gradient is a single flat
+//! sequential accumulation over the shard (crate docs, point 2). The
+//! coordinator's rank-ordered fold supplies the cross-shard structure.
+
+use crate::frames::{
+    decode_welcome, done_to_err, flatten_diffs, load_params, recv_frame, recv_tensor, send_frame,
+    send_tensor,
+};
+use crate::DistError;
+use layers::ReductionMode;
+use net::{Net, RunConfig};
+use omprt::ThreadTeam;
+use rpc::proto;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Worker-side configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// This worker's rank in `0..world`.
+    pub rank: usize,
+    /// Per-read/-write socket timeout.
+    pub io_timeout: Duration,
+    /// Total budget for the initial connect (the coordinator may still be
+    /// binding when a self-spawned worker starts).
+    pub connect_timeout: Duration,
+    /// Test hook: abandon the run (dropping the connection mid-step,
+    /// before the gradient is sent) after this many completed steps —
+    /// simulates a worker crash without a process kill.
+    pub fail_after_steps: Option<u64>,
+}
+
+impl WorkerConfig {
+    /// Config with the standard timeouts.
+    pub fn new(addr: impl Into<String>, rank: usize) -> Self {
+        Self {
+            addr: addr.into(),
+            rank,
+            io_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(10),
+            fail_after_steps: None,
+        }
+    }
+}
+
+/// What a finished worker observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Steps completed (gradient sent and accepted).
+    pub steps: u64,
+}
+
+fn connect(cfg: &WorkerConfig) -> Result<TcpStream, DistError> {
+    let deadline = Instant::now() + cfg.connect_timeout;
+    loop {
+        match TcpStream::connect(&cfg.addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(DistError::Io(format!("connect to {}: {e}", cfg.addr)));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Run the worker loop on `net` (already built with the *local* batch and
+/// this rank's `ShardedSource`) until the coordinator ends the run.
+///
+/// The net's parallel configuration is pinned here — one thread, one
+/// canonical reduction slot — because the bitwise claim depends on it; a
+/// multi-threaded worker is a future extension that would need per-worker
+/// sub-grouping (see DESIGN.md).
+pub fn run_worker(net: &mut Net<f32>, cfg: &WorkerConfig) -> Result<WorkerReport, DistError> {
+    let team = ThreadTeam::new(1);
+    let run = RunConfig {
+        reduction: ReductionMode::Canonical { groups: 1 },
+        ..RunConfig::default()
+    };
+    let num_params = net.num_params();
+    let steps_metric = obs::registry::global().counter("dist.worker_steps");
+
+    let mut stream = connect(cfg)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.io_timeout))?;
+    stream.set_write_timeout(Some(cfg.io_timeout))?;
+
+    // Handshake: hello exchange, then JOIN(rank) / WELCOME.
+    let mut hello = [0u8; proto::SERVER_HELLO_LEN];
+    stream
+        .read_exact(&mut hello)
+        .map_err(|e| DistError::CoordinatorLost(format!("reading hello: {e}")))?;
+    let h = proto::decode_server_hello(&hello)?;
+    if h.status != proto::HELLO_OK {
+        return Err(DistError::Protocol(format!(
+            "coordinator hello status {}",
+            h.status
+        )));
+    }
+    if h.sample_len as usize != num_params {
+        return Err(DistError::Config(format!(
+            "coordinator has {} parameters, this worker's net has {num_params} — spec mismatch",
+            h.sample_len
+        )));
+    }
+    stream.write_all(&proto::encode_client_hello())?;
+    send_frame(
+        &mut stream,
+        proto::FRAME_JOIN,
+        cfg.rank as u64,
+        cfg.rank as u32,
+        &[],
+    )?;
+    let welcome = recv_frame(&mut stream).map_err(lost_if_io)?;
+    if welcome.kind != proto::FRAME_WELCOME {
+        if welcome.kind == proto::FRAME_DONE {
+            return Err(done_to_err(&welcome));
+        }
+        return Err(DistError::Protocol(format!(
+            "expected FRAME_WELCOME, got kind {}",
+            welcome.kind
+        )));
+    }
+    let (world, _batch, _iters) = decode_welcome(&welcome.payload)?;
+    if cfg.rank >= world as usize {
+        return Err(DistError::Config(format!(
+            "rank {} outside world {world}",
+            cfg.rank
+        )));
+    }
+
+    let rank_fault = format!("dist.worker.step.r{}", cfg.rank);
+    let mut steps = 0u64;
+    loop {
+        let frame = recv_frame(&mut stream).map_err(lost_if_io)?;
+        match frame.kind {
+            proto::FRAME_DONE => {
+                if frame.aux == 0 {
+                    return Ok(WorkerReport { steps });
+                }
+                return Err(done_to_err(&frame));
+            }
+            proto::FRAME_PARAMS => {
+                let _span = obs::trace::span("dist_worker_step", "dist");
+                let step = frame.id;
+                let params = recv_tensor(
+                    &mut stream,
+                    proto::FRAME_PARAMS,
+                    step,
+                    num_params,
+                    Some(frame),
+                )
+                .map_err(lost_if_io)?;
+                let barrier = recv_frame(&mut stream).map_err(lost_if_io)?;
+                if barrier.kind != proto::FRAME_STEP || barrier.id != step {
+                    return Err(DistError::Protocol(format!(
+                        "expected FRAME_STEP for step {step}, got kind {} id {}",
+                        barrier.kind, barrier.id
+                    )));
+                }
+                load_params(net, &params)?;
+                net.set_iteration(step);
+                net.zero_param_diffs();
+                let loss = net.forward(&team, &run);
+                net.backward(&team, &run);
+                // Crash-injection window: the gradient is computed but not
+                // yet sent — the coordinator is left waiting at the
+                // barrier, the worst place to lose a worker.
+                net::faults::hit("dist.worker.step")?;
+                net::faults::hit(&rank_fault)?;
+                if cfg.fail_after_steps == Some(steps) {
+                    return Err(DistError::Io(
+                        "injected worker failure (fail_after_steps)".into(),
+                    ));
+                }
+                send_tensor(&mut stream, proto::FRAME_GRAD, step, &flatten_diffs(net))?;
+                let mut loss_payload = Vec::with_capacity(4);
+                proto::write_f32s(&mut loss_payload, &[loss]);
+                send_frame(&mut stream, proto::FRAME_LOSS, step, 0, &loss_payload)?;
+                steps += 1;
+                steps_metric.inc();
+            }
+            k => {
+                return Err(DistError::Protocol(format!(
+                    "unexpected frame kind {k} while waiting for parameters"
+                )))
+            }
+        }
+    }
+}
+
+/// On the worker, a socket-level failure talking to the coordinator means
+/// the coordinator (or the link) is gone.
+fn lost_if_io(e: DistError) -> DistError {
+    match e {
+        DistError::Io(detail) => DistError::CoordinatorLost(detail),
+        DistError::Decode(proto::DecodeError::Truncated(what)) => {
+            DistError::CoordinatorLost(format!("connection closed mid-{what}"))
+        }
+        other => other,
+    }
+}

@@ -165,6 +165,14 @@ pub fn backward_reduce<S, F>(
 /// Parallel per-sample evaluation followed by a *sequential, in-order* sum
 /// — used by loss layers so the reported scalar is deterministic.
 ///
+/// Under [`crate::ReductionMode::Canonical`] the sum uses the same grouping
+/// as the gradient reduction: per-sample values are first summed within each
+/// canonical slot chunk ([`static_chunk`]), then the group partial sums are
+/// folded in group order. This makes the reported scalar decomposable across
+/// group boundaries — a distributed run whose workers each own whole groups
+/// can reproduce it bitwise from per-worker partial sums. Ordered/Unordered
+/// modes keep the flat sequential fold.
+///
 /// Returns `sum_i f(i)`.
 pub fn parallel_map_ordered_sum<S, F>(ctx: &ExecCtx<'_, S>, n: usize, f: F) -> S
 where
@@ -173,6 +181,19 @@ where
 {
     let mut vals = vec![S::ZERO; n];
     parallel_segments(ctx, &mut vals, 1, |i, out| out[0] = f(i));
+    if let crate::ctx::ReductionMode::Canonical { groups } = ctx.reduction {
+        if groups > 1 {
+            let mut acc = S::ZERO;
+            for g in 0..groups {
+                let mut part = S::ZERO;
+                for i in static_chunk(g, groups, n) {
+                    part += vals[i];
+                }
+                acc += part;
+            }
+            return acc;
+        }
+    }
     let mut acc = S::ZERO;
     for v in vals {
         acc += v;
@@ -313,6 +334,33 @@ mod tests {
             want += (i as f64) * 0.1;
         }
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn canonical_sum_is_grouped_and_decomposable() {
+        // With Canonical{groups: 2} the sum must equal
+        // (chunk-0 sequential sum) + (chunk-1 sequential sum) exactly —
+        // the decomposition a 2-worker distributed run relies on.
+        let team = ThreadTeam::new(3);
+        let ws = Workspace::<f64>::empty();
+        let ctx = ExecCtx::new(&team, &ws).with_reduction(ReductionMode::Canonical { groups: 2 });
+        let f = |i: usize| 1.0 / (i as f64 + 0.7);
+        let n = 25;
+        let got = parallel_map_ordered_sum(&ctx, n, f);
+        let part = |r: std::ops::Range<usize>| {
+            let mut acc = 0.0;
+            for i in r {
+                acc += f(i);
+            }
+            acc
+        };
+        assert_eq!(
+            got,
+            part(static_chunk(0, 2, n)) + part(static_chunk(1, 2, n))
+        );
+        // groups: 1 degenerates to the flat fold.
+        let ctx1 = ExecCtx::new(&team, &ws).with_reduction(ReductionMode::Canonical { groups: 1 });
+        assert_eq!(parallel_map_ordered_sum(&ctx1, n, f), part(0..n));
     }
 
     #[test]

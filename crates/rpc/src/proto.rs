@@ -71,6 +71,52 @@ pub const RESP_SHUTDOWN: u8 = 4;
 /// Response frame: typed failure; the payload is a UTF-8 message.
 pub const RESP_ERROR: u8 = 5;
 
+// --- Distributed-training frame kinds (crates/dist) -------------------
+//
+// Same 24-byte header, same CRC. Large tensors (gradients, parameters)
+// are *chunked*: `id` carries the step number, `aux` packs
+// `(chunk_idx << 16) | n_chunks` (see [`encode_chunk_aux`]) and each
+// chunk payload is at most [`MAX_CHUNK_F32S`] `f32` values — comfortably
+// under [`MAX_PAYLOAD`].
+
+/// Worker → coordinator: join the training group. `aux` = worker rank.
+pub const FRAME_JOIN: u8 = 16;
+/// Coordinator → worker: admission. Payload: world `u32` | effective
+/// batch `u32` | total iterations `u32` (little-endian).
+pub const FRAME_WELCOME: u8 = 17;
+/// Worker → coordinator: one chunk of the flattened local gradient for
+/// step `id`. Chunked `f32` payload.
+pub const FRAME_GRAD: u8 = 18;
+/// Worker → coordinator: the local loss for step `id` (4-byte `f32`
+/// payload). Doubles as the worker's step-done marker.
+pub const FRAME_LOSS: u8 = 19;
+/// Coordinator → worker: one chunk of the flattened updated parameters
+/// for step `id`. Chunked `f32` payload.
+pub const FRAME_PARAMS: u8 = 20;
+/// Coordinator → worker: barrier release — compute step `id` now.
+pub const FRAME_STEP: u8 = 21;
+/// Either direction: the run is over. `aux` 0 = clean finish, 1 = error;
+/// payload is an optional UTF-8 reason.
+pub const FRAME_DONE: u8 = 22;
+
+/// Maximum `f32` values per gradient/parameter chunk (256 KiB payload).
+pub const MAX_CHUNK_F32S: usize = 65_536;
+
+/// Pack a chunk position into a frame's `aux` field.
+///
+/// # Panics
+/// Panics if either value exceeds `u16::MAX` (a tensor needing more than
+/// 65 535 chunks of 256 KiB would be > 16 GiB — far past any net here).
+pub fn encode_chunk_aux(chunk_idx: usize, n_chunks: usize) -> u32 {
+    assert!(chunk_idx <= u16::MAX as usize && n_chunks <= u16::MAX as usize);
+    ((chunk_idx as u32) << 16) | (n_chunks as u32)
+}
+
+/// Unpack a chunk `aux` field into `(chunk_idx, n_chunks)`.
+pub fn decode_chunk_aux(aux: u32) -> (usize, usize) {
+    ((aux >> 16) as usize, (aux & 0xFFFF) as usize)
+}
+
 /// Why a received byte sequence was rejected. Every variant maps to a
 /// `rpc.decode_errors` metric bump on the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +134,8 @@ pub enum DecodeError {
     Truncated(&'static str),
     /// Payload bytes are not a whole number of `f32` values.
     BadPayload(&'static str),
+    /// A chunked tensor frame arrived out of order.
+    BadChunk { expected: usize, got: usize },
 }
 
 impl fmt::Display for DecodeError {
@@ -109,6 +157,12 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::Truncated(what) => write!(f, "stream truncated mid-{what}"),
             DecodeError::BadPayload(m) => write!(f, "bad payload: {m}"),
+            DecodeError::BadChunk { expected, got } => {
+                write!(
+                    f,
+                    "out-of-order chunk: expected index {expected}, got {got}"
+                )
+            }
         }
     }
 }
@@ -285,6 +339,52 @@ mod tests {
         let mut bad = encode_server_hello(HELLO_OK, 1, 1);
         bad[4..6].copy_from_slice(&999u16.to_le_bytes());
         assert_eq!(decode_server_hello(&bad), Err(DecodeError::BadVersion(999)));
+    }
+
+    #[test]
+    fn chunk_aux_round_trips() {
+        for (idx, n) in [(0usize, 1usize), (3, 7), (65_535, 65_535)] {
+            assert_eq!(decode_chunk_aux(encode_chunk_aux(idx, n)), (idx, n));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn chunk_aux_rejects_overflow() {
+        encode_chunk_aux(65_536, 1);
+    }
+
+    #[test]
+    fn dist_frame_kinds_are_distinct() {
+        let kinds = [
+            FRAME_JOIN,
+            FRAME_WELCOME,
+            FRAME_GRAD,
+            FRAME_LOSS,
+            FRAME_PARAMS,
+            FRAME_STEP,
+            FRAME_DONE,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a, b);
+            }
+            // Disjoint from the serving request/response kinds
+            // (RESP_ERROR is the largest of them).
+            assert!(*a > RESP_ERROR);
+        }
+        // Chunk cap stays under the payload cap with headroom.
+        assert!((MAX_CHUNK_F32S * 4) as u32 <= MAX_PAYLOAD / 4);
+    }
+
+    #[test]
+    fn dist_frame_headers_round_trip() {
+        let aux = encode_chunk_aux(2, 5);
+        let b = encode_header(FRAME_GRAD, 31, aux, (MAX_CHUNK_F32S * 4) as u32);
+        let h = decode_header(&b).unwrap();
+        assert_eq!(h.kind, FRAME_GRAD);
+        assert_eq!(h.id, 31);
+        assert_eq!(decode_chunk_aux(h.aux), (2, 5));
     }
 
     #[test]

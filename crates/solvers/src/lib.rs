@@ -141,6 +141,14 @@ impl<S: Scalar> Solver<S> {
         self.cfg.lr_policy.lr(self.cfg.base_lr, it) * self.lr_scale
     }
 
+    /// Advance the iteration counter without running a step — for drivers
+    /// (the distributed coordinator) that assemble the gradient themselves
+    /// and call [`Solver::apply_update_with_mults`] directly, then need the
+    /// LR schedule to move exactly as [`Solver::step`] would have moved it.
+    pub fn advance_iteration(&mut self) {
+        self.iter += 1;
+    }
+
     /// Run one training iteration: zero diffs, forward, backward, update.
     /// Returns the loss.
     pub fn step(&mut self, net: &mut Net<S>, team: &ThreadTeam, run: &RunConfig) -> S {

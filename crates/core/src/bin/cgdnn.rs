@@ -357,6 +357,73 @@ fn spec_batch(spec: &NetSpec) -> Result<usize, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Build rank `rank`'s worker net: the spec with its Data batch rewritten
+/// to the local shard size, over that rank's [`datasets::ShardedSource`] —
+/// the exact net a worker process runs, shared by the worker command and
+/// the coordinator's elastic recompute hook.
+fn build_shard_net(
+    spec: &NetSpec,
+    data_kind: &str,
+    rank: usize,
+    world: usize,
+) -> Result<Net<f32>, String> {
+    let effective_batch = spec_batch(spec)?;
+    let local_batch = effective_batch / world;
+    let mut spec = spec.clone();
+    let data_layer = spec
+        .layers
+        .iter_mut()
+        .find(|l| l.layer_type == "Data")
+        .expect("checked by spec_batch");
+    data_layer
+        .params
+        .insert("batch".to_string(), local_batch.to_string());
+    let source = make_source(data_kind)?;
+    let sharded = datasets::ShardedSource::new(source, rank, world, effective_batch);
+    Net::from_spec(&spec, Some(Box::new(sharded))).map_err(|e| e.to_string())
+}
+
+/// The coordinator's [`dist::ElasticHooks`]: shard nets come from the same
+/// spec rewrite the worker command performs, respawns re-run this binary
+/// in `--worker-connect --rejoin` mode. Respawned children join the reap
+/// list so teardown still waits on (or kills) every process we created.
+struct CliHooks {
+    exe: std::path::PathBuf,
+    spec_path: String,
+    spec: NetSpec,
+    data_kind: String,
+    addr: String,
+    world: usize,
+    children: Vec<std::process::Child>,
+}
+
+impl dist::ElasticHooks for CliHooks {
+    fn shard_net(&mut self, rank: usize) -> Result<Net<f32>, dist::DistError> {
+        build_shard_net(&self.spec, &self.data_kind, rank, self.world)
+            .map_err(dist::DistError::Config)
+    }
+
+    fn respawn(&mut self, rank: usize) -> Result<bool, dist::DistError> {
+        let child = std::process::Command::new(&self.exe)
+            .arg("train")
+            .arg(&self.spec_path)
+            .arg("--worker-connect")
+            .arg(&self.addr)
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--workers")
+            .arg(self.world.to_string())
+            .arg("--data")
+            .arg(&self.data_kind)
+            .arg("--rejoin")
+            .stdin(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| dist::DistError::Io(format!("respawning worker {rank}: {e}")))?;
+        self.children.push(child);
+        Ok(true)
+    }
+}
+
 /// Wait for every spawned worker to exit; after `grace` the stragglers are
 /// killed (they already received `FRAME_DONE`, so a straggler is stuck,
 /// not slow). Returns each worker's exit code (`-1` = killed/unknown).
@@ -461,23 +528,53 @@ fn cmd_train_coordinator(args: &Args) -> Result<(), String> {
 
     let mut loss_lines: Vec<String> = Vec::new();
     let every = (iters / 20).max(1) as u64;
-    let result = dist::run_coordinator(
-        listener,
-        &mut net,
-        &mut solver,
-        &dist::CoordinatorConfig {
-            dist: dist_cfg,
-            join_timeout: std::time::Duration::from_secs(20),
-        },
-        |it, loss, _net, _solver| {
-            loss_lines.push(format!("{it} {loss:.8e}"));
-            if it % every == 0 || it == iters as u64 {
-                println!("iter {it:>6}  loss {loss:.8e}");
-            }
-            Ok(())
-        },
-    );
-    let codes = reap_workers(&mut children, std::time::Duration::from_secs(10));
+    let coord_cfg = dist::CoordinatorConfig {
+        dist: dist_cfg,
+        join_timeout: std::time::Duration::from_secs(20),
+    };
+    let mut on_step = |it: u64, loss: f32, _net: &mut Net<f32>, _solver: &mut Solver<f32>| {
+        loss_lines.push(format!("{it} {loss:.8e}"));
+        if it.is_multiple_of(every) || it == iters as u64 {
+            println!("iter {it:>6}  loss {loss:.8e}");
+        }
+        Ok(())
+    };
+    // Elastic mode is opt-in: a restart budget or an explicit willingness
+    // to run degraded turns worker death from fatal into recoverable.
+    let max_worker_restarts: usize = args.get_parse("max-worker-restarts", 0)?;
+    let restart_window_ms: u64 = args.get_parse("restart-window", 30_000)?;
+    let degraded_ok = args.has("degraded-ok");
+    let (result, codes) = if max_worker_restarts > 0 || degraded_ok {
+        let mut hooks = CliHooks {
+            exe,
+            spec_path,
+            spec,
+            data_kind,
+            addr: addr.to_string(),
+            world: workers,
+            children,
+        };
+        let policy = dist::RecoveryPolicy {
+            max_restarts: max_worker_restarts.max(1),
+            restart_window: std::time::Duration::from_millis(restart_window_ms),
+            degraded_ok,
+        };
+        let result = dist::run_coordinator_elastic(
+            listener,
+            &mut net,
+            &mut solver,
+            &coord_cfg,
+            policy,
+            &mut hooks,
+            &mut on_step,
+        );
+        let codes = reap_workers(&mut hooks.children, std::time::Duration::from_secs(10));
+        (result, codes)
+    } else {
+        let result = dist::run_coordinator(listener, &mut net, &mut solver, &coord_cfg, on_step);
+        let codes = reap_workers(&mut children, std::time::Duration::from_secs(10));
+        (result, codes)
+    };
 
     match result {
         Ok(_losses) => {
@@ -511,7 +608,7 @@ fn cmd_train_worker(args: &Args) -> Result<(), String> {
     let addr = args.get("worker-connect").unwrap().to_string();
     let rank: usize = args.get_parse("rank", 0)?;
     let world: usize = args.get_parse("workers", 2)?;
-    let (_, mut spec, data_kind) = load_spec(args)?;
+    let (_, spec, data_kind) = load_spec(args)?;
     let effective_batch = spec_batch(&spec)?;
     if world == 0 || rank >= world {
         return Err(format!("--rank {rank} outside --workers {world}"));
@@ -521,28 +618,27 @@ fn cmd_train_worker(args: &Args) -> Result<(), String> {
             "batch {effective_batch} not divisible by {world} workers"
         ));
     }
-    let local_batch = effective_batch / world;
-    let data_layer = spec
-        .layers
-        .iter_mut()
-        .find(|l| l.layer_type == "Data")
-        .expect("checked by spec_batch");
-    data_layer
-        .params
-        .insert("batch".to_string(), local_batch.to_string());
-
-    let source = make_source(&data_kind)?;
-    if source.num_samples() % effective_batch != 0 {
-        return Err(format!(
-            "{} samples not a multiple of effective batch {effective_batch}",
-            source.num_samples()
-        ));
+    {
+        let source = make_source(&data_kind)?;
+        if source.num_samples() % effective_batch != 0 {
+            return Err(format!(
+                "{} samples not a multiple of effective batch {effective_batch}",
+                source.num_samples()
+            ));
+        }
     }
-    let sharded = datasets::ShardedSource::new(source, rank, world, effective_batch);
-    let mut net = Net::from_spec(&spec, Some(Box::new(sharded))).map_err(|e| e.to_string())?;
-    let cfg = dist::WorkerConfig::new(addr, rank);
+    let mut net = build_shard_net(&spec, &data_kind, rank, world)?;
+    let mut cfg = dist::WorkerConfig::new(addr, rank);
+    // A respawned worker resumes its rank in the running session instead
+    // of joining a fresh one; a manually-managed worker can additionally
+    // ride out coordinator-link loss with its own reconnect budget.
+    cfg.rejoin = args.has("rejoin");
+    cfg.max_rejoins = args.get_parse("max-rejoins", 0)?;
     let report = dist::run_worker(&mut net, &cfg).map_err(|e| format!("worker {rank}: {e}"))?;
-    println!("worker {rank} done: {} step(s)", report.steps);
+    println!(
+        "worker {rank} done: {} step(s), {} rejoin(s)",
+        report.steps, report.rejoins
+    );
     Ok(())
 }
 
@@ -865,6 +961,18 @@ distributed data-parallel training (multi-process, one host):
   --workers N         worker process count (power of two dividing batch)
   --worker-connect ADDR  run as one worker of a coordinator at ADDR
   --rank R            this worker's rank in 0..N (with --worker-connect)
+elastic recovery (coordinator; off by default — fail-stop):
+  --max-worker-restarts N  survive worker death: recompute the dead rank's
+                      shard locally (still bit-identical) and respawn it,
+                      at most N deaths per sliding window
+  --restart-window N  worker restart-budget window, milliseconds
+                      (default 30000)
+  --degraded-ok       on budget exhaustion keep training degraded (dead
+                      ranks recomputed locally) instead of aborting
+  --rejoin            (worker) resume this rank in a running session via
+                      the FRAME_REJOIN handshake (set by respawn)
+  --max-rejoins N     (worker) reconnect attempts after losing the
+                      coordinator link, exponential backoff (default 0)
 fault-tolerant training (activated by --snapshot-every or --resume):
   --snapshot-every K  full checkpoint (params+solver+cursor) every K iters
   --resume DIR        continue from the newest good checkpoint in DIR;
@@ -918,14 +1026,16 @@ simulate flags:
                     --csv FILE writes the series";
 
 fn main() -> ExitCode {
-    let args =
-        match Args::parse_with_switches(std::env::args().skip(1), &["profile", "drain-server"]) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("error: {e}\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let args = match Args::parse_with_switches(
+        std::env::args().skip(1),
+        &["profile", "drain-server", "degraded-ok", "rejoin"],
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let r = match args.positional.first().map(|s| s.as_str()) {
         Some("summary") => cmd_summary(&args),
         Some("train") => cmd_train(&args),

@@ -10,15 +10,44 @@
 //! exactly as [`solvers::Solver::step`] would have. A checkpoint taken
 //! from the coordinator's net + solver is therefore bit-identical to a
 //! single-process checkpoint at the same iteration.
+//!
+//! # Elastic recovery
+//!
+//! [`run_coordinator`] is fail-stop (a dead worker ends the run with a
+//! typed error — the PR 6 contract). [`run_coordinator_elastic`] instead
+//! *survives* worker loss without giving up bit-identity:
+//!
+//! - A rank whose connection fails mid-step is marked **dead**; its
+//!   contribution for the step is recomputed locally on that rank's exact
+//!   shard (same parameters, same data cursor `step · B/W`, one thread,
+//!   one canonical reduction slot — precisely the dead worker's own
+//!   computation), and folded into the *same slot* of the fixed-rank-order
+//!   reduction. Every merge is therefore the merge the healthy run would
+//!   have performed, bit for bit; only wall-clock and the `dist.*`
+//!   recovery counters can tell the runs apart.
+//! - Each death draws on a sliding-window restart budget (the
+//!   `serve::SupervisorPolicy` shape). Within budget, [`ElasticHooks`]
+//!   may respawn the worker process; over budget the run either aborts
+//!   with [`DistError::RestartBudgetExhausted`] (default — the PR 6
+//!   bounded teardown) or, with `degraded_ok`, continues degraded with
+//!   respawning stood down.
+//! - At every step boundary the coordinator polls its listener for
+//!   `FRAME_REJOIN` handshakes: a restarted worker presents its rank, is
+//!   acked with the resume step + run shape, and is seated back into its
+//!   slot before the next broadcast. Workers are stateless between steps
+//!   apart from the data cursor, which the rejoin ack lets them re-seat.
 
 use crate::frames::{
-    accumulate_scaled_into_diffs, done_to_err, encode_welcome, flatten_params, recv_frame,
-    recv_tensor, send_frame, send_tensor,
+    accumulate_scaled_into_diffs, done_to_err, encode_welcome, flatten_diffs, flatten_params,
+    load_params, recv_frame, recv_tensor, send_frame, send_tensor,
 };
 use crate::{DistConfig, DistError};
-use net::Net;
+use layers::ReductionMode;
+use net::{Net, RunConfig};
+use omprt::ThreadTeam;
 use rpc::proto;
 use solvers::Solver;
+use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
@@ -33,12 +62,60 @@ pub struct CoordinatorConfig {
     pub join_timeout: Duration,
 }
 
+/// Sliding-window restart budget for elastic runs — the same shape as
+/// `serve`'s replica supervisor: at most `max_restarts` worker deaths per
+/// `restart_window`, after which the run aborts (or stands down respawning
+/// and continues degraded, when `degraded_ok`).
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Worker deaths tolerated per sliding window before the budget is
+    /// exhausted.
+    pub max_restarts: usize,
+    /// Width of the sliding window.
+    pub restart_window: Duration,
+    /// On budget exhaustion: `false` aborts with
+    /// [`DistError::RestartBudgetExhausted`]; `true` keeps training with
+    /// every remaining dead rank recomputed locally, respawning stopped.
+    pub degraded_ok: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 5,
+            restart_window: Duration::from_secs(30),
+            degraded_ok: false,
+        }
+    }
+}
+
+/// What the embedding process supplies for elastic recovery. The
+/// coordinator crate knows nothing about process spawning or net specs —
+/// the CLI (or a test harness) implements both hooks.
+pub trait ElasticHooks {
+    /// Build rank `rank`'s worker net: the *local* batch (`B/W`) and that
+    /// rank's `ShardedSource` — exactly the net the live worker runs. Used
+    /// to recompute a dead rank's gradient on the coordinator. Called at
+    /// most once per rank; the net is cached and re-seeded from the
+    /// broadcast parameters on every recompute.
+    fn shard_net(&mut self, rank: usize) -> Result<Net<f32>, DistError>;
+
+    /// Restart worker `rank`'s process. Return `Ok(false)` when respawn is
+    /// not available (externally managed workers reconnect on their own
+    /// with `FRAME_REJOIN`); a respawn *error* is reported but does not
+    /// end the run — the rank simply stays dead until something rejoins.
+    fn respawn(&mut self, rank: usize) -> Result<bool, DistError>;
+}
+
 /// Cached `dist.*` metric handles.
 struct Metrics {
     steps: obs::Counter,
     grad_bytes: obs::Counter,
     param_bytes: obs::Counter,
     worker_deaths: obs::Counter,
+    recoveries: obs::Counter,
+    degraded_steps: obs::Counter,
+    rejoins: obs::Counter,
     step_seconds: obs::Histogram,
     reduce_seconds: obs::Histogram,
     last_loss: obs::Gauge,
@@ -52,6 +129,9 @@ impl Metrics {
             grad_bytes: reg.counter("dist.grad_bytes"),
             param_bytes: reg.counter("dist.param_bytes"),
             worker_deaths: reg.counter("dist.worker_deaths"),
+            recoveries: reg.counter("dist.recoveries"),
+            degraded_steps: reg.counter("dist.degraded_steps"),
+            rejoins: reg.counter("dist.rejoins"),
             step_seconds: reg.histogram("dist.step_seconds", &obs::registry::DURATION_BOUNDS_SECS),
             reduce_seconds: reg
                 .histogram("dist.reduce_seconds", &obs::registry::DURATION_BOUNDS_SECS),
@@ -62,6 +142,8 @@ impl Metrics {
 
 /// Accept and admit `world` workers: hello exchange, `FRAME_JOIN` with the
 /// rank in `aux`, `FRAME_WELCOME` reply. Returns streams indexed by rank.
+/// Leaves the listener nonblocking — the elastic step loop keeps polling
+/// it for rejoins.
 fn admit_workers(
     listener: &TcpListener,
     cfg: &CoordinatorConfig,
@@ -133,12 +215,363 @@ fn admit_workers(
     Ok(streams.into_iter().map(|s| s.unwrap()).collect())
 }
 
-/// Broadcast `FRAME_DONE` to every worker, best-effort (a send to an
-/// already-dead worker is ignored — teardown must not fail teardown).
-fn broadcast_done(streams: &mut [TcpStream], aux: u32, reason: &str) {
-    for s in streams.iter_mut() {
-        let _ = send_frame(s, proto::FRAME_DONE, 0, aux, reason.as_bytes());
+/// Elastic-mode state: the budget, the embedder's hooks, and the cached
+/// per-rank shard nets used to recompute a dead rank's contribution.
+struct Elastic<'h> {
+    policy: RecoveryPolicy,
+    hooks: &'h mut dyn ElasticHooks,
+    /// Timestamps of deaths inside the sliding window.
+    deaths: VecDeque<Instant>,
+    /// Budget exhausted under `degraded_ok`: stop respawning, keep going.
+    respawn_stopped: bool,
+    shard_nets: Vec<Option<Net<f32>>>,
+    team: ThreadTeam,
+    run: RunConfig,
+}
+
+impl<'h> Elastic<'h> {
+    fn new(policy: RecoveryPolicy, hooks: &'h mut dyn ElasticHooks, world: usize) -> Self {
+        Self {
+            policy,
+            hooks,
+            deaths: VecDeque::new(),
+            respawn_stopped: false,
+            shard_nets: (0..world).map(|_| None).collect(),
+            // The dead worker's exact configuration: one thread, one
+            // canonical reduction slot (crate docs, point 2).
+            team: ThreadTeam::new(1),
+            run: RunConfig {
+                reduction: ReductionMode::Canonical { groups: 1 },
+                ..RunConfig::default()
+            },
+        }
     }
+
+    /// Recompute rank `rank`'s step-`step` contribution on its own shard:
+    /// load the broadcast parameters, seat the data cursor where the live
+    /// worker's would be (`step · local_batch`, mod shard size), run one
+    /// forward/backward. Returns `(flat gradient, local loss)` — bitwise
+    /// what the dead worker would have sent.
+    fn recompute(
+        &mut self,
+        rank: usize,
+        step: u64,
+        params: &[f32],
+        local_batch: usize,
+    ) -> Result<(Vec<f32>, f32), DistError> {
+        let _span = obs::trace::span("dist_recover", "dist");
+        if self.shard_nets[rank].is_none() {
+            self.shard_nets[rank] = Some(self.hooks.shard_net(rank)?);
+        }
+        let net = self.shard_nets[rank].as_mut().unwrap();
+        load_params(net, params)?;
+        net.set_iteration(step);
+        net.set_data_cursor(step as usize * local_batch);
+        net.zero_param_diffs();
+        let loss = net.forward(&self.team, &self.run);
+        net.backward(&self.team, &self.run);
+        Ok((flatten_diffs(net), loss))
+    }
+}
+
+/// The per-run state bundle the step loop mutates.
+struct StepLoop<'a, 'h, F> {
+    listener: TcpListener,
+    net: &'a mut Net<f32>,
+    solver: &'a mut Solver<f32>,
+    cfg: &'a CoordinatorConfig,
+    metrics: Metrics,
+    /// Per-rank connection; `None` = dead, awaiting respawn/rejoin.
+    slots: Vec<Option<TcpStream>>,
+    elastic: Option<Elastic<'h>>,
+    on_step: F,
+    num_params: usize,
+    losses: Vec<f32>,
+}
+
+impl<F> StepLoop<'_, '_, F>
+where
+    F: FnMut(u64, f32, &mut Net<f32>, &mut Solver<f32>) -> io::Result<()>,
+{
+    fn run(&mut self) -> Result<(), DistError> {
+        for _ in 0..self.cfg.dist.iters {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), DistError> {
+        let _span = obs::trace::span("dist_step", "dist");
+        let t0 = Instant::now();
+        let step = self.solver.iteration();
+        let world = self.cfg.dist.world;
+        let inv_world = 1.0f32 / world as f32;
+        let local_batch = self.cfg.dist.local_batch();
+
+        if self.elastic.is_some() {
+            self.poll_rejoins(step);
+        }
+
+        let params = flatten_params(self.net);
+        {
+            let _span = obs::trace::span("dist_broadcast", "dist");
+            let mut sent = 0usize;
+            for rank in 0..world {
+                let Some(s) = self.slots[rank].as_mut() else {
+                    continue;
+                };
+                let r = send_tensor(s, proto::FRAME_PARAMS, step, &params)
+                    .and_then(|()| send_frame(s, proto::FRAME_STEP, step, 0, &[]));
+                match r {
+                    Ok(()) => sent += 1,
+                    Err(e) => self.handle_rank_error(rank, e)?,
+                }
+            }
+            self.metrics
+                .param_bytes
+                .add((params.len() * 4 * sent) as u64);
+        }
+
+        // Collect from every live rank in rank order. Workers compute
+        // concurrently; rank r+1's frames sit in kernel buffers (or its
+        // sends block) until rank r is drained — order on the reduction,
+        // not on the computation.
+        let mut contribs: Vec<Option<(Vec<f32>, f32)>> = (0..world).map(|_| None).collect();
+        {
+            let _span = obs::trace::span("dist_collect", "dist");
+            for (rank, contrib) in contribs.iter_mut().enumerate() {
+                let Some(s) = self.slots[rank].as_mut() else {
+                    continue;
+                };
+                match collect_one(s, step, self.num_params) {
+                    Ok(c) => {
+                        self.metrics.grad_bytes.add((c.0.len() * 4) as u64);
+                        *contrib = Some(c);
+                    }
+                    Err(e) => self.handle_rank_error(rank, e)?,
+                }
+            }
+        }
+
+        // Any hole left is a dead rank: recompute its contribution locally
+        // on its own shard, into its own slot — the fold below is then the
+        // fold the healthy run would have performed, bit for bit.
+        let mut degraded = false;
+        for (rank, contrib) in contribs.iter_mut().enumerate() {
+            if contrib.is_none() {
+                degraded = true;
+                let el = self
+                    .elastic
+                    .as_mut()
+                    .expect("dead ranks survive only in elastic mode");
+                *contrib = Some(el.recompute(rank, step, &params, local_batch)?);
+            }
+        }
+        if degraded {
+            self.metrics.degraded_steps.inc();
+        }
+
+        // Fold in fixed rank order with the exact 1/W rescale; reconstruct
+        // the global loss by undoing each worker's 1/b normalization
+        // (exact: b is a power of two) and folding partial sums in order.
+        self.net.zero_param_diffs();
+        let mut total_loss = 0.0f32;
+        let tr = Instant::now();
+        for c in contribs.iter() {
+            let (grad, local_loss) = c.as_ref().expect("every slot filled above");
+            accumulate_scaled_into_diffs(self.net, grad, inv_world)?;
+            total_loss += local_loss * local_batch as f32;
+        }
+        self.metrics
+            .reduce_seconds
+            .observe(tr.elapsed().as_secs_f64());
+        let loss = total_loss / self.cfg.dist.effective_batch as f32;
+
+        {
+            let _span = obs::trace::span("dist_update", "dist");
+            let lr = self.solver.lr_at(step);
+            let mults = self.net.param_lr_mults();
+            self.solver
+                .apply_update_with_mults(self.net.learnable_params_mut(), lr, &mults);
+            self.solver.advance_iteration();
+        }
+        // The coordinator's data layer never runs forward, so walk its
+        // cursor by hand — checkpoints then carry the exact cursor the
+        // single-process run would have.
+        if let Some(c) = self.net.data_cursor() {
+            self.net
+                .set_data_cursor((c + self.cfg.dist.effective_batch) % self.cfg.dist.num_samples);
+        }
+        self.net.set_iteration(self.solver.iteration());
+
+        self.metrics.steps.inc();
+        self.metrics
+            .step_seconds
+            .observe(t0.elapsed().as_secs_f64());
+        self.metrics.last_loss.set(loss as f64);
+        self.losses.push(loss);
+        (self.on_step)(self.solver.iteration(), loss, self.net, self.solver)
+            .map_err(|e| DistError::Io(format!("on_step hook: {e}")))
+    }
+
+    /// A stream-level failure talking to `rank`. Fail-stop mode returns
+    /// the PR 6 typed error; elastic mode marks the rank dead, charges the
+    /// restart budget, and asks the hooks to respawn.
+    fn handle_rank_error(&mut self, rank: usize, e: DistError) -> Result<(), DistError> {
+        let e = died_if_io(rank, e);
+        let Some(el) = self.elastic.as_mut() else {
+            return Err(e);
+        };
+        self.slots[rank] = None;
+        self.metrics.worker_deaths.inc();
+        eprintln!("coordinator: worker {rank} lost mid-step ({e}); recovering on its shard");
+        let now = Instant::now();
+        while el
+            .deaths
+            .front()
+            .is_some_and(|t| now.duration_since(*t) > el.policy.restart_window)
+        {
+            el.deaths.pop_front();
+        }
+        if el.deaths.len() >= el.policy.max_restarts {
+            if !el.policy.degraded_ok {
+                return Err(DistError::RestartBudgetExhausted {
+                    rank,
+                    deaths: el.deaths.len() + 1,
+                });
+            }
+            if !el.respawn_stopped {
+                el.respawn_stopped = true;
+                eprintln!(
+                    "coordinator: restart budget exhausted ({} deaths in {:?}) — \
+                     continuing degraded, respawn stood down",
+                    el.deaths.len() + 1,
+                    el.policy.restart_window
+                );
+            }
+            self.metrics.recoveries.inc();
+            return Ok(());
+        }
+        el.deaths.push_back(now);
+        self.metrics.recoveries.inc();
+        if !el.respawn_stopped {
+            match el.hooks.respawn(rank) {
+                Ok(true) => eprintln!("coordinator: respawned worker {rank}"),
+                // Externally managed workers reconnect on their own.
+                Ok(false) => {}
+                Err(re) => eprintln!("coordinator: respawn of worker {rank} failed: {re}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the (nonblocking) listener of rejoin attempts and seat each
+    /// valid one back into its dead slot. Never fatal to the run — a bad
+    /// rejoiner is rejected and dropped.
+    fn poll_rejoins(&mut self, resume_step: u64) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(_) => return,
+            };
+            if let Err(e) = self.seat_rejoiner(stream, resume_step) {
+                eprintln!("coordinator: rejected rejoin attempt: {e}");
+            }
+        }
+    }
+
+    /// One bounded rejoin handshake: hello exchange, `FRAME_REJOIN(rank)`,
+    /// ack carrying `(resume_step, run shape)`. Every read/write is under
+    /// `io_timeout`.
+    fn seat_rejoiner(&mut self, mut stream: TcpStream, resume_step: u64) -> Result<(), DistError> {
+        let _span = obs::trace::span("dist_rejoin", "dist");
+        let world = self.cfg.dist.world;
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.cfg.dist.io_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.dist.io_timeout))?;
+        io::Write::write_all(
+            &mut stream,
+            &proto::encode_server_hello(proto::HELLO_OK, self.num_params as u32, world as u32),
+        )
+        .map_err(|e| DistError::Io(format!("writing hello: {e}")))?;
+        let mut hello = [0u8; proto::CLIENT_HELLO_LEN];
+        io::Read::read_exact(&mut stream, &mut hello)
+            .map_err(|e| DistError::Io(format!("reading client hello: {e}")))?;
+        proto::decode_client_hello(&hello)?;
+        let req = recv_frame(&mut stream)?;
+        if req.kind != proto::FRAME_REJOIN {
+            return Err(DistError::Protocol(format!(
+                "expected FRAME_REJOIN, got kind {}",
+                req.kind
+            )));
+        }
+        let rank = req.aux as usize;
+        if rank >= world {
+            let _ = send_frame(&mut stream, proto::FRAME_DONE, 0, 1, b"rank outside world");
+            return Err(DistError::Protocol(format!(
+                "rejoin with rank {rank}, world is {world}"
+            )));
+        }
+        if self.slots[rank].is_some() {
+            let _ = send_frame(&mut stream, proto::FRAME_DONE, 0, 1, b"rank is healthy");
+            return Err(DistError::Protocol(format!(
+                "rejoin for healthy rank {rank}"
+            )));
+        }
+        send_frame(
+            &mut stream,
+            proto::FRAME_REJOIN,
+            resume_step,
+            rank as u32,
+            &encode_welcome(
+                world as u32,
+                self.cfg.dist.effective_batch as u32,
+                self.cfg.dist.iters as u32,
+            ),
+        )?;
+        self.slots[rank] = Some(stream);
+        self.metrics.rejoins.inc();
+        eprintln!("coordinator: worker {rank} rejoined at step {resume_step}");
+        Ok(())
+    }
+
+    /// Broadcast `FRAME_DONE` to every live worker, best-effort (a send to
+    /// an already-dead worker is ignored — teardown must not fail
+    /// teardown).
+    fn broadcast_done(&mut self, aux: u32, reason: &str) {
+        for s in self.slots.iter_mut().flatten() {
+            let _ = send_frame(s, proto::FRAME_DONE, 0, aux, reason.as_bytes());
+        }
+    }
+}
+
+/// Receive one rank's `(gradient, local loss)` for `step`.
+fn collect_one(
+    s: &mut TcpStream,
+    step: u64,
+    num_params: usize,
+) -> Result<(Vec<f32>, f32), DistError> {
+    let grad = recv_tensor(s, proto::FRAME_GRAD, step, num_params, None)?;
+    let loss_frame = recv_frame(s)?;
+    if loss_frame.kind != proto::FRAME_LOSS || loss_frame.id != step {
+        if loss_frame.kind == proto::FRAME_DONE {
+            return Err(done_to_err(&loss_frame));
+        }
+        return Err(DistError::Protocol(format!(
+            "expected FRAME_LOSS for step {step}, got kind {} id {}",
+            loss_frame.kind, loss_frame.id
+        )));
+    }
+    let local_loss = match proto::read_f32s(&loss_frame.payload) {
+        Ok(v) if v.len() == 1 => v[0],
+        _ => {
+            return Err(DistError::Protocol(
+                "FRAME_LOSS payload is not one f32".into(),
+            ))
+        }
+    };
+    Ok((grad, local_loss))
 }
 
 /// Run the coordinator over an already-bound listener: admit `world`
@@ -150,125 +583,81 @@ fn broadcast_done(streams: &mut [TcpStream], aux: u32, reason: &str) {
 /// applied update, with the iteration counter already advanced — the hook
 /// where the CLI writes loss logs and checkpoints.
 ///
-/// On a worker failure the remaining workers receive `FRAME_DONE(error)`
-/// before the typed error returns, so nothing is left blocked on the
-/// barrier; every wait is bounded by `io_timeout` regardless.
+/// This entry point is **fail-stop**: on a worker failure the remaining
+/// workers receive `FRAME_DONE(error)` before the typed error returns, so
+/// nothing is left blocked on the barrier; every wait is bounded by
+/// `io_timeout` regardless. See [`run_coordinator_elastic`] for the
+/// recovering variant.
 pub fn run_coordinator<F>(
     listener: TcpListener,
     net: &mut Net<f32>,
     solver: &mut Solver<f32>,
     cfg: &CoordinatorConfig,
-    mut on_step: F,
+    on_step: F,
+) -> Result<Vec<f32>, DistError>
+where
+    F: FnMut(u64, f32, &mut Net<f32>, &mut Solver<f32>) -> io::Result<()>,
+{
+    drive(listener, net, solver, cfg, None, on_step)
+}
+
+/// [`run_coordinator`], but surviving worker death: dead ranks are
+/// recomputed locally (bit-identity preserved — see the module docs),
+/// respawned within `policy`'s sliding-window budget via `hooks`, and
+/// reseated through the `FRAME_REJOIN` handshake at step boundaries.
+pub fn run_coordinator_elastic<F>(
+    listener: TcpListener,
+    net: &mut Net<f32>,
+    solver: &mut Solver<f32>,
+    cfg: &CoordinatorConfig,
+    policy: RecoveryPolicy,
+    hooks: &mut dyn ElasticHooks,
+    on_step: F,
+) -> Result<Vec<f32>, DistError>
+where
+    F: FnMut(u64, f32, &mut Net<f32>, &mut Solver<f32>) -> io::Result<()>,
+{
+    let elastic = Elastic::new(policy, hooks, cfg.dist.world);
+    drive(listener, net, solver, cfg, Some(elastic), on_step)
+}
+
+fn drive<F>(
+    listener: TcpListener,
+    net: &mut Net<f32>,
+    solver: &mut Solver<f32>,
+    cfg: &CoordinatorConfig,
+    elastic: Option<Elastic<'_>>,
+    on_step: F,
 ) -> Result<Vec<f32>, DistError>
 where
     F: FnMut(u64, f32, &mut Net<f32>, &mut Solver<f32>) -> io::Result<()>,
 {
     cfg.dist.validate()?;
     let num_params = net.num_params();
-    let world = cfg.dist.world;
     let metrics = Metrics::new();
-    let mut streams = admit_workers(&listener, cfg, num_params)?;
-
-    // Exact because `world` is a power of two — the inverse of the
-    // workers' local-batch loss normalization (see crate docs).
-    let inv_world = 1.0f32 / world as f32;
-    let local_batch = cfg.dist.local_batch() as f32;
-    let effective_batch = cfg.dist.effective_batch as f32;
-
-    let mut losses = Vec::with_capacity(cfg.dist.iters);
-    let result = (|| -> Result<(), DistError> {
-        for _ in 0..cfg.dist.iters {
-            let _span = obs::trace::span("dist_step", "dist");
-            let t0 = Instant::now();
-            let step = solver.iteration();
-
-            {
-                let _span = obs::trace::span("dist_broadcast", "dist");
-                let params = flatten_params(net);
-                for (rank, s) in streams.iter_mut().enumerate() {
-                    send_tensor(s, proto::FRAME_PARAMS, step, &params)
-                        .map_err(|e| died_if_io(rank, e))?;
-                    send_frame(s, proto::FRAME_STEP, step, 0, &[])
-                        .map_err(|e| died_if_io(rank, e))?;
-                }
-                metrics.param_bytes.add((params.len() * 4 * world) as u64);
-            }
-
-            // Collect and fold in fixed rank order. Workers compute
-            // concurrently; rank r+1's frames sit in kernel buffers (or
-            // its sends block) until rank r is drained — order on the
-            // reduction, not on the computation.
-            net.zero_param_diffs();
-            let mut total_loss = 0.0f32;
-            {
-                let _span = obs::trace::span("dist_collect", "dist");
-                for (rank, s) in streams.iter_mut().enumerate() {
-                    let grad = recv_tensor(s, proto::FRAME_GRAD, step, num_params, None)
-                        .map_err(|e| died_if_io(rank, e))?;
-                    let loss_frame = recv_frame(s).map_err(|e| died_if_io(rank, e))?;
-                    if loss_frame.kind != proto::FRAME_LOSS || loss_frame.id != step {
-                        if loss_frame.kind == proto::FRAME_DONE {
-                            return Err(done_to_err(&loss_frame));
-                        }
-                        return Err(DistError::Protocol(format!(
-                            "expected FRAME_LOSS for step {step}, got kind {} id {}",
-                            loss_frame.kind, loss_frame.id
-                        )));
-                    }
-                    let local_loss = match proto::read_f32s(&loss_frame.payload) {
-                        Ok(v) if v.len() == 1 => v[0],
-                        _ => {
-                            return Err(DistError::Protocol(
-                                "FRAME_LOSS payload is not one f32".into(),
-                            ))
-                        }
-                    };
-                    metrics.grad_bytes.add((grad.len() * 4) as u64);
-                    let tr = Instant::now();
-                    accumulate_scaled_into_diffs(net, &grad, inv_world)?;
-                    metrics.reduce_seconds.observe(tr.elapsed().as_secs_f64());
-                    // Undo the worker's 1/b normalization (exact: b is a
-                    // power of two), fold partial sums in rank order.
-                    total_loss += local_loss * local_batch;
-                }
-            }
-            let loss = total_loss / effective_batch;
-
-            {
-                let _span = obs::trace::span("dist_update", "dist");
-                let lr = solver.lr_at(step);
-                let mults = net.param_lr_mults();
-                solver.apply_update_with_mults(net.learnable_params_mut(), lr, &mults);
-                solver.advance_iteration();
-            }
-            // The coordinator's data layer never runs forward, so walk its
-            // cursor by hand — checkpoints then carry the exact cursor the
-            // single-process run would have.
-            if let Some(c) = net.data_cursor() {
-                net.set_data_cursor((c + cfg.dist.effective_batch) % cfg.dist.num_samples);
-            }
-            net.set_iteration(solver.iteration());
-
-            metrics.steps.inc();
-            metrics.step_seconds.observe(t0.elapsed().as_secs_f64());
-            metrics.last_loss.set(loss as f64);
-            losses.push(loss);
-            on_step(solver.iteration(), loss, net, solver)
-                .map_err(|e| DistError::Io(format!("on_step hook: {e}")))?;
-        }
-        Ok(())
-    })();
-
-    match result {
+    let streams = admit_workers(&listener, cfg, num_params)?;
+    let mut sl = StepLoop {
+        listener,
+        net,
+        solver,
+        cfg,
+        metrics,
+        slots: streams.into_iter().map(Some).collect(),
+        elastic,
+        on_step,
+        num_params,
+        losses: Vec::with_capacity(cfg.dist.iters),
+    };
+    match sl.run() {
         Ok(()) => {
-            broadcast_done(&mut streams, 0, "training complete");
-            Ok(losses)
+            sl.broadcast_done(0, "training complete");
+            Ok(sl.losses)
         }
         Err(e) => {
             if matches!(e, DistError::WorkerDied { .. }) {
-                metrics.worker_deaths.inc();
+                sl.metrics.worker_deaths.inc();
             }
-            broadcast_done(&mut streams, 1, &e.to_string());
+            sl.broadcast_done(1, &e.to_string());
             Err(e)
         }
     }

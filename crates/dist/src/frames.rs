@@ -41,6 +41,11 @@ fn decode_err(e: DecodeError) -> DistError {
 }
 
 /// Write one frame: header (with CRC) then payload.
+///
+/// Chaos points: `dist.frame.send` accepts `error`/`delay`/`kill` faults
+/// before the write, and a `corrupt` fault flips a byte *after* the CRC is
+/// stamped — the receiver sees `BadCrc`, exactly what a wire bit-flip
+/// would produce.
 pub fn send_frame(
     w: &mut impl Write,
     kind: u8,
@@ -48,9 +53,11 @@ pub fn send_frame(
     aux: u32,
     payload: &[u8],
 ) -> Result<(), DistError> {
+    net::faults::hit("dist.frame.send")?;
     let mut buf = Vec::with_capacity(proto::FRAME_HEADER_LEN + payload.len());
     buf.extend_from_slice(&proto::encode_header(kind, id, aux, payload.len() as u32));
     buf.extend_from_slice(payload);
+    net::faults::corrupt("dist.frame.send", &mut buf);
     w.write_all(&buf)?;
     Ok(())
 }
@@ -59,8 +66,12 @@ pub fn send_frame(
 /// (checked *before* the payload is allocated) and mid-frame EOF all come
 /// back as [`DistError::Decode`] and bump `rpc.decode_errors`.
 pub fn recv_frame(r: &mut impl Read) -> Result<Frame, DistError> {
+    net::faults::hit("dist.frame.recv")?;
     let mut hdr = [0u8; proto::FRAME_HEADER_LEN];
     read_exact_or(r, &mut hdr, "frame header")?;
+    // Chaos point: flip a received header byte before CRC verification —
+    // the decode below must reject it as `BadCrc`, never trust it.
+    net::faults::corrupt("dist.frame.recv", &mut hdr);
     let h = proto::decode_header(&hdr).map_err(decode_err)?;
     if h.payload_len > proto::MAX_PAYLOAD {
         return Err(decode_err(DecodeError::Oversize {

@@ -44,13 +44,22 @@
 //! Failure handling is typed and bounded: every socket read carries a
 //! timeout, a dead worker surfaces as [`DistError::WorkerDied`] and the
 //! coordinator broadcasts `FRAME_DONE(error)` so surviving workers tear
-//! down instead of hanging the barrier.
+//! down instead of hanging the barrier. That is the *fail-stop* mode;
+//! [`run_coordinator_elastic`] goes further and survives worker loss
+//! without giving up bit-identity — a dead rank's contribution is
+//! recomputed locally on its exact shard into its exact reduction slot,
+//! the worker is respawned within a sliding-window restart budget
+//! ([`RecoveryPolicy`]), and a restarted worker resumes its rank through
+//! the `FRAME_REJOIN` handshake (see `coordinator` module docs for the
+//! full state machine).
 
 pub mod coordinator;
 pub mod frames;
 pub mod worker;
 
-pub use coordinator::{run_coordinator, CoordinatorConfig};
+pub use coordinator::{
+    run_coordinator, run_coordinator_elastic, CoordinatorConfig, ElasticHooks, RecoveryPolicy,
+};
 pub use worker::{run_worker, WorkerConfig, WorkerReport};
 
 use rpc::proto::DecodeError;
@@ -82,6 +91,10 @@ pub enum DistError {
     Remote(String),
     /// Not all `world` workers joined within the accept window.
     JoinTimeout { joined: usize, world: usize },
+    /// An elastic run saw more worker deaths than the sliding-window
+    /// restart budget allows (and `degraded_ok` was off) — the run tears
+    /// down with the same bounded, typed semantics as a fail-stop death.
+    RestartBudgetExhausted { rank: usize, deaths: usize },
 }
 
 impl fmt::Display for DistError {
@@ -100,6 +113,13 @@ impl fmt::Display for DistError {
                 write!(
                     f,
                     "only {joined} of {world} workers joined before the timeout"
+                )
+            }
+            DistError::RestartBudgetExhausted { rank, deaths } => {
+                write!(
+                    f,
+                    "worker {rank} died but the restart budget is exhausted \
+                     ({deaths} deaths in the window)"
                 )
             }
         }

@@ -7,6 +7,16 @@
 //! one canonical reduction slot, so the local gradient is a single flat
 //! sequential accumulation over the shard (crate docs, point 2). The
 //! coordinator's rank-ordered fold supplies the cross-shard structure.
+//!
+//! Because the only cross-step worker state is the data cursor, a worker
+//! can *rejoin* a running coordinator: the `FRAME_REJOIN` handshake
+//! (instead of `FRAME_JOIN`) carries the rank out and the resume step
+//! back, the worker re-seats its cursor at `resume_step · local_batch`,
+//! and the next broadcast supplies everything else. [`run_worker`] uses
+//! this two ways — a respawned process first-connects with
+//! [`WorkerConfig::rejoin`], and a surviving process that loses the
+//! coordinator link retries the connection itself with capped exponential
+//! backoff, up to [`WorkerConfig::max_rejoins`] times.
 
 use crate::frames::{
     decode_welcome, done_to_err, flatten_diffs, load_params, recv_frame, recv_tensor, send_frame,
@@ -33,9 +43,16 @@ pub struct WorkerConfig {
     /// Total budget for the initial connect (the coordinator may still be
     /// binding when a self-spawned worker starts).
     pub connect_timeout: Duration,
+    /// Open with the `FRAME_REJOIN` handshake instead of `FRAME_JOIN` —
+    /// set for a respawned worker resuming its rank in a running session.
+    pub rejoin: bool,
+    /// Reconnect-and-rejoin attempts after a lost coordinator link before
+    /// giving up. `0` is the fail-stop behaviour: the first link loss is
+    /// the worker's final error.
+    pub max_rejoins: u32,
     /// Test hook: abandon the run (dropping the connection mid-step,
     /// before the gradient is sent) after this many completed steps —
-    /// simulates a worker crash without a process kill.
+    /// simulates a worker crash without a process kill. Fires once.
     pub fail_after_steps: Option<u64>,
 }
 
@@ -47,6 +64,8 @@ impl WorkerConfig {
             rank,
             io_timeout: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(10),
+            rejoin: false,
+            max_rejoins: 0,
             fail_after_steps: None,
         }
     }
@@ -55,8 +74,10 @@ impl WorkerConfig {
 /// What a finished worker observed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerReport {
-    /// Steps completed (gradient sent and accepted).
+    /// Steps completed (gradient sent and accepted), across all sessions.
     pub steps: u64,
+    /// Successful reconnect-and-rejoin cycles.
+    pub rejoins: u32,
 }
 
 fn connect(cfg: &WorkerConfig) -> Result<TcpStream, DistError> {
@@ -74,6 +95,157 @@ fn connect(cfg: &WorkerConfig) -> Result<TcpStream, DistError> {
     }
 }
 
+/// One connection's worth of work: handshake, then the step loop until the
+/// coordinator ends the run or the link fails.
+struct Session<'a> {
+    cfg: &'a WorkerConfig,
+    team: ThreadTeam,
+    run: RunConfig,
+    num_params: usize,
+    /// Steps completed across *all* sessions (survives rejoins).
+    steps: u64,
+    /// One-shot crash injection; taken when it fires so a rejoined session
+    /// does not crash again on the same count.
+    fail_after: Option<u64>,
+    steps_metric: obs::Counter,
+}
+
+impl Session<'_> {
+    /// Connect and run until clean `FRAME_DONE` (→ `Ok`) or failure.
+    fn run(&mut self, net: &mut Net<f32>, rejoin: bool) -> Result<(), DistError> {
+        let cfg = self.cfg;
+        let mut stream = connect(cfg)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.io_timeout))?;
+        stream.set_write_timeout(Some(cfg.io_timeout))?;
+
+        // Handshake: hello exchange, then JOIN(rank)/WELCOME — or, when
+        // resuming, REJOIN(rank) out and REJOIN(resume_step, shape) back.
+        let mut hello = [0u8; proto::SERVER_HELLO_LEN];
+        stream
+            .read_exact(&mut hello)
+            .map_err(|e| DistError::CoordinatorLost(format!("reading hello: {e}")))?;
+        let h = proto::decode_server_hello(&hello)?;
+        if h.status != proto::HELLO_OK {
+            return Err(DistError::Protocol(format!(
+                "coordinator hello status {}",
+                h.status
+            )));
+        }
+        if h.sample_len as usize != self.num_params {
+            return Err(DistError::Config(format!(
+                "coordinator has {} parameters, this worker's net has {} — spec mismatch",
+                h.sample_len, self.num_params
+            )));
+        }
+        stream.write_all(&proto::encode_client_hello())?;
+        let (join_kind, ack_kind) = if rejoin {
+            (proto::FRAME_REJOIN, proto::FRAME_REJOIN)
+        } else {
+            (proto::FRAME_JOIN, proto::FRAME_WELCOME)
+        };
+        send_frame(
+            &mut stream,
+            join_kind,
+            cfg.rank as u64,
+            cfg.rank as u32,
+            &[],
+        )?;
+        let ack = recv_frame(&mut stream).map_err(lost_if_io)?;
+        if ack.kind != ack_kind {
+            if ack.kind == proto::FRAME_DONE {
+                return Err(done_to_err(&ack));
+            }
+            return Err(DistError::Protocol(format!(
+                "expected frame kind {ack_kind} to admit rank {}, got kind {}",
+                cfg.rank, ack.kind
+            )));
+        }
+        let (world, effective_batch, _iters) = decode_welcome(&ack.payload)?;
+        if cfg.rank >= world as usize {
+            return Err(DistError::Config(format!(
+                "rank {} outside world {world}",
+                cfg.rank
+            )));
+        }
+        if rejoin {
+            // The only worker state that outlives a step is the data
+            // cursor; seat it where the dead incarnation's would be.
+            let local_batch = effective_batch as usize / world as usize;
+            net.set_data_cursor(ack.id as usize * local_batch);
+        }
+
+        let rank_fault = format!("dist.worker.step.r{}", cfg.rank);
+        loop {
+            let frame = recv_frame(&mut stream).map_err(lost_if_io)?;
+            match frame.kind {
+                proto::FRAME_DONE => {
+                    if frame.aux == 0 {
+                        return Ok(());
+                    }
+                    return Err(done_to_err(&frame));
+                }
+                proto::FRAME_PARAMS => {
+                    let _span = obs::trace::span("dist_worker_step", "dist");
+                    let step = frame.id;
+                    let params = recv_tensor(
+                        &mut stream,
+                        proto::FRAME_PARAMS,
+                        step,
+                        self.num_params,
+                        Some(frame),
+                    )
+                    .map_err(lost_if_io)?;
+                    let barrier = recv_frame(&mut stream).map_err(lost_if_io)?;
+                    if barrier.kind != proto::FRAME_STEP || barrier.id != step {
+                        return Err(DistError::Protocol(format!(
+                            "expected FRAME_STEP for step {step}, got kind {} id {}",
+                            barrier.kind, barrier.id
+                        )));
+                    }
+                    load_params(net, &params)?;
+                    net.set_iteration(step);
+                    net.zero_param_diffs();
+                    let loss = net.forward(&self.team, &self.run);
+                    net.backward(&self.team, &self.run);
+                    // Crash-injection window: the gradient is computed but
+                    // not yet sent — the coordinator is left waiting at
+                    // the barrier, the worst place to lose a worker.
+                    net::faults::hit("dist.worker.step")?;
+                    net::faults::hit(&rank_fault)?;
+                    if self.fail_after == Some(self.steps) {
+                        self.fail_after = None;
+                        return Err(DistError::Io(
+                            "injected worker failure (fail_after_steps)".into(),
+                        ));
+                    }
+                    send_tensor(&mut stream, proto::FRAME_GRAD, step, &flatten_diffs(net))?;
+                    let mut loss_payload = Vec::with_capacity(4);
+                    proto::write_f32s(&mut loss_payload, &[loss]);
+                    send_frame(&mut stream, proto::FRAME_LOSS, step, 0, &loss_payload)?;
+                    self.steps += 1;
+                    self.steps_metric.inc();
+                }
+                k => {
+                    return Err(DistError::Protocol(format!(
+                        "unexpected frame kind {k} while waiting for parameters"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// A failure a worker can outlive by reconnecting: the link (or the peer
+/// process behind it) broke, as opposed to the coordinator deliberately
+/// ending the run (`Remote`) or a configuration/protocol bug.
+fn retryable(e: &DistError) -> bool {
+    matches!(
+        e,
+        DistError::CoordinatorLost(_) | DistError::Io(_) | DistError::Decode(_)
+    )
+}
+
 /// Run the worker loop on `net` (already built with the *local* batch and
 /// this rank's `ShardedSource`) until the coordinator ends the run.
 ///
@@ -81,119 +253,49 @@ fn connect(cfg: &WorkerConfig) -> Result<TcpStream, DistError> {
 /// canonical reduction slot — because the bitwise claim depends on it; a
 /// multi-threaded worker is a future extension that would need per-worker
 /// sub-grouping (see DESIGN.md).
+///
+/// With [`WorkerConfig::max_rejoins`] > 0, a lost coordinator link is
+/// retried: sleep with capped exponential backoff, reconnect, and resume
+/// the rank through the `FRAME_REJOIN` handshake.
 pub fn run_worker(net: &mut Net<f32>, cfg: &WorkerConfig) -> Result<WorkerReport, DistError> {
-    let team = ThreadTeam::new(1);
-    let run = RunConfig {
-        reduction: ReductionMode::Canonical { groups: 1 },
-        ..RunConfig::default()
+    let reg = obs::registry::global();
+    let mut session = Session {
+        cfg,
+        team: ThreadTeam::new(1),
+        run: RunConfig {
+            reduction: ReductionMode::Canonical { groups: 1 },
+            ..RunConfig::default()
+        },
+        num_params: net.num_params(),
+        steps: 0,
+        fail_after: cfg.fail_after_steps,
+        steps_metric: reg.counter("dist.worker_steps"),
     };
-    let num_params = net.num_params();
-    let steps_metric = obs::registry::global().counter("dist.worker_steps");
-
-    let mut stream = connect(cfg)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(cfg.io_timeout))?;
-    stream.set_write_timeout(Some(cfg.io_timeout))?;
-
-    // Handshake: hello exchange, then JOIN(rank) / WELCOME.
-    let mut hello = [0u8; proto::SERVER_HELLO_LEN];
-    stream
-        .read_exact(&mut hello)
-        .map_err(|e| DistError::CoordinatorLost(format!("reading hello: {e}")))?;
-    let h = proto::decode_server_hello(&hello)?;
-    if h.status != proto::HELLO_OK {
-        return Err(DistError::Protocol(format!(
-            "coordinator hello status {}",
-            h.status
-        )));
-    }
-    if h.sample_len as usize != num_params {
-        return Err(DistError::Config(format!(
-            "coordinator has {} parameters, this worker's net has {num_params} — spec mismatch",
-            h.sample_len
-        )));
-    }
-    stream.write_all(&proto::encode_client_hello())?;
-    send_frame(
-        &mut stream,
-        proto::FRAME_JOIN,
-        cfg.rank as u64,
-        cfg.rank as u32,
-        &[],
-    )?;
-    let welcome = recv_frame(&mut stream).map_err(lost_if_io)?;
-    if welcome.kind != proto::FRAME_WELCOME {
-        if welcome.kind == proto::FRAME_DONE {
-            return Err(done_to_err(&welcome));
-        }
-        return Err(DistError::Protocol(format!(
-            "expected FRAME_WELCOME, got kind {}",
-            welcome.kind
-        )));
-    }
-    let (world, _batch, _iters) = decode_welcome(&welcome.payload)?;
-    if cfg.rank >= world as usize {
-        return Err(DistError::Config(format!(
-            "rank {} outside world {world}",
-            cfg.rank
-        )));
-    }
-
-    let rank_fault = format!("dist.worker.step.r{}", cfg.rank);
-    let mut steps = 0u64;
+    let rejoins_metric = reg.counter("dist.worker_rejoins");
+    let mut rejoins = 0u32;
+    let mut rejoin = cfg.rejoin;
     loop {
-        let frame = recv_frame(&mut stream).map_err(lost_if_io)?;
-        match frame.kind {
-            proto::FRAME_DONE => {
-                if frame.aux == 0 {
-                    return Ok(WorkerReport { steps });
-                }
-                return Err(done_to_err(&frame));
+        match session.run(net, rejoin) {
+            Ok(()) => {
+                return Ok(WorkerReport {
+                    steps: session.steps,
+                    rejoins,
+                })
             }
-            proto::FRAME_PARAMS => {
-                let _span = obs::trace::span("dist_worker_step", "dist");
-                let step = frame.id;
-                let params = recv_tensor(
-                    &mut stream,
-                    proto::FRAME_PARAMS,
-                    step,
-                    num_params,
-                    Some(frame),
-                )
-                .map_err(lost_if_io)?;
-                let barrier = recv_frame(&mut stream).map_err(lost_if_io)?;
-                if barrier.kind != proto::FRAME_STEP || barrier.id != step {
-                    return Err(DistError::Protocol(format!(
-                        "expected FRAME_STEP for step {step}, got kind {} id {}",
-                        barrier.kind, barrier.id
-                    )));
+            Err(e) => {
+                if !retryable(&e) || rejoins >= cfg.max_rejoins {
+                    return Err(e);
                 }
-                load_params(net, &params)?;
-                net.set_iteration(step);
-                net.zero_param_diffs();
-                let loss = net.forward(&team, &run);
-                net.backward(&team, &run);
-                // Crash-injection window: the gradient is computed but not
-                // yet sent — the coordinator is left waiting at the
-                // barrier, the worst place to lose a worker.
-                net::faults::hit("dist.worker.step")?;
-                net::faults::hit(&rank_fault)?;
-                if cfg.fail_after_steps == Some(steps) {
-                    return Err(DistError::Io(
-                        "injected worker failure (fail_after_steps)".into(),
-                    ));
-                }
-                send_tensor(&mut stream, proto::FRAME_GRAD, step, &flatten_diffs(net))?;
-                let mut loss_payload = Vec::with_capacity(4);
-                proto::write_f32s(&mut loss_payload, &[loss]);
-                send_frame(&mut stream, proto::FRAME_LOSS, step, 0, &loss_payload)?;
-                steps += 1;
-                steps_metric.inc();
-            }
-            k => {
-                return Err(DistError::Protocol(format!(
-                    "unexpected frame kind {k} while waiting for parameters"
-                )))
+                rejoins += 1;
+                rejoins_metric.inc();
+                // 50ms, 100ms, … capped at 2s.
+                let backoff = Duration::from_millis((50u64 << (rejoins - 1).min(5)).min(2000));
+                eprintln!(
+                    "worker {}: coordinator link lost ({e}); rejoin attempt {rejoins} in {backoff:?}",
+                    cfg.rank
+                );
+                std::thread::sleep(backoff);
+                rejoin = true;
             }
         }
     }

@@ -3,7 +3,13 @@
 //!
 //! [`run`] opens `clients` connections up front (failing fast if the
 //! server refuses any), then drives each in a closed loop: send one
-//! request, block for its response, repeat. Per-request round-trip times
+//! request, block for its response, repeat. One refusal is *not* final:
+//! a `HELLO_BUSY` greeting ([`RpcError::Busy`] — the server is at its
+//! connection-handler cap) is retried with capped exponential backoff and
+//! deterministic equal-jitter, up to [`LoadConfig::busy_retries`] times
+//! per client, and the total count lands in the report's `busy_retries`
+//! column — so a briefly-saturated server degrades the numbers instead of
+//! killing the run. Per-request round-trip times
 //! are merged at the end into nearest-rank percentiles (the same
 //! [`serve::metrics::percentile`] the in-process report uses, so E17
 //! compares like with like).
@@ -32,16 +38,25 @@ pub struct LoadConfig {
     pub deadline_us: u32,
     /// Socket I/O timeout per connection.
     pub io_timeout: Duration,
+    /// Connect attempts retried per client when the server greets with
+    /// `HELLO_BUSY` (handler slots full). 0 = fail fast, the old behaviour.
+    pub busy_retries: u32,
+    /// Base backoff before the first busy retry; doubles per attempt
+    /// (capped at 2 s) with deterministic equal-jitter.
+    pub busy_backoff: Duration,
 }
 
 impl Default for LoadConfig {
-    /// 4 clients, 1000 requests, no deadline, 10 s socket timeout.
+    /// 4 clients, 1000 requests, no deadline, 10 s socket timeout, up to
+    /// 6 busy retries from a 20 ms base.
     fn default() -> Self {
         Self {
             clients: 4,
             requests: 1000,
             deadline_us: 0,
             io_timeout: Duration::from_secs(10),
+            busy_retries: 6,
+            busy_backoff: Duration::from_millis(20),
         }
     }
 }
@@ -59,6 +74,8 @@ pub struct LoadReport {
     pub shutdown: u64,
     /// Protocol or socket failures (each ends its client's loop).
     pub errors: u64,
+    /// `HELLO_BUSY` connect refusals absorbed by backoff-and-retry.
+    pub busy_retries: u64,
     /// Wall time of the whole run.
     pub wall: Duration,
     /// Median round-trip, µs (completed requests only).
@@ -94,6 +111,7 @@ impl LoadReport {
             ("timed_out", self.timed_out as f64),
             ("shutdown", self.shutdown as f64),
             ("errors", self.errors as f64),
+            ("busy_retries", self.busy_retries as f64),
             ("wall_secs", self.wall.as_secs_f64()),
             ("throughput_rps", self.throughput_rps()),
             ("rtt_p50_us", self.p50_us),
@@ -112,13 +130,14 @@ impl fmt::Display for LoadReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "wire load: {} completed, {} rejected, {} timed out, {} shutdown, {} errors \
-             in {:.3} s ({:.0} req/s)",
+            "wire load: {} completed, {} rejected, {} timed out, {} shutdown, {} errors, \
+             {} busy retries in {:.3} s ({:.0} req/s)",
             self.completed,
             self.rejected,
             self.timed_out,
             self.shutdown,
             self.errors,
+            self.busy_retries,
             self.wall.as_secs_f64(),
             self.throughput_rps(),
         )?;
@@ -145,11 +164,16 @@ pub fn run(
     }
     let clients = cfg.clients.max(1);
     // Connect everything first: a refused or half-dead server fails the
-    // run instead of polluting the numbers.
+    // run instead of polluting the numbers. A `HELLO_BUSY` greeting is
+    // the one transient refusal — absorbed by backoff-and-retry.
+    let mut busy_retries = 0u64;
     let conns: Vec<RpcClient> = (0..clients)
-        .map(|_| RpcClient::connect_with(addr, cfg.io_timeout))
+        .map(|c| connect_busy_retry(addr, cfg, c as u64, &mut busy_retries))
         .collect::<Result<_, _>>()?;
-    let mut report = LoadReport::default();
+    let mut report = LoadReport {
+        busy_retries,
+        ..LoadReport::default()
+    };
     let mut rtts_us: Vec<f64> = Vec::with_capacity(cfg.requests);
     let t0 = Instant::now();
     std::thread::scope(|s| {
@@ -217,6 +241,48 @@ pub fn run(
     Ok(report)
 }
 
+/// Backoff before busy retry `attempt` (1-based): capped exponential with
+/// equal-jitter — uniform in `[d/2, d]` where `d = base · 2^(attempt-1)`,
+/// capped at 2 s. Jitter comes from the caller's xorshift state, so a
+/// seeded run backs off identically every time, while distinct clients
+/// (distinct seeds) decorrelate and don't re-stampede the server in sync.
+fn busy_backoff_delay(base: Duration, attempt: u32, seed: &mut u64) -> Duration {
+    let exp = base
+        .saturating_mul(1u32 << (attempt - 1).min(10))
+        .min(Duration::from_secs(2));
+    let half = exp / 2;
+    let span_ns = (exp - half).as_nanos() as u64;
+    let jitter_ns = if span_ns == 0 {
+        0
+    } else {
+        xorshift(seed) % (span_ns + 1)
+    };
+    half + Duration::from_nanos(jitter_ns)
+}
+
+/// Connect, absorbing up to `cfg.busy_retries` `HELLO_BUSY` refusals with
+/// [`busy_backoff_delay`]; every other error (and a still-busy server
+/// after the last retry) propagates unchanged.
+fn connect_busy_retry(
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+    client_idx: u64,
+    retries: &mut u64,
+) -> Result<RpcClient, RpcError> {
+    let mut seed = 0x9E37_79B9_7F4A_7C15u64 ^ client_idx.wrapping_mul(0xA24B_AED4_963E_E407) | 1;
+    let mut attempt = 0u32;
+    loop {
+        match RpcClient::connect_with(addr, cfg.io_timeout) {
+            Err(RpcError::Busy) if attempt < cfg.busy_retries => {
+                attempt += 1;
+                *retries += 1;
+                std::thread::sleep(busy_backoff_delay(cfg.busy_backoff, attempt, &mut seed));
+            }
+            other => return other,
+        }
+    }
+}
+
 /// What [`fuzz`] observed.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FuzzReport {
@@ -279,4 +345,56 @@ pub fn fuzz(
         report.answered += usize::from(answered);
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_backoff_is_bounded_equal_jitter() {
+        let base = Duration::from_millis(20);
+        let mut seed = 12345u64;
+        for attempt in 1..=12u32 {
+            let d = busy_backoff_delay(base, attempt, &mut seed);
+            let exp = base
+                .saturating_mul(1u32 << (attempt - 1).min(10))
+                .min(Duration::from_secs(2));
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} below {:?}", exp / 2);
+            assert!(d <= exp, "attempt {attempt}: {d:?} above {exp:?}");
+        }
+        // The cap holds no matter how deep the retry goes.
+        let d = busy_backoff_delay(base, 40, &mut seed);
+        assert!(d <= Duration::from_secs(2));
+    }
+
+    #[test]
+    fn busy_backoff_is_deterministic_per_seed() {
+        let base = Duration::from_millis(10);
+        let (mut a, mut b) = (77u64, 77u64);
+        for attempt in 1..=6 {
+            assert_eq!(
+                busy_backoff_delay(base, attempt, &mut a),
+                busy_backoff_delay(base, attempt, &mut b)
+            );
+        }
+        // A different seed (client) decorrelates the schedule.
+        let mut c = 78u64;
+        let schedule = |s: &mut u64| {
+            (1..=6)
+                .map(|i| busy_backoff_delay(base, i, s))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(&mut a), schedule(&mut c));
+    }
+
+    #[test]
+    fn report_csv_carries_busy_retries() {
+        let report = LoadReport {
+            busy_retries: 3,
+            ..LoadReport::default()
+        };
+        assert!(report.csv().contains("busy_retries,3.000\n"));
+        assert!(report.to_string().contains("3 busy retries"));
+    }
 }

@@ -98,6 +98,12 @@ pub const FRAME_STEP: u8 = 21;
 /// Either direction: the run is over. `aux` 0 = clean finish, 1 = error;
 /// payload is an optional UTF-8 reason.
 pub const FRAME_DONE: u8 = 22;
+/// Worker → coordinator: a restarted worker asks to resume its rank.
+/// `aux` = worker rank. The coordinator acks with another `FRAME_REJOIN`
+/// whose `id` is the resume step and whose payload is the same 12-byte
+/// shape block as `FRAME_WELCOME`, so the worker can re-derive its local
+/// batch and re-seat its data cursor at `resume_step * local_batch`.
+pub const FRAME_REJOIN: u8 = 23;
 
 /// Maximum `f32` values per gradient/parameter chunk (256 KiB payload).
 pub const MAX_CHUNK_F32S: usize = 65_536;
@@ -364,6 +370,7 @@ mod tests {
             FRAME_PARAMS,
             FRAME_STEP,
             FRAME_DONE,
+            FRAME_REJOIN,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

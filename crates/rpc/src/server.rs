@@ -1,11 +1,14 @@
 //! `RpcServer` — acceptor thread + bounded connection-handler pool
 //! bridging decoded wire requests into the `serve` micro-batcher.
 //!
-//! The acceptor owns the listening socket. On accept it immediately writes
-//! the [`proto::encode_server_hello`] (so a connecting client never blocks
-//! waiting for a handler slot just to finish its handshake) and hands the
-//! stream to a bounded queue; when the queue is full the hello says
-//! [`proto::HELLO_BUSY`] and the connection is closed — the admission cap.
+//! The acceptor owns the listening socket. On accept it decides admission
+//! *first* — a queue-depth counter mirrors the bounded connection queue —
+//! and only then writes the [`proto::encode_server_hello`]: an admitted
+//! client gets [`proto::HELLO_OK`] immediately (so it never blocks waiting
+//! for a handler slot just to finish its handshake), while a connection
+//! over the cap is greeted with [`proto::HELLO_BUSY`] and closed. The busy
+//! hello is the back-off signal ([`crate::RpcError::Busy`] client-side);
+//! the load generator retries it with capped exponential backoff.
 //!
 //! Handlers are a fixed pool of threads, each serving one connection for
 //! that connection's lifetime: read a CRC-checked frame header, read the
@@ -38,7 +41,7 @@ use crate::proto::{self, DecodeError};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -153,6 +156,11 @@ struct HandlerCtx {
     metrics: Arc<RpcMetrics>,
     cfg: RpcConfig,
     sample_len: usize,
+    /// Mirrors the connection queue's occupancy (incremented by the
+    /// acceptor before enqueue, decremented here on dequeue) so the
+    /// acceptor can refuse with [`proto::HELLO_BUSY`] *before* writing an
+    /// OK hello it cannot take back.
+    queue_depth: Arc<AtomicUsize>,
 }
 
 /// The running wire front-end. Dropping it signals the threads to stop;
@@ -184,7 +192,9 @@ impl RpcServer {
         let stop = Arc::new(AtomicBool::new(false));
         let drain = Arc::new(AtomicBool::new(false));
         let metrics = RpcMetrics::register(reg);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.backlog.max(1));
+        let capacity = cfg.backlog.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(capacity);
+        let queue_depth = Arc::new(AtomicUsize::new(0));
         let ctx = HandlerCtx {
             rx: Arc::new(Mutex::new(rx)),
             sample_len: bridge.sample_len(),
@@ -193,6 +203,7 @@ impl RpcServer {
             drain: Arc::clone(&drain),
             metrics: Arc::clone(&metrics),
             cfg: cfg.clone(),
+            queue_depth: Arc::clone(&queue_depth),
         };
         let mut handlers = Vec::with_capacity(cfg.handlers.max(1));
         let spawn_result = (|| -> io::Result<JoinHandle<()>> {
@@ -204,17 +215,27 @@ impl RpcServer {
                         .spawn(move || handler_main(ctx))?,
                 );
             }
-            let stop = Arc::clone(&stop);
-            let metrics = Arc::clone(&metrics);
-            let hello = proto::encode_server_hello(
-                proto::HELLO_OK,
-                ctx.sample_len as u32,
-                output_len as u32,
-            );
-            let write_timeout = cfg.write_timeout;
+            let actx = AcceptorCtx {
+                tx,
+                stop: Arc::clone(&stop),
+                metrics: Arc::clone(&metrics),
+                hello_ok: proto::encode_server_hello(
+                    proto::HELLO_OK,
+                    ctx.sample_len as u32,
+                    output_len as u32,
+                ),
+                hello_busy: proto::encode_server_hello(
+                    proto::HELLO_BUSY,
+                    ctx.sample_len as u32,
+                    output_len as u32,
+                ),
+                write_timeout: cfg.write_timeout,
+                queue_depth,
+                capacity,
+            };
             std::thread::Builder::new()
                 .name("rpc-acceptor".into())
-                .spawn(move || acceptor_loop(listener, tx, stop, metrics, hello, write_timeout))
+                .spawn(move || acceptor_loop(listener, actx))
         })();
         match spawn_result {
             Ok(acceptor) => Ok(Self {
@@ -282,35 +303,62 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-fn acceptor_loop(
-    listener: TcpListener,
+/// What the acceptor thread owns besides the listening socket.
+struct AcceptorCtx {
     tx: SyncSender<TcpStream>,
     stop: Arc<AtomicBool>,
     metrics: Arc<RpcMetrics>,
-    hello: [u8; proto::SERVER_HELLO_LEN],
+    hello_ok: [u8; proto::SERVER_HELLO_LEN],
+    hello_busy: [u8; proto::SERVER_HELLO_LEN],
     write_timeout: Duration,
-) {
+    queue_depth: Arc<AtomicUsize>,
+    capacity: usize,
+}
+
+fn acceptor_loop(listener: TcpListener, a: AcceptorCtx) {
     const ACCEPT_POLL: Duration = Duration::from_millis(10);
     loop {
-        if stop.load(Ordering::SeqCst) {
+        if a.stop.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
             Ok((mut stream, _)) => {
-                metrics.connections.inc();
-                // The hello goes out here, not in the handler, so a client
-                // finishes its handshake even while every handler is busy.
+                a.metrics.connections.inc();
                 let _ = stream.set_nonblocking(false);
-                let _ = stream.set_write_timeout(Some(write_timeout));
-                if stream.write_all(&hello).is_err() {
-                    metrics.io_errors.inc();
+                let _ = stream.set_write_timeout(Some(a.write_timeout));
+                // Admission is decided before any hello goes out, so the
+                // hello itself can carry the verdict: over the cap means
+                // HELLO_BUSY and close, and the client backs off and
+                // retries instead of discovering a dead connection one
+                // frame later. Reserving the seat with fetch_add keeps the
+                // counter at or above the queue's true occupancy, so an
+                // admitted stream can never find the channel full.
+                let seat = a.queue_depth.fetch_add(1, Ordering::SeqCst);
+                if seat >= a.capacity {
+                    a.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    a.metrics.rejected_connections.inc();
+                    let _ = stream.write_all(&a.hello_busy);
+                    let _ = stream.shutdown(Shutdown::Both);
                     continue;
                 }
-                metrics.bytes_out.add(hello.len() as u64);
-                match tx.try_send(stream) {
+                // The OK hello goes out here, not in the handler, so a
+                // client finishes its handshake even while every handler
+                // is busy.
+                if stream.write_all(&a.hello_ok).is_err() {
+                    a.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    a.metrics.io_errors.inc();
+                    continue;
+                }
+                a.metrics.bytes_out.add(a.hello_ok.len() as u64);
+                match a.tx.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(stream)) => {
-                        metrics.rejected_connections.inc();
+                        // Unreachable while the depth counter mirrors the
+                        // queue; kept as a defensive fallback. The OK hello
+                        // already went out, so the goodbye is a shutdown
+                        // frame rather than a busy hello.
+                        a.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        a.metrics.rejected_connections.inc();
                         busy_goodbye(stream);
                     }
                     Err(TrySendError::Disconnected(_)) => return,
@@ -324,9 +372,8 @@ fn acceptor_loop(
     }
 }
 
-/// Over-capacity goodbye: the OK hello already went out (the admission
-/// decision happens after the handshake write), so follow it with a
-/// shutdown frame and close.
+/// Fallback goodbye for a stream that was admitted (OK hello sent) but
+/// then found the queue full: a shutdown frame, then close.
 fn busy_goodbye(mut stream: TcpStream) {
     let _ = stream.write_all(&proto::encode_header(proto::RESP_SHUTDOWN, 0, 0, 0));
     let _ = stream.shutdown(Shutdown::Both);
@@ -338,6 +385,9 @@ fn handler_main(ctx: HandlerCtx) {
         let next = lock(&ctx.rx).recv_timeout(CONN_POLL);
         match next {
             Ok(stream) => {
+                // The stream now occupies a handler, not the queue; free
+                // its seat so the acceptor can admit the next connection.
+                ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
                 ctx.metrics.conn_opened();
                 let r = std::panic::catch_unwind(AssertUnwindSafe(|| handle_conn(stream, &ctx)));
                 ctx.metrics.conn_closed();

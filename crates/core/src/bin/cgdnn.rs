@@ -787,6 +787,7 @@ fn run_rpc_server(args: &Args, server: serve::Server<f32>, listen: &str) -> Resu
         write_timeout: std::time::Duration::from_millis(
             args.get_parse("rpc-write-timeout-ms", 1000u64)?,
         ),
+        max_connections: args.get_parse("rpc-max-conns", 0usize)?,
         ..rpc::RpcConfig::default()
     };
     let serve_for_ms: u64 = args.get_parse("serve-for-ms", 0)?;
@@ -837,6 +838,8 @@ fn cmd_load(args: &Args) -> Result<(), String> {
         clients: args.get_parse("clients", 4usize)?,
         requests: args.get_parse("requests", 1000usize)?,
         deadline_us: args.get_parse("deadline-us", 0u32)?,
+        pipeline: args.get_parse("pipeline", 1usize)?,
+        idle_conns: args.get_parse("idle-conns", 0usize)?,
         ..rpc::LoadConfig::default()
     };
     let fuzz_conns: usize = args.get_parse("fuzz", 0)?;
@@ -866,8 +869,8 @@ fn cmd_load(args: &Args) -> Result<(), String> {
         .collect();
 
     println!(
-        "wire load against {addr}: {} clients, {} requests, deadline {} us",
-        cfg.clients, cfg.requests, cfg.deadline_us
+        "wire load against {addr}: {} clients (pipeline {}, {} idle), {} requests, deadline {} us",
+        cfg.clients, cfg.pipeline, cfg.idle_conns, cfg.requests, cfg.deadline_us
     );
     let report = rpc::load::run(addr, &cfg, &samples).map_err(|e| e.to_string())?;
     println!("{report}");
@@ -889,6 +892,11 @@ fn cmd_load(args: &Args) -> Result<(), String> {
         net::write_atomic(Path::new(path), report.csv().as_bytes())
             .map_err(|e| format!("{path}: {e}"))?;
         println!("report written to {path}");
+    }
+    if let Some(path) = args.get("json") {
+        net::write_atomic(Path::new(path), report.json().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("json report written to {path}");
     }
     Ok(())
 }
@@ -1003,12 +1011,20 @@ network serving (infer --listen / load):
                     replaces the in-process load loop
   --port-file FILE  write the bound address (for ephemeral-port scripts)
   --serve-for-ms N  stop serving after N ms; 0 = until drained (default 0)
-  --rpc-handlers N  concurrent connection handlers (default 8)
-  --rpc-read-timeout-ms N   per-connection read poll (default 100)
-  --rpc-write-timeout-ms N  per-connection write timeout (default 1000)
+  --rpc-handlers N  serve-pool sizing hint; with --rpc-max-conns 0 the
+                    connection cap is handlers + backlog (default 8)
+  --rpc-max-conns N max live connections; over-cap greeted HELLO_BUSY
+                    (default 0 = handlers + backlog)
+  --rpc-read-timeout-ms N   accepted for compatibility; the readiness
+                    loop needs no read poll
+  --rpc-write-timeout-ms N  per-connection write-stall budget (default 1000)
   --connect ADDR    (load) server to target
+  --pipeline N      (load) requests each client keeps in flight (default 1)
+  --idle-conns N    (load) extra connections that handshake then sit idle
+                    for the whole run (default 0)
   --fuzz N          (load) also throw N malformed connections at the server
   --drain-server    (load) ask the server to drain and exit afterwards
+  --json FILE       (load) write the report as JSON (BENCH_rpc.json in CI)
 observability (train and infer):
   --profile         print the measured per-layer fwd/bwd table (paper
                     Table-2 layout) and imbalance factors after training

@@ -1,15 +1,48 @@
-//! `RpcClient` — a blocking, single-connection wire client.
+//! `RpcClient` — a blocking wire client with pipelined request support.
 //!
-//! One request is in flight at a time (the closed-loop shape the load
-//! generator wants); the response id is checked against the request id, so
-//! a desynchronised stream surfaces as [`RpcError::Protocol`] instead of
-//! silently mismatched answers.
+//! The CGRP protocol matches responses to requests by frame `id`, and
+//! the event-driven server answers in micro-batch completion order —
+//! not send order. The client therefore keeps a table of outstanding
+//! ids: [`RpcClient::send_infer`] / [`RpcClient::send_infer_stream`]
+//! put requests on the wire without waiting, and
+//! [`RpcClient::recv_completion`] blocks for the next response from
+//! *any* of them. The classic closed-loop calls ([`RpcClient::infer`])
+//! are a send immediately followed by a wait for that id, stashing any
+//! other completions that arrive first.
+//!
+//! A response whose `id` matches nothing outstanding still poisons the
+//! stream ([`RpcError::Protocol`]) — with the bookkeeping in place that
+//! can only mean desynchronisation, never pipelining.
 
 use crate::proto::{self};
 use crate::RpcError;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// How the server answered one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Softmax outputs, length-checked against the handshake.
+    Probs(Vec<f32>),
+    /// Admission queue full — back off and retry.
+    Rejected,
+    /// The deadline budget expired before compute.
+    TimedOut,
+    /// Server-side error message for this request.
+    Error(String),
+}
+
+/// One response frame, matched to its request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The request id this answers.
+    pub id: u64,
+    /// Sample index for streaming requests; 0 for unary.
+    pub index: u32,
+    pub outcome: Outcome,
+}
 
 /// A connected wire client. See [`RpcClient::connect`].
 pub struct RpcClient {
@@ -18,6 +51,10 @@ pub struct RpcClient {
     output_len: usize,
     next_id: u64,
     buf: Vec<u8>,
+    /// id → responses still owed (1 for unary, K for a stream frame).
+    outstanding: HashMap<u64, usize>,
+    /// Completions read off the wire while waiting for a specific id.
+    ready: VecDeque<Completion>,
 }
 
 /// Map a failed read: a clean hangup means the server finished draining.
@@ -48,6 +85,8 @@ impl RpcClient {
             output_len: 0,
             next_id: 1,
             buf: Vec::new(),
+            outstanding: HashMap::new(),
+            ready: VecDeque::new(),
         };
         let mut hello = [0u8; proto::SERVER_HELLO_LEN];
         client.stream.read_exact(&mut hello).map_err(read_err)?;
@@ -74,38 +113,15 @@ impl RpcClient {
         self.output_len
     }
 
-    /// Submit one sample and block for its softmax outputs.
-    pub fn infer(&mut self, sample: &[f32]) -> Result<Vec<f32>, RpcError> {
-        self.request(sample, 0)
+    /// Responses the server still owes this connection.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.values().sum::<usize>() + self.ready.len()
     }
 
-    /// Like [`RpcClient::infer`], but the server drops the request with
-    /// [`RpcError::TimedOut`] if it is still queued after `budget_us`
-    /// microseconds (measured server-side from decode).
-    pub fn infer_with_budget(
-        &mut self,
-        sample: &[f32],
-        budget_us: u32,
-    ) -> Result<Vec<f32>, RpcError> {
-        self.request(sample, budget_us.max(1))
-    }
-
-    /// Ask the server to drain and shut down; returns once acknowledged.
-    pub fn drain_server(&mut self) -> Result<(), RpcError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.stream
-            .write_all(&proto::encode_header(proto::REQ_DRAIN, id, 0, 0))?;
-        let (kind, rid, _) = self.read_response()?;
-        if kind != proto::RESP_SHUTDOWN || rid != id {
-            return Err(RpcError::Protocol(format!(
-                "drain answered with kind {kind}, id {rid}"
-            )));
-        }
-        Ok(())
-    }
-
-    fn request(&mut self, sample: &[f32], budget_us: u32) -> Result<Vec<f32>, RpcError> {
+    /// Put one sample on the wire without waiting; returns the request
+    /// id to match against [`RpcClient::recv_completion`]. `budget_us`
+    /// of 0 means no deadline.
+    pub fn send_infer(&mut self, sample: &[f32], budget_us: u32) -> Result<u64, RpcError> {
         if sample.len() != self.sample_len {
             return Err(RpcError::ShapeMismatch {
                 got: sample.len(),
@@ -119,13 +135,161 @@ impl RpcClient {
         let head = proto::encode_header(proto::REQ_INFER, id, budget_us, self.buf.len() as u32);
         self.stream.write_all(&head)?;
         self.stream.write_all(&self.buf)?;
-        let (kind, rid, payload) = self.read_response()?;
-        if rid != id {
+        self.outstanding.insert(id, 1);
+        Ok(id)
+    }
+
+    /// Put K samples on the wire as one [`proto::REQ_INFER_STREAM`]
+    /// frame; the server owes K responses sharing the returned id, each
+    /// carrying its sample index in [`Completion::index`]. Returns
+    /// `(id, K)`.
+    pub fn send_infer_stream(
+        &mut self,
+        flat: &[f32],
+        budget_us: u32,
+    ) -> Result<(u64, usize), RpcError> {
+        if flat.is_empty() || !flat.len().is_multiple_of(self.sample_len) {
+            return Err(RpcError::ShapeMismatch {
+                got: flat.len(),
+                want: self.sample_len,
+            });
+        }
+        let bytes = std::mem::size_of_val(flat);
+        if bytes > proto::MAX_PAYLOAD as usize {
             return Err(RpcError::Protocol(format!(
-                "response carries id {rid}, expected {id}"
+                "stream payload of {bytes} bytes exceeds the {} cap",
+                proto::MAX_PAYLOAD
             )));
         }
-        match kind {
+        let k = flat.len() / self.sample_len;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buf.clear();
+        proto::write_f32s(&mut self.buf, flat);
+        let head = proto::encode_header(
+            proto::REQ_INFER_STREAM,
+            id,
+            budget_us,
+            self.buf.len() as u32,
+        );
+        self.stream.write_all(&head)?;
+        self.stream.write_all(&self.buf)?;
+        self.outstanding.insert(id, k);
+        Ok((id, k))
+    }
+
+    /// Block for the next completion from any outstanding request —
+    /// stashed or off the wire, in server completion order.
+    pub fn recv_completion(&mut self) -> Result<Completion, RpcError> {
+        if let Some(c) = self.ready.pop_front() {
+            return Ok(c);
+        }
+        self.recv_wire()
+    }
+
+    /// Submit one sample and block for its softmax outputs.
+    pub fn infer(&mut self, sample: &[f32]) -> Result<Vec<f32>, RpcError> {
+        let id = self.send_infer(sample, 0)?;
+        into_result(self.wait_for(id)?)
+    }
+
+    /// Like [`RpcClient::infer`], but the server drops the request with
+    /// [`RpcError::TimedOut`] if it is still queued after `budget_us`
+    /// microseconds (measured server-side from decode).
+    pub fn infer_with_budget(
+        &mut self,
+        sample: &[f32],
+        budget_us: u32,
+    ) -> Result<Vec<f32>, RpcError> {
+        let id = self.send_infer(sample, budget_us.max(1))?;
+        into_result(self.wait_for(id)?)
+    }
+
+    /// Submit K samples as one frame and block for all K outputs, in
+    /// sample order. Any per-sample failure fails the call.
+    pub fn infer_stream(&mut self, flat: &[f32]) -> Result<Vec<Vec<f32>>, RpcError> {
+        let (id, k) = self.send_infer_stream(flat, 0)?;
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; k];
+        for _ in 0..k {
+            let c = self.wait_for(id)?;
+            let idx = c.index as usize;
+            if idx >= k || out[idx].is_some() {
+                return Err(RpcError::Protocol(format!(
+                    "stream response index {idx} out of range or duplicated"
+                )));
+            }
+            out[idx] = Some(into_result(c)?);
+        }
+        Ok(out.into_iter().map(|o| o.expect("all k filled")).collect())
+    }
+
+    /// Ask the server to drain and shut down; returns once acknowledged.
+    /// Completions for still-outstanding requests may arrive first; they
+    /// are stashed for [`RpcClient::recv_completion`].
+    pub fn drain_server(&mut self) -> Result<(), RpcError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream
+            .write_all(&proto::encode_header(proto::REQ_DRAIN, id, 0, 0))?;
+        loop {
+            let (kind, rid, aux, payload) = self.read_response()?;
+            if kind == proto::RESP_SHUTDOWN {
+                if rid == id {
+                    return Ok(());
+                }
+                return Err(RpcError::ServerShutdown);
+            }
+            let c = self.match_completion(kind, rid, aux, payload)?;
+            self.ready.push_back(c);
+        }
+    }
+
+    /// Wait for a completion of `id` specifically, stashing others.
+    fn wait_for(&mut self, id: u64) -> Result<Completion, RpcError> {
+        if let Some(pos) = self.ready.iter().position(|c| c.id == id) {
+            return Ok(self.ready.remove(pos).expect("position just found"));
+        }
+        loop {
+            let c = self.recv_wire()?;
+            if c.id == id {
+                return Ok(c);
+            }
+            self.ready.push_back(c);
+        }
+    }
+
+    /// Read one response frame and match it to an outstanding request.
+    fn recv_wire(&mut self) -> Result<Completion, RpcError> {
+        if self.outstanding.is_empty() {
+            return Err(RpcError::Protocol(
+                "no requests in flight to receive for".into(),
+            ));
+        }
+        let (kind, rid, aux, payload) = self.read_response()?;
+        if kind == proto::RESP_SHUTDOWN {
+            return Err(RpcError::ServerShutdown);
+        }
+        self.match_completion(kind, rid, aux, payload)
+    }
+
+    /// Decode a non-shutdown response against the outstanding table.
+    fn match_completion(
+        &mut self,
+        kind: u8,
+        rid: u64,
+        aux: u32,
+        payload: Vec<u8>,
+    ) -> Result<Completion, RpcError> {
+        let Some(left) = self.outstanding.get_mut(&rid) else {
+            return Err(RpcError::Protocol(format!(
+                "response carries id {rid}, which has no outstanding request"
+            )));
+        };
+        *left -= 1;
+        if *left == 0 {
+            self.outstanding.remove(&rid);
+        }
+        let outcome = match kind {
             proto::RESP_PROBS => {
                 let out = proto::read_f32s(&payload)?;
                 if out.len() != self.output_len {
@@ -135,19 +299,21 @@ impl RpcClient {
                         self.output_len
                     )));
                 }
-                Ok(out)
+                Outcome::Probs(out)
             }
-            proto::RESP_REJECTED => Err(RpcError::Rejected),
-            proto::RESP_TIMED_OUT => Err(RpcError::TimedOut),
-            proto::RESP_SHUTDOWN => Err(RpcError::ServerShutdown),
-            proto::RESP_ERROR => Err(RpcError::Server(
-                String::from_utf8_lossy(&payload).into_owned(),
-            )),
-            k => Err(RpcError::Protocol(format!("unknown response kind {k}"))),
-        }
+            proto::RESP_REJECTED => Outcome::Rejected,
+            proto::RESP_TIMED_OUT => Outcome::TimedOut,
+            proto::RESP_ERROR => Outcome::Error(String::from_utf8_lossy(&payload).into_owned()),
+            k => return Err(RpcError::Protocol(format!("unknown response kind {k}"))),
+        };
+        Ok(Completion {
+            id: rid,
+            index: aux,
+            outcome,
+        })
     }
 
-    fn read_response(&mut self) -> Result<(u8, u64, Vec<u8>), RpcError> {
+    fn read_response(&mut self) -> Result<(u8, u64, u32, Vec<u8>), RpcError> {
         let mut head = [0u8; proto::FRAME_HEADER_LEN];
         self.stream.read_exact(&mut head).map_err(read_err)?;
         let h = proto::decode_header(&head)?;
@@ -159,6 +325,16 @@ impl RpcClient {
         }
         let mut payload = vec![0u8; h.payload_len as usize];
         self.stream.read_exact(&mut payload).map_err(read_err)?;
-        Ok((h.kind, h.id, payload))
+        Ok((h.kind, h.id, h.aux, payload))
+    }
+}
+
+/// Collapse a completion into the classic closed-loop result shape.
+fn into_result(c: Completion) -> Result<Vec<f32>, RpcError> {
+    match c.outcome {
+        Outcome::Probs(p) => Ok(p),
+        Outcome::Rejected => Err(RpcError::Rejected),
+        Outcome::TimedOut => Err(RpcError::TimedOut),
+        Outcome::Error(msg) => Err(RpcError::Server(msg)),
     }
 }

@@ -9,13 +9,18 @@
 //!
 //! - [`proto`] — the versioned `CGRP` handshake and CRC-protected,
 //!   length-prefixed binary frames (request: id + deadline budget + `f32`
-//!   sample; response: probs / rejected / timed-out / shutdown / error).
-//! - [`server`] — [`RpcServer`]: acceptor thread, bounded handler pool
-//!   (the connection admission cap), per-connection read/write timeouts,
-//!   graceful drain, and `rpc.*` metrics + trace spans.
-//! - [`client`] / [`load`] — [`RpcClient`] (blocking, one request in
-//!   flight) and the closed-loop load generator + malformed-traffic
-//!   fuzzer behind `cgdnn load`.
+//!   sample(s); response: probs / rejected / timed-out / shutdown /
+//!   error), with pipelining by id and a K-sample streaming kind.
+//! - [`poller`] — the `poll(2)` readiness primitive and cross-thread
+//!   waker the event loop sleeps on.
+//! - [`server`] — [`RpcServer`]: one event-loop thread multiplexing all
+//!   connections (non-blocking sockets, per-connection buffers and state
+//!   machines, a live-connection admission cap), bridging into the
+//!   micro-batcher via completion callbacks, with wakeup-driven graceful
+//!   drain and `rpc.*` metrics + trace spans.
+//! - [`client`] / [`load`] — [`RpcClient`] (blocking; one *or many*
+//!   requests in flight, completions matched by id) and the windowed
+//!   load generator + malformed-traffic fuzzer behind `cgdnn load`.
 //!
 //! Deadlines and backpressure propagate end to end: a frame's µs budget
 //! becomes [`serve::Client::infer_with_deadline`], and the batcher's
@@ -24,10 +29,11 @@
 
 pub mod client;
 pub mod load;
+pub mod poller;
 pub mod proto;
 pub mod server;
 
-pub use client::RpcClient;
+pub use client::{Completion, Outcome, RpcClient};
 pub use load::{FuzzReport, LoadConfig, LoadReport};
 pub use server::{RpcConfig, RpcMetrics, RpcServer};
 

@@ -2,8 +2,13 @@
 //! wire — `cgdnn load`'s engine, and the E17 measurement harness.
 //!
 //! [`run`] opens `clients` connections up front (failing fast if the
-//! server refuses any), then drives each in a closed loop: send one
-//! request, block for its response, repeat. One refusal is *not* final:
+//! server refuses any), then drives each in a closed loop: keep up to
+//! [`LoadConfig::pipeline`] requests in flight (1 = the classic
+//! send-one-wait-one loop), collect completions as the server finishes
+//! them — in any order, matched by frame id — and refill the window.
+//! [`LoadConfig::idle_conns`] parked connections can ride along: they
+//! handshake, then sit silent for the whole run, proving idle sockets
+//! cost the server ~nothing. One refusal is *not* final:
 //! a `HELLO_BUSY` greeting ([`RpcError::Busy`] — the server is at its
 //! connection-handler cap) is retried with capped exponential backoff and
 //! deterministic equal-jitter, up to [`LoadConfig::busy_retries`] times
@@ -19,9 +24,10 @@
 //! valid hello (corrupt frame headers) — to prove the server answers junk
 //! with a typed error frame or a clean close, never a panic or a hang.
 
-use crate::client::RpcClient;
+use crate::client::{Outcome, RpcClient};
 use crate::proto;
 use crate::RpcError;
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -44,6 +50,12 @@ pub struct LoadConfig {
     /// Base backoff before the first busy retry; doubles per attempt
     /// (capped at 2 s) with deterministic equal-jitter.
     pub busy_backoff: Duration,
+    /// Requests each client keeps in flight (window size); 1 = the
+    /// classic closed loop.
+    pub pipeline: usize,
+    /// Extra connections that handshake and then sit idle for the whole
+    /// run — load on the server's connection table, not its compute.
+    pub idle_conns: usize,
 }
 
 impl Default for LoadConfig {
@@ -57,6 +69,8 @@ impl Default for LoadConfig {
             io_timeout: Duration::from_secs(10),
             busy_retries: 6,
             busy_backoff: Duration::from_millis(20),
+            pipeline: 1,
+            idle_conns: 0,
         }
     }
 }
@@ -99,6 +113,32 @@ impl LoadReport {
         } else {
             0.0
         }
+    }
+
+    /// The report as a flat JSON object (the `BENCH_rpc.json` artifact
+    /// CI tracks across PRs). Hand-rolled like the rest of the repo's
+    /// JSON — no serde in the container.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\n  \"completed\": {},\n  \"rejected\": {},\n  \"timed_out\": {},\n  \
+             \"shutdown\": {},\n  \"errors\": {},\n  \"busy_retries\": {},\n  \
+             \"wall_secs\": {:.6},\n  \"throughput_rps\": {:.3},\n  \
+             \"rtt_p50_us\": {:.3},\n  \"rtt_p95_us\": {:.3},\n  \"rtt_p99_us\": {:.3},\n  \
+             \"rtt_max_us\": {:.3},\n  \"rtt_mean_us\": {:.3}\n}}\n",
+            self.completed,
+            self.rejected,
+            self.timed_out,
+            self.shutdown,
+            self.errors,
+            self.busy_retries,
+            self.wall.as_secs_f64(),
+            self.throughput_rps(),
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.mean_us,
+        )
     }
 
     /// `metric,value` CSV, one line per field (same form factor as the
@@ -170,6 +210,11 @@ pub fn run(
     let conns: Vec<RpcClient> = (0..clients)
         .map(|c| connect_busy_retry(addr, cfg, c as u64, &mut busy_retries))
         .collect::<Result<_, _>>()?;
+    // Idle riders: handshake, then silence. Held until the run finishes
+    // so the server carries them in its connection table throughout.
+    let idle: Vec<RpcClient> = (0..cfg.idle_conns)
+        .map(|c| connect_busy_retry(addr, cfg, (clients + c) as u64, &mut busy_retries))
+        .collect::<Result<_, _>>()?;
     let mut report = LoadReport {
         busy_retries,
         ..LoadReport::default()
@@ -183,33 +228,57 @@ pub fn run(
             .map(|(c, mut client)| {
                 let quota = cfg.requests / clients + usize::from(c < cfg.requests % clients);
                 let deadline_us = cfg.deadline_us;
+                let window = cfg.pipeline.max(1);
                 s.spawn(move || {
                     let mut part = LoadReport::default();
                     let mut rtts = Vec::with_capacity(quota);
-                    for i in 0..quota {
-                        let sample = &samples[(c + i * clients) % samples.len()];
-                        let t = Instant::now();
-                        let r = if deadline_us > 0 {
-                            client.infer_with_budget(sample, deadline_us)
-                        } else {
-                            client.infer(sample)
-                        };
-                        match r {
-                            Ok(_) => {
-                                part.completed += 1;
-                                rtts.push(t.elapsed().as_secs_f64() * 1e6);
+                    let mut pending: HashMap<u64, Instant> = HashMap::with_capacity(window);
+                    let mut sent = 0usize;
+                    let mut answered = 0usize;
+                    'run: while answered < quota {
+                        // Refill the window, then collect one completion.
+                        while sent < quota && pending.len() < window {
+                            let sample = &samples[(c + sent * clients) % samples.len()];
+                            let t = Instant::now();
+                            match client.send_infer(sample, deadline_us) {
+                                Ok(id) => {
+                                    pending.insert(id, t);
+                                    sent += 1;
+                                }
+                                Err(_) => {
+                                    part.errors += 1;
+                                    break 'run;
+                                }
                             }
-                            Err(RpcError::Rejected) => part.rejected += 1,
-                            Err(RpcError::TimedOut) => part.timed_out += 1,
+                        }
+                        match client.recv_completion() {
+                            Ok(comp) => {
+                                answered += 1;
+                                let t = pending.remove(&comp.id);
+                                match comp.outcome {
+                                    Outcome::Probs(_) => {
+                                        part.completed += 1;
+                                        if let Some(t) = t {
+                                            rtts.push(t.elapsed().as_secs_f64() * 1e6);
+                                        }
+                                    }
+                                    Outcome::Rejected => part.rejected += 1,
+                                    Outcome::TimedOut => part.timed_out += 1,
+                                    Outcome::Error(_) => {
+                                        part.errors += 1;
+                                        break 'run;
+                                    }
+                                }
+                            }
                             Err(RpcError::ServerShutdown) => {
                                 // The server is draining: everything this
                                 // client still owes is cut short.
-                                part.shutdown += (quota - i) as u64;
-                                break;
+                                part.shutdown += (quota - answered) as u64;
+                                break 'run;
                             }
                             Err(_) => {
                                 part.errors += 1;
-                                break;
+                                break 'run;
                             }
                         }
                     }
@@ -228,6 +297,7 @@ pub fn run(
         }
     });
     report.wall = t0.elapsed();
+    drop(idle); // parked the whole run; close them only now
     rtts_us.sort_by(f64::total_cmp);
     report.p50_us = serve::metrics::percentile(&rtts_us, 0.50);
     report.p95_us = serve::metrics::percentile(&rtts_us, 0.95);

@@ -22,12 +22,30 @@
 //! ```
 //!
 //! `aux` carries the request's deadline budget in microseconds (0 = no
-//! deadline) and is reserved (0) in responses. `crc` is IEEE CRC-32 (the
-//! snapshot format's [`net::snapshot::crc32`]) over the first 20 header
-//! bytes, so a corrupted or misaligned header is detected before
+//! deadline). In responses `aux` is the sample index for
+//! [`REQ_INFER_STREAM`] answers and 0 otherwise. `crc` is IEEE CRC-32
+//! (the snapshot format's [`net::snapshot::crc32`]) over the first 20
+//! header bytes, so a corrupted or misaligned header is detected before
 //! `payload_len` is trusted. Request payloads are `f32` little-endian
 //! samples; [`RESP_PROBS`] payloads are `f32` outputs; [`RESP_ERROR`]
 //! payloads are UTF-8 diagnostics.
+//!
+//! **Pipelining** — the `id` field exists so a connection can have many
+//! requests in flight at once. The contract:
+//!
+//! - a client must keep `id` unique among its own in-flight requests on
+//!   one connection (monotonically increasing is the easy way);
+//! - the server echoes the request's `id` on every response frame, and
+//!   may deliver responses in **any order** — completion order is the
+//!   micro-batcher's business, not the socket's;
+//! - a [`REQ_INFER_STREAM`] request with K samples produces exactly K
+//!   responses, all carrying the request's `id`, distinguished by the
+//!   sample index in `aux`; they interleave freely with responses to
+//!   other ids.
+//!
+//! The only ordering guarantee is per-request: each request gets its
+//! response(s) exactly once. Clients that need FIFO behavior simply keep
+//! one request in flight.
 
 use std::fmt;
 
@@ -58,6 +76,12 @@ pub const REQ_INFER: u8 = 1;
 /// Request frame: ask the server to drain and shut down. Acknowledged with
 /// [`RESP_SHUTDOWN`].
 pub const REQ_DRAIN: u8 = 2;
+/// Request frame: K `f32` samples back to back in one payload
+/// (`payload_len = K * sample_len * 4`, K ≥ 1). Answered by exactly K
+/// responses sharing this frame's `id`, each response's `aux` holding
+/// the zero-based sample index. `aux` on the request is the per-sample
+/// deadline budget in microseconds, as for [`REQ_INFER`].
+pub const REQ_INFER_STREAM: u8 = 3;
 
 /// Response frame: softmax outputs (`f32` payload).
 pub const RESP_PROBS: u8 = 1;
@@ -243,7 +267,8 @@ pub struct FrameHeader {
     pub kind: u8,
     /// Request id; echoed verbatim in the response.
     pub id: u64,
-    /// Requests: deadline budget in µs (0 = none). Responses: reserved 0.
+    /// Requests: deadline budget in µs (0 = none). Responses: the
+    /// sample index for [`REQ_INFER_STREAM`] answers, 0 otherwise.
     pub aux: u32,
     /// Payload bytes following this header.
     pub payload_len: u32,

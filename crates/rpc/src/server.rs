@@ -1,73 +1,103 @@
-//! `RpcServer` — acceptor thread + bounded connection-handler pool
-//! bridging decoded wire requests into the `serve` micro-batcher.
+//! `RpcServer` — a single-threaded readiness loop multiplexing every
+//! connection, bridging decoded wire requests into the `serve`
+//! micro-batcher via completion callbacks.
 //!
-//! The acceptor owns the listening socket. On accept it decides admission
-//! *first* — a queue-depth counter mirrors the bounded connection queue —
-//! and only then writes the [`proto::encode_server_hello`]: an admitted
-//! client gets [`proto::HELLO_OK`] immediately (so it never blocks waiting
-//! for a handler slot just to finish its handshake), while a connection
-//! over the cap is greeted with [`proto::HELLO_BUSY`] and closed. The busy
-//! hello is the back-off signal ([`crate::RpcError::Busy`] client-side);
-//! the load generator retries it with capped exponential backoff.
+//! One event-loop thread owns the listening socket and every accepted
+//! connection. All sockets are non-blocking; the loop sleeps in
+//! [`crate::poller::PollSet::wait`] until a socket is ready, a
+//! completion callback rings the [`crate::poller::Waker`], or a
+//! deadline (stalled writer, drain grace) expires. An **idle** server —
+//! even one holding thousands of parked connections — makes zero
+//! wakeups: there is no accept-poll tick and no per-connection timeout
+//! spin. Compute never runs on the loop: frames are decoded, submitted
+//! to the shared [`serve::Client`] with [`serve::Client::submit_async`],
+//! and the loop moves on; the micro-batcher's worker invokes the
+//! completion callback, which encodes the response frame, queues it,
+//! and wakes the loop to write it out.
 //!
-//! Handlers are a fixed pool of threads, each serving one connection for
-//! that connection's lifetime: read a CRC-checked frame header, read the
-//! payload, submit the sample to the shared [`serve::Client`] (propagating
-//! the wire deadline budget into [`serve::Client::infer_with_deadline`]),
-//! and write the typed response — the reply bytes are encoded straight out
-//! of the batcher's pooled [`serve::OutputBuf`], no intermediate copy. All
-//! socket reads carry a short timeout so an idle connection re-checks the
-//! stop flag every tick; that bound is what makes drain prompt.
+//! **Connections are state machines, not threads.** Each holds a read
+//! buffer (bytes off the wire, parsed as they complete), a write buffer
+//! (responses queued until the socket accepts them), and a state:
 //!
-//! **Drain state machine** (see DESIGN.md): `serving` → (`shutdown()` or a
-//! client's [`proto::REQ_DRAIN`] observed by the owner) → `draining`: the
-//! acceptor stops accepting and is joined, the connection queue closes,
-//! each handler finishes the frame in flight, sends [`proto::RESP_SHUTDOWN`]
-//! on its connection — including connections still queued, which get a
-//! hello-then-shutdown goodbye — and exits; `shutdown()` returns once every
-//! thread is joined. A client blocked in `read` therefore sees a shutdown
-//! frame (or a clean FIN) within roughly one read-timeout tick plus the
-//! time to answer the in-flight frame; a reader that never drains its
-//! socket cannot wedge the drain because every write carries a timeout.
+//! ```text
+//! hello ──client hello ok──▶ open ──drain/EOF/fatal error──▶ closing ──flushed──▶ gone
+//! ```
 //!
-//! Decode errors never panic and never take down the server: a bad hello
-//! or corrupt header poisons only its own connection (error frame, then
-//! close — resynchronising a byte stream after a bad length prefix is not
-//! possible), while an intact header with an unexpected kind or payload
-//! length is answered with [`proto::RESP_ERROR`] and the connection lives
-//! on. Every rejection bumps `rpc.decode_errors`.
+//! Because responses are queued as their micro-batches complete, a
+//! connection may have many requests in flight and receive the answers
+//! **out of order** — the CGRP frame `id` (echoed on every response) is
+//! the correlation key, and [`proto::REQ_INFER_STREAM`] lets one frame
+//! carry K samples answered by K id-sharing responses (`aux` = sample
+//! index). Back-pressure is per-connection: a peer that stops reading
+//! grows its write buffer to `max_wbuf`, at which point the loop stops
+//! *reading* from it (no new requests), and a write stalled past
+//! `write_timeout` drops the connection.
+//!
+//! **Admission** is a live-connection cap decided before the hello goes
+//! out: over the cap means [`proto::HELLO_BUSY`] and close (the
+//! client-side back-off signal), and the seat is released only at
+//! connection teardown — "busy" means what it says, regardless of how
+//! the connection spends its lifetime.
+//!
+//! **Drain** (`shutdown()` or a client's [`proto::REQ_DRAIN`] observed
+//! by the owner) is wakeup-driven: the stop flag plus a wake reach the
+//! loop immediately, which closes the listener, answers what is in
+//! flight, writes [`proto::RESP_SHUTDOWN`] on every connection, flushes,
+//! and exits — bounded by `drain_grace` so a stalled peer cannot wedge
+//! it. A client blocked in `read` sees a shutdown frame or a clean FIN.
+//!
+//! Decode errors never panic and never take down the server: a bad
+//! hello or corrupt header poisons only its own connection (error
+//! frame, then close — a byte stream cannot be resynchronised after an
+//! untrustworthy length prefix), while an intact header with an
+//! unexpected kind or payload length is answered with
+//! [`proto::RESP_ERROR`] and the connection lives on. Every rejection
+//! bumps `rpc.decode_errors`.
 
+use crate::poller::{PollSet, WakePipe, Waker};
 use crate::proto::{self, DecodeError};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the wire front-end.
 #[derive(Debug, Clone)]
 pub struct RpcConfig {
-    /// Handler threads — the maximum number of concurrently served
-    /// connections.
+    /// Serve-pool sizing hint: with `max_connections == 0` the live
+    /// connection cap defaults to `handlers + backlog`, preserving the
+    /// admission behavior of the old thread-per-connection pool.
     pub handlers: usize,
-    /// Accepted connections allowed to queue for a free handler; one more
-    /// is greeted with [`proto::HELLO_BUSY`] and closed.
+    /// See `handlers` — second term of the default connection cap.
     pub backlog: usize,
-    /// Per-read socket timeout. Idle handlers re-check the stop flag at
-    /// this cadence, so it also bounds drain latency.
+    /// Unused by the readiness loop (sockets are non-blocking; drain is
+    /// wakeup-driven). Retained so existing configurations keep
+    /// compiling and CLI flags keep parsing.
     pub read_timeout: Duration,
-    /// Per-write socket timeout; a reader that never drains its socket
-    /// costs at most this long, then its connection is dropped.
+    /// How long a connection's pending response bytes may sit unwritten
+    /// while the peer refuses them; past this the connection is dropped.
     pub write_timeout: Duration,
     /// Per-frame payload cap; headers announcing more are decode errors.
     pub max_payload: u32,
+    /// Max live connections; one more is greeted with
+    /// [`proto::HELLO_BUSY`] and closed. `0` = `handlers + backlog`.
+    pub max_connections: usize,
+    /// Per-connection pending-write cap: past this the loop stops
+    /// reading new requests from that connection until the peer drains
+    /// its responses (flow control, not an error).
+    pub max_wbuf: usize,
+    /// Hard bound on the drain flush: connections still holding
+    /// unflushed bytes this long after shutdown began are cut off.
+    pub drain_grace: Duration,
 }
 
 impl Default for RpcConfig {
-    /// 8 handlers over a 16-deep accept queue; 100 ms reads, 1 s writes.
+    /// Cap of 24 live connections (8 + 16); 1 s write stall budget.
     fn default() -> Self {
         Self {
             handlers: 8,
@@ -75,6 +105,20 @@ impl Default for RpcConfig {
             read_timeout: Duration::from_millis(100),
             write_timeout: Duration::from_secs(1),
             max_payload: proto::MAX_PAYLOAD,
+            max_connections: 0,
+            max_wbuf: 1 << 20,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RpcConfig {
+    /// The effective live-connection cap.
+    fn conn_cap(&self) -> usize {
+        if self.max_connections > 0 {
+            self.max_connections
+        } else {
+            (self.handlers + self.backlog).max(1)
         }
     }
 }
@@ -97,7 +141,7 @@ pub struct RpcMetrics {
     pub bytes_out: obs::Counter,
     /// Malformed hellos/headers/payloads rejected (see [`DecodeError`]).
     pub decode_errors: obs::Counter,
-    /// Socket-level read/write failures (timeouts, resets).
+    /// Socket-level read/write failures (resets, stalled writers).
     pub io_errors: obs::Counter,
     /// Infer requests answered with probabilities.
     pub completed: obs::Counter,
@@ -105,10 +149,13 @@ pub struct RpcMetrics {
     pub rejected: obs::Counter,
     /// Infer requests answered with [`proto::RESP_TIMED_OUT`].
     pub timed_out: obs::Counter,
-    /// Handler panics survived (the thread returns to the pool).
+    /// Per-connection panics survived (the loop keeps serving).
     pub handler_panics: obs::Counter,
     /// Decode-to-response latency of answered infer frames.
     pub frame_seconds: obs::Histogram,
+    /// Event-loop wakeups — the idle-cost gauge: an idle server adds
+    /// ~nothing here no matter how many connections it holds.
+    pub loop_wakeups: obs::Counter,
     active: AtomicI64,
 }
 
@@ -131,6 +178,7 @@ impl RpcMetrics {
             timed_out: reg.counter("rpc.timed_out"),
             handler_panics: reg.counter("rpc.handler_panics"),
             frame_seconds: reg.histogram("rpc.frame_seconds", &obs::registry::DURATION_BOUNDS_SECS),
+            loop_wakeups: reg.counter("rpc.loop_wakeups"),
             active: AtomicI64::new(0),
         })
     }
@@ -146,31 +194,14 @@ impl RpcMetrics {
     }
 }
 
-/// Everything a handler thread needs; one clone per thread.
-#[derive(Clone)]
-struct HandlerCtx {
-    rx: Arc<Mutex<Receiver<TcpStream>>>,
-    bridge: serve::Client<f32>,
-    stop: Arc<AtomicBool>,
-    drain: Arc<AtomicBool>,
-    metrics: Arc<RpcMetrics>,
-    cfg: RpcConfig,
-    sample_len: usize,
-    /// Mirrors the connection queue's occupancy (incremented by the
-    /// acceptor before enqueue, decremented here on dequeue) so the
-    /// acceptor can refuse with [`proto::HELLO_BUSY`] *before* writing an
-    /// OK hello it cannot take back.
-    queue_depth: Arc<AtomicUsize>,
-}
-
-/// The running wire front-end. Dropping it signals the threads to stop;
-/// [`RpcServer::shutdown`] performs the graceful drain and joins them.
+/// The running wire front-end. Dropping it signals the loop to stop;
+/// [`RpcServer::shutdown`] performs the graceful drain and joins it.
 pub struct RpcServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    handlers: Vec<JoinHandle<()>>,
+    waker: Waker,
+    event_loop: Option<JoinHandle<()>>,
     metrics: Arc<RpcMetrics>,
 }
 
@@ -192,68 +223,48 @@ impl RpcServer {
         let stop = Arc::new(AtomicBool::new(false));
         let drain = Arc::new(AtomicBool::new(false));
         let metrics = RpcMetrics::register(reg);
-        let capacity = cfg.backlog.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(capacity);
-        let queue_depth = Arc::new(AtomicUsize::new(0));
-        let ctx = HandlerCtx {
-            rx: Arc::new(Mutex::new(rx)),
-            sample_len: bridge.sample_len(),
+        let (wake_rx, waker) = WakePipe::new()?;
+        let sample_len = bridge.sample_len();
+        let mut el = EventLoop {
+            listener: Some(listener),
+            conns: HashMap::new(),
+            next_conn: 0,
+            poll: PollSet::new(),
+            wake_rx,
+            waker: waker.clone(),
+            completions: Arc::new(Mutex::new(Vec::new())),
             bridge,
             stop: Arc::clone(&stop),
             drain: Arc::clone(&drain),
             metrics: Arc::clone(&metrics),
-            cfg: cfg.clone(),
-            queue_depth: Arc::clone(&queue_depth),
+            hello_ok: proto::encode_server_hello(
+                proto::HELLO_OK,
+                sample_len as u32,
+                output_len as u32,
+            ),
+            hello_busy: proto::encode_server_hello(
+                proto::HELLO_BUSY,
+                sample_len as u32,
+                output_len as u32,
+            ),
+            sample_len,
+            cap: cfg.conn_cap(),
+            cfg,
+            draining: false,
+            drain_deadline: None,
+            accept_retry_at: None,
         };
-        let mut handlers = Vec::with_capacity(cfg.handlers.max(1));
-        let spawn_result = (|| -> io::Result<JoinHandle<()>> {
-            for i in 0..cfg.handlers.max(1) {
-                let ctx = ctx.clone();
-                handlers.push(
-                    std::thread::Builder::new()
-                        .name(format!("rpc-handler-{i}"))
-                        .spawn(move || handler_main(ctx))?,
-                );
-            }
-            let actx = AcceptorCtx {
-                tx,
-                stop: Arc::clone(&stop),
-                metrics: Arc::clone(&metrics),
-                hello_ok: proto::encode_server_hello(
-                    proto::HELLO_OK,
-                    ctx.sample_len as u32,
-                    output_len as u32,
-                ),
-                hello_busy: proto::encode_server_hello(
-                    proto::HELLO_BUSY,
-                    ctx.sample_len as u32,
-                    output_len as u32,
-                ),
-                write_timeout: cfg.write_timeout,
-                queue_depth,
-                capacity,
-            };
-            std::thread::Builder::new()
-                .name("rpc-acceptor".into())
-                .spawn(move || acceptor_loop(listener, actx))
-        })();
-        match spawn_result {
-            Ok(acceptor) => Ok(Self {
-                local_addr,
-                stop,
-                drain,
-                acceptor: Some(acceptor),
-                handlers,
-                metrics,
-            }),
-            Err(e) => {
-                stop.store(true, Ordering::SeqCst);
-                for h in handlers {
-                    let _ = h.join();
-                }
-                Err(e)
-            }
-        }
+        let event_loop = std::thread::Builder::new()
+            .name("rpc-eventloop".into())
+            .spawn(move || el.run())?;
+        Ok(Self {
+            local_addr,
+            stop,
+            drain,
+            waker,
+            event_loop: Some(event_loop),
+            metrics,
+        })
     }
 
     /// The bound address (resolves `:0` to the ephemeral port).
@@ -274,366 +285,681 @@ impl RpcServer {
     }
 
     /// Graceful drain: stop accepting, answer in-flight frames, send
-    /// [`proto::RESP_SHUTDOWN`] on every live connection, close, and join
-    /// every thread. Bounded by the read/write timeouts plus the in-flight
+    /// [`proto::RESP_SHUTDOWN`] on every live connection, flush, close,
+    /// and join the loop. Bounded by `drain_grace` plus the in-flight
     /// work — a stalled peer cannot wedge it.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        // The acceptor's exit dropped the queue sender: handlers drain the
-        // remaining queued connections (hello already sent; they get the
-        // shutdown frame) and exit on disconnect.
-        for h in self.handlers.drain(..) {
-            let _ = h.join();
+        self.waker.wake();
+        if let Some(t) = self.event_loop.take() {
+            let _ = t.join();
         }
     }
 }
 
 impl Drop for RpcServer {
     fn drop(&mut self) {
-        // Belt and suspenders for the no-shutdown path: signal the threads
-        // so they exit within a poll tick; joining is shutdown()'s job.
+        // Belt and suspenders for the no-shutdown path: the wake reaches
+        // the loop immediately; joining is shutdown()'s job.
         self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+/// A response finished by the micro-batcher, waiting for the loop to
+/// append it to its connection's write buffer.
+struct Completion {
+    conn: u64,
+    /// The fully encoded response frame (header + payload).
+    frame: Vec<u8>,
+    /// When the request frame was decoded, for `rpc.frame_seconds`.
+    t0: Instant,
+    /// Close the connection after flushing (serve tier shut down).
+    close_after: bool,
 }
 
-/// What the acceptor thread owns besides the listening socket.
-struct AcceptorCtx {
-    tx: SyncSender<TcpStream>,
+/// Connection lifecycle. `Hello` = our hello is sent/queued, the
+/// client's hasn't arrived; `Open` = handshake complete, frames flow;
+/// `Closing` = flush the write buffer, then tear down.
+#[derive(PartialEq, Clone, Copy)]
+enum ConnState {
+    Hello,
+    Open,
+    Closing,
+}
+
+/// One multiplexed connection: socket + buffers + state machine.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Unparsed inbound bytes (`rstart..` is live).
+    rbuf: Vec<u8>,
+    rstart: usize,
+    /// Queued outbound bytes (`wstart..` is unwritten).
+    wbuf: Vec<u8>,
+    wstart: usize,
+    /// Responses the micro-batcher still owes this connection.
+    inflight: usize,
+    /// Peer half-closed cleanly; close once the last response flushes.
+    got_eof: bool,
+    /// When the current write stall began (pending bytes + WouldBlock).
+    stalled_since: Option<Instant>,
+    /// Lifetime trace span; ends when the connection is dropped.
+    _span: Option<obs::trace::Span>,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wstart
+    }
+
+    fn queue(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+}
+
+/// Encode a complete response frame (header + payload) into one buffer.
+fn encode_frame(kind: u8, id: u64, aux: u32, payload: &[u8]) -> Vec<u8> {
+    let head = proto::encode_header(kind, id, aux, payload.len() as u32);
+    let mut frame = Vec::with_capacity(head.len() + payload.len());
+    frame.extend_from_slice(&head);
+    frame.extend_from_slice(payload);
+    frame
+}
+
+struct EventLoop {
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    poll: PollSet,
+    wake_rx: WakePipe,
+    waker: Waker,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    bridge: serve::Client<f32>,
     stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     metrics: Arc<RpcMetrics>,
     hello_ok: [u8; proto::SERVER_HELLO_LEN],
     hello_busy: [u8; proto::SERVER_HELLO_LEN],
-    write_timeout: Duration,
-    queue_depth: Arc<AtomicUsize>,
-    capacity: usize,
+    sample_len: usize,
+    cap: usize,
+    cfg: RpcConfig,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    /// Back-off after a non-WouldBlock accept error (e.g. EMFILE), so
+    /// the loop doesn't spin on a listener that keeps failing.
+    accept_retry_at: Option<Instant>,
 }
 
-fn acceptor_loop(listener: TcpListener, a: AcceptorCtx) {
-    const ACCEPT_POLL: Duration = Duration::from_millis(10);
-    loop {
-        if a.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                a.metrics.connections.inc();
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_write_timeout(Some(a.write_timeout));
-                // Admission is decided before any hello goes out, so the
-                // hello itself can carry the verdict: over the cap means
-                // HELLO_BUSY and close, and the client backs off and
-                // retries instead of discovering a dead connection one
-                // frame later. Reserving the seat with fetch_add keeps the
-                // counter at or above the queue's true occupancy, so an
-                // admitted stream can never find the channel full.
-                let seat = a.queue_depth.fetch_add(1, Ordering::SeqCst);
-                if seat >= a.capacity {
-                    a.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                    a.metrics.rejected_connections.inc();
-                    let _ = stream.write_all(&a.hello_busy);
-                    let _ = stream.shutdown(Shutdown::Both);
-                    continue;
-                }
-                // The OK hello goes out here, not in the handler, so a
-                // client finishes its handshake even while every handler
-                // is busy.
-                if stream.write_all(&a.hello_ok).is_err() {
-                    a.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                    a.metrics.io_errors.inc();
-                    continue;
-                }
-                a.metrics.bytes_out.add(a.hello_ok.len() as u64);
-                match a.tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => {
-                        // Unreachable while the depth counter mirrors the
-                        // queue; kept as a defensive fallback. The OK hello
-                        // already went out, so the goodbye is a shutdown
-                        // frame rather than a busy hello.
-                        a.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                        a.metrics.rejected_connections.inc();
-                        busy_goodbye(stream);
-                    }
-                    Err(TrySendError::Disconnected(_)) => return,
+/// How long to keep the listener quiet after an accept error.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(10);
+
+impl EventLoop {
+    fn run(&mut self) {
+        loop {
+            if self.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining {
+                let deadline = self.drain_deadline.expect("set by begin_drain");
+                if self.conns.is_empty() || Instant::now() >= deadline {
+                    return; // dropping conns closes the sockets
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            // Transient accept failures (EMFILE, aborted connections):
-            // back off and keep listening.
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+
+            let (listener_slot, conn_slots, wake_slot) = self.build_poll_set();
+            let timeout = self.next_timeout();
+            if self.poll.wait(timeout).is_err() {
+                // poll(2) only fails on EINVAL/ENOMEM here; treat as fatal.
+                return;
+            }
+            self.metrics.loop_wakeups.inc();
+            if self.poll.readable(wake_slot) {
+                self.wake_rx.drain();
+            }
+            self.apply_completions();
+            if let Some(slot) = listener_slot {
+                if self.poll.readable(slot) {
+                    self.accept_ready();
+                }
+            } else if !self.draining && self.accept_retry_at.is_some_and(|at| Instant::now() >= at)
+            {
+                self.accept_retry_at = None;
+                self.accept_ready();
+            }
+            for (id, slot) in conn_slots {
+                self.service_conn(id, slot);
+            }
+            self.reap_closing();
         }
     }
-}
 
-/// Fallback goodbye for a stream that was admitted (OK hello sent) but
-/// then found the queue full: a shutdown frame, then close.
-fn busy_goodbye(mut stream: TcpStream) {
-    let _ = stream.write_all(&proto::encode_header(proto::RESP_SHUTDOWN, 0, 0, 0));
-    let _ = stream.shutdown(Shutdown::Both);
-}
+    /// Register every fd of interest for this iteration. Returns the
+    /// listener slot (if accepting), per-connection slots, and the
+    /// waker slot.
+    #[allow(clippy::type_complexity)]
+    fn build_poll_set(&mut self) -> (Option<usize>, Vec<(u64, Option<usize>)>, usize) {
+        self.poll.clear();
+        let accepting = !self.draining && self.accept_retry_at.is_none() && self.listener.is_some();
+        let listener_slot = if accepting {
+            let fd = self.listener.as_ref().expect("checked").as_raw_fd();
+            Some(self.poll.push(fd, true, false))
+        } else {
+            None
+        };
+        let wake_slot = self.poll.push(self.wake_rx.fd(), true, false);
+        let mut conn_slots = Vec::with_capacity(self.conns.len());
+        for (&id, c) in &self.conns {
+            let want_read = !self.draining
+                && !c.got_eof
+                && c.state != ConnState::Closing
+                && c.pending_write() < self.cfg.max_wbuf;
+            let want_write = c.pending_write() > 0;
+            let slot = if want_read || want_write {
+                Some(self.poll.push(c.stream.as_raw_fd(), want_read, want_write))
+            } else {
+                // Parked: waiting on in-flight completions only.
+                None
+            };
+            conn_slots.push((id, slot));
+        }
+        (listener_slot, conn_slots, wake_slot)
+    }
 
-fn handler_main(ctx: HandlerCtx) {
-    const CONN_POLL: Duration = Duration::from_millis(50);
-    loop {
-        let next = lock(&ctx.rx).recv_timeout(CONN_POLL);
-        match next {
-            Ok(stream) => {
-                // The stream now occupies a handler, not the queue; free
-                // its seat so the acceptor can admit the next connection.
-                ctx.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                ctx.metrics.conn_opened();
-                let r = std::panic::catch_unwind(AssertUnwindSafe(|| handle_conn(stream, &ctx)));
-                ctx.metrics.conn_closed();
-                if r.is_err() {
-                    // A panic poisons only its own connection; the thread
-                    // returns to the pool for the next one.
-                    ctx.metrics.handler_panics.inc();
-                }
+    /// The earliest deadline the loop must wake for, if any. An idle
+    /// server has none and sleeps indefinitely.
+    fn next_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut deadline: Option<Instant> = self.drain_deadline;
+        if let Some(at) = self.accept_retry_at {
+            deadline = Some(deadline.map_or(at, |d| d.min(at)));
+        }
+        for c in self.conns.values() {
+            if let Some(since) = c.stalled_since {
+                let at = since + self.cfg.write_timeout;
+                deadline = Some(deadline.map_or(at, |d| d.min(at)));
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if ctx.stop.load(Ordering::SeqCst) {
+        }
+        deadline.map(|d| d.saturating_duration_since(now))
+    }
+
+    /// Stop accepting and queue the shutdown goodbye on every
+    /// connection with no responses outstanding.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + self.cfg.drain_grace);
+        self.listener = None;
+        let m = Arc::clone(&self.metrics);
+        for c in self.conns.values_mut() {
+            if c.state != ConnState::Closing && c.inflight == 0 {
+                let frame = encode_frame(proto::RESP_SHUTDOWN, 0, 0, &[]);
+                m.frames_out.inc();
+                m.bytes_out.add(frame.len() as u64);
+                c.queue(&frame);
+                c.state = ConnState::Closing;
+            }
+        }
+    }
+
+    /// Move finished micro-batch responses into their connections'
+    /// write buffers.
+    fn apply_completions(&mut self) {
+        let batch = {
+            let mut q = self.completions.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *q)
+        };
+        for comp in batch {
+            let Some(c) = self.conns.get_mut(&comp.conn) else {
+                continue; // connection died while the batch ran
+            };
+            c.inflight -= 1;
+            self.metrics.frames_out.inc();
+            self.metrics.bytes_out.add(comp.frame.len() as u64);
+            self.metrics
+                .frame_seconds
+                .observe(comp.t0.elapsed().as_secs_f64());
+            c.queue(&comp.frame);
+            if comp.close_after && c.state != ConnState::Closing {
+                c.state = ConnState::Closing;
+            }
+            if c.inflight == 0 && c.state != ConnState::Closing && (self.draining || c.got_eof) {
+                if self.draining {
+                    let frame = encode_frame(proto::RESP_SHUTDOWN, 0, 0, &[]);
+                    self.metrics.frames_out.inc();
+                    self.metrics.bytes_out.add(frame.len() as u64);
+                    c.queue(&frame);
+                }
+                c.state = ConnState::Closing;
+            }
+        }
+    }
+
+    /// Accept until the listener would block. Admission is decided
+    /// against the live-connection count *before* the hello goes out.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.metrics.connections.inc();
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    if self.conns.len() >= self.cap {
+                        // Over the cap: the hello carries the verdict, so
+                        // the client backs off instead of discovering a
+                        // dead connection one frame later. A fresh socket
+                        // buffer always takes 16 bytes.
+                        self.metrics.rejected_connections.inc();
+                        let _ = (&stream).write(&self.hello_busy);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.metrics.conn_opened();
+                    self.metrics.bytes_out.add(self.hello_ok.len() as u64);
+                    let mut conn = Conn {
+                        stream,
+                        state: ConnState::Hello,
+                        rbuf: Vec::new(),
+                        rstart: 0,
+                        wbuf: Vec::new(),
+                        wstart: 0,
+                        inflight: 0,
+                        got_eof: false,
+                        stalled_since: None,
+                        _span: obs::trace::span("conn", "rpc"),
+                    };
+                    conn.queue(&self.hello_ok);
+                    self.conns.insert(id, conn);
+                    // Flush the hello now — the common case writes it in
+                    // one call and the client's handshake completes
+                    // without waiting for another loop turn.
+                    self.service_conn(id, None);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // Transient accept failure (EMFILE, aborted peer):
+                    // leave the listener out of the poll set briefly so
+                    // a persistent error can't spin the loop.
+                    self.accept_retry_at = Some(Instant::now() + ACCEPT_ERROR_BACKOFF);
                     return;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
-}
 
-/// What an interruptible full-buffer read observed.
-enum ReadOutcome {
-    /// Buffer filled.
-    Done,
-    /// Peer closed; `partial` when it hung up mid-buffer.
-    Eof { partial: bool },
-    /// The stop flag was raised while waiting.
-    Stopped,
-}
-
-/// Fill `buf` from `stream`, re-checking `stop` on every read-timeout tick
-/// so a drain interrupts an idle read instead of waiting for the peer.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<ReadOutcome> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Ok(ReadOutcome::Eof {
-                    partial: filled > 0,
-                })
+    /// Run one connection's read/parse/dispatch/write turn; a panic
+    /// poisons only this connection.
+    fn service_conn(&mut self, id: u64, slot: Option<usize>) {
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+        let readable = slot.is_some_and(|s| self.poll.readable(s));
+        let alive = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ok = true;
+            if readable {
+                ok = self.conn_read(id);
             }
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
+            if ok {
+                ok = self.conn_flush(id);
+            }
+            if ok {
+                // Flushing may have freed write-buffer headroom; parse
+                // any requests flow control had left in the read buffer.
+                ok = self.parse_ready(id) || self.conn_flush(id);
+            }
+            ok
+        }));
+        match alive {
+            Ok(true) => {}
+            Ok(false) => self.kill_conn(id),
+            Err(_) => {
+                self.metrics.handler_panics.inc();
+                self.kill_conn(id);
+            }
+        }
+    }
+
+    /// Drop a connection immediately (fatal I/O error or panic).
+    fn kill_conn(&mut self, id: u64) {
+        if self.conns.remove(&id).is_some() {
+            self.metrics.conn_closed();
+        }
+    }
+
+    /// Closing connections with nothing left to write are done; so are
+    /// stalled writers past their budget (checked here so a timeout
+    /// fires even when poll reported no events for the socket).
+    fn reap_closing(&mut self) {
+        let now = Instant::now();
+        let mut dead = Vec::new();
+        for (&id, c) in &self.conns {
+            if c.state == ConnState::Closing && c.pending_write() == 0 {
+                dead.push((id, false));
+            } else if c
+                .stalled_since
+                .is_some_and(|s| now.duration_since(s) >= self.cfg.write_timeout)
             {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(ReadOutcome::Stopped);
+                dead.push((id, true));
+            }
+        }
+        for (id, timed_out) in dead {
+            if timed_out {
+                self.metrics.io_errors.inc();
+            }
+            if let Some(c) = self.conns.remove(&id) {
+                let _ = c.stream.shutdown(Shutdown::Both);
+                self.metrics.conn_closed();
+            }
+        }
+    }
+
+    /// Read whatever the socket has, then parse complete hello/frames
+    /// out of the buffer. Returns `false` if the connection must die
+    /// without flushing (mid-frame disconnect, I/O error).
+    fn conn_read(&mut self, id: u64) -> bool {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            let c = self.conns.get_mut(&id).expect("caller holds a live id");
+            match c.stream.read(&mut scratch) {
+                Ok(0) => {
+                    let partial = c.rstart < c.rbuf.len();
+                    if partial {
+                        // EOF inside a hello/header/payload: stream
+                        // corruption, nothing more to answer.
+                        self.metrics.decode_errors.inc();
+                        return false;
+                    }
+                    c.got_eof = true;
+                    if c.inflight == 0 && c.state != ConnState::Closing {
+                        // Clean goodbye: flush anything queued and close.
+                        c.state = ConnState::Closing;
+                    }
+                    return true;
+                }
+                Ok(n) => {
+                    self.metrics.bytes_in.add(n as u64);
+                    c.rbuf.extend_from_slice(&scratch[..n]);
+                    if !self.parse_ready(id) {
+                        return true; // parse error queued a goodbye; flush it
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.metrics.io_errors.inc();
+                    return false;
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
         }
     }
-    Ok(ReadOutcome::Done)
-}
 
-fn send_frame(
-    stream: &mut TcpStream,
-    kind: u8,
-    id: u64,
-    payload: &[u8],
-    m: &RpcMetrics,
-) -> io::Result<()> {
-    let head = proto::encode_header(kind, id, 0, payload.len() as u32);
-    stream.write_all(&head)?;
-    stream.write_all(payload)?;
-    m.frames_out.inc();
-    m.bytes_out.add((head.len() + payload.len()) as u64);
-    Ok(())
-}
-
-/// Best-effort shutdown frame; the connection is closing either way.
-fn send_shutdown(stream: &mut TcpStream, m: &RpcMetrics) {
-    let _ = send_frame(stream, proto::RESP_SHUTDOWN, 0, &[], m);
-}
-
-/// Serve one connection until EOF, a fatal decode error, or drain.
-fn handle_conn(mut stream: TcpStream, ctx: &HandlerCtx) {
-    let m = &ctx.metrics;
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(ctx.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(ctx.cfg.write_timeout));
-    let _conn_span = obs::trace::span("conn", "rpc");
-
-    // The acceptor already sent our hello; the client's comes first.
-    let mut hb = [0u8; proto::CLIENT_HELLO_LEN];
-    match read_full(&mut stream, &mut hb, &ctx.stop) {
-        Ok(ReadOutcome::Done) => m.bytes_in.add(hb.len() as u64),
-        Ok(ReadOutcome::Eof { partial }) => {
-            if partial {
-                m.decode_errors.inc();
+    /// Parse every complete message in the read buffer. Returns `false`
+    /// once the connection has entered `Closing` (fatal decode error or
+    /// drain ack) — remaining input is discarded.
+    fn parse_ready(&mut self, id: u64) -> bool {
+        loop {
+            let c = self.conns.get_mut(&id).expect("caller holds a live id");
+            if c.state == ConnState::Closing || c.pending_write() >= self.cfg.max_wbuf {
+                // Flow control: stop decoding while the peer isn't
+                // draining responses; unread requests stay in rbuf.
+                break;
             }
-            return;
-        }
-        Ok(ReadOutcome::Stopped) => return send_shutdown(&mut stream, m),
-        Err(_) => return m.io_errors.inc(),
-    }
-    if let Err(e) = proto::decode_client_hello(&hb) {
-        m.decode_errors.inc();
-        let _ = send_frame(
-            &mut stream,
-            proto::RESP_ERROR,
-            0,
-            e.to_string().as_bytes(),
-            m,
-        );
-        return;
-    }
-
-    let expected_payload = ctx.sample_len * std::mem::size_of::<f32>();
-    let mut payload = Vec::new();
-    let mut reply = Vec::new();
-    loop {
-        if ctx.stop.load(Ordering::SeqCst) {
-            return send_shutdown(&mut stream, m);
-        }
-        let mut head = [0u8; proto::FRAME_HEADER_LEN];
-        match read_full(&mut stream, &mut head, &ctx.stop) {
-            Ok(ReadOutcome::Done) => m.bytes_in.add(head.len() as u64),
-            Ok(ReadOutcome::Eof { partial }) => {
-                // EOF on a frame boundary is the normal goodbye; EOF inside
-                // a header is a mid-frame disconnect.
-                if partial {
-                    m.decode_errors.inc();
+            let avail = c.rbuf.len() - c.rstart;
+            match c.state {
+                ConnState::Hello => {
+                    if avail < proto::CLIENT_HELLO_LEN {
+                        break;
+                    }
+                    let hb = &c.rbuf[c.rstart..c.rstart + proto::CLIENT_HELLO_LEN];
+                    match proto::decode_client_hello(hb.try_into().expect("sized slice")) {
+                        Ok(()) => {
+                            c.rstart += proto::CLIENT_HELLO_LEN;
+                            c.state = ConnState::Open;
+                        }
+                        Err(e) => {
+                            self.fatal_frame_error(id, 0, &e.to_string());
+                            break;
+                        }
+                    }
                 }
-                return;
+                ConnState::Open => {
+                    if avail < proto::FRAME_HEADER_LEN {
+                        break;
+                    }
+                    let hb = &c.rbuf[c.rstart..c.rstart + proto::FRAME_HEADER_LEN];
+                    let header = match proto::decode_header(hb.try_into().expect("sized slice")) {
+                        Ok(h) => h,
+                        Err(e) => {
+                            // No trustworthy payload_len to resync on.
+                            self.fatal_frame_error(id, 0, &e.to_string());
+                            break;
+                        }
+                    };
+                    if header.payload_len > self.cfg.max_payload {
+                        // Reject before buffering a byte of it.
+                        let e = DecodeError::Oversize {
+                            len: header.payload_len,
+                            max: self.cfg.max_payload,
+                        };
+                        self.fatal_frame_error(id, header.id, &e.to_string());
+                        break;
+                    }
+                    let frame_len = proto::FRAME_HEADER_LEN + header.payload_len as usize;
+                    if avail < frame_len {
+                        break;
+                    }
+                    self.metrics.frames_in.inc();
+                    let _frame_span = obs::trace::span("frame", "rpc");
+                    let payload_at = c.rstart + proto::FRAME_HEADER_LEN;
+                    let payload: Vec<u8> =
+                        c.rbuf[payload_at..payload_at + header.payload_len as usize].to_vec();
+                    c.rstart += frame_len;
+                    self.dispatch(id, header, &payload);
+                }
+                ConnState::Closing => break,
             }
-            Ok(ReadOutcome::Stopped) => return send_shutdown(&mut stream, m),
-            Err(_) => return m.io_errors.inc(),
         }
-        let header = match proto::decode_header(&head) {
-            Ok(h) => h,
-            Err(e) => {
-                // A corrupt header leaves no trustworthy payload_len to
-                // resynchronise on; explain and close.
-                m.decode_errors.inc();
-                let _ = send_frame(
-                    &mut stream,
-                    proto::RESP_ERROR,
-                    0,
-                    e.to_string().as_bytes(),
-                    m,
-                );
-                return;
-            }
-        };
-        if header.payload_len > ctx.cfg.max_payload {
-            // Reject before allocating a byte of it.
-            m.decode_errors.inc();
-            let e = DecodeError::Oversize {
-                len: header.payload_len,
-                max: ctx.cfg.max_payload,
-            };
-            let _ = send_frame(
-                &mut stream,
-                proto::RESP_ERROR,
-                header.id,
-                e.to_string().as_bytes(),
-                m,
-            );
-            return;
+        // Compact the consumed prefix so the buffer doesn't grow forever.
+        let c = self.conns.get_mut(&id).expect("caller holds a live id");
+        if c.rstart > 0 {
+            c.rbuf.drain(..c.rstart);
+            c.rstart = 0;
         }
-        m.frames_in.inc();
-        let _frame_span = obs::trace::span("frame", "rpc");
-        let t0 = Instant::now();
-        // The header CRC held, so the framing is trustworthy: consume the
-        // payload even for kinds/lengths we then refuse, keeping the
-        // connection usable.
-        payload.clear();
-        payload.resize(header.payload_len as usize, 0);
-        match read_full(&mut stream, &mut payload, &ctx.stop) {
-            Ok(ReadOutcome::Done) => m.bytes_in.add(payload.len() as u64),
-            Ok(ReadOutcome::Eof { .. }) => {
-                m.decode_errors.inc(); // truncated payload
-                return;
-            }
-            Ok(ReadOutcome::Stopped) => return send_shutdown(&mut stream, m),
-            Err(_) => return m.io_errors.inc(),
+        c.state != ConnState::Closing
+    }
+
+    /// Decode failure that poisons the connection: count it, explain it,
+    /// start closing.
+    fn fatal_frame_error(&mut self, id: u64, frame_id: u64, msg: &str) {
+        self.metrics.decode_errors.inc();
+        self.queue_response(id, proto::RESP_ERROR, frame_id, 0, msg.as_bytes());
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.state = ConnState::Closing;
         }
-        let sent = match header.kind {
+    }
+
+    /// Append an encoded response frame to a connection's write buffer.
+    fn queue_response(&mut self, id: u64, kind: u8, frame_id: u64, aux: u32, payload: &[u8]) {
+        let frame = encode_frame(kind, frame_id, aux, payload);
+        self.metrics.frames_out.inc();
+        self.metrics.bytes_out.add(frame.len() as u64);
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.queue(&frame);
+        }
+    }
+
+    /// Act on one complete, CRC-valid frame.
+    fn dispatch(&mut self, id: u64, header: proto::FrameHeader, payload: &[u8]) {
+        let m = &self.metrics;
+        let sample_bytes = self.sample_len * std::mem::size_of::<f32>();
+        match header.kind {
             proto::REQ_DRAIN => {
-                // Surface the request to the owner (who decides to stop);
-                // acknowledge so the drainer can hang up immediately.
-                ctx.drain.store(true, Ordering::SeqCst);
-                send_frame(&mut stream, proto::RESP_SHUTDOWN, header.id, &[], m)
+                // Surface the request to the owner (who decides to
+                // stop); acknowledge so the drainer can hang up.
+                self.drain.store(true, Ordering::SeqCst);
+                self.queue_response(id, proto::RESP_SHUTDOWN, header.id, 0, &[]);
             }
-            proto::REQ_INFER if payload.len() != expected_payload => {
+            proto::REQ_INFER if payload.len() != sample_bytes => {
                 m.decode_errors.inc();
                 let msg = format!(
-                    "infer payload is {} bytes, sample shape needs {expected_payload}",
+                    "infer payload is {} bytes, sample shape needs {sample_bytes}",
                     payload.len()
                 );
-                send_frame(&mut stream, proto::RESP_ERROR, header.id, msg.as_bytes(), m)
+                self.queue_response(id, proto::RESP_ERROR, header.id, 0, msg.as_bytes());
             }
             proto::REQ_INFER => {
-                let sample = proto::read_f32s(&payload).expect("length checked above");
-                let result = if header.aux > 0 {
-                    ctx.bridge.infer_with_deadline(
-                        &sample,
-                        Instant::now() + Duration::from_micros(u64::from(header.aux)),
-                    )
-                } else {
-                    ctx.bridge.infer(&sample)
-                };
-                match result {
-                    Ok(out) => {
-                        // Encode straight from the batcher's pooled buffer.
-                        reply.clear();
-                        proto::write_f32s(&mut reply, &out);
-                        m.completed.inc();
-                        send_frame(&mut stream, proto::RESP_PROBS, header.id, &reply, m)
-                    }
-                    Err(serve::ServeError::Rejected) => {
-                        m.rejected.inc();
-                        send_frame(&mut stream, proto::RESP_REJECTED, header.id, &[], m)
-                    }
-                    Err(serve::ServeError::TimedOut) => {
-                        m.timed_out.inc();
-                        send_frame(&mut stream, proto::RESP_TIMED_OUT, header.id, &[], m)
-                    }
-                    Err(serve::ServeError::Closed) => {
-                        let _ = send_frame(&mut stream, proto::RESP_SHUTDOWN, header.id, &[], m);
-                        return;
-                    }
-                    Err(e) => send_frame(
-                        &mut stream,
-                        proto::RESP_ERROR,
-                        header.id,
-                        e.to_string().as_bytes(),
-                        m,
-                    ),
+                let sample = proto::read_f32s(payload).expect("length checked above");
+                self.submit_sample(id, header.id, 0, sample, header.aux);
+            }
+            proto::REQ_INFER_STREAM
+                if payload.is_empty() || !payload.len().is_multiple_of(sample_bytes) =>
+            {
+                m.decode_errors.inc();
+                let msg = format!(
+                    "stream payload is {} bytes, need a positive multiple of {sample_bytes}",
+                    payload.len()
+                );
+                self.queue_response(id, proto::RESP_ERROR, header.id, 0, msg.as_bytes());
+            }
+            proto::REQ_INFER_STREAM => {
+                let flat = proto::read_f32s(payload).expect("length checked above");
+                for (k, sample) in flat.chunks_exact(self.sample_len).enumerate() {
+                    self.submit_sample(id, header.id, k as u32, sample.to_vec(), header.aux);
                 }
             }
             k => {
                 m.decode_errors.inc();
                 let msg = format!("unknown request kind {k}");
-                send_frame(&mut stream, proto::RESP_ERROR, header.id, msg.as_bytes(), m)
+                self.queue_response(id, proto::RESP_ERROR, header.id, 0, msg.as_bytes());
             }
-        };
-        m.frame_seconds.observe(t0.elapsed().as_secs_f64());
-        if sent.is_err() {
-            // The peer stalled past the write timeout or went away.
-            m.io_errors.inc();
-            return;
         }
+    }
+
+    /// Hand one sample to the micro-batcher. The completion callback —
+    /// run on a serve worker — encodes the response frame, queues it,
+    /// and wakes the loop. Synchronous verdicts (queue full, serve tier
+    /// closed) are answered in place.
+    fn submit_sample(&mut self, id: u64, frame_id: u64, index: u32, sample: Vec<f32>, budget: u32) {
+        let deadline = (budget > 0).then(|| Instant::now() + Duration::from_micros(budget.into()));
+        let t0 = Instant::now();
+        let comps = Arc::clone(&self.completions);
+        let waker = self.waker.clone();
+        let metrics = Arc::clone(&self.metrics);
+        let res = self.bridge.submit_async(sample, deadline, move |r| {
+            let (frame, close_after) = match r {
+                Ok(out) => {
+                    let mut p = Vec::new();
+                    proto::write_f32s(&mut p, &out);
+                    metrics.completed.inc();
+                    (encode_frame(proto::RESP_PROBS, frame_id, index, &p), false)
+                }
+                Err(serve::ServeError::Rejected) => {
+                    metrics.rejected.inc();
+                    (
+                        encode_frame(proto::RESP_REJECTED, frame_id, index, &[]),
+                        false,
+                    )
+                }
+                Err(serve::ServeError::TimedOut) => {
+                    metrics.timed_out.inc();
+                    (
+                        encode_frame(proto::RESP_TIMED_OUT, frame_id, index, &[]),
+                        false,
+                    )
+                }
+                Err(serve::ServeError::Closed) => (
+                    encode_frame(proto::RESP_SHUTDOWN, frame_id, index, &[]),
+                    true,
+                ),
+                Err(e) => (
+                    encode_frame(proto::RESP_ERROR, frame_id, index, e.to_string().as_bytes()),
+                    false,
+                ),
+            };
+            let mut q = comps.lock().unwrap_or_else(|p| p.into_inner());
+            q.push(Completion {
+                conn: id,
+                frame,
+                t0,
+                close_after,
+            });
+            drop(q);
+            waker.wake();
+        });
+        match res {
+            Ok(()) => {
+                if let Some(c) = self.conns.get_mut(&id) {
+                    c.inflight += 1;
+                }
+            }
+            Err(serve::ServeError::Rejected) => {
+                self.metrics.rejected.inc();
+                self.queue_response(id, proto::RESP_REJECTED, frame_id, index, &[]);
+                self.metrics
+                    .frame_seconds
+                    .observe(t0.elapsed().as_secs_f64());
+            }
+            Err(serve::ServeError::Closed) => {
+                self.queue_response(id, proto::RESP_SHUTDOWN, frame_id, index, &[]);
+                if let Some(c) = self.conns.get_mut(&id) {
+                    c.state = ConnState::Closing;
+                }
+            }
+            Err(e) => {
+                // BadInput is pre-checked; anything else is surfaced.
+                self.queue_response(
+                    id,
+                    proto::RESP_ERROR,
+                    frame_id,
+                    index,
+                    e.to_string().as_bytes(),
+                );
+            }
+        }
+    }
+
+    /// Push pending bytes at the socket. Returns `false` on a fatal
+    /// write error.
+    fn conn_flush(&mut self, id: u64) -> bool {
+        let cfg_write_timeout = self.cfg.write_timeout;
+        let c = self.conns.get_mut(&id).expect("caller holds a live id");
+        while c.wstart < c.wbuf.len() {
+            match c.stream.write(&c.wbuf[c.wstart..]) {
+                Ok(0) => {
+                    self.metrics.io_errors.inc();
+                    return false;
+                }
+                Ok(n) => {
+                    c.wstart += n;
+                    c.stalled_since = None;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let since = *c.stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= cfg_write_timeout {
+                        self.metrics.io_errors.inc();
+                        return false;
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.metrics.io_errors.inc();
+                    return false;
+                }
+            }
+        }
+        if c.wstart == c.wbuf.len() {
+            c.wbuf.clear();
+            c.wstart = 0;
+            c.stalled_since = None;
+        } else if c.wstart > 32 * 1024 {
+            c.wbuf.drain(..c.wstart);
+            c.wstart = 0;
+        }
+        true
     }
 }

@@ -1,0 +1,255 @@
+//! The multiplexed protocol: pipelined requests on one connection,
+//! out-of-order response delivery matched by frame id, and the
+//! streaming request kind interleaved with unary frames.
+
+use rpc::client::Outcome;
+use rpc::{proto, RpcClient, RpcConfig, RpcServer};
+use serve::{BatchPolicy, EngineConfig, EngineFactory, Server};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+const TRAIN: &str = r#"
+name: t
+layer {
+  name: d
+  type: Data
+  batch: 4
+  top: data
+  top: label
+}
+layer {
+  name: ip
+  type: InnerProduct
+  num_output: 3
+  seed: 5
+  bottom: data
+  top: ip
+}
+layer {
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip
+  bottom: label
+  top: prob
+}
+"#;
+
+/// One replica behind the wire front-end, with a configurable straggler
+/// window so tests can park a batch mid-assembly.
+fn start_stack(policy: BatchPolicy) -> (Server<f32>, RpcServer, obs::Registry) {
+    let spec = net::NetSpec::parse(TRAIN).unwrap();
+    let factory = EngineFactory::<f32>::new(
+        &spec,
+        &blob::Shape::from(vec![6usize]),
+        &EngineConfig {
+            max_batch: 4,
+            n_threads: 1,
+        },
+        None,
+    )
+    .unwrap();
+    let server = Server::start(factory.build_n(1).unwrap(), policy).unwrap();
+    let reg = obs::Registry::new();
+    let rpc = RpcServer::start(
+        "127.0.0.1:0",
+        server.client(),
+        server.output_len(),
+        RpcConfig::default(),
+        &reg,
+    )
+    .unwrap();
+    (server, rpc, reg)
+}
+
+/// A slow request issued before a fast one: their responses cross on the
+/// wire, and the client matches them back by id. The slow request is a
+/// no-deadline sample that waits out the whole straggler window; the
+/// fast one carries a 1 µs budget, so the batcher sheds it with
+/// `TimedOut` at assembly — *before* the batch computes — making the
+/// crossing deterministic, not a scheduling accident.
+#[test]
+fn responses_cross_and_are_matched_by_id() {
+    let (server, rpc, _reg) = start_stack(BatchPolicy {
+        max_delay: Duration::from_millis(200),
+        queue_depth: 64,
+    });
+    let mut client = RpcClient::connect(rpc.local_addr()).unwrap();
+    let sample = vec![0.25f32; 6];
+
+    let slow = client.send_infer(&sample, 0).unwrap();
+    let fast = client.send_infer(&sample, 1).unwrap();
+    assert_eq!(client.in_flight(), 2);
+
+    let first = client.recv_completion().unwrap();
+    assert_eq!(first.id, fast, "the later request must answer first");
+    assert_eq!(first.outcome, Outcome::TimedOut);
+
+    let second = client.recv_completion().unwrap();
+    assert_eq!(second.id, slow);
+    assert!(matches!(second.outcome, Outcome::Probs(_)));
+    assert_eq!(client.in_flight(), 0);
+
+    rpc.shutdown();
+    server.shutdown();
+}
+
+/// The client against a scripted server that answers three pipelined
+/// requests in reverse order — pure id bookkeeping, no timing involved.
+#[test]
+fn client_matches_reversed_responses_from_scripted_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let script = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        s.write_all(&proto::encode_server_hello(proto::HELLO_OK, 2, 1))
+            .unwrap();
+        let mut hello = [0u8; proto::CLIENT_HELLO_LEN];
+        s.read_exact(&mut hello).unwrap();
+        // Read three unary requests, remembering their ids.
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let mut head = [0u8; proto::FRAME_HEADER_LEN];
+            s.read_exact(&mut head).unwrap();
+            let h = proto::decode_header(&head).unwrap();
+            assert_eq!(h.kind, proto::REQ_INFER);
+            let mut payload = vec![0u8; h.payload_len as usize];
+            s.read_exact(&mut payload).unwrap();
+            ids.push(h.id);
+        }
+        // Answer newest-first, each with a payload naming its id.
+        for &id in ids.iter().rev() {
+            let mut p = Vec::new();
+            proto::write_f32s(&mut p, &[id as f32]);
+            let head = proto::encode_header(proto::RESP_PROBS, id, 0, p.len() as u32);
+            s.write_all(&head).unwrap();
+            s.write_all(&p).unwrap();
+        }
+    });
+
+    let mut client = RpcClient::connect(addr).unwrap();
+    let ids: Vec<u64> = (0..3)
+        .map(|_| client.send_infer(&[0.5, 0.5], 0).unwrap())
+        .collect();
+    // Completions arrive reversed; each must carry its own id's payload.
+    for expect in ids.iter().rev() {
+        let c = client.recv_completion().unwrap();
+        assert_eq!(c.id, *expect);
+        assert_eq!(c.outcome, Outcome::Probs(vec![*expect as f32]));
+    }
+    script.join().unwrap();
+}
+
+/// A stream frame and unary frames interleaved on one connection: every
+/// sample's wire output is bit-identical to the in-process answer, and
+/// the K stream responses are demuxed by index.
+#[test]
+fn stream_and_unary_interleave_bit_identically() {
+    let (server, rpc, _reg) = start_stack(BatchPolicy::default());
+    let samples: Vec<Vec<f32>> = (0..5)
+        .map(|i| (0..6).map(|j| (i * 6 + j) as f32 * 0.03).collect())
+        .collect();
+    let expected: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|s| server.infer(s).unwrap().to_vec())
+        .collect();
+
+    let mut client = RpcClient::connect(rpc.local_addr()).unwrap();
+    // One frame carrying samples 0..3, then two unary frames, all in
+    // flight together before any response is read.
+    let flat: Vec<f32> = samples[..3].concat();
+    let (sid, k) = client.send_infer_stream(&flat, 0).unwrap();
+    assert_eq!(k, 3);
+    let u3 = client.send_infer(&samples[3], 0).unwrap();
+    let u4 = client.send_infer(&samples[4], 0).unwrap();
+    assert_eq!(client.in_flight(), 5);
+
+    let mut got: Vec<Option<Vec<f32>>> = vec![None; 5];
+    for _ in 0..5 {
+        let c = client.recv_completion().unwrap();
+        let Outcome::Probs(p) = c.outcome else {
+            panic!("unexpected outcome for id {}", c.id);
+        };
+        let slot = if c.id == sid {
+            c.index as usize
+        } else if c.id == u3 {
+            3
+        } else if c.id == u4 {
+            4
+        } else {
+            panic!("unknown id {}", c.id);
+        };
+        assert!(got[slot].is_none(), "duplicate answer for slot {slot}");
+        got[slot] = Some(p);
+    }
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(g.as_deref(), Some(e.as_slice()), "sample {i} differs");
+    }
+
+    // The convenience wrapper orders by index on its own.
+    let ordered = client.infer_stream(&flat).unwrap();
+    assert_eq!(ordered, expected[..3].to_vec());
+
+    rpc.shutdown();
+    server.shutdown();
+}
+
+/// A stream frame whose payload is not a positive multiple of the sample
+/// size is refused with an error frame — and the connection survives it.
+#[test]
+fn malformed_stream_payload_is_refused_connection_lives() {
+    let (server, rpc, reg) = start_stack(BatchPolicy::default());
+    let mut s = TcpStream::connect(rpc.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut hello = [0u8; proto::SERVER_HELLO_LEN];
+    s.read_exact(&mut hello).unwrap();
+    s.write_all(&proto::encode_client_hello()).unwrap();
+
+    // 10 bytes: not a multiple of the 24-byte f32 sample.
+    let junk = [0u8; 10];
+    let head = proto::encode_header(proto::REQ_INFER_STREAM, 9, 0, junk.len() as u32);
+    s.write_all(&head).unwrap();
+    s.write_all(&junk).unwrap();
+    let mut rhead = [0u8; proto::FRAME_HEADER_LEN];
+    s.read_exact(&mut rhead).unwrap();
+    let rh = proto::decode_header(&rhead).unwrap();
+    assert_eq!(rh.kind, proto::RESP_ERROR);
+    assert_eq!(rh.id, 9);
+    let mut msg = vec![0u8; rh.payload_len as usize];
+    s.read_exact(&mut msg).unwrap();
+    assert!(String::from_utf8_lossy(&msg).contains("multiple"));
+    assert_eq!(reg.counter("rpc.decode_errors").get(), 1);
+
+    // Same connection, now a well-formed unary request: still served.
+    let mut p = Vec::new();
+    proto::write_f32s(&mut p, &[0.1f32; 6]);
+    let head = proto::encode_header(proto::REQ_INFER, 10, 0, p.len() as u32);
+    s.write_all(&head).unwrap();
+    s.write_all(&p).unwrap();
+    s.read_exact(&mut rhead).unwrap();
+    let rh = proto::decode_header(&rhead).unwrap();
+    assert_eq!(rh.kind, proto::RESP_PROBS);
+    assert_eq!(rh.id, 10);
+
+    drop(s);
+    rpc.shutdown();
+    server.shutdown();
+}
+
+/// Client-side validation: a stream batch that doesn't divide into
+/// samples never reaches the wire.
+#[test]
+fn client_refuses_ragged_stream_batches() {
+    let (server, rpc, _reg) = start_stack(BatchPolicy::default());
+    let mut client = RpcClient::connect(rpc.local_addr()).unwrap();
+    assert!(matches!(
+        client.send_infer_stream(&[0.0f32; 7], 0),
+        Err(rpc::RpcError::ShapeMismatch { .. })
+    ));
+    assert!(matches!(
+        client.send_infer_stream(&[], 0),
+        Err(rpc::RpcError::ShapeMismatch { .. })
+    ));
+    rpc.shutdown();
+    server.shutdown();
+}

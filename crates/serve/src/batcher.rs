@@ -84,12 +84,34 @@ impl Default for SupervisorPolicy {
     }
 }
 
-/// One in-flight request: the sample, its timing, and the reply channel.
+/// How a finished request reaches its submitter: blocking callers wait on
+/// a rendezvous channel; event-driven callers (the `rpc` readiness loop)
+/// hand over a completion callback that the worker invokes in place of a
+/// channel send — no thread parks waiting for the answer.
+enum Responder<S: Scalar> {
+    Channel(SyncSender<Result<OutputBuf<S>, ServeError>>),
+    Callback(Box<dyn FnOnce(Result<OutputBuf<S>, ServeError>) + Send>),
+}
+
+impl<S: Scalar> Responder<S> {
+    /// Deliver the outcome. A hung-up channel receiver is the caller's
+    /// business (it already gave up); callbacks always run.
+    fn respond(self, result: Result<OutputBuf<S>, ServeError>) {
+        match self {
+            Responder::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Responder::Callback(cb) => cb(result),
+        }
+    }
+}
+
+/// One in-flight request: the sample, its timing, and the reply path.
 struct Request<S: Scalar> {
     input: Vec<S>,
     submitted: Instant,
     deadline: Option<Instant>,
-    reply: SyncSender<Result<OutputBuf<S>, ServeError>>,
+    reply: Responder<S>,
 }
 
 /// Everything a worker thread needs besides its own engine; cloned once
@@ -352,7 +374,38 @@ impl<S: Scalar + Send + 'static> Client<S> {
         self.submit(input, Some(deadline))
     }
 
+    /// Submit one sample without blocking: `callback` runs on the worker
+    /// thread that finishes the request (with the output, or `TimedOut` if
+    /// the deadline expired in the queue, or a replica error). Admission
+    /// failures are synchronous — `Rejected` (queue full) and `Closed`
+    /// (no healthy replica / shut down) return as errors here and the
+    /// callback is never invoked, so the caller can answer backpressure
+    /// immediately instead of parking a thread on it.
+    ///
+    /// This is the bridge the event-driven `rpc` front-end rides: thousands
+    /// of connections share the batcher with zero blocked handler threads,
+    /// and compute still runs on the bounded worker pool.
+    pub fn submit_async(
+        &self,
+        input: Vec<S>,
+        deadline: Option<Instant>,
+        callback: impl FnOnce(Result<OutputBuf<S>, ServeError>) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        self.enqueue(input, deadline, Responder::Callback(Box::new(callback)))
+    }
+
     fn submit(&self, input: &[S], deadline: Option<Instant>) -> Result<OutputBuf<S>, ServeError> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        self.enqueue(input.to_vec(), deadline, Responder::Channel(reply_tx))?;
+        reply_rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    fn enqueue(
+        &self,
+        input: Vec<S>,
+        deadline: Option<Instant>,
+        reply: Responder<S>,
+    ) -> Result<(), ServeError> {
         if input.len() != self.sample_len {
             return Err(ServeError::BadInput(format!(
                 "sample has {} values, server expects {}",
@@ -367,29 +420,27 @@ impl<S: Scalar + Send + 'static> Client<S> {
             // fast failure into an unbounded stall.)
             return Err(ServeError::Closed);
         }
-        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
         let req = Request {
-            input: input.to_vec(),
+            input,
             submitted: Instant::now(),
             deadline,
-            reply: reply_tx,
+            reply,
         };
         // Count before sending so a worker's dequeue can never observe the
         // counter below zero; undo on the failure paths.
         self.metrics.on_enqueue();
         match self.tx.try_send(req) {
-            Ok(()) => {}
+            Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => {
                 self.metrics.on_dequeue();
                 self.metrics.on_rejected();
-                return Err(ServeError::Rejected);
+                Err(ServeError::Rejected)
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.metrics.on_dequeue();
-                return Err(ServeError::Closed);
+                Err(ServeError::Closed)
             }
         }
-        reply_rx.recv().unwrap_or(Err(ServeError::Closed))
     }
 }
 
@@ -511,7 +562,7 @@ fn worker_loop<S: Scalar + Send + 'static>(
             .partition(|r| r.deadline.is_none_or(|d| d > now));
         for r in dead {
             metrics.on_timed_out();
-            let _ = r.reply.send(Err(ServeError::TimedOut));
+            r.reply.respond(Err(ServeError::TimedOut));
         }
         if live.is_empty() {
             continue;
@@ -541,13 +592,13 @@ fn worker_loop<S: Scalar + Send + 'static>(
                 let done = Instant::now();
                 for (r, out) in live.into_iter().zip(outputs) {
                     metrics.on_completed(done - r.submitted);
-                    let _ = r.reply.send(Ok(out));
+                    r.reply.respond(Ok(out));
                 }
             }
             Ok(Err(e)) => {
                 metrics.on_replica_error(replica);
                 for r in live {
-                    let _ = r.reply.send(Err(e.clone()));
+                    r.reply.respond(Err(e.clone()));
                 }
             }
             Err(panic) => {
@@ -560,7 +611,7 @@ fn worker_loop<S: Scalar + Send + 'static>(
                 metrics.on_replica_dead(replica);
                 let err = ServeError::Replica(format!("replica {replica} panicked: {msg}"));
                 for r in live {
-                    let _ = r.reply.send(Err(err.clone()));
+                    r.reply.respond(Err(err.clone()));
                 }
                 // Retire: the engine state is suspect after an unwind. The
                 // supervisor (if any) will rebuild from the factory.
@@ -678,6 +729,33 @@ layer {
         server.shutdown();
         assert_eq!(misses, 1, "steady state allocates nothing");
         assert_eq!(hits, 49);
+    }
+
+    #[test]
+    fn submit_async_matches_blocking_infer() {
+        let server = Server::start(engines(1), BatchPolicy::default()).unwrap();
+        let x = [0.5f32; 6];
+        let want = server.infer(&x).unwrap().to_vec();
+        let (tx, rx) = std::sync::mpsc::channel();
+        server
+            .client()
+            .submit_async(x.to_vec(), None, move |r| {
+                let _ = tx.send(r.map(|o| o.to_vec()));
+            })
+            .unwrap();
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("callback ran")
+            .unwrap();
+        assert_eq!(got, want, "callback path is bit-identical to blocking");
+        // Shape errors surface synchronously; the callback is never invoked.
+        let e = server
+            .client()
+            .submit_async(vec![0.0; 5], None, |_| panic!("must not run"))
+            .unwrap_err();
+        assert!(matches!(e, ServeError::BadInput(_)));
+        let report = server.shutdown();
+        assert_eq!(report.completed, 2);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!                [--listen ADDR]      # serve over TCP instead of in-process
 //! cgdnn load     --connect ADDR [--clients N] [--requests M] [--fuzz K]
 //!                [--drain-server]     # wire load generator (E17)
+//! cgdnn stats    --connect ADDR [--watch SECS] [--csv|--json]
+//!                                      # live metrics scrape of any
+//!                                      # serving / coordinating process
 //! cgdnn simulate <spec.prototxt> [--data KIND]
 //! ```
 //!
@@ -112,6 +115,46 @@ fn write_observability(args: &Args, events: Option<&[obs::Event]>) -> Result<(),
         }
     }
     Ok(())
+}
+
+/// Periodic `--metrics FILE` rewrite during a long run
+/// (`--metrics-every SECS`): each flush replaces the file atomically via
+/// [`net::write_atomic`], so a scraper tailing it never reads a torn CSV.
+/// Idle (every tick a no-op) unless both flags are present.
+struct MetricsFlusher {
+    path: Option<String>,
+    every: std::time::Duration,
+    last: std::time::Instant,
+}
+
+impl MetricsFlusher {
+    fn from_args(args: &Args) -> Result<Self, String> {
+        let every_secs: f64 = args.get_parse("metrics-every", 0.0)?;
+        let path = (every_secs > 0.0)
+            .then(|| args.get("metrics").filter(|p| *p != "-"))
+            .flatten()
+            .map(String::from);
+        Ok(Self {
+            path,
+            every: std::time::Duration::from_secs_f64(every_secs.max(1e-3)),
+            last: std::time::Instant::now(),
+        })
+    }
+
+    /// Rewrite the file if the interval has elapsed. Write failures are
+    /// reported once per occurrence but never interrupt the run — the
+    /// flusher is telemetry, not state.
+    fn tick(&mut self) {
+        let Some(path) = &self.path else { return };
+        if self.last.elapsed() < self.every {
+            return;
+        }
+        self.last = std::time::Instant::now();
+        let csv = obs::registry::global().csv();
+        if let Err(e) = net::write_atomic(Path::new(path), csv.as_bytes()) {
+            eprintln!("warning: periodic metrics flush to {path} failed: {e}");
+        }
+    }
 }
 
 fn load_net(args: &Args) -> Result<Net<f32>, String> {
@@ -220,6 +263,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         trainer.enable_profiling();
     }
     start_tracing(args)?;
+    let mut flusher = MetricsFlusher::from_args(args)?;
 
     let mut loss_lines: Vec<String> = Vec::new();
     let fault_tolerant = snapshot_every > 0 || resume_dir.is_some();
@@ -278,6 +322,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
                 if it % every == 0 || it == target {
                     println!("iter {it:>6}  loss {loss:.8e}");
                 }
+                flusher.tick();
             },
         )
         .map_err(|e| e.to_string())?;
@@ -299,6 +344,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             if i % every == 0 || i + 1 == iters {
                 println!("iter {:>6}  loss {loss:.5}", i + 1);
             }
+            flusher.tick();
             if !loss.is_finite() {
                 return Err(format!(
                     "diverged at iteration {i}; rerun with --snapshot-every to get \
@@ -527,6 +573,7 @@ fn cmd_train_coordinator(args: &Args) -> Result<(), String> {
     }
 
     let mut loss_lines: Vec<String> = Vec::new();
+    let mut flusher = MetricsFlusher::from_args(args)?;
     let every = (iters / 20).max(1) as u64;
     let coord_cfg = dist::CoordinatorConfig {
         dist: dist_cfg,
@@ -537,6 +584,7 @@ fn cmd_train_coordinator(args: &Args) -> Result<(), String> {
         if it.is_multiple_of(every) || it == iters as u64 {
             println!("iter {it:>6}  loss {loss:.8e}");
         }
+        flusher.tick();
         Ok(())
     };
     // Elastic mode is opt-in: a restart budget or an explicit willingness
@@ -807,11 +855,13 @@ fn run_rpc_server(args: &Args, server: serve::Server<f32>, listen: &str) -> Resu
             .map_err(|e| format!("{path}: {e}"))?;
     }
     let t0 = std::time::Instant::now();
+    let mut flusher = MetricsFlusher::from_args(args)?;
     while !rpc_server.drain_requested() {
         if serve_for_ms > 0 && t0.elapsed().as_millis() as u64 >= serve_for_ms {
             println!("--serve-for-ms elapsed; draining");
             break;
         }
+        flusher.tick();
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     rpc_server.shutdown();
@@ -901,6 +951,42 @@ fn cmd_load(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cgdnn stats --connect ADDR` — scrape a live process's metric registry
+/// over the wire (`FRAME_STATS`). Works against both a `cgdnn infer
+/// --listen` event loop and a training coordinator; neither is disturbed
+/// (the RPC loop answers inline between request frames, the coordinator
+/// at its next step boundary). `--watch SECS` re-scrapes forever;
+/// `--csv` (default) and `--json` pick the exposition.
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let connect = args.get("connect").ok_or("missing --connect ADDR")?;
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(connect)
+        .map_err(|e| format!("{connect}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{connect}: resolves to no address"))?;
+    if args.has("csv") && args.has("json") {
+        return Err("--csv and --json are mutually exclusive".into());
+    }
+    let watch_secs: f64 = args.get_parse("watch", 0.0)?;
+    let io_timeout = std::time::Duration::from_secs(10);
+    let mut first = true;
+    loop {
+        let snap = rpc::fetch_stats(addr, io_timeout).map_err(|e| e.to_string())?;
+        if !first {
+            println!();
+        }
+        first = false;
+        if args.has("json") {
+            println!("{}", snap.json());
+        } else {
+            print!("{}", snap.csv());
+        }
+        if watch_secs <= 0.0 {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(watch_secs));
+    }
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let net = load_net(args)?;
     let sim = NetworkSim::paper_machine(&net.profiles());
@@ -950,7 +1036,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: cgdnn <summary|train|infer|load|simulate> <spec.prototxt> [flags]
+const USAGE: &str = "usage: cgdnn <summary|train|infer|load|stats|simulate> <spec.prototxt> [flags]
   --data synthetic-mnist|synthetic-cifar|idx:<imgs>,<lbls>|cifar-bin:<file>
   --threads N     team size (train, infer)
   --iters N       iterations (train)
@@ -1025,6 +1111,15 @@ network serving (infer --listen / load):
   --fuzz N          (load) also throw N malformed connections at the server
   --drain-server    (load) ask the server to drain and exit afterwards
   --json FILE       (load) write the report as JSON (BENCH_rpc.json in CI)
+live stats scrape (stats):
+  --connect ADDR    (stats) process to scrape: a `cgdnn infer --listen`
+                    server (answered inline by the event loop) or a
+                    training coordinator (answered at the next step
+                    boundary); in-flight traffic is undisturbed
+  --watch SECS      (stats) re-scrape every SECS forever (default: once)
+  --csv | --json    (stats) exposition format (default: csv); includes
+                    histogram/summary p50/p90/p99 and, after a
+                    distributed run, per-rank r<N>.* rows
 observability (train and infer):
   --profile         print the measured per-layer fwd/bwd table (paper
                     Table-2 layout) and imbalance factors after training
@@ -1036,16 +1131,25 @@ observability (train and infer):
   --trace-stream FILE  stream each span to FILE as it finishes instead of
                     buffering (O(1) trace memory for arbitrarily long runs)
   --metrics FILE    write the global metrics registry as CSV ('-' = stdout)
+  --metrics-every SECS  also rewrite --metrics FILE atomically every SECS
+                    during the run (serving loop, training step, and
+                    coordinator step all tick it), so a scraper can tail
+                    a long run without waiting for teardown
 simulate flags:
   --cluster W1,W2,..  also project multi-node data-parallel scaling at the
                     given worker counts (param-server vs reduction tree);
                     --csv FILE writes the series";
 
 fn main() -> ExitCode {
-    let args = match Args::parse_with_switches(
-        std::env::args().skip(1),
-        &["profile", "drain-server", "degraded-ok", "rejoin"],
-    ) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut switches: Vec<&str> = vec!["profile", "drain-server", "degraded-ok", "rejoin"];
+    if raw.first().is_some_and(|s| s == "stats") {
+        // `stats` reuses --csv/--json as value-less format selectors;
+        // everywhere else they are FILE-valued flags, so the switch set
+        // must be picked per subcommand before parsing.
+        switches.extend(["csv", "json"]);
+    }
+    let args = match Args::parse_with_switches(raw.into_iter(), &switches) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -1057,6 +1161,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args),
         Some("infer") => cmd_infer(&args),
         Some("load") => cmd_load(&args),
+        Some("stats") => cmd_stats(&args),
         Some("simulate") => cmd_simulate(&args),
         _ => {
             eprintln!("{USAGE}");

@@ -264,6 +264,7 @@ mod tests {
             ts_us: 0.0,
             dur_us: dur,
             tid,
+            pid: 1,
         };
         let events = vec![
             mk(0, "region", "omprt", 100.0),

@@ -38,8 +38,9 @@
 //!   apart from the data cursor, which the rejoin ack lets them re-seat.
 
 use crate::frames::{
-    accumulate_scaled_into_diffs, done_to_err, encode_welcome, flatten_diffs, flatten_params,
-    load_params, recv_frame, recv_tensor, send_frame, send_tensor,
+    accumulate_scaled_into_diffs, decode_trace_events, done_to_err, encode_welcome, flatten_diffs,
+    flatten_params, load_params, recv_blob, recv_frame, recv_tensor, send_blob, send_frame,
+    send_tensor, Welcome, WELCOME_FLAG_TRACING,
 };
 use crate::{DistConfig, DistError};
 use layers::ReductionMode;
@@ -140,6 +141,25 @@ impl Metrics {
     }
 }
 
+/// The welcome / rejoin-ack payload for this run, stamped with the
+/// observability handshake: the tracing flag (workers mirror it) and the
+/// coordinator's trace clock, sampled *now* so the worker's offset
+/// computation sees the freshest possible reference.
+fn welcome_payload(cfg: &CoordinatorConfig) -> [u8; 24] {
+    let flags = if obs::trace::enabled() {
+        WELCOME_FLAG_TRACING
+    } else {
+        0
+    };
+    encode_welcome(&Welcome {
+        world: cfg.dist.world as u32,
+        effective_batch: cfg.dist.effective_batch as u32,
+        iters: cfg.dist.iters as u32,
+        flags,
+        coord_clock_us: obs::trace::now_us() as u64,
+    })
+}
+
 /// Accept and admit `world` workers: hello exchange, `FRAME_JOIN` with the
 /// rank in `aux`, `FRAME_WELCOME` reply. Returns streams indexed by rank.
 /// Leaves the listener nonblocking — the elastic step loop keeps polling
@@ -203,11 +223,7 @@ fn admit_workers(
             proto::FRAME_WELCOME,
             0,
             rank as u32,
-            &encode_welcome(
-                world as u32,
-                cfg.dist.effective_batch as u32,
-                cfg.dist.iters as u32,
-            ),
+            &welcome_payload(cfg),
         )?;
         streams[rank] = Some(stream);
         joined += 1;
@@ -308,9 +324,7 @@ where
         let inv_world = 1.0f32 / world as f32;
         let local_batch = self.cfg.dist.local_batch();
 
-        if self.elastic.is_some() {
-            self.poll_rejoins(step);
-        }
+        self.poll_control(step);
 
         let params = flatten_params(self.net);
         {
@@ -465,26 +479,28 @@ where
         Ok(())
     }
 
-    /// Drain the (nonblocking) listener of rejoin attempts and seat each
-    /// valid one back into its dead slot. Never fatal to the run — a bad
-    /// rejoiner is rejected and dropped.
-    fn poll_rejoins(&mut self, resume_step: u64) {
+    /// Drain the (nonblocking) listener of control connections — rejoin
+    /// attempts and live `FRAME_STATS` scrapes — at a step boundary. Never
+    /// fatal to the run: a bad peer is rejected and dropped.
+    fn poll_control(&mut self, resume_step: u64) {
         loop {
             let stream = match self.listener.accept() {
                 Ok((s, _)) => s,
                 Err(_) => return,
             };
-            if let Err(e) = self.seat_rejoiner(stream, resume_step) {
-                eprintln!("coordinator: rejected rejoin attempt: {e}");
+            if let Err(e) = self.serve_control(stream, resume_step) {
+                eprintln!("coordinator: control connection rejected: {e}");
             }
         }
     }
 
-    /// One bounded rejoin handshake: hello exchange, `FRAME_REJOIN(rank)`,
-    /// ack carrying `(resume_step, run shape)`. Every read/write is under
-    /// `io_timeout`.
-    fn seat_rejoiner(&mut self, mut stream: TcpStream, resume_step: u64) -> Result<(), DistError> {
-        let _span = obs::trace::span("dist_rejoin", "dist");
+    /// One bounded control handshake: hello exchange, then dispatch on the
+    /// first frame — `FRAME_STATS` is answered with a chunked registry
+    /// snapshot (any mode; `cgdnn stats --connect` against a training
+    /// coordinator), `FRAME_REJOIN(rank)` is acked with
+    /// `(resume_step, run shape)` and seated (elastic mode only). Every
+    /// read/write is under `io_timeout`.
+    fn serve_control(&mut self, mut stream: TcpStream, resume_step: u64) -> Result<(), DistError> {
         let world = self.cfg.dist.world;
         stream.set_nonblocking(false)?;
         stream.set_nodelay(true)?;
@@ -500,11 +516,25 @@ where
             .map_err(|e| DistError::Io(format!("reading client hello: {e}")))?;
         proto::decode_client_hello(&hello)?;
         let req = recv_frame(&mut stream)?;
-        if req.kind != proto::FRAME_REJOIN {
-            return Err(DistError::Protocol(format!(
-                "expected FRAME_REJOIN, got kind {}",
-                req.kind
-            )));
+        match req.kind {
+            proto::FRAME_STATS => {
+                let bytes = obs::registry::global().snapshot().to_bytes();
+                send_blob(&mut stream, proto::FRAME_STATS, req.id, &bytes)?;
+                return Ok(());
+            }
+            proto::FRAME_REJOIN => {}
+            k => {
+                return Err(DistError::Protocol(format!(
+                    "expected FRAME_REJOIN or FRAME_STATS, got kind {k}"
+                )))
+            }
+        }
+        let _span = obs::trace::span("dist_rejoin", "dist");
+        if self.elastic.is_none() {
+            let _ = send_frame(&mut stream, proto::FRAME_DONE, 0, 1, b"run is not elastic");
+            return Err(DistError::Protocol(
+                "rejoin attempt on a fail-stop run".into(),
+            ));
         }
         let rank = req.aux as usize;
         if rank >= world {
@@ -524,16 +554,42 @@ where
             proto::FRAME_REJOIN,
             resume_step,
             rank as u32,
-            &encode_welcome(
-                world as u32,
-                self.cfg.dist.effective_batch as u32,
-                self.cfg.dist.iters as u32,
-            ),
+            &welcome_payload(self.cfg),
         )?;
         self.slots[rank] = Some(stream);
         self.metrics.rejoins.inc();
         eprintln!("coordinator: worker {rank} rejoined at step {resume_step}");
         Ok(())
+    }
+
+    /// After the clean `FRAME_DONE` broadcast, every live worker flushes a
+    /// metric delta (`FRAME_STATS`) and its clock-shifted trace buffer
+    /// (`FRAME_TRACE`) before closing. Read both per live rank in rank
+    /// order — each read bounded by `io_timeout`, each rank best-effort —
+    /// merging metrics under the `r{rank}.` prefix and folding the events
+    /// into this process's trace store, so the coordinator's `--metrics` /
+    /// `--trace` exports carry every rank.
+    fn collect_observability(&mut self) {
+        let reg = obs::registry::global();
+        for rank in 0..self.cfg.dist.world {
+            let Some(s) = self.slots[rank].as_mut() else {
+                continue;
+            };
+            let got = recv_blob(s, proto::FRAME_STATS, rank as u64, None)
+                .and_then(|b| obs::Snapshot::from_bytes(&b).map_err(DistError::Protocol))
+                .and_then(|snap| {
+                    reg.merge(&snap, &format!("r{rank}."))
+                        .map_err(DistError::Protocol)
+                })
+                .and_then(|()| recv_blob(s, proto::FRAME_TRACE, rank as u64, None))
+                .and_then(|b| decode_trace_events(&b));
+            match got {
+                Ok(events) => obs::trace::inject_events(events),
+                Err(e) => {
+                    eprintln!("coordinator: rank {rank} observability flush not collected: {e}")
+                }
+            }
+        }
     }
 
     /// Broadcast `FRAME_DONE` to every live worker, best-effort (a send to
@@ -651,6 +707,7 @@ where
     match sl.run() {
         Ok(()) => {
             sl.broadcast_done(0, "training complete");
+            sl.collect_observability();
             Ok(sl.losses)
         }
         Err(e) => {

@@ -202,27 +202,220 @@ pub fn done_to_err(f: &Frame) -> DistError {
     }
 }
 
-/// Encode the `FRAME_WELCOME` payload: world | effective batch | iters.
-pub fn encode_welcome(world: u32, effective_batch: u32, iters: u32) -> [u8; 12] {
-    let mut b = [0u8; 12];
-    b[0..4].copy_from_slice(&world.to_le_bytes());
-    b[4..8].copy_from_slice(&effective_batch.to_le_bytes());
-    b[8..12].copy_from_slice(&iters.to_le_bytes());
+/// `Welcome.flags` bit 0: the coordinator is tracing — workers should
+/// buffer trace events and flush them at teardown.
+pub const WELCOME_FLAG_TRACING: u32 = 1;
+
+/// The `FRAME_WELCOME` / rejoin-ack payload: session shape plus the
+/// observability handshake (feature flags and the coordinator's
+/// monotonic clock, µs, sampled just before the payload was encoded —
+/// the worker pins its own clock against it so both sides' trace
+/// timestamps land on one timeline, within a one-way network delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Welcome {
+    /// Ranks in the session, coordinator included.
+    pub world: u32,
+    /// Total samples per step across all ranks.
+    pub effective_batch: u32,
+    /// Steps the session will run.
+    pub iters: u32,
+    /// Feature bits ([`WELCOME_FLAG_TRACING`], rest reserved zero).
+    pub flags: u32,
+    /// Coordinator trace-clock sample, µs since its trace epoch.
+    pub coord_clock_us: u64,
+}
+
+/// Encode the `FRAME_WELCOME` payload:
+/// world | effective batch | iters | flags | coordinator clock (µs).
+pub fn encode_welcome(w: &Welcome) -> [u8; 24] {
+    let mut b = [0u8; 24];
+    b[0..4].copy_from_slice(&w.world.to_le_bytes());
+    b[4..8].copy_from_slice(&w.effective_batch.to_le_bytes());
+    b[8..12].copy_from_slice(&w.iters.to_le_bytes());
+    b[12..16].copy_from_slice(&w.flags.to_le_bytes());
+    b[16..24].copy_from_slice(&w.coord_clock_us.to_le_bytes());
     b
 }
 
-/// Decode a `FRAME_WELCOME` payload into `(world, effective_batch, iters)`.
-pub fn decode_welcome(b: &[u8]) -> Result<(u32, u32, u32), DistError> {
-    if b.len() != 12 {
+/// Decode a `FRAME_WELCOME` payload into a [`Welcome`].
+pub fn decode_welcome(b: &[u8]) -> Result<Welcome, DistError> {
+    if b.len() != 24 {
         return Err(decode_err(DecodeError::BadPayload(
-            "welcome payload is not 12 bytes",
+            "welcome payload is not 24 bytes",
         )));
     }
-    Ok((
-        u32::from_le_bytes(b[0..4].try_into().unwrap()),
-        u32::from_le_bytes(b[4..8].try_into().unwrap()),
-        u32::from_le_bytes(b[8..12].try_into().unwrap()),
-    ))
+    Ok(Welcome {
+        world: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+        effective_batch: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+        iters: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+        flags: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+        coord_clock_us: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+    })
+}
+
+/// Hard cap on a reassembled byte blob (stats snapshot or trace flush):
+/// 16 MiB. The chunk-count word could theoretically announce far more;
+/// this keeps a lying peer from making the receiver allocate it.
+pub const MAX_BLOB_BYTES: usize = 16 << 20;
+
+/// Send an opaque byte blob (registry snapshot, trace flush) as a run of
+/// chunk frames of `kind` with the given `id`, mirroring [`send_tensor`]'s
+/// `(chunk_idx, n_chunks)` aux packing. An empty blob still sends one
+/// empty chunk so the receiver always sees the run.
+pub fn send_blob(w: &mut impl Write, kind: u8, id: u64, bytes: &[u8]) -> Result<(), DistError> {
+    let chunk = MAX_CHUNK_BYTES as usize;
+    let n_chunks = bytes.len().div_ceil(chunk).max(1);
+    if bytes.is_empty() {
+        return send_frame(w, kind, id, proto::encode_chunk_aux(0, 1), &[]);
+    }
+    for (i, part) in bytes.chunks(chunk).enumerate() {
+        send_frame(w, kind, id, proto::encode_chunk_aux(i, n_chunks), part)?;
+    }
+    Ok(())
+}
+
+/// Receive a chunked byte blob of `want_kind` / `want_id`: strict chunk
+/// order, stable chunk count, total size capped at [`MAX_BLOB_BYTES`].
+/// `first` is a frame the caller already pulled off the stream.
+pub fn recv_blob(
+    r: &mut impl Read,
+    want_kind: u8,
+    want_id: u64,
+    mut first: Option<Frame>,
+) -> Result<Vec<u8>, DistError> {
+    let mut bytes = Vec::new();
+    let mut n_chunks: Option<usize> = None;
+    let mut next_idx = 0usize;
+    loop {
+        let f = match first.take() {
+            Some(f) => f,
+            None => recv_frame(r)?,
+        };
+        if f.kind == proto::FRAME_DONE {
+            return Err(done_to_err(&f));
+        }
+        if f.kind != want_kind {
+            return Err(DistError::Protocol(format!(
+                "expected frame kind {want_kind}, got {}",
+                f.kind
+            )));
+        }
+        if f.id != want_id {
+            return Err(DistError::Protocol(format!(
+                "blob frame with id {}, expected {want_id}",
+                f.id
+            )));
+        }
+        let (idx, n) = proto::decode_chunk_aux(f.aux);
+        if n == 0 {
+            return Err(DistError::Protocol("blob with zero chunks".into()));
+        }
+        match n_chunks {
+            None => n_chunks = Some(n),
+            Some(expect) if expect != n => {
+                return Err(DistError::Protocol(format!(
+                    "chunk count changed mid-blob: {expect} then {n}"
+                )))
+            }
+            _ => {}
+        }
+        if idx != next_idx {
+            return Err(decode_err(DecodeError::BadChunk {
+                expected: next_idx,
+                got: idx,
+            }));
+        }
+        if bytes.len() + f.payload.len() > MAX_BLOB_BYTES {
+            return Err(DistError::Protocol(format!(
+                "blob exceeds {MAX_BLOB_BYTES} byte cap"
+            )));
+        }
+        bytes.extend_from_slice(&f.payload);
+        next_idx += 1;
+        if next_idx == n_chunks.unwrap() {
+            break;
+        }
+    }
+    Ok(bytes)
+}
+
+/// Trace categories this workspace emits. Wire-decoded events intern
+/// their category against this list (the [`obs::trace::Event`] field is
+/// `&'static str`); anything unknown lands in `"wire"` rather than
+/// leaking memory per distinct string a peer invents.
+const KNOWN_CATS: [&str; 9] = [
+    "ckpt", "data", "dist", "driver", "layer", "omprt", "rpc", "solver", "wire",
+];
+
+fn intern_cat(s: &str) -> &'static str {
+    KNOWN_CATS
+        .iter()
+        .find(|c| **c == s)
+        .copied()
+        .unwrap_or("wire")
+}
+
+/// Serialize trace events for a `FRAME_TRACE` flush. Per event:
+/// `u16` name length + name, `u16` category length + category, `f64`
+/// start and duration (µs), `u64` tid and pid — all little-endian,
+/// prefixed by a `u32` event count.
+pub fn encode_trace_events(events: &[obs::trace::Event]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + events.len() * 48);
+    b.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for e in events {
+        let name = e.name.as_bytes();
+        let cat = e.cat.as_bytes();
+        b.extend_from_slice(&(name.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        b.extend_from_slice(&name[..name.len().min(u16::MAX as usize)]);
+        b.extend_from_slice(&(cat.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        b.extend_from_slice(&cat[..cat.len().min(u16::MAX as usize)]);
+        b.extend_from_slice(&e.ts_us.to_le_bytes());
+        b.extend_from_slice(&e.dur_us.to_le_bytes());
+        b.extend_from_slice(&e.tid.to_le_bytes());
+        b.extend_from_slice(&e.pid.to_le_bytes());
+    }
+    b
+}
+
+/// Decode a `FRAME_TRACE` payload back into events. Every read is
+/// bounds-checked; a short or lying payload is a typed decode error.
+pub fn decode_trace_events(b: &[u8]) -> Result<Vec<obs::trace::Event>, DistError> {
+    let bad = || decode_err(DecodeError::BadPayload("malformed trace flush"));
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], DistError> {
+        let s = b.get(*pos..*pos + n).ok_or_else(bad)?;
+        *pos += n;
+        Ok(s)
+    };
+    let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    // Smallest possible event is 36 bytes (empty name and cat).
+    if n > b.len() / 36 + 1 {
+        return Err(bad());
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).map_err(|_| bad())?;
+        let cat_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let cat = std::str::from_utf8(take(&mut pos, cat_len)?).map_err(|_| bad())?;
+        let cat = intern_cat(cat);
+        let ts_us = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let dur_us = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let tid = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let pid = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        out.push(obs::trace::Event {
+            name: std::borrow::Cow::Owned(name),
+            cat,
+            ts_us,
+            dur_us,
+            tid,
+            pid,
+        });
+    }
+    if pos != b.len() {
+        return Err(bad());
+    }
+    Ok(out)
 }
 
 /// Flatten the net's learnable parameter *data* in parameter order.
@@ -448,11 +641,122 @@ mod tests {
 
     #[test]
     fn welcome_round_trips_and_rejects_bad_length() {
-        let b = encode_welcome(4, 64, 1000);
-        assert_eq!(decode_welcome(&b).unwrap(), (4, 64, 1000));
+        let w = Welcome {
+            world: 4,
+            effective_batch: 64,
+            iters: 1000,
+            flags: WELCOME_FLAG_TRACING,
+            coord_clock_us: 987_654_321,
+        };
+        let b = encode_welcome(&w);
+        assert_eq!(decode_welcome(&b).unwrap(), w);
+        // The pre-observability 12-byte layout must be rejected, not
+        // half-read: the two sides would disagree about flags and clock.
         assert!(matches!(
-            decode_welcome(&b[..11]),
+            decode_welcome(&b[..12]),
             Err(DistError::Decode(DecodeError::BadPayload(_)))
         ));
+        assert!(matches!(
+            decode_welcome(&b[..23]),
+            Err(DistError::Decode(DecodeError::BadPayload(_)))
+        ));
+    }
+
+    #[test]
+    fn blob_round_trips_across_chunks_and_empty() {
+        // 2.5 chunks of deterministic bytes.
+        let n = MAX_CHUNK_BYTES as usize * 2 + MAX_CHUNK_BYTES as usize / 2;
+        let blob: Vec<u8> = (0..n).map(|i| (i * 131 % 251) as u8).collect();
+        let mut buf = Vec::new();
+        send_blob(&mut buf, proto::FRAME_STATS, 7, &blob).unwrap();
+        let back = recv_blob(&mut Cursor::new(buf), proto::FRAME_STATS, 7, None).unwrap();
+        assert_eq!(back, blob);
+        // Empty blob: one empty chunk, round-trips to empty.
+        let mut buf = Vec::new();
+        send_blob(&mut buf, proto::FRAME_TRACE, 0, &[]).unwrap();
+        let back = recv_blob(&mut Cursor::new(buf), proto::FRAME_TRACE, 0, None).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn blob_rejects_wrong_id_and_reordered_chunks() {
+        let mut buf = Vec::new();
+        send_blob(&mut buf, proto::FRAME_STATS, 3, &[1, 2, 3]).unwrap();
+        let wrong_id = recv_blob(&mut Cursor::new(buf), proto::FRAME_STATS, 4, None);
+        assert!(matches!(wrong_id, Err(DistError::Protocol(_))));
+        // Chunk 1-of-2 arriving first.
+        let mut buf = Vec::new();
+        send_frame(
+            &mut buf,
+            proto::FRAME_TRACE,
+            0,
+            proto::encode_chunk_aux(1, 2),
+            &[9],
+        )
+        .unwrap();
+        let got = recv_blob(&mut Cursor::new(buf), proto::FRAME_TRACE, 0, None);
+        assert!(matches!(
+            got,
+            Err(DistError::Decode(DecodeError::BadChunk {
+                expected: 0,
+                got: 1
+            }))
+        ));
+    }
+
+    #[test]
+    fn trace_events_round_trip_and_intern_cats() {
+        let events = vec![
+            obs::trace::Event {
+                name: std::borrow::Cow::Borrowed("dist_worker_step"),
+                cat: "dist",
+                ts_us: 1234.5,
+                dur_us: 67.25,
+                tid: 3,
+                pid: 2,
+            },
+            obs::trace::Event {
+                name: std::borrow::Cow::Owned("region".to_string()),
+                cat: "omprt",
+                ts_us: 0.0,
+                dur_us: 0.5,
+                tid: 1,
+                pid: 3,
+            },
+        ];
+        let b = encode_trace_events(&events);
+        let back = decode_trace_events(&b).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "dist_worker_step");
+        assert_eq!(back[0].cat, "dist");
+        assert_eq!(back[0].ts_us.to_bits(), 1234.5f64.to_bits());
+        assert_eq!(back[0].dur_us.to_bits(), 67.25f64.to_bits());
+        assert_eq!((back[0].tid, back[0].pid), (3, 2));
+        assert_eq!((back[1].tid, back[1].pid), (1, 3));
+    }
+
+    #[test]
+    fn trace_decode_rejects_truncation_lies_and_unknown_cats() {
+        let events = vec![obs::trace::Event {
+            name: std::borrow::Cow::Borrowed("x"),
+            cat: "nonsense-category",
+            ts_us: 1.0,
+            dur_us: 2.0,
+            tid: 1,
+            pid: 1,
+        }];
+        let b = encode_trace_events(&events);
+        // Unknown category interns to the "wire" bucket, never leaks.
+        assert_eq!(decode_trace_events(&b).unwrap()[0].cat, "wire");
+        // Truncated payload.
+        assert!(decode_trace_events(&b[..b.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut long = b.clone();
+        long.push(0);
+        assert!(decode_trace_events(&long).is_err());
+        // Count word lying high.
+        let mut lie = b.clone();
+        lie[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_trace_events(&lie).is_err());
     }
 }

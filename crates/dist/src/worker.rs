@@ -19,8 +19,8 @@
 //! backoff, up to [`WorkerConfig::max_rejoins`] times.
 
 use crate::frames::{
-    decode_welcome, done_to_err, flatten_diffs, load_params, recv_frame, recv_tensor, send_frame,
-    send_tensor,
+    decode_welcome, done_to_err, encode_trace_events, flatten_diffs, load_params, recv_frame,
+    recv_tensor, send_blob, send_frame, send_tensor, WELCOME_FLAG_TRACING,
 };
 use crate::DistError;
 use layers::ReductionMode;
@@ -108,6 +108,14 @@ struct Session<'a> {
     /// does not crash again on the same count.
     fail_after: Option<u64>,
     steps_metric: obs::Counter,
+    /// Registry state at worker start; the teardown flush ships the delta
+    /// against this, so the coordinator merges only what *this run* did.
+    baseline: obs::Snapshot,
+    /// `coordinator_clock − local_clock` in µs, pinned at each welcome /
+    /// rejoin ack. Added to every trace timestamp at flush so worker
+    /// events land on the coordinator's timeline (the error is bounded by
+    /// the one-way delivery delay of the ack frame).
+    clock_offset_us: f64,
 }
 
 impl Session<'_> {
@@ -161,7 +169,15 @@ impl Session<'_> {
                 cfg.rank, ack.kind
             )));
         }
-        let (world, effective_batch, _iters) = decode_welcome(&ack.payload)?;
+        let welcome = decode_welcome(&ack.payload)?;
+        // Observability handshake: pin the clock offset against the
+        // coordinator's stamp, and mirror its tracing switch so worker
+        // spans exist to flush at teardown.
+        self.clock_offset_us = welcome.coord_clock_us as f64 - obs::trace::now_us();
+        if welcome.flags & WELCOME_FLAG_TRACING != 0 {
+            obs::trace::set_enabled(true);
+        }
+        let (world, effective_batch) = (welcome.world, welcome.effective_batch);
         if cfg.rank >= world as usize {
             return Err(DistError::Config(format!(
                 "rank {} outside world {world}",
@@ -181,6 +197,11 @@ impl Session<'_> {
             match frame.kind {
                 proto::FRAME_DONE => {
                     if frame.aux == 0 {
+                        // Clean end of run: flush observability state to
+                        // the coordinator before closing. Best-effort —
+                        // the run's correctness does not depend on it, and
+                        // the coordinator reads with a timeout.
+                        let _ = self.flush_observability(&mut stream);
                         return Ok(());
                     }
                     return Err(done_to_err(&frame));
@@ -234,6 +255,28 @@ impl Session<'_> {
             }
         }
     }
+
+    /// Ship this run's metric delta and (clock-shifted) trace buffer to
+    /// the coordinator: one `FRAME_STATS` blob, then one `FRAME_TRACE`
+    /// blob, both carrying the rank in `id`. Always sends both — an empty
+    /// trace still ships as an empty event list, so the coordinator can
+    /// read unconditionally.
+    fn flush_observability(&self, stream: &mut TcpStream) -> Result<(), DistError> {
+        let delta = obs::registry::global().snapshot().delta(&self.baseline);
+        let rank = self.cfg.rank as u64;
+        send_blob(stream, proto::FRAME_STATS, rank, &delta.to_bytes())?;
+        let mut events = obs::trace::take_events();
+        for e in &mut events {
+            e.ts_us += self.clock_offset_us;
+        }
+        send_blob(
+            stream,
+            proto::FRAME_TRACE,
+            rank,
+            &encode_trace_events(&events),
+        )?;
+        stream.flush().map_err(|e| DistError::Io(e.to_string()))
+    }
 }
 
 /// A failure a worker can outlive by reconnecting: the link (or the peer
@@ -259,6 +302,9 @@ fn retryable(e: &DistError) -> bool {
 /// the rank through the `FRAME_REJOIN` handshake.
 pub fn run_worker(net: &mut Net<f32>, cfg: &WorkerConfig) -> Result<WorkerReport, DistError> {
     let reg = obs::registry::global();
+    // Every trace event this process records from here on carries the
+    // rank's process identity — its own track in the merged Chrome trace.
+    obs::trace::set_pid(cfg.rank as u64 + 2);
     let mut session = Session {
         cfg,
         team: ThreadTeam::new(1),
@@ -270,6 +316,8 @@ pub fn run_worker(net: &mut Net<f32>, cfg: &WorkerConfig) -> Result<WorkerReport
         steps: 0,
         fail_after: cfg.fail_after_steps,
         steps_metric: reg.counter("dist.worker_steps"),
+        baseline: reg.snapshot(),
+        clock_offset_us: 0.0,
     };
     let rejoins_metric = reg.counter("dist.worker_rejoins");
     let mut rejoins = 0u32;

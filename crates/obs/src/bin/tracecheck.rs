@@ -4,8 +4,9 @@
 //! well-formed, Perfetto-loadable trace with the expected span categories.
 //!
 //! ```text
-//! tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-cat CAT]...
-//!            [--require-name NAME]... [--require-dropped-counter] [--max-dropped N]
+//! tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-pids N]
+//!            [--require-cat CAT]... [--require-name NAME]...
+//!            [--require-dropped-counter] [--max-dropped N]
 //! ```
 //!
 //! Exits 0 and prints a one-line summary on success; exits 1 with a
@@ -17,6 +18,7 @@ struct Checks {
     path: String,
     min_events: usize,
     min_tids: usize,
+    require_pids: usize,
     require_cats: Vec<String>,
     require_names: Vec<String>,
     require_dropped: bool,
@@ -29,6 +31,7 @@ fn parse_args(args: &[String]) -> Result<Checks, String> {
         path: String::new(),
         min_events: 1,
         min_tids: 1,
+        require_pids: 0,
         require_cats: Vec::new(),
         require_names: Vec::new(),
         require_dropped: false,
@@ -52,6 +55,11 @@ fn parse_args(args: &[String]) -> Result<Checks, String> {
                     .parse()
                     .map_err(|e| format!("--min-tids: {e}"))?
             }
+            "--require-pids" => {
+                checks.require_pids = take("--require-pids")?
+                    .parse()
+                    .map_err(|e| format!("--require-pids: {e}"))?
+            }
             "--require-cat" => checks.require_cats.push(take("--require-cat")?),
             "--require-name" => checks.require_names.push(take("--require-name")?),
             "--require-dropped-counter" => checks.require_dropped = true,
@@ -70,7 +78,7 @@ fn parse_args(args: &[String]) -> Result<Checks, String> {
             }
         }
     }
-    checks.path = path.ok_or("usage: tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-cat C]... [--require-name N]... [--require-dropped-counter] [--max-dropped N]")?;
+    checks.path = path.ok_or("usage: tracecheck <trace.json> [--min-events N] [--min-tids N] [--require-pids N] [--require-cat C]... [--require-name N]... [--require-dropped-counter] [--max-dropped N]")?;
     Ok(checks)
 }
 
@@ -89,6 +97,13 @@ fn run(checks: &Checks) -> Result<String, String> {
             "only {} distinct tids (need >= {})",
             summary.tids.len(),
             checks.min_tids
+        ));
+    }
+    if summary.pids.len() < checks.require_pids {
+        return Err(format!(
+            "only {} distinct pids (need >= {}) — per-rank tracks missing",
+            summary.pids.len(),
+            checks.require_pids
         ));
     }
     for cat in &checks.require_cats {
@@ -116,9 +131,10 @@ fn run(checks: &Checks) -> Result<String, String> {
         .dropped
         .map_or(String::new(), |d| format!(", {d} dropped"));
     Ok(format!(
-        "{}: ok — {} events, {} tids, cats {:?}{dropped}",
+        "{}: ok — {} events, {} pids, {} tids, cats {:?}{dropped}",
         checks.path,
         summary.events,
+        summary.pids.len(),
         summary.tids.len(),
         summary.cats
     ))

@@ -237,6 +237,9 @@ pub struct TraceSummary {
     pub events: usize,
     /// Distinct thread ids seen.
     pub tids: BTreeSet<u64>,
+    /// Distinct process ids seen (events without a `pid` count as pid 1,
+    /// the writer's historical default).
+    pub pids: BTreeSet<u64>,
     /// Distinct categories seen.
     pub cats: BTreeSet<String>,
     /// Distinct event names seen.
@@ -258,6 +261,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary {
         events: events.len(),
         tids: BTreeSet::new(),
+        pids: BTreeSet::new(),
         cats: BTreeSet::new(),
         names: BTreeSet::new(),
         dropped: None,
@@ -325,6 +329,8 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
             other => return Err(format!("event {i}: unsupported ph '{other}'")),
         }
         summary.tids.insert(tid);
+        let pid = e.get("pid").and_then(Value::as_f64).unwrap_or(1.0) as u64;
+        summary.pids.insert(pid);
         if let Some(cat) = e.get("cat").and_then(Value::as_str) {
             summary.cats.insert(cat.to_string());
         }
@@ -388,6 +394,7 @@ mod tests {
                 ts_us: 10.0,
                 dur_us: 5.5,
                 tid: 0,
+                pid: 1,
             },
             Event {
                 name: Cow::Borrowed("barrier_wait"),
@@ -395,6 +402,7 @@ mod tests {
                 ts_us: 12.0,
                 dur_us: 1.0,
                 tid: 3,
+                pid: 1,
             },
         ];
         let mut buf = Vec::new();
@@ -429,6 +437,7 @@ mod tests {
             ts_us: 1.0,
             dur_us: 2.0,
             tid: 0,
+            pid: 1,
         }];
         let mut buf = Vec::new();
         write_chrome_trace_with_dropped(&mut buf, &events, 42).unwrap();
@@ -445,6 +454,44 @@ mod tests {
         // A counter record without args.dropped is malformed.
         let bad = r#"[{"name":"dropped_events","ph":"C","tid":0,"ts":0}]"#;
         assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn tracks_distinct_pids_with_default_one() {
+        // Explicit pids are collected; records without one count as pid 1.
+        let mixed = r#"[
+            {"name":"a","ph":"X","pid":2,"tid":0,"ts":1,"dur":1},
+            {"name":"b","ph":"X","pid":3,"tid":0,"ts":2,"dur":1},
+            {"name":"c","ph":"X","tid":0,"ts":3,"dur":1}
+        ]"#;
+        let summary = validate_chrome_trace(mixed).unwrap();
+        assert_eq!(summary.pids, [1, 2, 3].into_iter().collect());
+
+        // The trace writer stamps each event's own pid.
+        use crate::trace::{write_chrome_trace, Event};
+        use std::borrow::Cow;
+        let events = vec![
+            Event {
+                name: Cow::Borrowed("coord"),
+                cat: "dist",
+                ts_us: 1.0,
+                dur_us: 1.0,
+                tid: 0,
+                pid: 1,
+            },
+            Event {
+                name: Cow::Borrowed("worker"),
+                cat: "dist",
+                ts_us: 2.0,
+                dur_us: 1.0,
+                tid: 0,
+                pid: 2,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let summary = validate_chrome_trace(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(summary.pids, [1, 2].into_iter().collect());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod registry;
 pub mod reservoir;
 pub mod trace;
 
-pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot, Summary};
 pub use reservoir::Reservoir;
 pub use trace::{Event, Span};
 

@@ -8,6 +8,7 @@
 //! (bucket bounds never grow), so a metric's memory footprint is bounded
 //! regardless of how many samples it absorbs.
 
+use crate::reservoir::Reservoir;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -17,6 +18,9 @@ use std::sync::{Arc, OnceLock};
 /// Default histogram bounds for durations in seconds: decades from 1 µs to
 /// 100 s (plus the implicit +Inf bucket).
 pub const DURATION_BOUNDS_SECS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+/// Retained samples per [`Summary`] reservoir.
+pub const SUMMARY_CAP: usize = 1024;
 
 /// A monotonically increasing `u64` counter.
 #[derive(Clone, Default)]
@@ -174,6 +178,183 @@ impl Histogram {
         }
         out
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket holding rank `q·count`. The first bucket
+    /// interpolates from the exact minimum and the +Inf bucket up to the
+    /// exact maximum, so estimates are always within `[min, max]`.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let c = &self.0;
+        let raw: Vec<u64> = c
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_from_parts(
+            &c.bounds,
+            &raw,
+            raw.iter().sum(),
+            f64::from_bits(c.min_bits.load(Ordering::Relaxed)),
+            f64::from_bits(c.max_bits.load(Ordering::Relaxed)),
+            q,
+        )
+    }
+
+    /// Smallest sample with the empty-identity intact: +Inf when empty.
+    fn raw_min(&self) -> f64 {
+        f64::from_bits(self.0.min_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest sample with the empty-identity intact: -Inf when empty.
+    fn raw_max(&self) -> f64 {
+        f64::from_bits(self.0.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Non-cumulative bucket counts (`bounds.len() + 1` entries).
+    fn raw_buckets(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Fold another histogram's raw parts into this one. The extrema
+    /// identities (+Inf min / -Inf max when empty) make the fold exact
+    /// without empty-side special cases.
+    fn merge_parts(
+        &self,
+        buckets: &[u64],
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<(), String> {
+        let c = &self.0;
+        if buckets.len() != c.buckets.len() {
+            return Err(format!(
+                "histogram merge: {} buckets into {}",
+                buckets.len(),
+                c.buckets.len()
+            ));
+        }
+        for (slot, &n) in c.buckets.iter().zip(buckets) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+        c.count.fetch_add(count, Ordering::Relaxed);
+        atomic_f64_update(&c.sum_bits, |s| s + sum);
+        atomic_f64_update(&c.min_bits, |m| m.min(min));
+        atomic_f64_update(&c.max_bits, |m| m.max(max));
+        Ok(())
+    }
+}
+
+/// Shared quantile kernel over raw (non-cumulative) bucket counts, used by
+/// [`Histogram::quantile`] and by [`Snapshot`] rendering. `min`/`max` are
+/// the raw extrema (±Inf identities when empty).
+fn quantile_from_parts(
+    bounds: &[f64],
+    buckets: &[u64],
+    count: u64,
+    min: f64,
+    max: f64,
+    q: f64,
+) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    if q <= 0.0 {
+        return min;
+    }
+    if q >= 1.0 {
+        return max;
+    }
+    let rank = q * count as f64;
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        let prev = cum;
+        cum += n;
+        if n > 0 && cum as f64 >= rank {
+            // Interpolate within [lo, hi]: the bucket's edges tightened by
+            // the exact extrema (the first and last occupied buckets are
+            // only partially covered by real samples).
+            let lo = if i == 0 { min } else { bounds[i - 1].max(min) };
+            let hi = if i < bounds.len() {
+                bounds[i].min(max)
+            } else {
+                max
+            };
+            let frac = (rank - prev as f64) / n as f64;
+            return (lo + (hi - lo) * frac).clamp(min, max);
+        }
+    }
+    max
+}
+
+/// A sampling-reservoir metric: exact count/sum/min/max plus an unbiased
+/// sample of observed values for nearest-rank quantiles. Unlike
+/// [`Histogram`], no bucket bounds need choosing up front — at the cost of
+/// a mutex on the observe path (uncontended in practice: one lock per
+/// sample, no allocation after the reservoir fills).
+#[derive(Clone)]
+pub struct Summary(Arc<Mutex<Reservoir>>);
+
+impl Summary {
+    fn new(seed: u64) -> Self {
+        Summary(Arc::new(Mutex::new(Reservoir::new(SUMMARY_CAP, seed))))
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: f64) {
+        self.0.lock().record(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.lock().count()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.0.lock().sum()
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.0.lock().mean()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.0.lock().min()
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.0.lock().max()
+    }
+
+    /// Nearest-rank `q`-quantile over the retained sample (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.0.lock().quantile(q)
+    }
+
+    /// Run `f` under the reservoir lock (snapshot/merge plumbing).
+    fn with<R>(&self, f: impl FnOnce(&mut Reservoir) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+}
+
+/// Stable 64-bit FNV-1a over a metric name — seeds a [`Summary`]'s
+/// reservoir so sampling decisions are reproducible run to run.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[derive(Clone)]
@@ -181,6 +362,7 @@ enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Summary(Summary),
 }
 
 impl Metric {
@@ -189,6 +371,7 @@ impl Metric {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
+            Metric::Summary(_) => "summary",
         }
     }
 }
@@ -243,6 +426,20 @@ impl Registry {
         }
     }
 
+    /// Get or register the summary `name` — a seeded sampling reservoir
+    /// ([`SUMMARY_CAP`] retained samples) whose RNG stream is derived from
+    /// the name, so sampling is reproducible across runs and processes.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn summary(&self, name: &str) -> Summary {
+        let seed = name_seed(name);
+        match self.get_or_insert(name, || Metric::Summary(Summary::new(seed))) {
+            Metric::Summary(s) => s,
+            other => panic!("metric '{name}' is a {}, not a summary", other.kind()),
+        }
+    }
+
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
         let mut m = self.metrics.lock();
         m.entry(name.to_string()).or_insert_with(make).clone()
@@ -255,8 +452,10 @@ impl Registry {
 
     /// `metric,value` CSV of every metric, sorted by name — the same form
     /// factor as `machine::csv` and `ServingReport::csv`. Histograms expand
-    /// to `_count`/`_sum`/`_mean`/`_min`/`_max` rows plus cumulative
-    /// `_le_<bound>` bucket rows.
+    /// to `_count`/`_sum`/`_mean`/`_min`/`_max` rows, interpolated
+    /// `_p50`/`_p90`/`_p99` rows, and cumulative `_le_<bound>` bucket rows;
+    /// summaries to the same aggregate and quantile rows (nearest-rank over
+    /// the reservoir, no bucket rows).
     pub fn csv(&self) -> String {
         let mut out = String::from("metric,value\n");
         for (name, metric) in self.metrics.lock().iter() {
@@ -273,12 +472,25 @@ impl Registry {
                     let _ = writeln!(out, "{name}_mean,{:.6}", h.mean());
                     let _ = writeln!(out, "{name}_min,{:.6}", h.min());
                     let _ = writeln!(out, "{name}_max,{:.6}", h.max());
+                    for (q, tag) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                        let _ = writeln!(out, "{name}_{tag},{:.6}", h.quantile(q));
+                    }
                     for (bound, cum) in h.cumulative_buckets() {
                         if bound.is_finite() {
                             let _ = writeln!(out, "{name}_le_{bound:e},{cum}");
                         } else {
                             let _ = writeln!(out, "{name}_le_inf,{cum}");
                         }
+                    }
+                }
+                Metric::Summary(s) => {
+                    let _ = writeln!(out, "{name}_count,{}", s.count());
+                    let _ = writeln!(out, "{name}_sum,{:.6}", s.sum());
+                    let _ = writeln!(out, "{name}_mean,{:.6}", s.mean());
+                    let _ = writeln!(out, "{name}_min,{:.6}", s.min());
+                    let _ = writeln!(out, "{name}_max,{:.6}", s.max());
+                    for (q, tag) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                        let _ = writeln!(out, "{name}_{tag},{:.6}", s.quantile(q));
                     }
                 }
             }
@@ -300,17 +512,597 @@ impl Registry {
                 Metric::Histogram(h) => {
                     let _ = writeln!(
                         out,
-                        "histogram  {name}: count {} mean {:.3e} min {:.3e} max {:.3e}",
+                        "histogram  {name}: count {} mean {:.3e} min {:.3e} max {:.3e} p50 {:.3e} p99 {:.3e}",
                         h.count(),
                         h.mean(),
                         h.min(),
-                        h.max()
+                        h.max(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                    );
+                }
+                Metric::Summary(s) => {
+                    let _ = writeln!(
+                        out,
+                        "summary    {name}: count {} mean {:.3e} min {:.3e} max {:.3e} p50 {:.3e} p99 {:.3e}",
+                        s.count(),
+                        s.mean(),
+                        s.min(),
+                        s.max(),
+                        s.quantile(0.5),
+                        s.quantile(0.99),
                     );
                 }
             }
         }
         out
     }
+
+    /// A point-in-time copy of every metric's value — the unit of transfer
+    /// for the distributed observability plane. See [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let mut metrics = BTreeMap::new();
+        for (name, metric) in self.metrics.lock().iter() {
+            let v = match metric {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram {
+                    bounds: h.0.bounds.to_vec(),
+                    buckets: h.raw_buckets(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.raw_min(),
+                    max: h.raw_max(),
+                },
+                Metric::Summary(s) => s.with(|r| MetricValue::Summary {
+                    samples: r.samples().to_vec(),
+                    count: r.count(),
+                    sum: r.sum(),
+                    min: r.raw_min(),
+                    max: r.raw_max(),
+                }),
+            };
+            metrics.insert(name.clone(), v);
+        }
+        Snapshot { metrics }
+    }
+
+    /// Fold a (possibly remote) snapshot into this registry, prefixing
+    /// every metric name with `prefix` (pass `""` for none). Counters and
+    /// histogram buckets *add*, gauges overwrite, summaries merge via
+    /// [`Reservoir::merge_parts`] — so folding a [`Snapshot::delta`] on top
+    /// of an earlier fold accumulates correctly. Returns an error (instead
+    /// of panicking, since snapshots arrive off the wire) when a name is
+    /// already registered under a different kind or with different
+    /// histogram bounds.
+    pub fn merge(&self, snap: &Snapshot, prefix: &str) -> Result<(), String> {
+        for (name, value) in &snap.metrics {
+            let full = format!("{prefix}{name}");
+            {
+                let reg = self.metrics.lock();
+                if let Some(existing) = reg.get(&full) {
+                    let want = value.kind();
+                    if existing.kind() != want {
+                        return Err(format!(
+                            "metric '{full}' is a {}, snapshot carries a {want}",
+                            existing.kind()
+                        ));
+                    }
+                }
+            }
+            match value {
+                MetricValue::Counter(n) => self.counter(&full).add(*n),
+                MetricValue::Gauge(v) => self.gauge(&full).set(*v),
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let h = self.histogram(&full, bounds);
+                    if h.0.bounds.as_ref() != bounds.as_slice() {
+                        return Err(format!("metric '{full}': histogram bounds differ"));
+                    }
+                    h.merge_parts(buckets, *count, *sum, *min, *max)
+                        .map_err(|e| format!("metric '{full}': {e}"))?;
+                }
+                MetricValue::Summary {
+                    samples,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    self.summary(&full)
+                        .with(|r| r.merge_parts(samples, *count, *sum, *min, *max));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One metric's value inside a [`Snapshot`]. Histogram and summary extrema
+/// are the *raw* values (+Inf min / -Inf max when empty) so merges fold
+/// exactly without empty-side special cases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Fixed-bucket histogram: bounds plus `bounds.len() + 1` raw
+    /// (non-cumulative) bucket counts and exact aggregates.
+    Histogram {
+        bounds: Vec<f64>,
+        buckets: Vec<u64>,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    },
+    /// Sampling reservoir: the retained sample set plus exact aggregates.
+    Summary {
+        samples: Vec<f64>,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    },
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+            MetricValue::Summary { .. } => "summary",
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], detached from the live atomics.
+/// Snapshots serialize to a compact length-prefixed binary form
+/// ([`Snapshot::to_bytes`]) for `FRAME_STATS` payloads, subtract
+/// ([`Snapshot::delta`]) so workers ship only what changed, and render as
+/// CSV or JSON for the `cgdnn stats` CLI.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+/// Wire tags for [`MetricValue`] variants.
+const TAG_COUNTER: u8 = 0;
+const TAG_GAUGE: u8 = 1;
+const TAG_HISTOGRAM: u8 = 2;
+const TAG_SUMMARY: u8 = 3;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian cursor over untrusted snapshot bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("snapshot truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        let raw = self.take(n.checked_mul(8).ok_or("length overflow")?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+
+    fn u64s(&mut self, n: usize) -> Result<Vec<u64>, String> {
+        let raw = self.take(n.checked_mul(8).ok_or("length overflow")?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+impl Snapshot {
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metrics were captured.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The captured value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// What changed since `base` (an earlier snapshot of the *same*
+    /// registry): counters and histogram buckets/count/sum subtract
+    /// (saturating, so a restarted metric degrades to its full value
+    /// rather than wrapping); gauges and extrema carry the current value
+    /// (they are not accumulative); summaries carry the full current
+    /// reservoir (the retained sample is not subtractable). Metrics absent
+    /// from `base` ship whole.
+    pub fn delta(&self, base: &Snapshot) -> Snapshot {
+        let mut metrics = BTreeMap::new();
+        for (name, cur) in &self.metrics {
+            let v = match (cur, base.metrics.get(name)) {
+                (MetricValue::Counter(c), Some(MetricValue::Counter(b))) => {
+                    MetricValue::Counter(c.saturating_sub(*b))
+                }
+                (
+                    MetricValue::Histogram {
+                        bounds,
+                        buckets,
+                        count,
+                        sum,
+                        min,
+                        max,
+                    },
+                    Some(MetricValue::Histogram {
+                        bounds: b_bounds,
+                        buckets: b_buckets,
+                        count: b_count,
+                        sum: b_sum,
+                        ..
+                    }),
+                ) if bounds == b_bounds => MetricValue::Histogram {
+                    bounds: bounds.clone(),
+                    buckets: buckets
+                        .iter()
+                        .zip(b_buckets)
+                        .map(|(c, b)| c.saturating_sub(*b))
+                        .collect(),
+                    count: count.saturating_sub(*b_count),
+                    sum: sum - b_sum,
+                    min: *min,
+                    max: *max,
+                },
+                _ => cur.clone(),
+            };
+            metrics.insert(name.clone(), v);
+        }
+        Snapshot { metrics }
+    }
+
+    /// Serialize to the length-prefixed little-endian wire form carried in
+    /// `FRAME_STATS` payloads (layout documented in DESIGN.md).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.metrics.len() as u32);
+        for (name, value) in &self.metrics {
+            put_u16(&mut out, name.len() as u16);
+            out.extend_from_slice(name.as_bytes());
+            match value {
+                MetricValue::Counter(n) => {
+                    out.push(TAG_COUNTER);
+                    put_u64(&mut out, *n);
+                }
+                MetricValue::Gauge(v) => {
+                    out.push(TAG_GAUGE);
+                    put_f64(&mut out, *v);
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    out.push(TAG_HISTOGRAM);
+                    put_u16(&mut out, bounds.len() as u16);
+                    for b in bounds {
+                        put_f64(&mut out, *b);
+                    }
+                    for b in buckets {
+                        put_u64(&mut out, *b);
+                    }
+                    put_u64(&mut out, *count);
+                    put_f64(&mut out, *sum);
+                    put_f64(&mut out, *min);
+                    put_f64(&mut out, *max);
+                }
+                MetricValue::Summary {
+                    samples,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    out.push(TAG_SUMMARY);
+                    put_u32(&mut out, samples.len() as u32);
+                    for s in samples {
+                        put_f64(&mut out, *s);
+                    }
+                    put_u64(&mut out, *count);
+                    put_f64(&mut out, *sum);
+                    put_f64(&mut out, *min);
+                    put_f64(&mut out, *max);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse bytes produced by [`Snapshot::to_bytes`]. Every length is
+    /// bounds-checked against the remaining input, so corrupt or truncated
+    /// payloads fail with an error rather than a huge allocation or panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, String> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let n = r.u32()? as usize;
+        let mut metrics = BTreeMap::new();
+        for _ in 0..n {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| "metric name is not UTF-8".to_string())?
+                .to_string();
+            let value = match r.u8()? {
+                TAG_COUNTER => MetricValue::Counter(r.u64()?),
+                TAG_GAUGE => MetricValue::Gauge(r.f64()?),
+                TAG_HISTOGRAM => {
+                    let n_bounds = r.u16()? as usize;
+                    let bounds = r.f64s(n_bounds)?;
+                    let buckets = r.u64s(n_bounds + 1)?;
+                    MetricValue::Histogram {
+                        bounds,
+                        buckets,
+                        count: r.u64()?,
+                        sum: r.f64()?,
+                        min: r.f64()?,
+                        max: r.f64()?,
+                    }
+                }
+                TAG_SUMMARY => {
+                    let n_samples = r.u32()? as usize;
+                    let samples = r.f64s(n_samples)?;
+                    MetricValue::Summary {
+                        samples,
+                        count: r.u64()?,
+                        sum: r.f64()?,
+                        min: r.f64()?,
+                        max: r.f64()?,
+                    }
+                }
+                t => return Err(format!("unknown metric tag {t}")),
+            };
+            metrics.insert(name, value);
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after snapshot",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(Snapshot { metrics })
+    }
+
+    /// `metric,value` CSV in the same shape as [`Registry::csv`].
+    pub fn csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(out, "{name},{n}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name},{v:.6}");
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let shown_min = if *count == 0 { 0.0 } else { *min };
+                    let shown_max = if *count == 0 { 0.0 } else { *max };
+                    let _ = writeln!(out, "{name}_count,{count}");
+                    let _ = writeln!(out, "{name}_sum,{sum:.6}");
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        sum / *count as f64
+                    };
+                    let _ = writeln!(out, "{name}_mean,{mean:.6}");
+                    let _ = writeln!(out, "{name}_min,{shown_min:.6}");
+                    let _ = writeln!(out, "{name}_max,{shown_max:.6}");
+                    for (q, tag) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                        let est = quantile_from_parts(bounds, buckets, *count, *min, *max, q);
+                        let _ = writeln!(out, "{name}_{tag},{est:.6}");
+                    }
+                    let mut cum = 0u64;
+                    for (i, b) in buckets.iter().enumerate() {
+                        cum += b;
+                        match bounds.get(i) {
+                            Some(bound) => {
+                                let _ = writeln!(out, "{name}_le_{bound:e},{cum}");
+                            }
+                            None => {
+                                let _ = writeln!(out, "{name}_le_inf,{cum}");
+                            }
+                        }
+                    }
+                }
+                MetricValue::Summary {
+                    samples,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let shown_min = if *count == 0 { 0.0 } else { *min };
+                    let shown_max = if *count == 0 { 0.0 } else { *max };
+                    let _ = writeln!(out, "{name}_count,{count}");
+                    let _ = writeln!(out, "{name}_sum,{sum:.6}");
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        sum / *count as f64
+                    };
+                    let _ = writeln!(out, "{name}_mean,{mean:.6}");
+                    let _ = writeln!(out, "{name}_min,{shown_min:.6}");
+                    let _ = writeln!(out, "{name}_max,{shown_max:.6}");
+                    for (q, tag) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                        let _ = writeln!(out, "{name}_{tag},{:.6}", sample_quantile(samples, q));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One flat JSON object, `name → value`. Counters are integers, gauges
+    /// numbers, histograms and summaries nested objects with
+    /// `count/sum/mean/min/max/p50/p90/p99`. Always strict JSON: non-finite
+    /// values render as 0 (only possible for empty metrics' extrema).
+    pub fn json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "0".to_string()
+            }
+        }
+        fn dist(out: &mut String, count: u64, sum: f64, min: f64, max: f64, quantiles: [f64; 3]) {
+            let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+            let shown_min = if count == 0 { 0.0 } else { min };
+            let shown_max = if count == 0 { 0.0 } else { max };
+            let _ = write!(
+                out,
+                "{{\"count\":{count},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                num(sum),
+                num(mean),
+                num(shown_min),
+                num(shown_max),
+                num(quantiles[0]),
+                num(quantiles[1]),
+                num(quantiles[2]),
+            );
+        }
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::trace::escape_json(name, &mut out);
+            out.push_str("\":");
+            match value {
+                MetricValue::Counter(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&num(*v));
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let qs = [0.5, 0.9, 0.99]
+                        .map(|q| quantile_from_parts(bounds, buckets, *count, *min, *max, q));
+                    dist(&mut out, *count, *sum, *min, *max, qs);
+                }
+                MetricValue::Summary {
+                    samples,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let qs = [0.5, 0.9, 0.99].map(|q| sample_quantile(samples, q));
+                    dist(&mut out, *count, *sum, *min, *max, qs);
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Nearest-rank quantile over an unsorted sample slice (0 when empty) —
+/// the snapshot-side twin of [`Reservoir::quantile`].
+fn sample_quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    if q <= 0.0 {
+        return sorted[0];
+    }
+    if q >= 1.0 {
+        return sorted[sorted.len() - 1];
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The process-wide registry that `Trainer`, the checkpoint writer, and
@@ -385,10 +1177,14 @@ mod tests {
 
     #[test]
     fn csv_rows_have_two_columns_and_sorted_names() {
+        // Regression guard: export order must be name-sorted and stable
+        // regardless of registration order, so successive `--metrics`
+        // snapshots diff cleanly and CI can grep fixed rows.
         let reg = Registry::new();
         reg.counter("z.last").inc();
         reg.gauge("a.first").set(1.0);
         reg.histogram("m.mid", &[0.1, 1.0]).observe(0.05);
+        reg.summary("q.summ").observe(2.0);
         let csv = reg.csv();
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("metric,value"));
@@ -397,15 +1193,204 @@ mod tests {
             assert_eq!(r.split(',').count(), 2, "row {r}");
         }
         // Metrics appear in name order (histogram sub-rows stay grouped in
-        // a fixed count/sum/mean/min/max/buckets order under their metric).
+        // a fixed count/sum/mean/min/max/quantiles/buckets order under
+        // their metric).
         let a = csv.find("a.first,").unwrap();
         let m = csv.find("m.mid_count,").unwrap();
+        let q = csv.find("q.summ_count,").unwrap();
         let z = csv.find("z.last,").unwrap();
-        assert!(a < m && m < z, "metrics ordered by name");
+        assert!(a < m && m < q && q < z, "metrics ordered by name");
         assert!(csv.contains("m.mid_count,1\n"));
+        assert!(csv.contains("m.mid_p50,"));
         assert!(csv.contains("m.mid_le_inf,1\n"));
+        assert!(csv.contains("q.summ_p99,2.000000\n"));
         assert!(csv.contains("z.last,1\n"));
         assert!(reg.text().contains("counter    z.last = 1"));
+
+        // Same content registered in the opposite order exports the same
+        // bytes, and repeated exports are identical.
+        let reg2 = Registry::new();
+        reg2.summary("q.summ").observe(2.0);
+        reg2.histogram("m.mid", &[0.1, 1.0]).observe(0.05);
+        reg2.gauge("a.first").set(1.0);
+        reg2.counter("z.last").inc();
+        assert_eq!(csv, reg2.csv());
+        assert_eq!(csv, reg.csv());
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("q", &[1.0, 10.0, 100.0]);
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            h.observe(v);
+        }
+        // All four samples live in the (1, 10] bucket with min 2, max 8:
+        // estimates interpolate inside [2, 8] and the extremes are exact.
+        assert_eq!(h.quantile(0.0), 2.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+        let p50 = h.quantile(0.5);
+        assert!((2.0..=8.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99 && p99 <= 8.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn summary_metric_round_trips() {
+        let reg = Registry::new();
+        let s = reg.summary("rtt");
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 10.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.quantile(0.5), 2.0);
+        // Second lookup returns the same underlying reservoir.
+        assert_eq!(reg.summary("rtt").count(), 4);
+        assert!(reg.text().contains("summary    rtt: count 4"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_bytes() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-2.5);
+        let h = reg.histogram("h", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        reg.summary("s").observe(3.25);
+        reg.histogram("empty", &[1.0]); // ±Inf extrema must survive the wire
+        let snap = reg.snapshot();
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.get("c"), Some(&MetricValue::Counter(7)));
+        match back.get("empty") {
+            Some(MetricValue::Histogram {
+                min, max, count, ..
+            }) => {
+                assert_eq!(*count, 0);
+                assert!(min.is_infinite() && *min > 0.0);
+                assert!(max.is_infinite() && *max < 0.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_from_bytes_rejects_garbage() {
+        assert!(Snapshot::from_bytes(&[]).is_err());
+        let good = {
+            let reg = Registry::new();
+            reg.counter("c").inc();
+            reg.snapshot().to_bytes()
+        };
+        assert!(Snapshot::from_bytes(&good[..good.len() - 1]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Snapshot::from_bytes(&trailing).is_err());
+        let mut bad_tag = good;
+        *bad_tag.last_mut().unwrap() = 0; // truncates the counter value
+        assert!(Snapshot::from_bytes(&bad_tag[..bad_tag.len() - 8]).is_err());
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_buckets() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h", &[1.0, 10.0]);
+        c.add(3);
+        h.observe(0.5);
+        let base = reg.snapshot();
+        c.add(2);
+        h.observe(5.0);
+        reg.counter("new").inc(); // absent from base: ships whole
+        let delta = reg.snapshot().delta(&base);
+        assert_eq!(delta.get("c"), Some(&MetricValue::Counter(2)));
+        assert_eq!(delta.get("new"), Some(&MetricValue::Counter(1)));
+        match delta.get("h") {
+            Some(MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+                ..
+            }) => {
+                assert_eq!(*count, 1);
+                assert_eq!(*sum, 5.0);
+                assert_eq!(buckets, &vec![0, 1, 0]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_applies_prefix_and_accumulates() {
+        let remote = Registry::new();
+        remote.counter("train.iterations").add(5);
+        remote.gauge("train.loss").set(0.25);
+        remote.histogram("step", &[1.0]).observe(0.5);
+        remote.summary("rtt").observe(2.0);
+        let snap = remote.snapshot();
+
+        let coord = Registry::new();
+        coord.merge(&snap, "r1.").unwrap();
+        coord.merge(&snap, "r1.").unwrap(); // a second delta accumulates
+        assert_eq!(coord.counter("r1.train.iterations").get(), 10);
+        assert_eq!(coord.gauge("r1.train.loss").get(), 0.25);
+        let h = coord.histogram("r1.step", &[1.0]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1.0);
+        let s = coord.summary("r1.rtt");
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), 2.0);
+        assert!(coord.csv().contains("r1.train.iterations,10\n"));
+    }
+
+    #[test]
+    fn merge_rejects_kind_and_bounds_mismatch() {
+        let remote = Registry::new();
+        remote.counter("x").inc();
+        let snap = remote.snapshot();
+        let coord = Registry::new();
+        coord.gauge("x");
+        assert!(coord.merge(&snap, "").is_err());
+
+        let remote2 = Registry::new();
+        remote2.histogram("h", &[1.0, 2.0]).observe(0.5);
+        let coord2 = Registry::new();
+        coord2.histogram("h", &[1.0, 3.0]);
+        assert!(coord2.merge(&remote2.snapshot(), "").is_err());
+    }
+
+    #[test]
+    fn snapshot_json_is_flat_and_quantiled() {
+        let reg = Registry::new();
+        reg.counter("rpc.frames_total").add(12);
+        reg.histogram("lat", &[1.0, 10.0]).observe(2.0);
+        reg.summary("rtt").observe(7.0);
+        let json = reg.snapshot().json();
+        let v = crate::json::parse(&json).expect("snapshot json parses");
+        assert_eq!(
+            v.get("rpc.frames_total").and_then(|n| n.as_f64()),
+            Some(12.0)
+        );
+        let lat = v.get("lat").expect("lat object");
+        assert_eq!(lat.get("count").and_then(|n| n.as_f64()), Some(1.0));
+        assert!(lat.get("p50").is_some() && lat.get("p99").is_some());
+        let rtt = v.get("rtt").expect("rtt object");
+        assert_eq!(rtt.get("p90").and_then(|n| n.as_f64()), Some(7.0));
+    }
+
+    #[test]
+    fn snapshot_csv_matches_registry_csv() {
+        let reg = Registry::new();
+        reg.counter("c").add(2);
+        reg.gauge("g").set(1.5);
+        reg.histogram("h", &[1.0, 10.0]).observe(3.0);
+        reg.summary("s").observe(4.0);
+        assert_eq!(reg.snapshot().csv(), reg.csv());
     }
 
     #[test]

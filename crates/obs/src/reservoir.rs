@@ -20,6 +20,29 @@ pub struct Reservoir {
     rng: u64,
 }
 
+/// One xorshift64* step (Vigna); full 64-bit period for non-zero state.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Deterministically keep `k` of `v`'s elements (partial Fisher–Yates
+/// driven by `rng`), discarding the rest. `k > v.len()` keeps everything.
+fn subsample(v: &mut Vec<f64>, k: usize, rng: &mut u64) {
+    if k >= v.len() {
+        return;
+    }
+    for i in 0..k {
+        let j = i + (xorshift(rng) % (v.len() - i) as u64) as usize;
+        v.swap(i, j);
+    }
+    v.truncate(k);
+}
+
 impl Reservoir {
     /// An empty reservoir holding at most `cap` samples (`cap >= 1`),
     /// with a deterministic RNG stream derived from `seed`.
@@ -44,13 +67,7 @@ impl Reservoir {
     }
 
     fn next_u64(&mut self) -> u64 {
-        // xorshift64* (Vigna); full 64-bit period for any non-zero state.
-        let mut x = self.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        xorshift(&mut self.rng)
     }
 
     /// Record one value: aggregates update exactly; the sample set updates
@@ -115,6 +132,99 @@ impl Reservoir {
     /// Maximum number of retained samples.
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// Raw minimum: `+Inf` when empty (the mergeable identity), unlike
+    /// [`Reservoir::min`] which reports 0 for display.
+    pub fn raw_min(&self) -> f64 {
+        self.min
+    }
+
+    /// Raw maximum: `-Inf` when empty (the mergeable identity).
+    pub fn raw_max(&self) -> f64 {
+        self.max
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) from the retained sample by
+    /// nearest rank over the sorted samples. Exact while `count <= cap`;
+    /// 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        if q <= 0.0 {
+            return sorted[0];
+        }
+        if q >= 1.0 {
+            return sorted[sorted.len() - 1];
+        }
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Merge `other` into `self`. The aggregates fold **exactly**:
+    /// `count += other.count`, `sum += other.sum`, min/max are the
+    /// pairwise fold (the ±Inf empty identities make an empty side a
+    /// no-op). The retained sample set becomes a deterministic
+    /// proportional blend: each side contributes slots in proportion to
+    /// its exact count (so the merged sample stays approximately uniform
+    /// over the union stream), selected by this reservoir's seeded RNG —
+    /// the same inputs always merge to the same sample set.
+    ///
+    /// Rebuild a merged reservoir from per-rank snapshots with
+    /// [`Reservoir::from_parts`].
+    pub fn merge(&mut self, other: &Reservoir) {
+        self.merge_parts(&other.samples, other.count, other.sum, other.min, other.max);
+    }
+
+    /// [`Reservoir::merge`] from unpacked parts (a deserialized snapshot
+    /// rather than a live reservoir). `min`/`max` must be the raw
+    /// (±Inf-when-empty) values.
+    pub fn merge_parts(&mut self, samples: &[f64], count: u64, sum: f64, min: f64, max: f64) {
+        if count == 0 {
+            return;
+        }
+        let total = self.count + count;
+        self.sum += sum;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
+        if self.samples.len() + samples.len() <= self.cap {
+            self.samples.extend_from_slice(samples);
+        } else {
+            // Proportional allocation by exact counts, clamped to what
+            // each side actually holds, then topped up so the merged set
+            // fills the capacity whenever enough samples exist.
+            let mut keep_self = ((self.cap as u128 * self.count as u128 / total as u128) as usize)
+                .min(self.samples.len());
+            let mut keep_other = (self.cap - keep_self).min(samples.len());
+            keep_self = (self.cap - keep_other).min(self.samples.len());
+            keep_other = (self.cap - keep_self).min(samples.len());
+            let mut rng = self.rng;
+            subsample(&mut self.samples, keep_self, &mut rng);
+            let mut from_other = samples.to_vec();
+            subsample(&mut from_other, keep_other, &mut rng);
+            self.samples.append(&mut from_other);
+            self.rng = rng;
+        }
+        self.count = total;
+    }
+
+    /// Rebuild a reservoir from snapshot parts (see
+    /// [`Reservoir::merge_parts`] for the field contract).
+    pub fn from_parts(
+        cap: usize,
+        seed: u64,
+        samples: &[f64],
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        let mut r = Reservoir::new(cap, seed);
+        r.merge_parts(samples, count, sum, min, max);
+        r
     }
 }
 
@@ -186,5 +296,113 @@ mod tests {
         assert_eq!(r.min(), 0.0);
         assert_eq!(r.max(), 0.0);
         assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_exact_count_sum_and_extrema() {
+        let mut a = Reservoir::new(32, 1);
+        let mut b = Reservoir::new(32, 2);
+        for i in 0..1000 {
+            a.record(i as f64 * 0.5);
+        }
+        for i in 0..500 {
+            b.record(1000.0 + i as f64 * 0.25);
+        }
+        let (ca, sa) = (a.count(), a.sum());
+        let (cb, sb) = (b.count(), b.sum());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb);
+        assert_eq!(a.sum(), sa + sb);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 1000.0 + 499.0 * 0.25);
+        // The blended sample never exceeds capacity and every sample
+        // really was in one of the streams.
+        assert_eq!(a.samples().len(), 32);
+        assert!(a.samples().iter().all(|&v| (0.0..=1124.75).contains(&v)));
+    }
+
+    #[test]
+    fn merge_with_empty_sides_is_identity() {
+        let mut a = Reservoir::new(8, 1);
+        for v in [2.0, 4.0, 6.0] {
+            a.record(v);
+        }
+        let before = a.samples().to_vec();
+        a.merge(&Reservoir::new(8, 9)); // empty other: no-op
+        assert_eq!(a.samples(), &before[..]);
+        assert_eq!(a.count(), 3);
+
+        let mut empty = Reservoir::new(8, 7);
+        empty.merge(&a); // empty self: adopts other's aggregates exactly
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.sum(), 12.0);
+        assert_eq!(empty.min(), 2.0);
+        assert_eq!(empty.max(), 6.0);
+    }
+
+    #[test]
+    fn merge_below_cap_keeps_every_sample() {
+        let mut a = Reservoir::new(16, 1);
+        let mut b = Reservoir::new(16, 2);
+        for v in [1.0, 2.0] {
+            a.record(v);
+        }
+        for v in [3.0, 4.0, 5.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let mut s = a.samples().to_vec();
+        s.sort_by(f64::total_cmp);
+        assert_eq!(s, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let build = || {
+            let mut a = Reservoir::new(16, 5);
+            let mut b = Reservoir::new(16, 6);
+            for i in 0..200 {
+                a.record(i as f64);
+                b.record(1000.0 + i as f64);
+            }
+            a.merge(&b);
+            a.samples().to_vec()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_snapshot() {
+        let mut a = Reservoir::new(8, 3);
+        for i in 0..100 {
+            a.record(i as f64);
+        }
+        let back = Reservoir::from_parts(
+            a.capacity(),
+            3,
+            a.samples(),
+            a.count(),
+            a.sum(),
+            a.raw_min(),
+            a.raw_max(),
+        );
+        assert_eq!(back.count(), a.count());
+        assert_eq!(back.sum(), a.sum());
+        assert_eq!(back.min(), a.min());
+        assert_eq!(back.max(), a.max());
+        assert_eq!(back.samples(), a.samples());
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank_over_samples() {
+        let mut r = Reservoir::new(16, 1);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            r.record(v);
+        }
+        assert_eq!(r.quantile(0.0), 1.0);
+        assert_eq!(r.quantile(0.5), 3.0);
+        assert_eq!(r.quantile(0.9), 5.0);
+        assert_eq!(r.quantile(1.0), 5.0);
+        assert_eq!(Reservoir::new(4, 1).quantile(0.5), 0.0);
     }
 }

@@ -29,6 +29,21 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 static EVENT_LIMIT: AtomicUsize = AtomicUsize::new(MAX_EVENTS_PER_THREAD);
+static PID: AtomicU64 = AtomicU64::new(1);
+
+/// Set the process identity stamped on subsequently recorded events — the
+/// `pid` track in the merged Chrome trace. The coordinator keeps the
+/// default 1; distributed workers call `set_pid(rank + 2)` so every rank
+/// renders as its own process track. Already-buffered events keep the pid
+/// they were recorded under.
+pub fn set_pid(pid: u64) {
+    PID.store(pid, Ordering::Relaxed);
+}
+
+/// The process identity currently stamped on recorded events.
+pub fn pid() -> u64 {
+    PID.load(Ordering::Relaxed)
+}
 
 /// Bound retained trace events per thread to `n` (clamped to ≥ 1). Beyond
 /// the bound the oldest events are overwritten and counted in
@@ -46,6 +61,19 @@ pub fn event_limit() -> usize {
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch — the clock every recorded
+/// timestamp is measured on. Pins the epoch on first call. This is what
+/// the distributed clock-offset handshake exchanges: the coordinator
+/// stamps its `now_us()` into the welcome payload, the worker samples its
+/// own on receipt, and the difference shifts worker events onto the
+/// coordinator's timeline (error bounded by the one-way network delay).
+pub fn now_us() -> f64 {
+    Instant::now()
+        .saturating_duration_since(epoch())
+        .as_secs_f64()
+        * 1e6
 }
 
 /// Turn span collection on or off. All instrumented sites observe the flag
@@ -73,7 +101,8 @@ pub fn dropped_events() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
 
-/// One finished span: `[ts_us, ts_us + dur_us)` on thread `tid`.
+/// One finished span: `[ts_us, ts_us + dur_us)` on thread `tid` of
+/// process `pid`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Span name, e.g. `"fwd:conv1"` or `"barrier_wait"`.
@@ -86,6 +115,9 @@ pub struct Event {
     pub dur_us: f64,
     /// Stable per-thread id (dense, assigned at first event).
     pub tid: u64,
+    /// Process identity (see [`set_pid`]): 1 for a solo process or the
+    /// dist coordinator, `rank + 2` for distributed workers.
+    pub pid: u64,
 }
 
 /// Per-thread event store: a plain Vec until [`event_limit`] is reached,
@@ -223,6 +255,7 @@ fn push(name: Cow<'static, str>, cat: &'static str, ts_us: f64, dur_us: f64) {
             ts_us,
             dur_us,
             tid: buf.tid,
+            pid: pid(),
         };
         if stream_write(&ev) {
             return;
@@ -306,9 +339,25 @@ pub fn record_owned(name: String, cat: &'static str, start: Instant, dur: std::t
     push(Cow::Owned(name), cat, ts_us, dur_us);
 }
 
-/// Drain every thread's buffer and return all events sorted by start time.
-/// Buffers belonging to threads that have exited are pruned from the sink
-/// list once emptied.
+/// Foreign events handed over by [`inject_events`] (e.g. a distributed
+/// worker's trace shipped to the coordinator), merged into the next
+/// [`take_events`] drain.
+fn injected() -> &'static Mutex<Vec<Event>> {
+    static INJECTED: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    INJECTED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Add already-built events (typically deserialized from another process,
+/// carrying their own `pid`/`tid`/timestamps) to the store drained by
+/// [`take_events`] — how the dist coordinator folds worker trace buffers
+/// into the single merged Chrome trace it writes.
+pub fn inject_events(events: Vec<Event>) {
+    injected().lock().extend(events);
+}
+
+/// Drain every thread's buffer — plus any [`inject_events`] hand-offs —
+/// and return all events sorted by start time. Buffers belonging to
+/// threads that have exited are pruned from the sink list once emptied.
 pub fn take_events() -> Vec<Event> {
     let mut out = Vec::new();
     let mut list = sinks().lock();
@@ -318,11 +367,12 @@ pub fn take_events() -> Vec<Event> {
         Arc::strong_count(buf) > 1
     });
     drop(list);
+    out.append(&mut injected().lock());
     out.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
     out
 }
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -350,11 +400,12 @@ fn write_event_records(
         escape_json(&e.name, &mut line);
         line.push_str("\",\"cat\":\"");
         escape_json(e.cat, &mut line);
-        line.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        line.push_str("\",\"ph\":\"X\",\"pid\":");
         let _ = std::fmt::Write::write_fmt(
             &mut line,
             format_args!(
-                "{},\"ts\":{:.3},\"dur\":{:.3}}}{}",
+                "{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}{}",
+                e.pid,
                 e.tid,
                 e.ts_us,
                 e.dur_us,
@@ -480,6 +531,7 @@ mod tests {
                 ts_us: 1.0,
                 dur_us: 2.0,
                 tid: 0,
+                pid: 1,
             },
             Event {
                 name: Cow::Borrowed("plain"),
@@ -487,6 +539,7 @@ mod tests {
                 ts_us: 3.0,
                 dur_us: 4.0,
                 tid: 1,
+                pid: 1,
             },
         ];
         let mut buf = Vec::new();
@@ -590,6 +643,7 @@ mod tests {
             ts_us: 1.0,
             dur_us: 2.0,
             tid: 0,
+            pid: 1,
         }];
         let mut buf = Vec::new();
         write_chrome_trace_with_dropped(&mut buf, &events, 7).unwrap();

@@ -329,6 +329,74 @@ impl RpcClient {
     }
 }
 
+/// Fetch a live [`obs::Snapshot`] of a serving process's metrics registry
+/// from `addr` — the client half of the `FRAME_STATS` exchange, used by
+/// `cgdnn stats --connect`. Works against both the RPC event loop and a
+/// dist coordinator: each greets with a server hello and answers a stats
+/// frame read-only, without disturbing in-flight work. The connection is
+/// dedicated to the scrape and dropped when it returns.
+pub fn fetch_stats(
+    addr: impl ToSocketAddrs,
+    io_timeout: Duration,
+) -> Result<obs::Snapshot, RpcError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let mut hello = [0u8; proto::SERVER_HELLO_LEN];
+    stream.read_exact(&mut hello).map_err(read_err)?;
+    let h = proto::decode_server_hello(&hello)?;
+    match h.status {
+        proto::HELLO_OK => {}
+        proto::HELLO_BUSY => return Err(RpcError::Busy),
+        proto::HELLO_DRAINING => return Err(RpcError::ServerShutdown),
+        s => return Err(RpcError::Protocol(format!("unknown hello status {s}"))),
+    }
+    stream.write_all(&proto::encode_client_hello())?;
+    stream.write_all(&proto::encode_header(proto::FRAME_STATS, 1, 0, 0))?;
+    // The snapshot arrives as FRAME_STATS chunks (tensor-style aux).
+    let mut chunks: Vec<Option<Vec<u8>>> = Vec::new();
+    let mut got = 0usize;
+    while chunks.is_empty() || got < chunks.len() {
+        let mut head = [0u8; proto::FRAME_HEADER_LEN];
+        stream.read_exact(&mut head).map_err(read_err)?;
+        let fh = proto::decode_header(&head)?;
+        if fh.kind != proto::FRAME_STATS {
+            return Err(RpcError::Protocol(format!(
+                "expected a stats frame, got kind {}",
+                fh.kind
+            )));
+        }
+        if fh.payload_len > proto::MAX_PAYLOAD {
+            return Err(RpcError::Protocol(format!(
+                "stats payload of {} bytes exceeds the cap",
+                fh.payload_len
+            )));
+        }
+        let mut payload = vec![0u8; fh.payload_len as usize];
+        stream.read_exact(&mut payload).map_err(read_err)?;
+        let (idx, n) = proto::decode_chunk_aux(fh.aux);
+        if chunks.is_empty() {
+            if n == 0 {
+                return Err(RpcError::Protocol("stats frame announces 0 chunks".into()));
+            }
+            chunks = vec![None; n];
+        }
+        if n != chunks.len() || idx >= n || chunks[idx].is_some() {
+            return Err(RpcError::Protocol(format!(
+                "stats chunk {idx}/{n} is out of range or duplicated"
+            )));
+        }
+        chunks[idx] = Some(payload);
+        got += 1;
+    }
+    let mut bytes = Vec::new();
+    for c in chunks {
+        bytes.extend_from_slice(&c.expect("all chunks received"));
+    }
+    obs::Snapshot::from_bytes(&bytes).map_err(RpcError::Protocol)
+}
+
 /// Collapse a completion into the classic closed-loop result shape.
 fn into_result(c: Completion) -> Result<Vec<f32>, RpcError> {
     match c.outcome {

@@ -33,7 +33,7 @@ pub mod poller;
 pub mod proto;
 pub mod server;
 
-pub use client::{Completion, Outcome, RpcClient};
+pub use client::{fetch_stats, Completion, Outcome, RpcClient};
 pub use load::{FuzzReport, LoadConfig, LoadReport};
 pub use server::{RpcConfig, RpcMetrics, RpcServer};
 

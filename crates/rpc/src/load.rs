@@ -14,10 +14,11 @@
 //! deterministic equal-jitter, up to [`LoadConfig::busy_retries`] times
 //! per client, and the total count lands in the report's `busy_retries`
 //! column — so a briefly-saturated server degrades the numbers instead of
-//! killing the run. Per-request round-trip times
-//! are merged at the end into nearest-rank percentiles (the same
-//! [`serve::metrics::percentile`] the in-process report uses, so E17
-//! compares like with like).
+//! killing the run. Per-request round-trip times are merged at the end
+//! into an [`obs::Histogram`] over 1-2-5 µs decades and the report's
+//! percentiles come from [`obs::Histogram::quantile`] — the same
+//! interpolated estimator the live `cgdnn stats` snapshot uses, so BENCH
+//! artifacts and on-demand scrapes derive percentiles one way.
 //!
 //! [`fuzz`] is deliberate vandalism: seeded-random byte prefixes thrown at
 //! the socket — half of them from byte zero (bad magic), half after a
@@ -58,6 +59,14 @@ pub struct LoadConfig {
     pub idle_conns: usize,
 }
 
+/// Round-trip histogram bounds: 1-2-5 decades from 1 µs to 10 s. Wide
+/// enough that loopback runs land mid-range and a pathological stall
+/// still falls inside the last finite bucket instead of the +Inf tail.
+pub const RTT_BOUNDS_US: [f64; 22] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5,
+    5e5, 1e6, 2e6, 5e6, 1e7,
+];
+
 impl Default for LoadConfig {
     /// 4 clients, 1000 requests, no deadline, 10 s socket timeout, up to
     /// 6 busy retries from a 20 ms base.
@@ -92,11 +101,12 @@ pub struct LoadReport {
     pub busy_retries: u64,
     /// Wall time of the whole run.
     pub wall: Duration,
-    /// Median round-trip, µs (completed requests only).
+    /// Median round-trip, µs (completed requests only; interpolated from
+    /// the [`RTT_BOUNDS_US`] histogram via [`obs::Histogram::quantile`]).
     pub p50_us: f64,
-    /// 95th-percentile round-trip, µs.
+    /// 95th-percentile round-trip, µs (same estimator).
     pub p95_us: f64,
-    /// 99th-percentile round-trip, µs.
+    /// 99th-percentile round-trip, µs (same estimator).
     pub p99_us: f64,
     /// Worst round-trip, µs.
     pub max_us: f64,
@@ -298,16 +308,20 @@ pub fn run(
     });
     report.wall = t0.elapsed();
     drop(idle); // parked the whole run; close them only now
-    rtts_us.sort_by(f64::total_cmp);
-    report.p50_us = serve::metrics::percentile(&rtts_us, 0.50);
-    report.p95_us = serve::metrics::percentile(&rtts_us, 0.95);
-    report.p99_us = serve::metrics::percentile(&rtts_us, 0.99);
-    report.max_us = rtts_us.last().copied().unwrap_or(0.0);
-    report.mean_us = if rtts_us.is_empty() {
-        0.0
-    } else {
-        rtts_us.iter().sum::<f64>() / rtts_us.len() as f64
-    };
+                // One estimator for every percentile this repo reports: fold the RTTs
+                // into an `obs::Histogram` and interpolate, exactly as a `cgdnn stats`
+                // scrape of a live server would. Mean and max stay exact — the
+                // histogram tracks raw sum/count/extrema alongside the buckets.
+    let reg = obs::Registry::new();
+    let hist = reg.histogram("load.rtt_us", &RTT_BOUNDS_US);
+    for &rtt in &rtts_us {
+        hist.observe(rtt);
+    }
+    report.p50_us = hist.quantile(0.50);
+    report.p95_us = hist.quantile(0.95);
+    report.p99_us = hist.quantile(0.99);
+    report.max_us = hist.max();
+    report.mean_us = hist.mean();
     Ok(report)
 }
 

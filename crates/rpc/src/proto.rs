@@ -128,6 +128,18 @@ pub const FRAME_DONE: u8 = 22;
 /// shape block as `FRAME_WELCOME`, so the worker can re-derive its local
 /// batch and re-seat its data cursor at `resume_step * local_batch`.
 pub const FRAME_REJOIN: u8 = 23;
+/// Either direction: a registry-snapshot exchange. As a request (client →
+/// server, `aux` 0, empty payload) it asks the serving process for a
+/// read-only [`obs`] registry snapshot; the response frames carry the
+/// snapshot's binary form (`obs::Snapshot::to_bytes`), chunked like a
+/// tensor with [`encode_chunk_aux`]. Worker → coordinator at teardown, the
+/// same chunked payload carries the worker's registry *delta* for
+/// cross-rank aggregation.
+pub const FRAME_STATS: u8 = 24;
+/// Worker → coordinator at teardown: the worker's trace events (already
+/// shifted onto the coordinator clock), serialized and chunked like
+/// `FRAME_STATS`, for the coordinator's single merged Chrome trace.
+pub const FRAME_TRACE: u8 = 25;
 
 /// Maximum `f32` values per gradient/parameter chunk (256 KiB payload).
 pub const MAX_CHUNK_F32S: usize = 65_536;
@@ -396,6 +408,8 @@ mod tests {
             FRAME_STEP,
             FRAME_DONE,
             FRAME_REJOIN,
+            FRAME_STATS,
+            FRAME_TRACE,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

@@ -156,6 +156,24 @@ pub struct RpcMetrics {
     /// Event-loop wakeups — the idle-cost gauge: an idle server adds
     /// ~nothing here no matter how many connections it holds.
     pub loop_wakeups: obs::Counter,
+    /// All frames either direction (`frames_in + frames_out`) — the
+    /// single liveness number a `cgdnn stats` scrape checks first.
+    pub frames_total: obs::Counter,
+    /// Wall time of one loop iteration's work (poll return to next poll),
+    /// excluding the sleep itself — event-loop latency health.
+    pub loop_iter_seconds: obs::Histogram,
+    /// Connections currently mid-handshake (gauge `rpc.conns_hello`).
+    pub conns_hello: obs::Gauge,
+    /// Connections currently serving frames (gauge `rpc.conns_open`).
+    pub conns_open: obs::Gauge,
+    /// Connections flushing before teardown (gauge `rpc.conns_closing`).
+    pub conns_closing: obs::Gauge,
+    /// Stall-watchdog kills: writers stuck past `write_timeout`.
+    pub stalled_conns_reaped: obs::Counter,
+    /// Decode-to-response service time in µs, reservoir-sampled so a
+    /// stats scrape carries true quantiles (p50/p90/p99), not just the
+    /// `frame_seconds` bucket shape.
+    pub frame_service_us: obs::Summary,
     active: AtomicI64,
 }
 
@@ -179,6 +197,16 @@ impl RpcMetrics {
             handler_panics: reg.counter("rpc.handler_panics"),
             frame_seconds: reg.histogram("rpc.frame_seconds", &obs::registry::DURATION_BOUNDS_SECS),
             loop_wakeups: reg.counter("rpc.loop_wakeups"),
+            frames_total: reg.counter("rpc.frames_total"),
+            loop_iter_seconds: reg.histogram(
+                "rpc.loop_iter_seconds",
+                &obs::registry::DURATION_BOUNDS_SECS,
+            ),
+            conns_hello: reg.gauge("rpc.conns_hello"),
+            conns_open: reg.gauge("rpc.conns_open"),
+            conns_closing: reg.gauge("rpc.conns_closing"),
+            stalled_conns_reaped: reg.counter("rpc.stalled_conns_reaped"),
+            frame_service_us: reg.summary("rpc.frame_service_us"),
             active: AtomicI64::new(0),
         })
     }
@@ -414,6 +442,7 @@ impl EventLoop {
                 return;
             }
             self.metrics.loop_wakeups.inc();
+            let iter_t0 = Instant::now();
             if self.poll.readable(wake_slot) {
                 self.wake_rx.drain();
             }
@@ -431,6 +460,10 @@ impl EventLoop {
                 self.service_conn(id, slot);
             }
             self.reap_closing();
+            // Work time only — the poll sleep is idleness, not latency.
+            self.metrics
+                .loop_iter_seconds
+                .observe(iter_t0.elapsed().as_secs_f64());
         }
     }
 
@@ -449,7 +482,13 @@ impl EventLoop {
         };
         let wake_slot = self.poll.push(self.wake_rx.fd(), true, false);
         let mut conn_slots = Vec::with_capacity(self.conns.len());
+        let (mut hello, mut open, mut closing) = (0u64, 0u64, 0u64);
         for (&id, c) in &self.conns {
+            match c.state {
+                ConnState::Hello => hello += 1,
+                ConnState::Open => open += 1,
+                ConnState::Closing => closing += 1,
+            }
             let want_read = !self.draining
                 && !c.got_eof
                 && c.state != ConnState::Closing
@@ -463,6 +502,9 @@ impl EventLoop {
             };
             conn_slots.push((id, slot));
         }
+        self.metrics.conns_hello.set(hello as f64);
+        self.metrics.conns_open.set(open as f64);
+        self.metrics.conns_closing.set(closing as f64);
         (listener_slot, conn_slots, wake_slot)
     }
 
@@ -494,6 +536,7 @@ impl EventLoop {
             if c.state != ConnState::Closing && c.inflight == 0 {
                 let frame = encode_frame(proto::RESP_SHUTDOWN, 0, 0, &[]);
                 m.frames_out.inc();
+                m.frames_total.inc();
                 m.bytes_out.add(frame.len() as u64);
                 c.queue(&frame);
                 c.state = ConnState::Closing;
@@ -514,10 +557,13 @@ impl EventLoop {
             };
             c.inflight -= 1;
             self.metrics.frames_out.inc();
+            self.metrics.frames_total.inc();
             self.metrics.bytes_out.add(comp.frame.len() as u64);
+            let service = comp.t0.elapsed();
+            self.metrics.frame_seconds.observe(service.as_secs_f64());
             self.metrics
-                .frame_seconds
-                .observe(comp.t0.elapsed().as_secs_f64());
+                .frame_service_us
+                .observe(service.as_secs_f64() * 1e6);
             c.queue(&comp.frame);
             if comp.close_after && c.state != ConnState::Closing {
                 c.state = ConnState::Closing;
@@ -526,6 +572,7 @@ impl EventLoop {
                 if self.draining {
                     let frame = encode_frame(proto::RESP_SHUTDOWN, 0, 0, &[]);
                     self.metrics.frames_out.inc();
+                    self.metrics.frames_total.inc();
                     self.metrics.bytes_out.add(frame.len() as u64);
                     c.queue(&frame);
                 }
@@ -648,7 +695,10 @@ impl EventLoop {
         }
         for (id, timed_out) in dead {
             if timed_out {
+                // Stall watchdog: the peer refused our bytes for the whole
+                // write_timeout budget.
                 self.metrics.io_errors.inc();
+                self.metrics.stalled_conns_reaped.inc();
             }
             if let Some(c) = self.conns.remove(&id) {
                 let _ = c.stream.shutdown(Shutdown::Both);
@@ -753,6 +803,7 @@ impl EventLoop {
                         break;
                     }
                     self.metrics.frames_in.inc();
+                    self.metrics.frames_total.inc();
                     let _frame_span = obs::trace::span("frame", "rpc");
                     let payload_at = c.rstart + proto::FRAME_HEADER_LEN;
                     let payload: Vec<u8> =
@@ -786,6 +837,7 @@ impl EventLoop {
     fn queue_response(&mut self, id: u64, kind: u8, frame_id: u64, aux: u32, payload: &[u8]) {
         let frame = encode_frame(kind, frame_id, aux, payload);
         self.metrics.frames_out.inc();
+        self.metrics.frames_total.inc();
         self.metrics.bytes_out.add(frame.len() as u64);
         if let Some(c) = self.conns.get_mut(&id) {
             c.queue(&frame);
@@ -802,6 +854,23 @@ impl EventLoop {
                 // stop); acknowledge so the drainer can hang up.
                 self.drain.store(true, Ordering::SeqCst);
                 self.queue_response(id, proto::RESP_SHUTDOWN, header.id, 0, &[]);
+            }
+            proto::FRAME_STATS => {
+                // Read-only registry scrape, answered synchronously on the
+                // loop (a snapshot is a few atomic loads per metric — no
+                // compute, no serve-tier round trip, so in-flight requests
+                // are undisturbed). The snapshot is of the process-global
+                // registry: that is where the trainer/serving/rpc tiers
+                // publish, and it is what `--metrics` would export.
+                let bytes = obs::registry::global().snapshot().to_bytes();
+                let chunk = proto::MAX_CHUNK_F32S * std::mem::size_of::<f32>();
+                let n_chunks = bytes.len().div_ceil(chunk).max(1);
+                // to_bytes() always emits the 4-byte count, so there is at
+                // least one chunk.
+                for (i, part) in bytes.chunks(chunk).enumerate() {
+                    let aux = proto::encode_chunk_aux(i, n_chunks);
+                    self.queue_response(id, proto::FRAME_STATS, header.id, aux, part);
+                }
             }
             proto::REQ_INFER if payload.len() != sample_bytes => {
                 m.decode_errors.inc();

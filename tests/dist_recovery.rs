@@ -457,7 +457,13 @@ fn mid_chunk_params_disconnect_is_typed_on_the_worker() {
         proto::FRAME_WELCOME,
         0,
         0,
-        &frames::encode_welcome(1, 8, 3),
+        &frames::encode_welcome(&frames::Welcome {
+            world: 1,
+            effective_batch: 8,
+            iters: 3,
+            flags: 0,
+            coord_clock_us: 0,
+        }),
     )
     .unwrap();
     let chunk = vec![0.0f32; proto::MAX_CHUNK_F32S];

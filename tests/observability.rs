@@ -9,8 +9,12 @@ mod common;
 use cgdnn::observe;
 use cgdnn::prelude::*;
 use common::tiny_net;
+use datasets::ShardedSource;
+use dist::{run_coordinator, run_worker, CoordinatorConfig, DistConfig, WorkerConfig};
 use std::collections::BTreeSet;
+use std::net::TcpListener;
 use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
 /// Span collection is process-global state; every test that flips it (or
 /// asserts on drained events) takes this lock so the assertions see only
@@ -64,6 +68,151 @@ fn instrumentation_does_not_change_training() {
             "tracing changed the final parameters at {threads} threads"
         );
     }
+}
+
+/// 16 deterministic samples of shape [4] — the same source
+/// `tests/dist_training.rs` uses, duplicated here because integration test
+/// binaries cannot share helpers without a common crate.
+struct Ramp;
+impl BatchSource<f32> for Ramp {
+    fn num_samples(&self) -> usize {
+        16
+    }
+    fn sample_shape(&self) -> Shape {
+        Shape::from([4usize])
+    }
+    fn fill(&self, index: usize, out: &mut [f32]) -> f32 {
+        mmblas::set(0.1 * (index + 1) as f32, out);
+        (index % 3) as f32
+    }
+}
+
+fn micro_spec(batch: usize) -> NetSpec {
+    NetSpec::parse(&format!(
+        r#"
+name: micro
+layer {{
+  name: d
+  type: Data
+  batch: {batch}
+  top: data
+  top: label
+}}
+layer {{
+  name: ip
+  type: InnerProduct
+  bottom: data
+  top: ip
+  num_output: 3
+  seed: 17
+}}
+layer {{
+  name: loss
+  type: SoftmaxWithLoss
+  bottom: ip
+  bottom: label
+  top: loss
+}}
+"#
+    ))
+    .unwrap()
+}
+
+/// Coordinator + 2 worker threads over loopback TCP, with tracing either
+/// off or on for the whole run. Returns (losses, flat params).
+fn dist_obs_run(iters: usize, observed: bool) -> (Vec<f32>, Vec<f32>) {
+    const WORLD: usize = 2;
+    if observed {
+        obs::trace::set_enabled(true);
+        let _ = obs::trace::take_events();
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handles: Vec<_> = (0..WORLD)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let sharded = ShardedSource::new(Box::new(Ramp), rank, WORLD, 8);
+                let mut net =
+                    Net::from_spec(&micro_spec(8 / WORLD), Some(Box::new(sharded))).unwrap();
+                let mut cfg = WorkerConfig::new(addr.to_string(), rank);
+                cfg.io_timeout = Duration::from_secs(10);
+                run_worker(&mut net, &cfg)
+            })
+        })
+        .collect();
+    let mut net = Net::from_spec(&micro_spec(8), Some(Box::new(Ramp))).unwrap();
+    let mut solver = Solver::<f32>::new(SolverConfig::lenet());
+    let cfg = CoordinatorConfig {
+        dist: DistConfig {
+            world: WORLD,
+            effective_batch: 8,
+            num_samples: 16,
+            iters,
+            io_timeout: Duration::from_secs(10),
+        },
+        join_timeout: Duration::from_secs(10),
+    };
+    let losses = run_coordinator(listener, &mut net, &mut solver, &cfg, |_, _, _, _| Ok(()))
+        .expect("distributed run failed");
+    for (rank, h) in handles.into_iter().enumerate() {
+        h.join()
+            .unwrap()
+            .unwrap_or_else(|e| panic!("rank {rank}: {e}"));
+    }
+    if observed {
+        obs::trace::set_enabled(false);
+    }
+    let params = net
+        .learnable_params()
+        .iter()
+        .flat_map(|p| p.data().iter().copied())
+        .collect();
+    (losses, params)
+}
+
+#[test]
+fn distributed_observability_is_invisible_and_aggregates_per_rank() {
+    // The tentpole invariant extended to the distributed path: a full
+    // coordinator + 2-worker run over real loopback TCP — stats flush,
+    // trace flush, clock-offset handshake and all — must be bit-identical
+    // with tracing off vs on.
+    let _g = obs_lock();
+    let (base_losses, base_params) = dist_obs_run(4, false);
+    let (obs_losses, obs_params) = dist_obs_run(4, true);
+    assert_eq!(
+        base_losses, obs_losses,
+        "tracing changed the distributed loss trajectory"
+    );
+    assert_eq!(
+        base_params, obs_params,
+        "tracing changed the distributed final parameters"
+    );
+
+    // Teardown aggregation ran: the coordinator's registry now holds
+    // rank-prefixed rows merged from each worker's shipped delta.
+    let csv = obs::registry::global().csv();
+    for rank in 0..2 {
+        assert!(
+            csv.contains(&format!("r{rank}.dist.worker_steps,")),
+            "no merged r{rank}.* rows in coordinator registry"
+        );
+    }
+
+    // The observed run's merged trace (worker events arrived over
+    // FRAME_TRACE and were injected coordinator-side) is a valid Chrome
+    // trace. Per-rank pid separation is asserted in the CI smoke with real
+    // spawned processes — in-process workers share the pid atomic.
+    let events = obs::trace::take_events();
+    assert!(!events.is_empty(), "observed dist run produced no spans");
+    assert!(
+        events.iter().any(|e| e.cat == "dist"),
+        "no dist-category spans in merged trace"
+    );
+    let mut buf = Vec::new();
+    obs::trace::write_chrome_trace(&mut buf, &events).unwrap();
+    let text = std::str::from_utf8(&buf).unwrap();
+    let summary = obs::json::validate_chrome_trace(text).expect("merged trace validates");
+    assert_eq!(summary.events, events.len());
 }
 
 #[test]

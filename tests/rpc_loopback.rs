@@ -176,6 +176,78 @@ fn queue_pressure_rejections_propagate_over_the_wire() {
     server.shutdown();
 }
 
+#[test]
+fn live_stats_scrape_is_invisible_to_inflight_requests() {
+    // `FRAME_STATS` answers from the process-global registry (where `cgdnn
+    // serve` publishes), so this stack registers its metrics there too.
+    let spec = net::NetSpec::parse(TRAIN).unwrap();
+    let factory = EngineFactory::<f32>::new(
+        &spec,
+        &blob::Shape::from(vec![6usize]),
+        &EngineConfig {
+            max_batch: 4,
+            n_threads: 1,
+        },
+        None,
+    )
+    .unwrap();
+    let server = Server::start(factory.build_n(1).unwrap(), BatchPolicy::default()).unwrap();
+    let rpc = RpcServer::start(
+        "127.0.0.1:0",
+        server.client(),
+        server.output_len(),
+        RpcConfig::default(),
+        obs::registry::global(),
+    )
+    .unwrap();
+    let addr = rpc.local_addr();
+    let baselines: Vec<Vec<u32>> = (0..16)
+        .map(|i| bits(&server.infer(&sample(i)).unwrap()))
+        .collect();
+
+    // Scrape the live registry repeatedly while an inference stream is in
+    // flight on the same event loop: every response must stay bit-identical
+    // to the in-process baseline, and every scrape must parse.
+    std::thread::scope(|s| {
+        let baselines = &baselines;
+        let infer = s.spawn(move || {
+            let mut client = RpcClient::connect(addr).unwrap();
+            for round in 0..4 {
+                for (i, want) in baselines.iter().enumerate() {
+                    let got = client.infer(&sample(i)).unwrap();
+                    assert_eq!(
+                        &bits(&got),
+                        want,
+                        "round {round} sample {i} diverged under live stats scrape"
+                    );
+                }
+            }
+        });
+        for _ in 0..8 {
+            let snap = rpc::fetch_stats(addr, Duration::from_secs(10)).unwrap();
+            assert!(!snap.is_empty(), "live snapshot carried no metrics");
+        }
+        infer.join().unwrap();
+    });
+
+    let snap = rpc::fetch_stats(addr, Duration::from_secs(10)).unwrap();
+    match snap.get("rpc.frames_total") {
+        Some(obs::MetricValue::Counter(n)) => {
+            assert!(*n > 0, "event loop served frames but counted none")
+        }
+        other => panic!("rpc.frames_total missing or mistyped: {other:?}"),
+    }
+    // The JSON rendering of the scraped snapshot is strict JSON with the
+    // scraped counter visible — what `cgdnn stats --connect --json` prints.
+    let v = obs::json::parse(&snap.json()).expect("snapshot json parses");
+    assert!(
+        v.get("rpc.frames_total").and_then(|n| n.as_f64()).unwrap() > 0.0,
+        "rpc.frames_total missing from JSON rendering"
+    );
+    rpc.shutdown();
+    server.shutdown();
+}
+
 /// One raw frame exchange on an already-handshaken socket.
 fn raw_exchange(s: &mut std::net::TcpStream, id: u64, payload_f32s: &[f32]) -> (u8, u64, Vec<u8>) {
     use rpc::proto;

@@ -22,6 +22,12 @@
 //!                                      # live metrics scrape of any
 //!                                      # serving / coordinating process
 //! cgdnn simulate <spec.prototxt> [--data KIND]
+//! cgdnn plan     <spec.prototxt> [--data KIND] [--threads N] [--beam B]
+//!                [--model xeon|scaled:SxC] [--profile-csv FILE]
+//!                [--out FILE] [--json FILE]
+//!                                      # search per-layer parallelism
+//!                                      # strategies; execute the emitted
+//!                                      # .plan with train/infer --plan
 //! ```
 //!
 //! `KIND` is `synthetic-mnist` (default), `synthetic-cifar`, or
@@ -236,6 +242,18 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("initialized from {w}");
     }
+    // A plan only changes where forward work runs, never what is computed,
+    // so the trajectory below is bit-identical with or without it.
+    if let Some(path) = args.get("plan") {
+        let p = plan::Plan::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        plan::apply_to_net(&p, &mut net).map_err(|e| format!("{path}: {e}"))?;
+        publish_plan_metrics(&p);
+        println!(
+            "plan {path}: {} layer(s), {} non-sample-split",
+            p.entries.len(),
+            p.non_sample_layers()
+        );
+    }
     let threads: usize = args.get_parse("threads", 4)?;
     let iters: usize = args.get_parse("iters", 100)?;
     let lr: f64 = args.get_parse("lr", 0.01)?;
@@ -276,8 +294,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .or(resume_dir)
             .unwrap_or("checkpoints");
         let keep_epoch_every: usize = args.get_parse("keep-epoch-every", 0)?;
+        let keep_bytes: u64 = args.get_parse("keep-bytes", 0)?;
         let dir = CheckpointDir::new(dir_path)
             .with_keep(keep)
+            .with_keep_bytes(keep_bytes)
             .with_keep_epoch_every(keep_epoch_every);
         if resume_dir.is_some() {
             let outcome = dir.resume_latest(&mut trainer).map_err(|e| e.to_string())?;
@@ -719,7 +739,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     // One factory: the snapshot is decoded exactly once, every replica
     // shares that decoded copy, and the supervisor rebuilds dead replicas
     // from it without touching the filesystem again.
-    let factory = serve::EngineFactory::<f32>::new(
+    let mut factory = serve::EngineFactory::<f32>::new(
         &spec,
         &sample_shape,
         &serve::EngineConfig {
@@ -729,6 +749,17 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
         weights.as_deref(),
     )
     .map_err(|e| e.to_string())?;
+    // Serving executes the plan leniently: entries for training-only
+    // layers (data, loss) are skipped; stale entries fail replica builds.
+    if let Some(path) = args.get("plan") {
+        let p = plan::Plan::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        publish_plan_metrics(&p);
+        println!(
+            "plan {path}: {} non-sample-split layer(s)",
+            p.non_sample_layers()
+        );
+        factory = factory.with_plan(p);
+    }
     println!(
         "serving '{}': {replicas} replica(s) x {threads} thread(s), max_batch {max_batch}, \
          window {max_delay_us} us, queue depth {queue_depth}, {:.1} KiB shared weights, \
@@ -1036,7 +1067,149 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: cgdnn <summary|train|infer|load|stats|simulate> <spec.prototxt> [flags]
+/// Publish a loaded plan into the global metrics registry: the schedule
+/// summary plus one `plan.strategy.<layer>.<tag>` gauge per layer, so a
+/// `--metrics` dump or a live `cgdnn stats` scrape shows which strategy
+/// every layer is executing.
+fn publish_plan_metrics(p: &plan::Plan) {
+    let reg = obs::registry::global();
+    reg.gauge("plan.layers").set(p.entries.len() as f64);
+    reg.gauge("plan.non_sample_layers")
+        .set(p.non_sample_layers() as f64);
+    reg.gauge("plan.threads").set(p.threads as f64);
+    for e in &p.entries {
+        reg.gauge(&format!(
+            "plan.strategy.{}.{}",
+            e.name,
+            plan::strategy_tag(e.strategy)
+        ))
+        .set(1.0);
+    }
+}
+
+/// `--model` flag to cost model: `xeon` (the paper's 16-core E5-2667v2,
+/// default) or `scaled:SxC` (S sockets of C cores with the same per-core
+/// constants — the batch-starved regime planning exists for).
+fn parse_model(s: &str) -> Result<machine::CpuModel, String> {
+    if s == "xeon" {
+        return Ok(machine::CpuModel::xeon_e5_2667v2());
+    }
+    if let Some(spec) = s.strip_prefix("scaled:") {
+        let (sockets, cores) = spec
+            .split_once('x')
+            .ok_or_else(|| format!("bad --model '{s}': want scaled:SxC, e.g. scaled:8x16"))?;
+        let sockets: usize = sockets
+            .parse()
+            .map_err(|_| format!("bad socket count in --model '{s}'"))?;
+        let cores: usize = cores
+            .parse()
+            .map_err(|_| format!("bad cores-per-socket in --model '{s}'"))?;
+        if sockets == 0 || cores == 0 {
+            return Err(format!("--model '{s}': sockets and cores must be >= 1"));
+        }
+        return Ok(machine::CpuModel::scaled_node(sockets, cores));
+    }
+    Err(format!("unknown --model '{s}' (want xeon or scaled:SxC)"))
+}
+
+/// `cgdnn plan` — search per-layer parallelism strategies for a spec on a
+/// modeled machine and emit an executable `.plan` schedule.
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let net = load_net(args)?;
+    let model_desc = args.get("model").unwrap_or("xeon").to_string();
+    let model = parse_model(&model_desc)?;
+    let threads: usize = args.get_parse("threads", model.cores)?;
+    let beam: usize = args.get_parse("beam", 4)?;
+    if threads == 0 || beam == 0 {
+        return Err("--threads and --beam must be >= 1".into());
+    }
+
+    let mut profiles = net.profiles();
+    // Measured seeding: rescale the analytic profiles so their relative
+    // per-layer costs match a real `train --profile-csv` measurement.
+    if let Some(path) = args.get("profile-csv") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let (calibrated, matched) = plan::calibrate_with_csv(&profiles, &text, &model);
+        if matched == 0 {
+            return Err(format!(
+                "{path}: no layer names match the spec — stale profile?"
+            ));
+        }
+        println!("profiles calibrated from {path} ({matched} layer(s) matched)");
+        profiles = calibrated;
+    }
+
+    let spaces = net.layer_strategy_spaces();
+    let result = plan::search(&profiles, &spaces, &model, threads, beam);
+    println!(
+        "searched {} layer(s) for {threads} thread(s) on model {model_desc} (beam {beam}):",
+        spaces.len()
+    );
+    print!("{}", plan::report_table(&result));
+    let batch_imb = observe::analytic_imbalance(&profiles, threads);
+    let plan_imb = observe::analytic_imbalance(
+        &plan::transform_profiles(&profiles, &result.strategies, &model, threads),
+        threads,
+    );
+    println!(
+        "predicted imbalance factor: batch-only {:.4}, planned {:.4}",
+        batch_imb.imbalance_factor, plan_imb.imbalance_factor
+    );
+
+    let reg = obs::registry::global();
+    reg.gauge("plan.batch_only_step_us")
+        .set(result.batch_only_secs * 1e6);
+    reg.gauge("plan.projected_step_us")
+        .set(result.planned_secs * 1e6);
+    let emitted = plan::plan_for_net(&net, &result.strategies, threads, &model_desc);
+    publish_plan_metrics(&emitted);
+
+    if let Some(path) = args.get("out") {
+        emitted
+            .save(Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("plan written to {path}");
+    }
+    if let Some(path) = args.get("json") {
+        let layers: Vec<String> = result
+            .layers
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"name\":\"{}\",\"type\":\"{}\",\"strategy\":\"{}\",\
+                     \"batch_only_us\":{:.3},\"planned_us\":{:.3}}}",
+                    l.name,
+                    l.layer_type,
+                    l.strategy,
+                    l.batch_only_secs * 1e6,
+                    l.planned_secs * 1e6
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"net\":\"{}\",\"threads\":{threads},\"model\":\"{model_desc}\",\"beam\":{beam},\
+             \"batch_only_step_us\":{:.3},\"projected_step_us\":{:.3},\
+             \"projected_speedup\":{:.4},\"non_sample_layers\":{},\
+             \"imbalance_batch_only\":{:.4},\"imbalance_planned\":{:.4},\
+             \"layers\":[{}]}}\n",
+            net.name(),
+            result.batch_only_secs * 1e6,
+            result.planned_secs * 1e6,
+            result.projected_speedup(),
+            result.non_sample_layers(),
+            batch_imb.imbalance_factor,
+            plan_imb.imbalance_factor,
+            layers.join(",")
+        );
+        net::write_atomic(Path::new(path), json.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+        println!("json report written to {path}");
+    }
+    write_observability(args, None)?;
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: cgdnn <summary|train|infer|load|stats|simulate|plan> <spec.prototxt> [flags]
   --data synthetic-mnist|synthetic-cifar|idx:<imgs>,<lbls>|cifar-bin:<file>
   --threads N     team size (train, infer)
   --iters N       iterations (train)
@@ -1047,6 +1220,18 @@ const USAGE: &str = "usage: cgdnn <summary|train|infer|load|stats|simulate> <spe
   --weights FILE  initialize parameters before training / serving
   --loss-log FILE write '<iter> <loss>' per step (f32-exact; two
                   bit-identical runs produce byte-identical logs)
+per-layer parallelism planning (plan; execute with train/infer --plan):
+  --model xeon|scaled:SxC  cost model: the paper's 16-core Xeon (default)
+                  or S sockets x C cores of the same silicon
+  --threads N     (plan) team size to plan for (default: the model's cores)
+  --beam B        (plan) beam width of the strategy search (default 4)
+  --profile-csv FILE  (plan) seed the cost model from a measured
+                  `train --profile-csv` table instead of analytic flops
+  --out FILE      (plan) write the executable .plan schedule
+  --json FILE     (plan) write the projection report (BENCH_plan.json in CI)
+  --plan FILE     (train, infer) execute a .plan schedule; forward outputs
+                  and the training trajectory stay bit-identical to the
+                  batch-only default, stale plans are rejected by layer name
 distributed data-parallel training (multi-process, one host):
   --coordinator ADDR  bind here (e.g. 127.0.0.1:0), self-spawn the workers,
                       and coordinate synchronous data-parallel SGD; the
@@ -1074,6 +1259,9 @@ fault-tolerant training (activated by --snapshot-every or --resume):
   --snapshot-dir DIR  where checkpoints go (default: the resume dir,
                       else 'checkpoints')
   --keep N            checkpoints retained (default 3)
+  --keep-bytes N      also cap regular checkpoints to N total bytes,
+                      newest-first (0 = off; epoch checkpoints and the
+                      newest checkpoint are exempt)
   --keep-epoch-every N  also retain every checkpoint whose iteration is a
                       multiple of N, exempt from --keep pruning (0 = off)
   --guard-factor X    divergence when loss > X * trailing mean; 0 disables
@@ -1163,6 +1351,7 @@ fn main() -> ExitCode {
         Some("load") => cmd_load(&args),
         Some("stats") => cmd_stats(&args),
         Some("simulate") => cmd_simulate(&args),
+        Some("plan") => cmd_plan(&args),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

@@ -1,5 +1,6 @@
 //! Execution context: thread team, schedule, reduction mode, phase.
 
+use crate::strategy::LayerStrategy;
 use crate::workspace::Workspace;
 use mmblas::Scalar;
 use omprt::{Schedule, ThreadTeam};
@@ -65,6 +66,9 @@ pub struct ExecCtx<'a, S: Scalar = f32> {
     pub phase: Phase,
     /// Global iteration counter (seeds dropout masks deterministically).
     pub iteration: u64,
+    /// How this layer's coalesced loop is split (from the active plan;
+    /// sample-split when no plan is loaded).
+    pub strategy: LayerStrategy,
 }
 
 impl<'a, S: Scalar> ExecCtx<'a, S> {
@@ -78,6 +82,7 @@ impl<'a, S: Scalar> ExecCtx<'a, S> {
             workspace,
             phase: Phase::Train,
             iteration: 0,
+            strategy: LayerStrategy::SampleSplit,
         }
     }
 
@@ -96,6 +101,12 @@ impl<'a, S: Scalar> ExecCtx<'a, S> {
     /// Builder-style: set the phase.
     pub fn with_phase(mut self, p: Phase) -> Self {
         self.phase = p;
+        self
+    }
+
+    /// Builder-style: set the layer's parallelization strategy.
+    pub fn with_strategy(mut self, s: LayerStrategy) -> Self {
+        self.strategy = s;
         self
     }
 }
@@ -126,9 +137,11 @@ mod tests {
         let ctx = ExecCtx::new(&team, &ws)
             .with_reduction(ReductionMode::Unordered)
             .with_schedule(Schedule::Guided)
-            .with_phase(Phase::Test);
+            .with_phase(Phase::Test)
+            .with_strategy(LayerStrategy::Replicate);
         assert_eq!(ctx.reduction, ReductionMode::Unordered);
         assert_eq!(ctx.schedule, Schedule::Guided);
         assert_eq!(ctx.phase, Phase::Test);
+        assert_eq!(ctx.strategy, LayerStrategy::Replicate);
     }
 }

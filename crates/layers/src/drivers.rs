@@ -4,11 +4,23 @@
 //!   statically-scheduled loop over disjoint output segments (Algorithm 4).
 //!   Forward passes and backward-data passes write disjoint segments, so no
 //!   synchronization is required.
+//! * [`parallel_units`] / [`parallel_units_scratch`] — the generalized form:
+//!   each sample's segment is further split into `ways` disjoint sub-blocks
+//!   per the layer's [`LayerStrategy`](crate::strategy::LayerStrategy), so the coalesced loop runs over
+//!   `samples × ways` units. This is how a plan splits a within-sample
+//!   dimension (conv output channels, IP output neurons) when the batch
+//!   dimension is starved.
 //! * [`backward_reduce`] — the privatize-then-ordered-merge pattern for
 //!   weight/bias gradients (Algorithm 5): each *slot* accumulates the
 //!   gradients of a contiguous chunk of samples; slots merge into the shared
 //!   parameter diff in slot order (ordered construct) or completion order
 //!   (unordered mode).
+//!
+//! Every driver honors [`LayerStrategy::Replicate`](crate::strategy::LayerStrategy::Replicate)
+//! by running the identical
+//! loop (and, for the reduction, the identical slot/merge math) inline on
+//! the calling thread with no parallel region — outputs are bitwise equal to
+//! the parallel path by construction.
 //!
 //! These drivers are what makes the parallelization *network-agnostic*: a
 //! new layer type only supplies the per-segment / per-sample kernel.
@@ -33,6 +45,14 @@ where
     if out.is_empty() {
         return;
     }
+    if ctx.strategy.is_replicate() {
+        let _span = obs::trace::span("replicate", "driver");
+        assert_eq!(out.len() % seg_len, 0, "segments must divide evenly");
+        for (i, seg) in out.chunks_exact_mut(seg_len).enumerate() {
+            f(i, seg);
+        }
+        return;
+    }
     let ds = DisjointSlices::new(out, seg_len);
     let n = ds.len();
     ctx.team.parallel(|w| {
@@ -55,6 +75,15 @@ where
     if out.is_empty() {
         return;
     }
+    if ctx.strategy.is_replicate() {
+        let _span = obs::trace::span("replicate", "driver");
+        assert_eq!(out.len() % seg_len, 0, "segments must divide evenly");
+        let mut scratch = ctx.workspace.thread_scratch(0);
+        for (i, seg) in out.chunks_exact_mut(seg_len).enumerate() {
+            f(i, seg, &mut scratch);
+        }
+        return;
+    }
     let ds = DisjointSlices::new(out, seg_len);
     let n = ds.len();
     ctx.team.parallel(|w| {
@@ -64,6 +93,91 @@ where
             // SAFETY: each index is executed exactly once across the team.
             let seg = unsafe { ds.segment_mut(i) };
             f(i, seg, &mut scratch);
+        });
+    });
+}
+
+/// Generalized coalesced loop (Algorithm 4 over "hidden dimensions"): each
+/// of the `out.len() / seg_len` per-sample segments is further split into
+/// `ctx.strategy.split_ways()` disjoint contiguous sub-blocks, and
+/// `f(sample, block, nblocks, sub_segment)` runs exactly once per
+/// `(sample, block)` unit. Units are ordered sample-major, so with
+/// `nblocks == 1` this is exactly [`parallel_segments`].
+///
+/// The kernel must write sub-block `block` of sample `sample`'s output with
+/// values bit-identical to the corresponding region of the unsplit kernel —
+/// conv/IP achieve this via row-block GEMM/GEMV with full-problem dispatch
+/// (`mmblas::gemm_rowblock`), which pins per-element accumulation order.
+///
+/// # Panics
+/// Panics unless `split_ways` divides `seg_len`.
+pub fn parallel_units<S, F>(ctx: &ExecCtx<'_, S>, out: &mut [S], seg_len: usize, f: F)
+where
+    S: Scalar,
+    F: Fn(usize, usize, usize, &mut [S]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    if ctx.strategy.is_replicate() {
+        let _span = obs::trace::span("replicate", "driver");
+        assert_eq!(out.len() % seg_len, 0, "segments must divide evenly");
+        for (i, seg) in out.chunks_exact_mut(seg_len).enumerate() {
+            f(i, 0, 1, seg);
+        }
+        return;
+    }
+    let ways = ctx.strategy.split_ways();
+    assert_eq!(
+        seg_len % ways,
+        0,
+        "parallel_units: split ways {ways} must divide segment length {seg_len}"
+    );
+    let ds = DisjointSlices::new(out, seg_len / ways);
+    let n_units = ds.len();
+    ctx.team.parallel(|w| {
+        let _span = obs::trace::span("segments", "driver");
+        for_each_index(w, n_units, ctx.schedule, |u| {
+            // SAFETY: each unit index is executed exactly once across the team.
+            let seg = unsafe { ds.segment_mut(u) };
+            f(u / ways, u % ways, ways, seg);
+        });
+    });
+}
+
+/// [`parallel_units`] plus a per-thread scratch buffer.
+pub fn parallel_units_scratch<S, F>(ctx: &ExecCtx<'_, S>, out: &mut [S], seg_len: usize, f: F)
+where
+    S: Scalar,
+    F: Fn(usize, usize, usize, &mut [S], &mut ThreadScratch<S>) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    if ctx.strategy.is_replicate() {
+        let _span = obs::trace::span("replicate", "driver");
+        assert_eq!(out.len() % seg_len, 0, "segments must divide evenly");
+        let mut scratch = ctx.workspace.thread_scratch(0);
+        for (i, seg) in out.chunks_exact_mut(seg_len).enumerate() {
+            f(i, 0, 1, seg, &mut scratch);
+        }
+        return;
+    }
+    let ways = ctx.strategy.split_ways();
+    assert_eq!(
+        seg_len % ways,
+        0,
+        "parallel_units: split ways {ways} must divide segment length {seg_len}"
+    );
+    let ds = DisjointSlices::new(out, seg_len / ways);
+    let n_units = ds.len();
+    ctx.team.parallel(|w| {
+        let _span = obs::trace::span("segments", "driver");
+        let mut scratch = ctx.workspace.thread_scratch(w.thread_id);
+        for_each_index(w, n_units, ctx.schedule, |u| {
+            // SAFETY: each unit index is executed exactly once across the team.
+            let seg = unsafe { ds.segment_mut(u) };
+            f(u / ways, u % ways, ways, seg, &mut scratch);
         });
     });
 }
@@ -116,6 +230,32 @@ pub fn backward_reduce<S, F>(
         "backward_reduce: workspace grad_len {} < layer total {total}",
         ctx.workspace.request().grad_len
     );
+
+    if ctx.strategy.is_replicate() {
+        // Identical slot partition and merge order as the parallel path,
+        // executed inline: slot s accumulates its sample chunk, then slots
+        // merge in ascending slot order — bitwise equal by construction.
+        let _span = obs::trace::span("replicate", "driver");
+        let mut scratch = ctx.workspace.thread_scratch(0);
+        for slot in 0..nslots {
+            let mut sg = ctx.workspace.slot(slot);
+            sg.prepare(total);
+            let mut parts = sg.parts(param_lens);
+            for s in static_chunk(slot, nslots, n_samples) {
+                body(s, &mut parts, &mut scratch);
+            }
+        }
+        for slot in 0..nslots {
+            let sg = ctx.workspace.slot(slot);
+            let buf = sg.active(total);
+            let mut off = 0usize;
+            for (dst, &len) in shared_diffs.iter_mut().zip(param_lens) {
+                mmblas::axpy(S::ONE, &buf[off..off + len], dst);
+                off += len;
+            }
+        }
+        return;
+    }
 
     let shared: Vec<SendPtr<S>> = shared_diffs.iter_mut().map(|s| SendPtr::new(s)).collect();
     let merge_lock = Mutex::new(());
@@ -205,6 +345,7 @@ where
 mod tests {
     use super::*;
     use crate::ctx::ReductionMode;
+    use crate::strategy::LayerStrategy;
     use crate::workspace::{Workspace, WorkspaceRequest};
     use omprt::ThreadTeam;
 
@@ -361,6 +502,105 @@ mod tests {
         // groups: 1 degenerates to the flat fold.
         let ctx1 = ExecCtx::new(&team, &ws).with_reduction(ReductionMode::Canonical { groups: 1 });
         assert_eq!(parallel_map_ordered_sum(&ctx1, n, f), part(0..n));
+    }
+
+    #[test]
+    fn parallel_units_splits_segments_sample_major() {
+        let team = ThreadTeam::new(3);
+        let ws = Workspace::<f64>::empty();
+        let ctx = ExecCtx::new(&team, &ws).with_strategy(LayerStrategy::ChannelSplit { ways: 2 });
+        let mut out = vec![0.0f64; 12];
+        // 3 samples of segment length 4, split 2 ways into sub-blocks of 2.
+        parallel_units(&ctx, &mut out, 4, |s, b, nb, sub| {
+            assert_eq!(nb, 2);
+            assert_eq!(sub.len(), 2);
+            for v in sub {
+                *v = (s * 10 + b) as f64;
+            }
+        });
+        assert_eq!(
+            out,
+            [0., 0., 1., 1., 10., 10., 11., 11., 20., 20., 21., 21.]
+        );
+    }
+
+    #[test]
+    fn parallel_units_degenerates_to_segments_for_sample_split() {
+        let team = ThreadTeam::new(2);
+        let ws = Workspace::<f64>::empty();
+        let ctx = ExecCtx::new(&team, &ws);
+        let mut out = vec![0.0f64; 8];
+        parallel_units(&ctx, &mut out, 4, |s, b, nb, sub| {
+            assert_eq!((b, nb, sub.len()), (0, 1, 4));
+            for v in sub {
+                *v = s as f64;
+            }
+        });
+        assert_eq!(out, [0., 0., 0., 0., 1., 1., 1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide segment length")]
+    fn parallel_units_rejects_nondividing_ways() {
+        let team = ThreadTeam::new(1);
+        let ws = Workspace::<f64>::empty();
+        let ctx = ExecCtx::new(&team, &ws).with_strategy(LayerStrategy::ChannelSplit { ways: 3 });
+        let mut out = vec![0.0f64; 8];
+        parallel_units(&ctx, &mut out, 4, |_, _, _, _| {});
+    }
+
+    #[test]
+    fn replicate_segments_bitwise_match_parallel() {
+        let team = ThreadTeam::new(4);
+        let ws = Workspace::<f64>::empty();
+        let f = |i: usize, seg: &mut [f64]| {
+            for (j, v) in seg.iter_mut().enumerate() {
+                *v = 1.0 / (i as f64 + j as f64 + 0.3);
+            }
+        };
+        let mut par = vec![0.0f64; 20];
+        parallel_segments(&ExecCtx::new(&team, &ws), &mut par, 5, f);
+        let mut rep = vec![0.0f64; 20];
+        parallel_segments(
+            &ExecCtx::new(&team, &ws).with_strategy(LayerStrategy::Replicate),
+            &mut rep,
+            5,
+            f,
+        );
+        assert_eq!(par, rep);
+    }
+
+    #[test]
+    fn replicate_reduce_bitwise_matches_parallel() {
+        // Same 4-thread team, same reduction mode: the Replicate path must
+        // reproduce the ordered-merge result exactly (same slot count, same
+        // sample chunks, same merge order).
+        let run = |strategy: LayerStrategy| -> Vec<f64> {
+            let team = ThreadTeam::new(4);
+            let ws = Workspace::new(
+                4,
+                4,
+                WorkspaceRequest {
+                    col_len: 1,
+                    grad_len: 3,
+                },
+            );
+            let ctx = ctx_with(&team, &ws, ReductionMode::Ordered).with_strategy(strategy);
+            let mut w = vec![0.0f64; 3];
+            {
+                let mut shared: Vec<&mut [f64]> = vec![&mut w];
+                backward_reduce(&ctx, 13, &[3], &mut shared, |s, parts, _| {
+                    for v in parts[0].iter_mut() {
+                        *v += 1.0 / (s as f64 + 0.9);
+                    }
+                });
+            }
+            w
+        };
+        assert_eq!(
+            run(LayerStrategy::SampleSplit),
+            run(LayerStrategy::Replicate)
+        );
     }
 
     #[test]

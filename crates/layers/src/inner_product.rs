@@ -6,9 +6,10 @@
 //! segment loop.
 
 use crate::ctx::ExecCtx;
-use crate::drivers::{backward_reduce, parallel_segments};
+use crate::drivers::{backward_reduce, parallel_segments, parallel_units};
 use crate::fill::Filler;
 use crate::profile::{LayerProfile, PassProfile};
+use crate::strategy::{split_divisors, LayerStrategy};
 use crate::workspace::WorkspaceRequest;
 use crate::Layer;
 use blob::{Blob, Shape};
@@ -135,13 +136,25 @@ impl<S: Scalar> Layer<S> for InnerProductLayer<S> {
             None
         };
         let (m, k) = (self.cfg.num_output, self.k);
-        parallel_segments(ctx, top[0].data_mut(), m, |s, y| {
+        assert_eq!(
+            m % ctx.strategy.split_ways(),
+            0,
+            "{}: split must divide {m} outputs",
+            self.name
+        );
+        // Under OutputSplit, block `blk` computes output rows
+        // `[blk*mb, (blk+1)*mb)` via a GEMV over the corresponding weight
+        // rows. Each y[i] is an independent dot product, so any row blocking
+        // is bitwise equal to the full call.
+        parallel_units(ctx, top[0].data_mut(), m, |s, blk, nb, y| {
+            let mb = m / nb;
             let xs = &x[s * k..(s + 1) * k];
+            let wb = &w[blk * mb * k..];
             if let Some(b) = bias {
-                y.copy_from_slice(b);
-                mmblas::gemv(Transpose::No, m, k, S::ONE, w, k, xs, S::ONE, y);
+                y.copy_from_slice(&b[blk * mb..(blk + 1) * mb]);
+                mmblas::gemv(Transpose::No, mb, k, S::ONE, wb, k, xs, S::ONE, y);
             } else {
-                mmblas::gemv(Transpose::No, m, k, S::ONE, w, k, xs, S::ZERO, y);
+                mmblas::gemv(Transpose::No, mb, k, S::ONE, wb, k, xs, S::ZERO, y);
             }
         });
     }
@@ -210,6 +223,20 @@ impl<S: Scalar> Layer<S> for InnerProductLayer<S> {
             col_len: 0,
             grad_len: self.wlen() + self.blen(),
         }
+    }
+
+    fn strategy_space(&self) -> Vec<LayerStrategy> {
+        let mut space = vec![LayerStrategy::SampleSplit, LayerStrategy::Replicate];
+        space.extend(
+            split_divisors(self.cfg.num_output)
+                .into_iter()
+                .map(|ways| LayerStrategy::OutputSplit { ways }),
+        );
+        space
+    }
+
+    fn split_extent(&self) -> usize {
+        self.cfg.num_output
     }
 
     fn profile(&self, bottom: &[&Blob<S>]) -> LayerProfile {
@@ -329,6 +356,43 @@ mod tests {
         l1.forward(&c1, &[&b], &mut o1);
         l4.forward(&c4, &[&b], &mut o4);
         assert_eq!(o1[0].data(), o4[0].data());
+    }
+
+    #[test]
+    fn output_split_forward_bitwise_matches_sample_split() {
+        let data: Vec<f64> = (0..5 * 9).map(|i| (i as f64 * 0.53).cos()).collect();
+        let run = |threads: usize, strategy: LayerStrategy| {
+            let mut l = make(8, Filler::Xavier);
+            let b: Blob<f64> = Blob::from_data([5usize, 9], data.clone());
+            let shapes = l.setup(&[&b]);
+            let team = ThreadTeam::new(threads);
+            let ws = ws_for(&l, threads);
+            let ctx = ExecCtx::new(&team, &ws).with_strategy(strategy);
+            let mut tops = vec![Blob::new(shapes[0].clone())];
+            l.forward(&ctx, &[&b], &mut tops);
+            tops[0].data().to_vec()
+        };
+        let reference = run(1, LayerStrategy::SampleSplit);
+        for t in [1, 3] {
+            for ways in [2, 4, 8] {
+                assert_eq!(
+                    run(t, LayerStrategy::OutputSplit { ways }),
+                    reference,
+                    "t={t} ways={ways}"
+                );
+            }
+            assert_eq!(run(t, LayerStrategy::Replicate), reference);
+        }
+    }
+
+    #[test]
+    fn strategy_space_enumerates_output_divisors() {
+        let l = make(12, Filler::Xavier);
+        let space = l.strategy_space();
+        assert!(space.contains(&LayerStrategy::OutputSplit { ways: 6 }));
+        assert!(!space.contains(&LayerStrategy::OutputSplit { ways: 5 }));
+        assert!(!space.contains(&LayerStrategy::ChannelSplit { ways: 2 }));
+        assert_eq!(l.split_extent(), 12);
     }
 
     #[test]

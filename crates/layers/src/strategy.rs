@@ -1,0 +1,191 @@
+//! Per-layer parallelization strategies ("hidden dimensions").
+//!
+//! The paper parallelizes every layer over the sample dimension; Jia et al.
+//! (PAPERS.md) show that is one point in a per-layer space. A
+//! [`LayerStrategy`] names which coalesced dimension a layer's drivers split:
+//!
+//! * [`SampleSplit`](LayerStrategy::SampleSplit) — today's behavior, one
+//!   coalesced iteration per sample.
+//! * [`ChannelSplit`](LayerStrategy::ChannelSplit) — forward output channels
+//!   are divided into `ways` contiguous blocks, so the coalesced loop runs
+//!   over `batch × ways` units; used by convolution layers whose batch
+//!   dimension is starved relative to the team.
+//! * [`OutputSplit`](LayerStrategy::OutputSplit) — the same split over the
+//!   output neurons of a fully-connected layer.
+//! * [`Replicate`](LayerStrategy::Replicate) — the layer runs sequentially
+//!   on the calling thread with no parallel region at all; wins for tiny
+//!   layers where fork/join and barrier costs dominate the work.
+//!
+//! Splits apply to the **forward** pass only; the backward pass always
+//! reduces at sample granularity, so executing any strategy is bit-identical
+//! to batch-only execution (see `drivers.rs` and DESIGN.md for the
+//! argument).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How one layer's coalesced parallel loop is split across the team.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum LayerStrategy {
+    /// One coalesced iteration per sample (the paper's scheme; default).
+    #[default]
+    SampleSplit,
+    /// Forward output channels split into `ways` contiguous blocks per
+    /// sample (`ways` must divide the layer's channel extent).
+    ChannelSplit {
+        /// Number of contiguous channel blocks per sample.
+        ways: usize,
+    },
+    /// Forward output neurons split into `ways` contiguous blocks per
+    /// sample (`ways` must divide the layer's output extent).
+    OutputSplit {
+        /// Number of contiguous output blocks per sample.
+        ways: usize,
+    },
+    /// Run the layer sequentially on the calling thread (no parallel
+    /// region, no barrier).
+    Replicate,
+}
+
+impl LayerStrategy {
+    /// Number of sub-units each sample's output segment is split into
+    /// (1 for strategies that do not split within a sample).
+    pub fn split_ways(&self) -> usize {
+        match *self {
+            LayerStrategy::ChannelSplit { ways } | LayerStrategy::OutputSplit { ways } => ways,
+            _ => 1,
+        }
+    }
+
+    /// `true` for [`LayerStrategy::Replicate`].
+    pub fn is_replicate(&self) -> bool {
+        matches!(self, LayerStrategy::Replicate)
+    }
+
+    /// `true` for the default sample-dimension split.
+    pub fn is_sample(&self) -> bool {
+        matches!(self, LayerStrategy::SampleSplit)
+    }
+}
+
+impl fmt::Display for LayerStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LayerStrategy::SampleSplit => write!(f, "sample"),
+            LayerStrategy::ChannelSplit { ways } => write!(f, "channel:{ways}"),
+            LayerStrategy::OutputSplit { ways } => write!(f, "output:{ways}"),
+            LayerStrategy::Replicate => write!(f, "replicate"),
+        }
+    }
+}
+
+/// Error parsing a [`LayerStrategy`] token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError {
+    /// The token that failed to parse.
+    pub token: String,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid strategy `{}`: {}", self.token, self.msg)
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl FromStr for LayerStrategy {
+    type Err = ParseStrategyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |msg: &str| ParseStrategyError {
+            token: s.to_string(),
+            msg: msg.to_string(),
+        };
+        match s {
+            "sample" => Ok(LayerStrategy::SampleSplit),
+            "replicate" => Ok(LayerStrategy::Replicate),
+            _ => {
+                let (kind, ways) = s
+                    .split_once(':')
+                    .ok_or_else(|| err("expected sample, replicate, channel:N or output:N"))?;
+                let ways: usize = ways
+                    .parse()
+                    .map_err(|_| err("split count is not a number"))?;
+                if ways < 2 {
+                    return Err(err("split count must be >= 2"));
+                }
+                match kind {
+                    "channel" => Ok(LayerStrategy::ChannelSplit { ways }),
+                    "output" => Ok(LayerStrategy::OutputSplit { ways }),
+                    _ => Err(err("unknown strategy kind")),
+                }
+            }
+        }
+    }
+}
+
+/// Split candidates for a layer whose split dimension has `extent`
+/// channels/outputs: every divisor `d >= 2` of `extent`, capped at
+/// [`MAX_SPLIT_WAYS`] so the search space stays small for wide layers.
+pub fn split_divisors(extent: usize) -> Vec<usize> {
+    (2..=extent.min(MAX_SPLIT_WAYS))
+        .filter(|d| extent.is_multiple_of(*d))
+        .collect()
+}
+
+/// Largest within-sample split the strategy space enumerates.
+pub const MAX_SPLIT_WAYS: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in [
+            LayerStrategy::SampleSplit,
+            LayerStrategy::ChannelSplit { ways: 4 },
+            LayerStrategy::OutputSplit { ways: 2 },
+            LayerStrategy::Replicate,
+        ] {
+            assert_eq!(s.to_string().parse::<LayerStrategy>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in [
+            "",
+            "chan",
+            "channel",
+            "channel:",
+            "channel:x",
+            "channel:1",
+            "output:0",
+        ] {
+            let e = bad.parse::<LayerStrategy>().unwrap_err();
+            assert_eq!(e.token, bad);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ways_and_predicates() {
+        assert_eq!(LayerStrategy::SampleSplit.split_ways(), 1);
+        assert_eq!(LayerStrategy::Replicate.split_ways(), 1);
+        assert_eq!(LayerStrategy::ChannelSplit { ways: 5 }.split_ways(), 5);
+        assert!(LayerStrategy::Replicate.is_replicate());
+        assert!(LayerStrategy::default().is_sample());
+    }
+
+    #[test]
+    fn divisors_enumerate_and_cap() {
+        assert_eq!(split_divisors(20), vec![2, 4, 5, 10, 20]);
+        assert_eq!(split_divisors(1), Vec::<usize>::new());
+        assert!(split_divisors(500).iter().all(|&d| d <= MAX_SPLIT_WAYS));
+        assert!(split_divisors(500).contains(&50));
+    }
+}

@@ -358,6 +358,83 @@ pub fn gemm<S: Scalar>(
     }
 }
 
+/// Row-block GEMM with **full-problem dispatch**: computes rows
+/// `[row0, row0 + rows)` of the `m × n` product `C = alpha·A·op(B) + beta·C`
+/// into the caller's `rows × n` block `c`, producing bit-identical values to
+/// the same rows of a single [`gemm`] call over all `m` rows.
+///
+/// Both kernels accumulate each `C[i][j]` in ascending-`p` order within
+/// ascending `KC` panels regardless of which row range is computed, so the
+/// only way a row block can diverge bitwise from the full call is the
+/// size-based kernel dispatch in [`gemm`]. This entry point pins the
+/// dispatch decision to the *full* problem's flop count (`2·m·n·k`) so a
+/// channel-split layer that computes output rows in disjoint blocks stays
+/// bit-identical to batch-only execution.
+///
+/// `A` must be non-transposed (its rows are C's rows); `a` and `b` are the
+/// *full* operands while `c` is only the block being produced.
+///
+/// # Panics
+/// Panics if `row0 + rows > m` or any slice is too small for its role.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_rowblock<S: Scalar>(
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    row0: usize,
+    rows: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+) {
+    assert!(
+        row0 + rows <= m,
+        "gemm_rowblock: rows {row0}..{} out of 0..{m}",
+        row0 + rows
+    );
+    let a_block = &a[row0 * lda..];
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    if flops < 64 * 64 * 64 * 2 {
+        gemm_blocked(
+            Transpose::No,
+            tb,
+            rows,
+            n,
+            k,
+            alpha,
+            a_block,
+            lda,
+            b,
+            ldb,
+            beta,
+            c,
+            ldc,
+        );
+    } else {
+        gemm_microkernel(
+            Transpose::No,
+            tb,
+            rows,
+            n,
+            k,
+            alpha,
+            a_block,
+            lda,
+            b,
+            ldb,
+            beta,
+            c,
+            ldc,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +648,79 @@ mod tests {
             3,
         );
         assert_eq!(c, [1.0, 99.0, 98.0, 1.0, 97.0, 96.0]);
+    }
+
+    /// Cover `gemm_rowblock` against the rows of a full `gemm` call on both
+    /// sides of the kernel-dispatch threshold, with `k` spanning multiple
+    /// `KC` panels so a wrong dispatch would change summation association.
+    #[test]
+    fn rowblock_bitwise_matches_full_gemm_rows() {
+        for &(m, n, k, tb) in &[
+            (8usize, 6usize, 5usize, Transpose::No), // tiny: blocked kernel
+            (50, 64, 500, Transpose::No),            // LeNet conv2 shape: microkernel, k > KC
+            (50, 64, 500, Transpose::Yes),
+            (12, 10, KC * 3 + 7, Transpose::No),
+        ] {
+            let a = dense(m, k, 1);
+            let (brows, bcols) = if tb.is_trans() { (n, k) } else { (k, n) };
+            let b = dense(brows, bcols, 2);
+            let ldb = bcols;
+            let mut c_full = dense(m, n, 3);
+            let c0 = c_full.clone();
+            gemm(
+                Transpose::No,
+                tb,
+                m,
+                n,
+                k,
+                1.5,
+                &a,
+                k,
+                &b,
+                ldb,
+                0.5,
+                &mut c_full,
+                n,
+            );
+            // Uneven block boundaries, including a degenerate 1-row block.
+            for &(row0, rows) in &[(0usize, m), (0, m / 2), (m / 2, m - m / 2), (m - 1, 1)] {
+                let mut c_blk = c0[row0 * n..(row0 + rows) * n].to_vec();
+                gemm_rowblock(
+                    tb, m, n, k, row0, rows, 1.5, &a, k, &b, ldb, 0.5, &mut c_blk, n,
+                );
+                assert!(
+                    c_blk
+                        .iter()
+                        .zip(&c_full[row0 * n..(row0 + rows) * n])
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "rowblock ({row0},{rows}) of {m}x{n}x{k} not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_rowblock: rows")]
+    fn rowblock_out_of_range_panics() {
+        let a = [0.0f64; 4];
+        let b = [0.0f64; 4];
+        let mut c = [0.0f64; 4];
+        gemm_rowblock(
+            Transpose::No,
+            2,
+            2,
+            2,
+            1,
+            2,
+            1.0,
+            &a,
+            2,
+            &b,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
     }
 
     #[test]

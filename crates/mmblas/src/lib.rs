@@ -40,7 +40,7 @@ pub mod scalar;
 pub use im2col::{col2im, conv_out_dim, im2col, Conv2dGeometry};
 pub use level1::*;
 pub use level2::{gemv, ger};
-pub use level3::{gemm, gemm_blocked, gemm_microkernel, gemm_naive};
+pub use level3::{gemm, gemm_blocked, gemm_microkernel, gemm_naive, gemm_rowblock};
 pub use par::{gemm_par, gemv_par};
 pub use rng::Pcg32;
 pub use scalar::Scalar;

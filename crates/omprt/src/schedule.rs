@@ -44,6 +44,57 @@ pub fn static_assignment(nthreads: usize, n: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
+/// Deterministic serial projection of the chunks each thread claims under
+/// `sched` for a loop of `n` iterations on `nthreads` threads — the pure
+/// chunk math with no team, for the machine simulator, the imbalance
+/// metrics, and the planner's cost oracle.
+///
+/// For [`Schedule::Static`] and [`Schedule::StaticChunk`] this is exactly
+/// the runtime's assignment. For the dynamic schedules the *chunk
+/// boundaries* are exactly the sequence the shared-counter loop generates
+/// ([`Schedule::Guided`] shrinks each chunk to `(remaining / 2·nthreads)`,
+/// floor 1); which thread claims which chunk races at runtime, so the
+/// projection deals them round-robin in claim order.
+pub fn static_projection(sched: Schedule, nthreads: usize, n: usize) -> Vec<Vec<Range<usize>>> {
+    let nt = nthreads.max(1);
+    let mut per_thread: Vec<Vec<Range<usize>>> = vec![Vec::new(); nt];
+    let mut deal = |k: usize, r: Range<usize>| {
+        if !r.is_empty() {
+            per_thread[k % nt].push(r);
+        }
+    };
+    match sched {
+        Schedule::Static => {
+            for t in 0..nt {
+                deal(t, static_chunk(t, nt, n));
+            }
+        }
+        Schedule::StaticChunk(chunk) | Schedule::Dynamic(chunk) => {
+            let chunk = chunk.max(1);
+            let mut start = 0;
+            let mut k = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                deal(k, start..end);
+                start = end;
+                k += 1;
+            }
+        }
+        Schedule::Guided => {
+            let mut start = 0;
+            let mut k = 0;
+            while start < n {
+                let chunk = ((n - start) / (2 * nt)).max(1);
+                let end = (start + chunk).min(n);
+                deal(k, start..end);
+                start = end;
+                k += 1;
+            }
+        }
+    }
+    per_thread
+}
+
 /// Iteration count thread `tid` receives under `schedule(static, chunk)`.
 pub fn static_chunked_count(tid: usize, nthreads: usize, n: usize, chunk: usize) -> usize {
     let chunk = chunk.max(1);
@@ -201,5 +252,33 @@ mod tests {
     #[test]
     fn zero_chunk_is_clamped() {
         assert_eq!(static_chunked_count(0, 2, 10, 0), 5);
+    }
+
+    #[test]
+    fn projection_agrees_with_the_runtime_chunk_math() {
+        // Static: one contiguous range per thread, same as static_assignment.
+        let proj = static_projection(Schedule::Static, 3, 10);
+        assert_eq!(
+            proj,
+            vec![vec![0..4], vec![4..7], vec![7..10]],
+            "static projection must match static_assignment"
+        );
+        // StaticChunk: round-robin dealing, per-thread totals match
+        // static_chunked_count.
+        let proj = static_projection(Schedule::StaticChunk(3), 2, 10);
+        assert_eq!(proj, vec![vec![0..3, 6..9], vec![3..6, 9..10]]);
+        for (t, ranges) in proj.iter().enumerate() {
+            let got: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(got, static_chunked_count(t, 2, 10, 3));
+        }
+        // Guided: chunks shrink as (remaining / 2nt).max(1); 20 iters on 2
+        // threads → 5, 3, 3, 2, 1, 1, ... dealt round-robin.
+        let proj = static_projection(Schedule::Guided, 2, 20);
+        let mut chunks: Vec<_> = proj.iter().flatten().cloned().collect();
+        chunks.sort_by_key(|r| r.start);
+        assert_eq!(chunks[0], 0..5);
+        assert_eq!(chunks[1], 5..8);
+        let covered: usize = chunks.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 20);
     }
 }

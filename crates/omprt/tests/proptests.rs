@@ -4,7 +4,7 @@
 //! partition exactly.
 
 use omprt::coalesce::Coalesce;
-use omprt::schedule::{static_assignment, static_chunked_count, Schedule};
+use omprt::schedule::{static_assignment, static_chunked_count, static_projection, Schedule};
 use omprt::ThreadTeam;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,6 +58,62 @@ proptest! {
                 prop_assert!(p < idx, "decode not lexicographically increasing");
             }
             prev = Some(idx);
+        }
+    }
+
+    #[test]
+    fn every_projection_partitions_exactly(n in 0usize..300,
+                                           threads in 1usize..17,
+                                           chunk in 1usize..20) {
+        for sched in [
+            Schedule::Static,
+            Schedule::StaticChunk(chunk),
+            Schedule::Dynamic(chunk),
+            Schedule::Guided,
+        ] {
+            let proj = static_projection(sched, threads, n);
+            prop_assert_eq!(proj.len(), threads, "one slot per thread under {:?}", sched);
+            // Every index in 0..n appears in exactly one range of exactly
+            // one thread: the per-thread ranges are an exact partition.
+            let mut hits = vec![0usize; n];
+            for ranges in &proj {
+                for r in ranges {
+                    prop_assert!(!r.is_empty(), "empty range emitted under {:?}", sched);
+                    prop_assert!(r.end <= n, "range {:?} overruns n={} under {:?}", r, n, sched);
+                    for i in r.clone() {
+                        hits[i] += 1;
+                    }
+                }
+            }
+            for (i, h) in hits.iter().enumerate() {
+                prop_assert_eq!(*h, 1, "index {} covered {} times under {:?}", i, h, sched);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_matches_static_runtime_assignment(n in 0usize..300,
+                                                    threads in 1usize..17,
+                                                    chunk in 1usize..20) {
+        // For the static schedules the projection is not merely a model —
+        // it must equal the runtime's per-thread assignment exactly.
+        let proj = static_projection(Schedule::Static, threads, n);
+        for (t, ranges) in proj.iter().enumerate() {
+            let want = static_assignment(threads, n)[t].clone();
+            if want.is_empty() {
+                prop_assert!(ranges.is_empty());
+            } else {
+                prop_assert_eq!(ranges.as_slice(), &[want]);
+            }
+        }
+        let proj = static_projection(Schedule::StaticChunk(chunk), threads, n);
+        for (t, ranges) in proj.iter().enumerate() {
+            let got: usize = ranges.iter().map(|r| r.len()).sum();
+            prop_assert_eq!(got, static_chunked_count(t, threads, n, chunk));
+            // run_nowait strides thread t through starts t*c, (t+nt)*c, ...
+            for (j, r) in ranges.iter().enumerate() {
+                prop_assert_eq!(r.start, (t + j * threads) * chunk);
+            }
         }
     }
 

@@ -305,7 +305,9 @@ fn profile_table_uses_the_papers_layout() {
     t.train(2);
     let profile = t.profile().unwrap();
     let table = profile.table();
-    for col in ["layer", "fwd ms", "bwd ms", "total ms", "% total"] {
+    for col in [
+        "layer", "fwd ms", "bwd ms", "total ms", "% total", "strategy",
+    ] {
         assert!(
             table.contains(col),
             "table missing column '{col}':\n{table}"
@@ -315,7 +317,7 @@ fn profile_table_uses_the_papers_layout() {
         assert!(table.contains(layer), "table missing layer '{layer}'");
     }
     let csv = profile.csv();
-    assert!(csv.starts_with("layer,fwd_ms,bwd_ms,total_ms,pct_total\n"));
+    assert!(csv.starts_with("layer,fwd_ms,bwd_ms,total_ms,pct_total,strategy\n"));
     assert_eq!(csv.lines().count(), t.net().layer_names().len() + 1);
 }
 
